@@ -1,0 +1,397 @@
+//! Qubit topologies: coupling graphs with geometric locality.
+//!
+//! The allocation heuristics need three things from a machine layout:
+//! pairwise distance (communication cost), shortest paths (swap-chain
+//! routing), and "qubits near a point, nearest first" (locality-aware
+//! allocation). [`Topology`] provides all three; the concrete layouts
+//! are [`GridTopology`] (2-D lattice), [`FullTopology`] (all-to-all)
+//! and [`LineTopology`] (1-D chain).
+
+use std::fmt;
+
+/// A physical qubit slot on a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysId(pub u32);
+
+impl PhysId {
+    /// Raw index into the machine's qubit array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+/// A coupling graph with 2-D geometry.
+///
+/// Distances are hop counts on the coupling graph; coordinates give
+/// the geometric embedding used by locality scores and braid routing.
+pub trait Topology {
+    /// Short name for reports ("lattice", "full", "line").
+    fn name(&self) -> &str;
+
+    /// Number of physical qubits on the machine.
+    fn qubit_count(&self) -> usize;
+
+    /// Geometric position of a qubit.
+    fn coord(&self, q: PhysId) -> (i32, i32);
+
+    /// Coupling-graph distance in hops (0 for `a == b`, 1 for coupled
+    /// qubits). A swap chain between `a` and `b` needs
+    /// `distance(a, b) − 1` swaps.
+    fn distance(&self, a: PhysId, b: PhysId) -> u32;
+
+    /// True if a two-qubit gate can act directly on `a` and `b`.
+    fn are_coupled(&self, a: PhysId, b: PhysId) -> bool {
+        self.distance(a, b) == 1
+    }
+
+    /// Qubits directly coupled to `q`.
+    fn neighbors(&self, q: PhysId) -> Vec<PhysId>;
+
+    /// A shortest path from `a` to `b`, inclusive of both endpoints.
+    fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId>;
+
+    /// Qubits ordered by nondecreasing distance from `center`
+    /// (geometric, not graph — identical for our layouts). Used by the
+    /// locality-aware allocator to find the nearest free qubit without
+    /// scanning the whole machine.
+    fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_>;
+}
+
+/// 2-D lattice with nearest-neighbour coupling (row-major indexing),
+/// the NISQ layout of the paper's Section V-C experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridTopology {
+    width: u32,
+    height: u32,
+}
+
+impl GridTopology {
+    /// Creates a `width × height` lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        GridTopology { width, height }
+    }
+
+    /// The smallest near-square grid holding at least `n` qubits.
+    pub fn with_capacity(n: usize) -> Self {
+        let side = (n as f64).sqrt().ceil() as u32;
+        let side = side.max(1);
+        let height = ((n as u32) + side - 1) / side.max(1);
+        GridTopology::new(side, height.max(1))
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn xy(&self, q: PhysId) -> (i32, i32) {
+        let x = q.0 % self.width;
+        let y = q.0 / self.width;
+        (x as i32, y as i32)
+    }
+
+    fn id_at(&self, x: i32, y: i32) -> Option<PhysId> {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
+            None
+        } else {
+            Some(PhysId(y as u32 * self.width + x as u32))
+        }
+    }
+}
+
+impl Topology for GridTopology {
+    fn name(&self) -> &str {
+        "lattice"
+    }
+
+    fn qubit_count(&self) -> usize {
+        (self.width * self.height) as usize
+    }
+
+    fn coord(&self, q: PhysId) -> (i32, i32) {
+        self.xy(q)
+    }
+
+    fn neighbors(&self, q: PhysId) -> Vec<PhysId> {
+        let (x, y) = self.xy(q);
+        [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)]
+            .into_iter()
+            .filter_map(|(nx, ny)| self.id_at(nx, ny))
+            .collect()
+    }
+
+    fn distance(&self, a: PhysId, b: PhysId) -> u32 {
+        let (ax, ay) = self.xy(a);
+        let (bx, by) = self.xy(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+    }
+
+    fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId> {
+        // L-shaped route: walk x first, then y.
+        let (ax, ay) = self.xy(a);
+        let (bx, by) = self.xy(b);
+        let mut path = Vec::with_capacity(self.distance(a, b) as usize + 1);
+        let (mut x, mut y) = (ax, ay);
+        path.push(a);
+        while x != bx {
+            x += (bx - x).signum();
+            path.push(self.id_at(x, y).expect("in bounds"));
+        }
+        while y != by {
+            y += (by - y).signum();
+            path.push(self.id_at(x, y).expect("in bounds"));
+        }
+        path
+    }
+
+    fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_> {
+        let grid = *self;
+        let max_radius = (self.width + self.height) as i32;
+        let iter = (0..=max_radius).flat_map(move |r| {
+            // All lattice points at Manhattan radius r from center.
+            let (cx, cy) = center;
+            (-r..=r).flat_map(move |dx| {
+                let dy = r - dx.abs();
+                let mut pts = Vec::with_capacity(2);
+                if let Some(q) = grid.id_at(cx + dx, cy + dy) {
+                    pts.push(q);
+                }
+                if dy != 0 {
+                    if let Some(q) = grid.id_at(cx + dx, cy - dy) {
+                        pts.push(q);
+                    }
+                }
+                pts
+            })
+        });
+        Box::new(iter)
+    }
+}
+
+/// All-to-all coupling (trapped-ion style): every pair is distance 1,
+/// so no swap chains are ever needed. This is the "fully-connected"
+/// machine of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullTopology {
+    n: u32,
+}
+
+impl FullTopology {
+    /// Creates an `n`-qubit fully-connected machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "machine must have at least one qubit");
+        FullTopology { n }
+    }
+}
+
+impl Topology for FullTopology {
+    fn name(&self) -> &str {
+        "full"
+    }
+
+    fn qubit_count(&self) -> usize {
+        self.n as usize
+    }
+
+    fn coord(&self, q: PhysId) -> (i32, i32) {
+        // Geometry is irrelevant for all-to-all machines; a line
+        // embedding keeps coordinates well-defined for reports.
+        (q.0 as i32, 0)
+    }
+
+    fn neighbors(&self, q: PhysId) -> Vec<PhysId> {
+        (0..self.n).map(PhysId).filter(|&p| p != q).collect()
+    }
+
+    fn distance(&self, a: PhysId, b: PhysId) -> u32 {
+        u32::from(a != b)
+    }
+
+    fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId> {
+        if a == b {
+            vec![a]
+        } else {
+            vec![a, b]
+        }
+    }
+
+    fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_> {
+        // All qubits are equally close; yield them in index order
+        // starting from the center's embedding for determinism.
+        let n = self.n;
+        let start = center.0.clamp(0, n as i32 - 1) as u32;
+        Box::new((0..n).map(move |i| PhysId((start + i) % n)))
+    }
+}
+
+/// 1-D chain coupling, the most locality-constrained layout; useful
+/// for stress-testing allocation policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineTopology {
+    n: u32,
+}
+
+impl LineTopology {
+    /// Creates an `n`-qubit chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "machine must have at least one qubit");
+        LineTopology { n }
+    }
+}
+
+impl Topology for LineTopology {
+    fn name(&self) -> &str {
+        "line"
+    }
+
+    fn qubit_count(&self) -> usize {
+        self.n as usize
+    }
+
+    fn coord(&self, q: PhysId) -> (i32, i32) {
+        (q.0 as i32, 0)
+    }
+
+    fn neighbors(&self, q: PhysId) -> Vec<PhysId> {
+        let mut v = Vec::with_capacity(2);
+        if q.0 + 1 < self.n {
+            v.push(PhysId(q.0 + 1));
+        }
+        if q.0 > 0 {
+            v.push(PhysId(q.0 - 1));
+        }
+        v
+    }
+
+    fn distance(&self, a: PhysId, b: PhysId) -> u32 {
+        a.0.abs_diff(b.0)
+    }
+
+    fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId> {
+        let step = if b.0 >= a.0 { 1i64 } else { -1 };
+        let mut path = Vec::with_capacity(self.distance(a, b) as usize + 1);
+        let mut x = a.0 as i64;
+        path.push(a);
+        while x != b.0 as i64 {
+            x += step;
+            path.push(PhysId(x as u32));
+        }
+        path
+    }
+
+    fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_> {
+        let n = self.n as i32;
+        let c = center.0.clamp(0, n - 1);
+        let iter = (0..n).filter_map(move |r| {
+            if r == 0 {
+                return Some(vec![PhysId(c as u32)]);
+            }
+            let mut v = Vec::with_capacity(2);
+            if c + r < n {
+                v.push(PhysId((c + r) as u32));
+            }
+            if c - r >= 0 {
+                v.push(PhysId((c - r) as u32));
+            }
+            if v.is_empty() {
+                None
+            } else {
+                Some(v)
+            }
+        });
+        Box::new(iter.flatten())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_distance_is_manhattan() {
+        let g = GridTopology::new(4, 4);
+        // (0,0) -> (3,2): |3| + |2| = 5
+        assert_eq!(g.distance(PhysId(0), PhysId(11)), 5);
+        assert_eq!(g.distance(PhysId(5), PhysId(5)), 0);
+    }
+
+    #[test]
+    fn grid_path_endpoints_and_adjacency() {
+        let g = GridTopology::new(5, 5);
+        let path = g.shortest_path(PhysId(0), PhysId(24));
+        assert_eq!(path.first(), Some(&PhysId(0)));
+        assert_eq!(path.last(), Some(&PhysId(24)));
+        assert_eq!(path.len() as u32, g.distance(PhysId(0), PhysId(24)) + 1);
+        for w in path.windows(2) {
+            assert!(g.are_coupled(w[0], w[1]), "{:?} {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn grid_ring_iter_visits_all_in_distance_order() {
+        let g = GridTopology::new(4, 3);
+        let seen: Vec<PhysId> = g.ring_iter((1, 1)).collect();
+        assert_eq!(seen.len(), 12, "every qubit visited exactly once");
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 12);
+        let center = PhysId(1 + 4);
+        let dists: Vec<u32> = seen.iter().map(|&q| g.distance(center, q)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{dists:?}");
+    }
+
+    #[test]
+    fn with_capacity_fits() {
+        for n in [1usize, 2, 5, 16, 17, 100, 101] {
+            let g = GridTopology::with_capacity(n);
+            assert!(g.qubit_count() >= n, "n={n} got {}", g.qubit_count());
+        }
+    }
+
+    #[test]
+    fn full_topology_is_distance_one() {
+        let t = FullTopology::new(8);
+        assert_eq!(t.distance(PhysId(0), PhysId(7)), 1);
+        assert_eq!(t.distance(PhysId(3), PhysId(3)), 0);
+        assert_eq!(t.shortest_path(PhysId(0), PhysId(7)).len(), 2);
+        let all: Vec<_> = t.ring_iter((0, 0)).collect();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn line_paths_walk_the_chain() {
+        let t = LineTopology::new(10);
+        let p = t.shortest_path(PhysId(7), PhysId(2));
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], PhysId(7));
+        assert_eq!(p[5], PhysId(2));
+        let ring: Vec<_> = t.ring_iter((5, 0)).collect();
+        assert_eq!(ring.len(), 10);
+        assert_eq!(ring[0], PhysId(5));
+    }
+}

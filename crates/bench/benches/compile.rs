@@ -1,0 +1,59 @@
+//! Criterion benchmarks of compiler throughput: how fast the
+//! instrumentation-driven executor compiles each benchmark class per
+//! policy, plus the communication substrates in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use square_core::{compile, CompilerConfig, Policy};
+use square_workloads::modexp::ModexpSpec;
+use square_workloads::{build, catalog, Benchmark};
+
+fn bench_nisq_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nisq_compile");
+    group.sample_size(20);
+    for bench in [Benchmark::Rd53, Benchmark::Adder4, Benchmark::BelleS] {
+        let program = build(bench).expect("builds");
+        for policy in Policy::BASELINE_THREE {
+            group.bench_with_input(
+                BenchmarkId::new(bench.name(), policy.label()),
+                &policy,
+                |b, &policy| {
+                    b.iter(|| compile(&program, &CompilerConfig::nisq(policy)).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_modexp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modexp_scaling");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let program = catalog::modexp_program(ModexpSpec { n, k: n, g: 7 }).expect("builds");
+        group.bench_with_input(BenchmarkId::new("square", n), &program, |b, p| {
+            b.iter(|| compile(p, &CompilerConfig::nisq(Policy::Square)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_comm_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_models");
+    group.sample_size(10);
+    let program = build(Benchmark::Modexp).expect("builds");
+    group.bench_function("swap_chains", |b| {
+        b.iter(|| compile(&program, &CompilerConfig::nisq(Policy::Square)).unwrap())
+    });
+    group.bench_function("braiding", |b| {
+        b.iter(|| compile(&program, &CompilerConfig::ft(Policy::Square)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nisq_compile,
+    bench_modexp_scaling,
+    bench_comm_models
+);
+criterion_main!(benches);

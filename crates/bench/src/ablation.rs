@@ -1,0 +1,143 @@
+//! Ablation study of SQUARE's design choices (DESIGN.md §3.3).
+//!
+//! Three knobs are swept against the defaults:
+//!
+//! * the recursive-recomputation base of Eq. 1 — the paper's literal
+//!   worst case `2^ℓ` vs. our adaptive `(1+ρ)^ℓ`;
+//! * the scope of Eq. 1's `N_active` — machine-wide (literal) vs. the
+//!   frame's working set;
+//! * the capacity-pressure threshold that forces reclamation.
+//!
+//! The output quantifies why the defaults were chosen: with the
+//! literal readings, CER under-reclaims on deep module towers (MCX
+//! lowering adds call levels), inflating AQV back toward Lazy.
+
+use square_core::{compile, CerParams, CompilerConfig, Policy};
+use square_workloads::{build, Benchmark};
+
+use crate::runner::lattice_for;
+
+/// One ablation variant.
+#[derive(Debug, Clone, Copy)]
+pub struct Variant {
+    /// Display label.
+    pub label: &'static str,
+    /// CER parameters for the variant.
+    pub cer: CerParams,
+}
+
+/// The variants under study.
+pub fn variants() -> Vec<Variant> {
+    let default = CerParams::default();
+    vec![
+        Variant {
+            label: "default (adaptive, frame-scope)",
+            cer: default,
+        },
+        Variant {
+            label: "literal 2^l recompute",
+            cer: CerParams {
+                recompute_base: 2.0,
+                ..default
+            },
+        },
+        Variant {
+            label: "machine-scope C1",
+            cer: CerParams {
+                c1_frame_scope: false,
+                ..default
+            },
+        },
+        Variant {
+            label: "literal 2^l + machine-scope",
+            cer: CerParams {
+                recompute_base: 2.0,
+                c1_frame_scope: false,
+                ..default
+            },
+        },
+        Variant {
+            label: "no pressure forcing",
+            cer: CerParams {
+                pressure_reserve: 0,
+                pressure_fraction: 0.0,
+                ..default
+            },
+        },
+    ]
+}
+
+/// AQV of each variant on the given benchmark, plus the Lazy baseline.
+pub fn compute(bench: Benchmark) -> (u64, Vec<(Variant, u64, u64)>) {
+    let program = build(bench).expect("benchmark builds");
+    let arch = lattice_for(&program, square_arch::CommModel::SwapChains);
+    let lazy = compile(
+        &program,
+        &CompilerConfig::nisq(Policy::Lazy).with_arch(arch),
+    )
+    .expect("lazy compiles")
+    .aqv;
+    let rows = variants()
+        .into_iter()
+        .map(|v| {
+            let mut cfg = CompilerConfig::nisq(Policy::Square).with_arch(arch);
+            cfg.cer = v.cer;
+            let rep = compile(&program, &cfg).expect("square compiles");
+            (v, rep.aqv, rep.decisions.reclaimed)
+        })
+        .collect();
+    (lazy, rows)
+}
+
+/// Renders the ablation table.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("Ablation — CER design choices (AQV normalized to LAZY; lower is better)\n\n");
+    for bench in [Benchmark::Modexp, Benchmark::Mul32, Benchmark::Belle] {
+        let (lazy, rows) = compute(bench);
+        out.push_str(&format!("{}  (LAZY AQV = {lazy})\n", bench.name()));
+        for (v, aqv, reclaimed) in rows {
+            out.push_str(&format!(
+                "  {:<34} norm={:<8.3} reclaimed_frames={}\n",
+                v.label,
+                aqv as f64 / lazy.max(1) as f64,
+                reclaimed
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_variant_is_best_or_tied_on_modexp() {
+        let (_, rows) = compute(Benchmark::Modexp);
+        let default_aqv = rows[0].1;
+        for (v, aqv, _) in &rows[1..] {
+            assert!(
+                default_aqv <= aqv + aqv / 5,
+                "default {default_aqv} much worse than {}: {aqv}",
+                v.label
+            );
+        }
+    }
+
+    #[test]
+    fn literal_settings_reclaim_less() {
+        let (_, rows) = compute(Benchmark::Mul32);
+        let default_reclaims = rows[0].2;
+        let literal_both = rows
+            .iter()
+            .find(|(v, _, _)| v.label.contains("literal 2^l + machine"))
+            .unwrap()
+            .2;
+        assert!(
+            literal_both < default_reclaims,
+            "literal {literal_both} vs default {default_reclaims}"
+        );
+    }
+}

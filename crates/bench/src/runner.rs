@@ -1,0 +1,90 @@
+//! Shared experiment plumbing: machine sizing and policy sweeps.
+
+use square_core::{compile, ArchSpec, CompileReport, CompilerConfig, Policy};
+use square_qir::Program;
+
+/// One policy's compile outcome within a sweep.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The policy.
+    pub policy: Policy,
+    /// Compile report, or the failure (e.g. out of qubits).
+    pub report: Result<CompileReport, square_core::CompileError>,
+}
+
+/// Sizes a near-square lattice to the benchmark's most demanding
+/// policy (Lazy), the paper's "machine that fits the program" setting:
+/// the probe runs on an unconstrained auto-grid, and the experiment
+/// machine gets ~10% slack over the observed peak.
+pub fn lattice_for(program: &Program, comm: square_arch::CommModel) -> ArchSpec {
+    let mut cfg = CompilerConfig::nisq(Policy::Lazy);
+    cfg.comm = comm;
+    let probe = compile(program, &cfg).expect("lazy probe on auto-sized machine");
+    let cap = (probe.peak_active as f64 * 1.1) as usize + 4;
+    let side = (cap as f64).sqrt().ceil() as u32;
+    ArchSpec::Grid {
+        width: side,
+        height: side,
+    }
+}
+
+/// Compiles `program` under each policy on the given machine.
+pub fn run_policies(
+    program: &Program,
+    policies: &[Policy],
+    base: &CompilerConfig,
+) -> Vec<ExperimentResult> {
+    policies
+        .iter()
+        .map(|&policy| {
+            let mut cfg = base.clone();
+            cfg.policy = policy;
+            ExperimentResult {
+                policy,
+                report: compile(program, &cfg),
+            }
+        })
+        .collect()
+}
+
+/// Formats a ratio against the Lazy entry of a sweep (the
+/// normalization used by Figs. 9 and 10).
+pub fn normalized_aqv(results: &[ExperimentResult]) -> Vec<(Policy, f64)> {
+    let lazy = results
+        .iter()
+        .find(|r| r.policy == Policy::Lazy)
+        .and_then(|r| r.report.as_ref().ok())
+        .map(|r| r.aqv.max(1))
+        .unwrap_or(1);
+    results
+        .iter()
+        .filter_map(|r| {
+            r.report
+                .as_ref()
+                .ok()
+                .map(|rep| (r.policy, rep.aqv as f64 / lazy as f64))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use square_arch::CommModel;
+    use square_workloads::{build, Benchmark};
+
+    #[test]
+    fn lattice_sizing_fits_all_policies() {
+        let p = build(Benchmark::Rd53).unwrap();
+        let arch = lattice_for(&p, CommModel::SwapChains);
+        let base = CompilerConfig::nisq(Policy::Lazy).with_arch(arch);
+        let results = run_policies(&p, &Policy::ALL, &base);
+        for r in &results {
+            assert!(r.report.is_ok(), "{:?}: {:?}", r.policy, r.report);
+        }
+        let norms = normalized_aqv(&results);
+        assert_eq!(norms.len(), 4);
+        let lazy = norms.iter().find(|(p, _)| *p == Policy::Lazy).unwrap();
+        assert!((lazy.1 - 1.0).abs() < 1e-9);
+    }
+}

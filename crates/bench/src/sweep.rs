@@ -1,0 +1,125 @@
+//! Machine-size sweep (Section V intro: "experiments that sweep a
+//! large range of system sizes, from tens to thousands of qubits").
+//!
+//! For one benchmark, compile each policy across machine sizes from
+//! "barely fits Eager" to "comfortably fits Lazy" and report AQV and
+//! fit failures — the quantitative version of Fig. 1's capacity lines:
+//! Lazy stops fitting first; SQUARE degrades gracefully by forcing
+//! reclamation under pressure.
+
+use square_core::{compile, ArchSpec, CompilerConfig, Policy};
+use square_workloads::{build, Benchmark};
+
+/// One (machine size, policy) point.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// Machine qubit count (side²).
+    pub machine: usize,
+    /// Policy.
+    pub policy: Policy,
+    /// AQV if the program fit, `None` if it ran out of qubits.
+    pub aqv: Option<u64>,
+}
+
+/// Sweeps machine sizes for `bench` between the Eager peak and ~1.3×
+/// the Lazy peak, in `steps` geometric steps.
+pub fn compute(bench: Benchmark, steps: usize) -> Vec<SweepPoint> {
+    let program = build(bench).expect("benchmark builds");
+    let lazy_probe = compile(&program, &CompilerConfig::nisq(Policy::Lazy))
+        .expect("auto-grid probe");
+    let eager_probe = compile(&program, &CompilerConfig::nisq(Policy::Eager))
+        .expect("auto-grid probe");
+    let lo = (eager_probe.peak_active as f64 * 0.9).max(4.0);
+    let hi = lazy_probe.peak_active as f64 * 1.3;
+    let mut points = Vec::new();
+    for i in 0..steps {
+        let f = i as f64 / (steps.max(2) - 1) as f64;
+        let cap = lo * (hi / lo).powf(f);
+        let side = (cap.sqrt().ceil() as u32).max(2);
+        let arch = ArchSpec::Grid {
+            width: side,
+            height: side,
+        };
+        for policy in Policy::BASELINE_THREE {
+            let report = compile(&program, &CompilerConfig::nisq(policy).with_arch(arch));
+            points.push(SweepPoint {
+                machine: (side * side) as usize,
+                policy,
+                aqv: report.ok().map(|r| r.aqv),
+            });
+        }
+    }
+    points
+}
+
+/// Renders the sweep for MODEXP.
+pub fn render() -> String {
+    let bench = Benchmark::Modexp;
+    let mut out = String::new();
+    out.push_str("Machine-size sweep — MODEXP (AQV per policy; '-' = does not fit)\n\n");
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>12} {:>12}\n",
+        "Machine", "LAZY", "EAGER", "SQUARE"
+    ));
+    let points = compute(bench, 8);
+    let mut machines: Vec<usize> = points.iter().map(|p| p.machine).collect();
+    machines.sort_unstable();
+    machines.dedup();
+    for m in machines {
+        out.push_str(&format!("{m:>8}"));
+        for policy in Policy::BASELINE_THREE {
+            let p = points
+                .iter()
+                .find(|p| p.machine == m && p.policy == policy)
+                .unwrap();
+            match p.aqv {
+                Some(a) => out.push_str(&format!(" {a:>12}")),
+                None => out.push_str(&format!(" {:>12}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\nLazy needs the largest machine; SQUARE fits everywhere Eager does\n\
+         (forced reclamation under pressure) with less volume.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_fits_wherever_eager_fits() {
+        let points = compute(Benchmark::Modexp, 5);
+        for m in points.iter().map(|p| p.machine).collect::<std::collections::BTreeSet<_>>() {
+            let get = |policy: Policy| {
+                points
+                    .iter()
+                    .find(|p| p.machine == m && p.policy == policy)
+                    .unwrap()
+            };
+            if get(Policy::Eager).aqv.is_some() {
+                assert!(
+                    get(Policy::Square).aqv.is_some(),
+                    "machine {m}: SQUARE failed where Eager fit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_fails_on_small_machines() {
+        let points = compute(Benchmark::Modexp, 5);
+        let smallest = points.iter().map(|p| p.machine).min().unwrap();
+        let lazy_small = points
+            .iter()
+            .find(|p| p.machine == smallest && p.policy == Policy::Lazy)
+            .unwrap();
+        assert!(
+            lazy_small.aqv.is_none(),
+            "Lazy unexpectedly fit the Eager-sized machine"
+        );
+    }
+}

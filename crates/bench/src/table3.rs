@@ -1,0 +1,132 @@
+//! Table III — NISQ benchmark compilation results.
+//!
+//! Per benchmark and policy: program gates (swaps excluded), distinct
+//! qubits used, circuit depth, and inserted swaps, on a small 2-D
+//! lattice. The paper's headline shapes: Lazy uses the most qubits and
+//! the fewest gates; Eager the reverse; SQUARE sits between on qubits
+//! while cutting swaps below both.
+
+use square_core::{ArchSpec, CompilerConfig, Policy};
+use square_workloads::{build, Benchmark};
+
+use crate::runner::run_policies;
+
+/// One row of the table.
+#[derive(Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Policy.
+    pub policy: Policy,
+    /// Program gates (uncomputation included, swaps excluded).
+    pub gates: u64,
+    /// Peak concurrently live qubits (the machine size the schedule
+    /// needs — the paper's "# Qubits").
+    pub qubits: usize,
+    /// Depth in cycles.
+    pub depth: u64,
+    /// Routing swaps.
+    pub swaps: u64,
+}
+
+/// The NISQ machine of Section V-C: a small square lattice with
+/// nearest-neighbour coupling, big enough for every NISQ benchmark
+/// under every policy.
+pub fn nisq_machine() -> ArchSpec {
+    ArchSpec::Grid {
+        width: 6,
+        height: 6,
+    }
+}
+
+/// Computes all rows.
+pub fn compute() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for bench in Benchmark::NISQ {
+        let program = build(bench).expect("benchmark builds");
+        let base = CompilerConfig::nisq(Policy::Lazy).with_arch(nisq_machine());
+        for r in run_policies(&program, &Policy::BASELINE_THREE, &base) {
+            let rep = r.report.expect("NISQ benchmarks fit the machine");
+            rows.push(Row {
+                bench: bench.name(),
+                policy: r.policy,
+                gates: rep.gates,
+                qubits: rep.peak_active,
+                depth: rep.depth,
+                swaps: rep.swaps,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the table as text.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("Table III — NISQ benchmarks compilation results (6x6 lattice)\n\n");
+    out.push_str(&format!(
+        "{:<12} {:<8} {:>8} {:>8} {:>8} {:>8}\n",
+        "Benchmark", "Policy", "#Gates", "#Qubits", "Depth", "#Swaps"
+    ));
+    for row in compute() {
+        out.push_str(&format!(
+            "{:<12} {:<8} {:>8} {:>8} {:>8} {:>8}\n",
+            row.bench,
+            row.policy.label(),
+            row.gates,
+            row.qubits,
+            row.depth,
+            row.swaps
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_uses_most_qubits_fewest_gates() {
+        let rows = compute();
+        for bench in Benchmark::NISQ {
+            let get = |p: Policy| {
+                rows.iter()
+                    .find(|r| r.bench == bench.name() && r.policy == p)
+                    .unwrap()
+            };
+            let (lazy, eager) = (get(Policy::Lazy), get(Policy::Eager));
+            assert!(
+                lazy.gates <= eager.gates,
+                "{bench}: lazy gates {} vs eager {}",
+                lazy.gates,
+                eager.gates
+            );
+            assert!(
+                eager.qubits <= lazy.qubits,
+                "{bench}: eager peak {} vs lazy {}",
+                eager.qubits,
+                lazy.qubits
+            );
+        }
+    }
+
+    #[test]
+    fn square_retains_most_of_eagers_qubit_savings() {
+        // Section V-C4: "SQUARE retains most of the qubit savings as
+        // Eager does" — its footprint stays below Lazy's.
+        let rows = compute();
+        let mut square_wins = 0usize;
+        for bench in Benchmark::NISQ {
+            let get = |p: Policy| {
+                rows.iter()
+                    .find(|r| r.bench == bench.name() && r.policy == p)
+                    .unwrap()
+            };
+            if get(Policy::Square).qubits <= get(Policy::Lazy).qubits {
+                square_wins += 1;
+            }
+        }
+        assert!(square_wins >= 5, "SQUARE ≤ Lazy qubits on {square_wins}/7");
+    }
+}

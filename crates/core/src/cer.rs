@@ -1,0 +1,211 @@
+//! Cost-Effective Reclamation (Algorithm 2, Eqs. 1–2 of the paper).
+//!
+//! At each potential reclamation point the compiler compares
+//!
+//! * `C1 = N_active · G_uncomp · S · 2^ℓ` — the cost of uncomputing:
+//!   `G_uncomp` gates now, multiplied by the worst-case recomputation
+//!   factor `2^ℓ` (every ancestor that later uncomputes replays this
+//!   frame's uncompute), weighted by machine congestion (`N_active`)
+//!   and communication (`S`);
+//! * `C0 = N_anc · G_p · S · √((N_active + N_anc)/N_active)` — the cost
+//!   of holding `N_anc` garbage qubits for the `G_p` gates until the
+//!   parent's uncompute block, with the square root capturing the
+//!   swap/braid lengthening caused by area expansion.
+//!
+//! Uncompute iff `C1 ≤ C0`. Under capacity pressure (free qubits below
+//! the configured reserve) reclamation is forced, which is how SQUARE
+//! throttles parallelism to fit constrained machines (Section IV-C).
+
+use crate::config::CerParams;
+
+/// Everything the CER decision sees at one reclamation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CerInputs {
+    /// Currently live qubits on the machine (`N_active`).
+    pub n_active: usize,
+    /// Ancilla this frame would reclaim (`N_anc`).
+    pub n_anc: usize,
+    /// Measured gates of the would-be uncompute block (`G_uncomp`):
+    /// the size of this frame's executed compute slice, children
+    /// included.
+    pub g_uncomp: u64,
+    /// Estimated gates from here to the parent's uncompute (`G_p`).
+    pub g_p: u64,
+    /// Call depth (`ℓ`, entry = 0).
+    pub level: usize,
+    /// Running communication factor (`S`): average swap-chain length
+    /// per gate (NISQ) or braid conflicts per braid (FT).
+    pub comm_factor: f64,
+    /// Free physical qubits remaining.
+    pub free_qubits: usize,
+    /// Machine capacity (for the fractional pressure threshold).
+    pub capacity: usize,
+    /// Running fraction of frames that chose to uncompute (for the
+    /// adaptive recomputation factor).
+    pub reclaim_rate: f64,
+    /// The frame's working set: argument + ancilla qubits (the
+    /// liveness the uncompute extends under frame-scoped C1).
+    pub frame_qubits: usize,
+}
+
+/// The decision with its evaluated costs (kept for reports).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CerDecision {
+    /// True → uncompute and reclaim.
+    pub reclaim: bool,
+    /// Evaluated `C1`.
+    pub c1: f64,
+    /// Evaluated `C0`.
+    pub c0: f64,
+    /// True when capacity pressure forced reclamation.
+    pub forced: bool,
+}
+
+/// Evaluates Eqs. 1–2 and decides.
+pub fn decide(inputs: &CerInputs, params: &CerParams) -> CerDecision {
+    let s = inputs.comm_factor.max(params.s_floor);
+    let n_active = inputs.n_active.max(1) as f64;
+    let n_anc = inputs.n_anc as f64;
+    // Recursive-recomputation factor: worst case `base^ℓ`, or the
+    // adaptive expectation `(1+ρ)^ℓ` when no base is configured.
+    let base = if params.recompute_base > 0.0 {
+        params.recompute_base
+    } else {
+        1.0 + inputs.reclaim_rate.clamp(0.0, 1.0)
+    };
+    let recompute = base.powi(inputs.level.min(60) as i32);
+    let c1_qubits = if params.c1_frame_scope {
+        inputs.frame_qubits.max(1) as f64
+    } else {
+        n_active
+    };
+    let c1 = c1_qubits * inputs.g_uncomp as f64 * s * recompute;
+    let c0 = n_anc * inputs.g_p as f64 * s * ((n_active + n_anc) / n_active).sqrt();
+    if inputs.free_qubits < params.pressure_threshold(inputs.capacity) {
+        return CerDecision {
+            reclaim: true,
+            c1,
+            c0,
+            forced: true,
+        };
+    }
+    CerDecision {
+        reclaim: c1 <= c0,
+        c1,
+        c0,
+        forced: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CerInputs {
+        CerInputs {
+            n_active: 50,
+            n_anc: 4,
+            g_uncomp: 100,
+            g_p: 10_000,
+            level: 1,
+            comm_factor: 1.0,
+            free_qubits: 100,
+            capacity: 200,
+            reclaim_rate: 1.0,
+            frame_qubits: 50,
+        }
+    }
+
+    #[test]
+    fn cheap_uncompute_long_reservation_reclaims() {
+        // Small uncompute, long wait until the parent cleans up.
+        let d = decide(
+            &CerInputs {
+                g_uncomp: 10,
+                g_p: 1_000_000,
+                ..base()
+            },
+            &CerParams::default(),
+        );
+        assert!(d.reclaim);
+        assert!(d.c1 <= d.c0);
+    }
+
+    #[test]
+    fn deep_frames_resist_recomputation() {
+        // Same costs, but deep in the call graph: 2^ℓ dominates.
+        let shallow = decide(&CerInputs { level: 0, ..base() }, &CerParams::default());
+        let deep = decide(&CerInputs { level: 12, ..base() }, &CerParams::default());
+        assert!(shallow.c1 < deep.c1);
+        assert!(deep.c1 > deep.c0, "deep frame prefers leaving garbage");
+        assert!(!deep.reclaim);
+    }
+
+    #[test]
+    fn zero_gp_never_reclaims_uncoerced() {
+        // Entry frame: nothing follows, C0 = 0.
+        let d = decide(
+            &CerInputs {
+                g_p: 0,
+                level: 0,
+                ..base()
+            },
+            &CerParams::default(),
+        );
+        assert!(!d.reclaim);
+        assert_eq!(d.c0, 0.0);
+    }
+
+    #[test]
+    fn pressure_forces_reclamation() {
+        let d = decide(
+            &CerInputs {
+                g_p: 0,
+                free_qubits: 2,
+                ..base()
+            },
+            &CerParams::default(),
+        );
+        assert!(d.reclaim);
+        assert!(d.forced);
+    }
+
+    #[test]
+    fn comm_factor_scales_both_sides() {
+        let lo = decide(
+            &CerInputs {
+                comm_factor: 1.0,
+                ..base()
+            },
+            &CerParams::default(),
+        );
+        let hi = decide(
+            &CerInputs {
+                comm_factor: 5.0,
+                ..base()
+            },
+            &CerParams::default(),
+        );
+        assert_eq!(lo.reclaim, hi.reclaim, "S scales both C1 and C0");
+        assert!(hi.c1 > lo.c1 && hi.c0 > lo.c0);
+    }
+
+    #[test]
+    fn s_floor_applies() {
+        let d = decide(
+            &CerInputs {
+                comm_factor: 0.0,
+                ..base()
+            },
+            &CerParams {
+                s_floor: 2.0,
+                pressure_reserve: 0,
+                pressure_fraction: 0.0,
+                recompute_base: 2.0,
+                c1_frame_scope: false,
+            },
+        );
+        // With S floored at 2, C1 = 50·100·2·2 = 20000.
+        assert_eq!(d.c1, 20_000.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Compiler configuration: target machine, policy, heuristic knobs.
+
+use square_arch::{CommModel, FullTopology, GridTopology, LineTopology, Topology};
+
+use crate::policy::Policy;
+
+/// Target machine layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchSpec {
+    /// 2-D lattice with the given dimensions.
+    Grid {
+        /// Width in qubits.
+        width: u32,
+        /// Height in qubits.
+        height: u32,
+    },
+    /// Fully connected machine with `n` qubits.
+    Full {
+        /// Qubit count.
+        n: u32,
+    },
+    /// Linear chain with `n` qubits.
+    Line {
+        /// Qubit count.
+        n: u32,
+    },
+    /// A near-square lattice auto-sized from the program's worst-case
+    /// footprint (total forward ancilla allocations plus slack) — the
+    /// "large enough machine" setting for AQV studies.
+    AutoGrid,
+}
+
+impl ArchSpec {
+    /// Builds the topology; `capacity_hint` feeds [`ArchSpec::AutoGrid`].
+    pub fn build(&self, capacity_hint: usize) -> Box<dyn Topology> {
+        match self {
+            ArchSpec::Grid { width, height } => Box::new(GridTopology::new(*width, *height)),
+            ArchSpec::Full { n } => Box::new(FullTopology::new(*n)),
+            ArchSpec::Line { n } => Box::new(LineTopology::new(*n)),
+            ArchSpec::AutoGrid => {
+                // Worst case: every forward allocation is simultaneously
+                // live, plus slack for uncompute re-allocations.
+                let cap = capacity_hint.saturating_mul(3) / 2 + 16;
+                Box::new(GridTopology::with_capacity(cap))
+            }
+        }
+    }
+}
+
+/// Weights of the LAA score (Section IV-C). Scores are in scheduler
+/// cycles: distance is weighted by the swap cost it implies, waiting
+/// time enters directly, and fresh allocations carry an
+/// area-expansion premium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaaWeights {
+    /// Cost per unit distance to the interaction centroid (a swap is
+    /// 3 cycles, so ≈ 3 matches the hardware cost of one hop).
+    pub w_comm: f64,
+    /// Cost per cycle of waiting for a reused qubit to become
+    /// available (reuse adds data dependencies → serialization).
+    pub w_serial: f64,
+    /// Premium on fresh qubits, scaled by the paper's area-expansion
+    /// factor `√((N_active + 1)/N_active)` at allocation time.
+    pub w_area: f64,
+}
+
+impl Default for LaaWeights {
+    fn default() -> Self {
+        LaaWeights {
+            w_comm: 3.0,
+            w_serial: 0.05,
+            w_area: 2.0,
+        }
+    }
+}
+
+/// CER cost-model parameters (Section III-A2 / IV-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CerParams {
+    /// Lower bound on the communication factor `S` so early decisions
+    /// (before any swap history exists) are not degenerate.
+    pub s_floor: f64,
+    /// Absolute forced-reclamation floor: when fewer free qubits
+    /// remain, CER reclaims regardless of cost — this is how SQUARE
+    /// "fits computations into resource-constrained machines".
+    pub pressure_reserve: usize,
+    /// Fractional pressure threshold: reclamation is also forced when
+    /// the free fraction of the machine drops below this value.
+    pub pressure_fraction: f64,
+    /// Base of the recursive-recomputation factor in Eq. 1. The paper
+    /// uses the worst case `2^ℓ` (every ancestor later uncomputes);
+    /// `0.0` (the default) selects the adaptive estimate
+    /// `(1 + ρ)^ℓ`, where ρ is the running fraction of frames that
+    /// actually chose to uncompute — see DESIGN.md §3.3.
+    pub recompute_base: f64,
+    /// Scope of Eq. 1's `N_active` factor. `true` (default) uses the
+    /// frame's working set (its arguments + ancilla) — the qubits
+    /// whose liveness the uncompute actually extends under ASAP
+    /// scheduling. `false` uses the paper's literal machine-wide
+    /// active count, which over-penalizes the micro-frames produced
+    /// by MCX lowering (see DESIGN.md §3.3 and the ablation bench).
+    pub c1_frame_scope: bool,
+}
+
+impl Default for CerParams {
+    fn default() -> Self {
+        CerParams {
+            s_floor: 1.0,
+            pressure_reserve: 8,
+            pressure_fraction: 0.08,
+            recompute_base: 0.0,
+            c1_frame_scope: true,
+        }
+    }
+}
+
+impl CerParams {
+    /// The effective forced-reclamation threshold on a machine with
+    /// `capacity` qubits.
+    pub fn pressure_threshold(&self, capacity: usize) -> usize {
+        self.pressure_reserve
+            .max((capacity as f64 * self.pressure_fraction) as usize)
+    }
+}
+
+/// Full compiler configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerConfig {
+    /// Ancilla-reuse policy (Table I).
+    pub policy: Policy,
+    /// Machine layout.
+    pub arch: ArchSpec,
+    /// Communication model (swap chains vs braiding).
+    pub comm: CommModel,
+    /// Record the scheduled physical circuit (needed for noise
+    /// simulation; memory-heavy on large programs).
+    pub record_schedule: bool,
+    /// LAA score weights.
+    pub laa: LaaWeights,
+    /// CER cost-model parameters.
+    pub cer: CerParams,
+}
+
+impl CompilerConfig {
+    /// NISQ target: auto-sized lattice, swap-chain communication.
+    pub fn nisq(policy: Policy) -> Self {
+        CompilerConfig {
+            policy,
+            arch: ArchSpec::AutoGrid,
+            comm: CommModel::SwapChains,
+            record_schedule: false,
+            laa: LaaWeights::default(),
+            cer: CerParams::default(),
+        }
+    }
+
+    /// FT target: auto-sized lattice of logical tiles, braiding.
+    pub fn ft(policy: Policy) -> Self {
+        CompilerConfig {
+            policy,
+            arch: ArchSpec::AutoGrid,
+            comm: CommModel::Braiding,
+            record_schedule: false,
+            laa: LaaWeights::default(),
+            cer: CerParams::default(),
+        }
+    }
+
+    /// Overrides the machine layout.
+    pub fn with_arch(mut self, arch: ArchSpec) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Enables schedule recording.
+    pub fn with_schedule(mut self) -> Self {
+        self.record_schedule = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_grid_scales_with_hint() {
+        let small = ArchSpec::AutoGrid.build(10);
+        let large = ArchSpec::AutoGrid.build(1000);
+        assert!(small.qubit_count() >= 10);
+        assert!(large.qubit_count() >= 1000);
+        assert!(large.qubit_count() > small.qubit_count());
+    }
+
+    #[test]
+    fn explicit_specs_build_exactly() {
+        assert_eq!(
+            ArchSpec::Grid {
+                width: 4,
+                height: 5
+            }
+            .build(0)
+            .qubit_count(),
+            20
+        );
+        assert_eq!(ArchSpec::Full { n: 7 }.build(0).qubit_count(), 7);
+        assert_eq!(ArchSpec::Line { n: 9 }.build(0).qubit_count(), 9);
+    }
+
+    #[test]
+    fn presets_pick_comm_model() {
+        assert_eq!(
+            CompilerConfig::nisq(Policy::Square).comm,
+            CommModel::SwapChains
+        );
+        assert_eq!(CompilerConfig::ft(Policy::Square).comm, CommModel::Braiding);
+    }
+}

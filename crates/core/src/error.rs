@@ -1,0 +1,66 @@
+use std::fmt;
+
+use square_qir::QirError;
+use square_route::RouteError;
+
+/// Errors surfaced by the SQUARE compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The input program failed validation.
+    Qir(QirError),
+    /// Placement/routing failed (an internal invariant, or a machine
+    /// misconfiguration such as placing two qubits on one slot).
+    Route(RouteError),
+    /// The machine ran out of physical qubits. The paper's Fig. 1
+    /// "too many qubits" failure mode: the policy reserved more
+    /// qubits than the machine has. Retry with a larger machine or a
+    /// more eager policy.
+    OutOfQubits {
+        /// Qubits the failing allocation requested.
+        requested: usize,
+        /// Machine capacity.
+        capacity: usize,
+        /// Qubits live at the failure point.
+        live: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Qir(e) => write!(f, "invalid program: {e}"),
+            CompileError::Route(e) => write!(f, "routing failure: {e}"),
+            CompileError::OutOfQubits {
+                requested,
+                capacity,
+                live,
+            } => write!(
+                f,
+                "out of qubits: requested {requested} with {live}/{capacity} in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Qir(e) => Some(e),
+            CompileError::Route(e) => Some(e),
+            CompileError::OutOfQubits { .. } => None,
+        }
+    }
+}
+
+impl From<QirError> for CompileError {
+    fn from(e: QirError) -> Self {
+        CompileError::Qir(e)
+    }
+}
+
+impl From<RouteError> for CompileError {
+    fn from(e: RouteError) -> Self {
+        CompileError::Route(e)
+    }
+}

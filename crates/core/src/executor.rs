@@ -1,0 +1,534 @@
+//! The instrumentation-driven compile-time executor (Section III-C).
+//!
+//! Quantum programs in SQUARE's domain have compile-time-known control
+//! flow, so the compiler *executes* the program: every `Allocate` runs
+//! the allocation heuristic, every gate is routed and scheduled on the
+//! machine model, and every `Free` runs the reclamation heuristic.
+//! Uncomputation is performed mechanically by replaying the frame's
+//! recorded compute slice inverted (see `square_qir::trace`), which
+//! reproduces both recursive recomputation (for reclaimed children)
+//! and garbage sweeping (for lazy children) without any special
+//! casing.
+
+use square_qir::{
+    analysis::ProgramStats, lower_mcx, Gate, ModuleId, Operand, Program, Stmt, TraceOp, VirtId,
+};
+use square_route::{Machine, MachineConfig};
+
+use crate::cer::{self, CerInputs};
+use crate::config::CompilerConfig;
+use crate::error::CompileError;
+use crate::heap::AncillaHeap;
+use crate::laa;
+use crate::policy::Policy;
+use crate::report::{CompileReport, DecisionStats};
+
+/// Compiles `program` with all entry-register inputs |0⟩.
+///
+/// # Errors
+///
+/// Program validation errors, routing failures, or capacity
+/// exhaustion ([`CompileError::OutOfQubits`]).
+pub fn compile(program: &Program, config: &CompilerConfig) -> Result<CompileReport, CompileError> {
+    compile_with_inputs(program, &[], config)
+}
+
+/// Compiles `program`, preparing the entry register's first
+/// `inputs.len()` qubits with X gates (computational-basis input) —
+/// needed when the schedule will be noise-simulated.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with_inputs(
+    program: &Program,
+    inputs: &[bool],
+    config: &CompilerConfig,
+) -> Result<CompileReport, CompileError> {
+    square_qir::validate::validate_program(program)?;
+    let lowered = lower_mcx(program);
+    let pstats = ProgramStats::analyze(&lowered);
+    let entry_stats = pstats.module(lowered.entry());
+    let capacity_hint = entry_stats.ancilla_transitive as usize;
+    let topo = config.arch.build(capacity_hint);
+    let machine = Machine::new(
+        topo,
+        MachineConfig {
+            comm: config.comm,
+            record_schedule: config.record_schedule,
+        },
+    );
+    let mut exec = Exec {
+        program: &lowered,
+        pstats,
+        config,
+        machine,
+        heap: AncillaHeap::new(),
+        trace: Vec::new(),
+        next_virt: 0,
+        decisions: DecisionStats::default(),
+    };
+    let entry_register = exec.run_entry(inputs)?;
+    let decisions = exec.decisions;
+    let policy = config.policy;
+    let comm = config.comm;
+    let comm_factor = exec.machine.comm_factor();
+    let machine_qubits = exec.machine.qubit_count();
+    let trace = exec.trace;
+    let route_report = exec.machine.finish();
+    let aqv_value =
+        square_metrics::aqv(route_report.segments.iter().map(|s| (s.start, s.end)));
+    Ok(CompileReport {
+        policy,
+        comm,
+        gates: route_report.stats.program_gates,
+        swaps: route_report.stats.swaps,
+        depth: route_report.depth,
+        qubits: route_report.footprint,
+        peak_active: route_report.peak_active,
+        aqv: aqv_value,
+        comm_factor,
+        stats: route_report.stats,
+        segments: route_report.segments,
+        schedule: route_report.schedule,
+        entry_register,
+        final_placement: route_report.final_placement,
+        decisions,
+        machine_qubits,
+        trace,
+    })
+}
+
+struct Exec<'p> {
+    program: &'p Program,
+    pstats: ProgramStats,
+    config: &'p CompilerConfig,
+    machine: Machine,
+    heap: AncillaHeap,
+    trace: Vec<TraceOp>,
+    next_virt: u32,
+    decisions: DecisionStats,
+}
+
+impl Exec<'_> {
+    fn fresh(&mut self) -> VirtId {
+        let v = VirtId(self.next_virt);
+        self.next_virt += 1;
+        v
+    }
+
+    /// Applies one trace op to the machine and appends it to the
+    /// virtual trace. `interact` guides placement of `Alloc` ops.
+    fn emit(&mut self, op: TraceOp, interact: &[VirtId]) -> Result<(), CompileError> {
+        match &op {
+            TraceOp::Alloc(v) => {
+                let choice = if self.config.policy.uses_laa() {
+                    laa::choose_slot(&self.machine, &mut self.heap, interact, &self.config.laa)
+                } else {
+                    laa::choose_slot_naive(&self.machine, &mut self.heap, self.next_virt as u64)
+                };
+                let choice = choice.ok_or(CompileError::OutOfQubits {
+                    requested: 1,
+                    capacity: self.machine.qubit_count(),
+                    live: self.machine.active_count(),
+                })?;
+                self.machine.place_at(*v, choice.phys)?;
+            }
+            TraceOp::Free(v) => {
+                let phys = self.machine.release(*v)?;
+                self.heap.push(phys);
+            }
+            TraceOp::Gate(g) => {
+                self.machine.apply(g)?;
+                // Routing swaps may have moved pooled |0⟩ cells.
+                for (from, to) in self.machine.drain_relocations() {
+                    self.heap.relocate(from, to);
+                }
+            }
+        }
+        self.trace.push(op);
+        Ok(())
+    }
+
+    fn run_entry(&mut self, inputs: &[bool]) -> Result<Vec<VirtId>, CompileError> {
+        let entry_id = self.program.entry();
+        let entry = self.program.module(entry_id);
+        let anc: Vec<VirtId> = (0..entry.ancillas()).map(|_| self.fresh()).collect();
+        for v in &anc {
+            self.emit(TraceOp::Alloc(*v), &[])?;
+        }
+        for (i, bit) in inputs.iter().enumerate() {
+            if *bit && i < anc.len() {
+                self.emit(TraceOp::Gate(Gate::X { target: anc[i] }), &[])?;
+            }
+        }
+        self.run_body(entry_id, &[], &anc, 0, 0)?;
+        Ok(anc)
+    }
+
+    /// Executes a frame's compute + store blocks and applies the
+    /// reclamation decision. `g_p` is the estimated gates remaining
+    /// between this frame's end and its parent's uncompute block.
+    fn run_body(
+        &mut self,
+        id: ModuleId,
+        args: &[VirtId],
+        anc: &[VirtId],
+        depth: usize,
+        g_p: u64,
+    ) -> Result<(), CompileError> {
+        let module = self.program.module(id);
+        let compute_start = self.trace.len();
+        self.run_block(module.compute(), id, args, anc, depth, g_p)?;
+        let compute_end = self.trace.len();
+        let module = self.program.module(id);
+        self.run_block(module.store(), id, args, anc, depth, g_p)?;
+
+        // Frames without ancilla have nothing to reclaim: skip the
+        // decision (and the pointless uncompute) entirely.
+        if depth > 0 && anc.is_empty() {
+            return Ok(());
+        }
+        // G_uncomp: measured size of the compute slice, or the static
+        // size of an explicit uncompute block when the author supplied
+        // one (e.g. operand unloading for in-place adders).
+        let g_uncomp = match self.program.module(id).custom_uncompute() {
+            Some(stmts) => stmts
+                .iter()
+                .map(|s| self.pstats.stmt_forward_gates(s))
+                .sum(),
+            None => square_qir::trace::gate_count(&self.trace[compute_start..compute_end]),
+        };
+        let n_anc = anc.len();
+        let frame_qubits = args.len() + anc.len();
+        if self.decide(depth, g_uncomp, n_anc, g_p, frame_qubits) {
+            self.decisions.reclaimed += 1;
+            if let Some(custom) = self.program.module(id).custom_uncompute() {
+                let custom: Vec<Stmt> = custom.to_vec();
+                for (i, stmt) in custom.iter().enumerate() {
+                    let rest = Self::block_tail_gates(&self.pstats, &custom[i + 1..]);
+                    self.exec_stmt(stmt, id, args, anc, depth, rest, g_p)?;
+                }
+            } else {
+                let slice: Vec<TraceOp> = self.trace[compute_start..compute_end].to_vec();
+                let mut next = self.next_virt;
+                let inv = square_qir::invert_slice(&slice, || {
+                    let v = VirtId(next);
+                    next += 1;
+                    v
+                });
+                self.next_virt = next;
+                for op in inv {
+                    self.emit(op, &[])?;
+                }
+            }
+            if depth > 0 {
+                for a in anc.iter().rev() {
+                    self.emit(TraceOp::Free(*a), &[])?;
+                }
+            }
+        } else {
+            self.decisions.garbage += 1;
+        }
+        Ok(())
+    }
+
+    fn run_block(
+        &mut self,
+        stmts: &[Stmt],
+        id: ModuleId,
+        args: &[VirtId],
+        anc: &[VirtId],
+        depth: usize,
+        frame_g_p: u64,
+    ) -> Result<(), CompileError> {
+        let stmts: Vec<Stmt> = stmts.to_vec();
+        for (i, stmt) in stmts.iter().enumerate() {
+            let rest = Self::block_tail_gates(&self.pstats, &stmts[i + 1..]);
+            self.exec_stmt(stmt, id, args, anc, depth, rest, frame_g_p)?;
+        }
+        Ok(())
+    }
+
+    fn block_tail_gates(pstats: &ProgramStats, tail: &[Stmt]) -> u64 {
+        tail.iter().map(|s| pstats.stmt_forward_gates(s)).sum()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        caller: ModuleId,
+        args: &[VirtId],
+        anc: &[VirtId],
+        depth: usize,
+        gates_after_stmt: u64,
+        frame_g_p: u64,
+    ) -> Result<(), CompileError> {
+        let resolve = |op: &Operand| -> VirtId {
+            match op {
+                Operand::Param(i) => args[*i],
+                Operand::Ancilla(i) => anc[*i],
+            }
+        };
+        match stmt {
+            Stmt::Gate(g) => {
+                let g = g.map(resolve);
+                self.emit(TraceOp::Gate(g), &[])
+            }
+            Stmt::Call { callee, args: a } => {
+                let resolved: Vec<VirtId> = a.iter().map(resolve).collect();
+                let callee_mod = self.program.module(*callee);
+                // Look-ahead interaction set for the child's ancilla:
+                // the qubits bound to its parameters.
+                let child_anc: Vec<VirtId> =
+                    (0..callee_mod.ancillas()).map(|_| self.fresh()).collect();
+                for v in &child_anc {
+                    self.emit(TraceOp::Alloc(*v), &resolved)?;
+                }
+                // G_p for the child: gates left in this frame after the
+                // call, plus this frame's own uncompute estimate
+                // (static compute size) — the distance to the point
+                // where the child's garbage would be swept. If this
+                // frame itself is unlikely to uncompute (running rate
+                // ρ), the sweep horizon extends toward *our* parent's:
+                // add the expected remainder (1−ρ)·g_p.
+                let own_uncomp = self.pstats.module(caller).gates_compute;
+                let total = self.decisions.reclaimed + self.decisions.garbage;
+                let rate =
+                    (self.decisions.reclaimed as f64 + 1.0) / (total as f64 + 2.0);
+                let g_p_child = gates_after_stmt
+                    + own_uncomp
+                    + ((1.0 - rate) * frame_g_p as f64) as u64;
+                self.run_body(*callee, &resolved, &child_anc, depth + 1, g_p_child)
+            }
+        }
+    }
+
+    fn decide(
+        &mut self,
+        depth: usize,
+        g_uncomp: u64,
+        n_anc: usize,
+        g_p: u64,
+        frame_qubits: usize,
+    ) -> bool {
+        match self.config.policy {
+            Policy::Eager | Policy::SquareLaaOnly => true,
+            Policy::Lazy => depth == 0,
+            Policy::Square => {
+                let total = self.decisions.reclaimed + self.decisions.garbage;
+                let inputs = CerInputs {
+                    n_active: self.machine.active_count(),
+                    n_anc,
+                    g_uncomp,
+                    g_p,
+                    level: depth,
+                    comm_factor: self.machine.comm_factor(),
+                    free_qubits: self.machine.free_count(),
+                    capacity: self.machine.qubit_count(),
+                    // Laplace-smoothed running reclaim rate.
+                    reclaim_rate: (self.decisions.reclaimed as f64 + 1.0)
+                        / (total as f64 + 2.0),
+                    frame_qubits,
+                };
+                let d = cer::decide(&inputs, &self.config.cer);
+                if d.forced {
+                    self.decisions.forced += 1;
+                }
+                d.reclaim
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArchSpec;
+    use square_qir::ProgramBuilder;
+
+    /// Two-level program: child computes into an ancilla, parent
+    /// stores the result, entry copies to output.
+    fn nested_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let child = b
+            .module("child", 2, 1, |m| {
+                let (x, out) = (m.param(0), m.param(1));
+                let a = m.ancilla(0);
+                m.cx(x, a);
+                m.store();
+                m.cx(a, out);
+            })
+            .unwrap();
+        let parent = b
+            .module("parent", 2, 1, |m| {
+                let (x, out) = (m.param(0), m.param(1));
+                let t = m.ancilla(0);
+                m.call(child, &[x, t]);
+                m.store();
+                m.cx(t, out);
+            })
+            .unwrap();
+        let main = b
+            .module("main", 0, 3, |m| {
+                let (x, po, fo) = (m.ancilla(0), m.ancilla(1), m.ancilla(2));
+                m.x(x);
+                m.call(parent, &[x, po]);
+                m.store();
+                m.cx(po, fo);
+            })
+            .unwrap();
+        b.finish(main).unwrap()
+    }
+
+    fn grid(policy: Policy) -> CompilerConfig {
+        CompilerConfig::nisq(policy).with_arch(ArchSpec::Grid {
+            width: 4,
+            height: 4,
+        })
+    }
+
+    #[test]
+    fn all_policies_compile_nested_program() {
+        let p = nested_program();
+        for policy in Policy::ALL {
+            let r = compile(&p, &grid(policy)).unwrap();
+            assert!(r.gates > 0, "{policy}");
+            assert!(r.aqv > 0, "{policy}");
+            assert_eq!(r.aqv, r.aqv_from_segments(), "{policy}");
+            assert_eq!(r.entry_register.len(), 3);
+        }
+    }
+
+    #[test]
+    fn eager_recomputes_lazy_reserves() {
+        let p = nested_program();
+        let eager = compile(&p, &grid(Policy::Eager)).unwrap();
+        let lazy = compile(&p, &grid(Policy::Lazy)).unwrap();
+        assert!(
+            eager.gates > lazy.gates,
+            "recursive recomputation: {} vs {}",
+            eager.gates,
+            lazy.gates
+        );
+        // On this tiny program routing relocations can scatter the
+        // heap, so compare concurrency (peak) rather than footprint;
+        // the footprint contrast shows on the real benchmarks.
+        assert!(
+            eager.peak_active <= lazy.peak_active,
+            "qubit reservation: {} vs {}",
+            eager.peak_active,
+            lazy.peak_active
+        );
+        assert!(eager.decisions.reclaimed > 0);
+        assert!(lazy.decisions.garbage > 0);
+    }
+
+    #[test]
+    fn trace_replay_on_bits_matches_reference_semantics() {
+        use std::collections::HashMap;
+        let p = nested_program();
+        for policy in Policy::ALL {
+            let r = compile(&p, &grid(policy)).unwrap();
+            // Replay the virtual trace on booleans.
+            let mut bits: HashMap<VirtId, bool> = HashMap::new();
+            for op in &r.trace {
+                match op {
+                    TraceOp::Alloc(v) => {
+                        bits.insert(*v, false);
+                    }
+                    TraceOp::Free(v) => {
+                        let val = bits.remove(v).expect("free of dead qubit");
+                        assert!(!val, "{policy}: dirty ancilla freed");
+                    }
+                    TraceOp::Gate(g) => {
+                        let get = |q: &VirtId| bits[q];
+                        match g {
+                            Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
+                            Gate::Cx { control, target } => {
+                                if get(control) {
+                                    *bits.get_mut(target).unwrap() ^= true;
+                                }
+                            }
+                            Gate::Ccx { c0, c1, target } => {
+                                if get(c0) && get(c1) {
+                                    *bits.get_mut(target).unwrap() ^= true;
+                                }
+                            }
+                            Gate::Swap { a, b } => {
+                                let (va, vb) = (get(a), get(b));
+                                bits.insert(*a, vb);
+                                bits.insert(*b, va);
+                            }
+                            Gate::Mcx { controls, target } => {
+                                if controls.iter().all(get) {
+                                    *bits.get_mut(target).unwrap() ^= true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Final out = 1 (x=1 propagated through child and parent;
+            // the store block shields it from the entry's uncompute,
+            // which rolls the X prep itself back to |0⟩ under policies
+            // that reclaim at top level).
+            let vals: Vec<bool> = r.entry_register.iter().map(|v| bits[v]).collect();
+            assert_eq!(vals[2], true, "{policy}: output stored");
+            // Reference semantics agree.
+            let mut oracle = |_m: ModuleId, d: usize| match policy {
+                Policy::Eager | Policy::SquareLaaOnly => true,
+                Policy::Lazy => d == 0,
+                Policy::Square => unreachable!("compared separately"),
+            };
+            if policy != Policy::Square {
+                let sem = square_qir::sem::run(&p, &[], &mut oracle).unwrap();
+                assert_eq!(sem.outputs, vals, "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_qubits_is_reported() {
+        let p = nested_program();
+        let cfg = CompilerConfig::nisq(Policy::Lazy).with_arch(ArchSpec::Grid {
+            width: 2,
+            height: 1,
+        });
+        let err = compile(&p, &cfg).unwrap_err();
+        assert!(matches!(err, CompileError::OutOfQubits { .. }));
+    }
+
+    #[test]
+    fn inputs_prepend_x_gates() {
+        let p = nested_program();
+        let r0 = compile(&p, &grid(Policy::Eager)).unwrap();
+        let r1 = compile_with_inputs(&p, &[true, true], &grid(Policy::Eager)).unwrap();
+        assert_eq!(r1.gates, r0.gates + 2);
+    }
+
+    #[test]
+    fn square_policy_reclaims_under_pressure() {
+        // A machine barely large enough forces CER's pressure path.
+        let p = nested_program();
+        let cfg = CompilerConfig::nisq(Policy::Square).with_arch(ArchSpec::Grid {
+            width: 3,
+            height: 2,
+        });
+        let r = compile(&p, &cfg).unwrap();
+        assert!(r.decisions.forced > 0 || r.decisions.reclaimed > 0);
+    }
+
+    #[test]
+    fn ft_target_uses_braids_not_swaps() {
+        let p = nested_program();
+        let cfg = CompilerConfig::ft(Policy::Square).with_arch(ArchSpec::Grid {
+            width: 4,
+            height: 4,
+        });
+        let r = compile(&p, &cfg).unwrap();
+        assert_eq!(r.swaps, 0);
+        assert!(r.stats.braids > 0);
+    }
+}

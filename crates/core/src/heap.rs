@@ -1,0 +1,143 @@
+//! The ancilla heap: the pool of reclaimed physical qubits.
+//!
+//! Prior work (and our Eager/Lazy baselines) treats all qubits as
+//! identical and keeps a LIFO pool (Section III-A). SQUARE instead
+//! scans the pool for the best-scoring qubit under the LAA metric; the
+//! heap therefore supports both disciplines.
+
+use square_arch::PhysId;
+
+/// Pool of reclaimed physical qubits awaiting reuse.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AncillaHeap {
+    slots: Vec<PhysId>,
+}
+
+impl AncillaHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pooled qubits.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no reclaimed qubits are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns a reclaimed qubit to the pool.
+    pub fn push(&mut self, p: PhysId) {
+        debug_assert!(!self.slots.contains(&p), "double free of {p}");
+        self.slots.push(p);
+    }
+
+    /// Pops the most recently reclaimed qubit (the LIFO discipline of
+    /// locality-blind allocators).
+    pub fn pop_lifo(&mut self) -> Option<PhysId> {
+        self.slots.pop()
+    }
+
+    /// Removes and returns the qubit minimizing `score`; `None` on an
+    /// empty heap. Ties break toward the most recently freed qubit.
+    pub fn take_best(&mut self, mut score: impl FnMut(PhysId) -> f64) -> Option<PhysId> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut best_i = 0;
+        let mut best_s = f64::INFINITY;
+        for (i, &p) in self.slots.iter().enumerate() {
+            let s = score(p);
+            if s <= best_s {
+                best_s = s;
+                best_i = i;
+            }
+        }
+        Some(self.slots.swap_remove(best_i))
+    }
+
+    /// Peeks the best-scoring qubit without removing it.
+    pub fn peek_best(&self, mut score: impl FnMut(PhysId) -> f64) -> Option<(PhysId, f64)> {
+        self.slots
+            .iter()
+            .map(|&p| (p, score(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Iterates the pooled qubits (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = PhysId> + '_ {
+        self.slots.iter().copied()
+    }
+
+    /// Renames a pooled slot after a routing swap relocated its |0⟩
+    /// (see `Machine::drain_relocations`). No-op if `from` is not
+    /// pooled (the free cell was not ours — e.g. a never-used slot).
+    pub fn relocate(&mut self, from: PhysId, to: PhysId) {
+        if let Some(slot) = self.slots.iter_mut().find(|p| **p == from) {
+            *slot = to;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut h = AncillaHeap::new();
+        h.push(PhysId(1));
+        h.push(PhysId(2));
+        h.push(PhysId(3));
+        assert_eq!(h.pop_lifo(), Some(PhysId(3)));
+        assert_eq!(h.pop_lifo(), Some(PhysId(2)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn take_best_minimizes_score() {
+        let mut h = AncillaHeap::new();
+        for i in 0..5 {
+            h.push(PhysId(i));
+        }
+        // Score = distance from 3.
+        let got = h.take_best(|p| (p.0 as f64 - 3.0).abs()).unwrap();
+        assert_eq!(got, PhysId(3));
+        assert_eq!(h.len(), 4);
+        assert!(!h.iter().any(|p| p == PhysId(3)));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut h = AncillaHeap::new();
+        h.push(PhysId(7));
+        let (p, s) = h.peek_best(|p| p.0 as f64).unwrap();
+        assert_eq!(p, PhysId(7));
+        assert_eq!(s, 7.0);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn relocate_renames_pooled_slot() {
+        let mut h = AncillaHeap::new();
+        h.push(PhysId(3));
+        h.relocate(PhysId(3), PhysId(9));
+        assert_eq!(h.pop_lifo(), Some(PhysId(9)));
+        // Unknown source is a no-op.
+        h.push(PhysId(1));
+        h.relocate(PhysId(5), PhysId(6));
+        assert_eq!(h.pop_lifo(), Some(PhysId(1)));
+    }
+
+    #[test]
+    fn empty_heap_yields_none() {
+        let mut h = AncillaHeap::new();
+        assert!(h.pop_lifo().is_none());
+        assert!(h.take_best(|_| 0.0).is_none());
+        assert!(h.peek_best(|_| 0.0).is_none());
+        assert!(h.is_empty());
+    }
+}

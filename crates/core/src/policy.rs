@@ -1,0 +1,87 @@
+//! Ancilla-reuse policies (Table I of the paper).
+
+use std::fmt;
+
+/// Which allocation/reclamation strategy the compiler runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Reclaim qubits whenever possible: every frame uncomputes. Pays
+    /// *recursive recomputation* — an ℓ-deep call tree re-executes its
+    /// leaves up to 2^ℓ times (Section III, Baseline 1). Allocation is
+    /// the locality-blind LIFO heap of prior work.
+    Eager,
+    /// Reclaim only at the top level of the call graph: children leave
+    /// garbage that the entry's single uncompute sweeps. Pays *qubit
+    /// reservation* — garbage blocks reuse until program end
+    /// (Section III, Baseline 2). LIFO allocation.
+    Lazy,
+    /// Full SQUARE: locality-aware allocation + cost-effective
+    /// reclamation (Section III-A).
+    Square,
+    /// Locality-aware allocation with Eager reclamation — isolates the
+    /// allocation heuristic's contribution ("SQUARE (LAA only)" in
+    /// Figs. 8a/9/10).
+    SquareLaaOnly,
+}
+
+impl Policy {
+    /// All policies, in the order the paper's figures present them.
+    pub const ALL: [Policy; 4] = [
+        Policy::Lazy,
+        Policy::Eager,
+        Policy::SquareLaaOnly,
+        Policy::Square,
+    ];
+
+    /// The three-policy subset used by Fig. 8b/8c.
+    pub const BASELINE_THREE: [Policy; 3] = [Policy::Lazy, Policy::Eager, Policy::Square];
+
+    /// True if allocation uses the locality-aware heuristic.
+    pub fn uses_laa(&self) -> bool {
+        matches!(self, Policy::Square | Policy::SquareLaaOnly)
+    }
+
+    /// True if reclamation uses the CER cost model (otherwise the
+    /// decision is fixed by the policy).
+    pub fn uses_cer(&self) -> bool {
+        matches!(self, Policy::Square)
+    }
+
+    /// Report label, matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Eager => "EAGER",
+            Policy::Lazy => "LAZY",
+            Policy::Square => "SQUARE",
+            Policy::SquareLaaOnly => "SQUARE(LAA only)",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_match_table_one() {
+        assert!(!Policy::Eager.uses_laa());
+        assert!(!Policy::Lazy.uses_laa());
+        assert!(Policy::Square.uses_laa());
+        assert!(Policy::SquareLaaOnly.uses_laa());
+        assert!(Policy::Square.uses_cer());
+        assert!(!Policy::SquareLaaOnly.uses_cer());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Policy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

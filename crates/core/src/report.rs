@@ -1,0 +1,129 @@
+//! Compile reports: everything the evaluation section consumes.
+
+use std::collections::HashMap;
+
+use square_arch::{CommModel, PhysId};
+use square_metrics::{aqv, UsageCurve};
+use square_qir::{TraceOp, VirtId};
+use square_route::{CommStats, LivenessSegment, ScheduledGate};
+
+use crate::policy::Policy;
+
+/// Per-frame reclamation decision counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Frames that uncomputed and reclaimed.
+    pub reclaimed: u64,
+    /// Frames that left garbage.
+    pub garbage: u64,
+    /// Reclamations forced by capacity pressure.
+    pub forced: u64,
+}
+
+/// The compiler's output: the optimized schedule plus every resource
+/// number the paper's tables and figures report.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Policy that produced this schedule.
+    pub policy: Policy,
+    /// Communication model of the target.
+    pub comm: CommModel,
+    /// Program gates executed (uncomputation included, routing swaps
+    /// excluded — Table III's "# Gates").
+    pub gates: u64,
+    /// Routing SWAPs inserted (Table III's "# Swaps").
+    pub swaps: u64,
+    /// Circuit depth in scheduler cycles.
+    pub depth: u64,
+    /// Distinct physical qubits ever used (Table III's "# Qubits").
+    pub qubits: usize,
+    /// Peak simultaneously live qubits.
+    pub peak_active: usize,
+    /// Active quantum volume in qubit·cycles (Section III-B).
+    pub aqv: u64,
+    /// Final communication factor `S`.
+    pub comm_factor: f64,
+    /// Full scheduler statistics.
+    pub stats: CommStats,
+    /// Per-qubit liveness segments (for usage curves, Fig. 1).
+    pub segments: Vec<LivenessSegment>,
+    /// Scheduled physical circuit, if recording was requested.
+    pub schedule: Option<Vec<ScheduledGate>>,
+    /// The entry module's register (program I/O), in declaration order.
+    pub entry_register: Vec<VirtId>,
+    /// Final placement of still-live virtual qubits (measurement map).
+    pub final_placement: HashMap<VirtId, PhysId>,
+    /// Reclamation decisions taken.
+    pub decisions: DecisionStats,
+    /// Machine capacity used for this run.
+    pub machine_qubits: usize,
+    /// The executed virtual trace (alloc/gate/free events).
+    pub trace: Vec<TraceOp>,
+}
+
+impl CompileReport {
+    /// Recomputes AQV from the segments (equals [`CompileReport::aqv`];
+    /// exposed for cross-checking in tests).
+    pub fn aqv_from_segments(&self) -> u64 {
+        aqv(self.segments.iter().map(|s| (s.start, s.end)))
+    }
+
+    /// The qubits-in-use vs. time curve (Fig. 1).
+    pub fn usage_curve(&self) -> UsageCurve {
+        UsageCurve::from_segments(self.segments.iter().map(|s| (s.start, s.end)))
+    }
+
+    /// Physical qubits to measure for the entry register, in register
+    /// order. Only meaningful when the register is still placed (it
+    /// always is — entry qubits are never freed).
+    pub fn measure_map(&self) -> Vec<PhysId> {
+        self.entry_register
+            .iter()
+            .filter_map(|v| self.final_placement.get(v).copied())
+            .collect()
+    }
+
+    /// One row of Table III: gates, qubits, depth, swaps.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<18} {:>8} {:>8} {:>8} {:>8}",
+            self.policy.label(),
+            self.gates,
+            self.qubits,
+            self.depth,
+            self.swaps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_row_lists_policy_and_counts() {
+        let report = CompileReport {
+            policy: Policy::Square,
+            comm: CommModel::SwapChains,
+            gates: 932,
+            swaps: 370,
+            depth: 635,
+            qubits: 11,
+            peak_active: 11,
+            aqv: 1234,
+            comm_factor: 0.5,
+            stats: CommStats::default(),
+            segments: vec![],
+            schedule: None,
+            entry_register: vec![],
+            final_placement: HashMap::new(),
+            decisions: DecisionStats::default(),
+            machine_qubits: 20,
+            trace: vec![],
+        };
+        let row = report.table_row();
+        assert!(row.contains("SQUARE"));
+        assert!(row.contains("932"));
+        assert!(row.contains("370"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Active quantum volume and qubit-usage curves.
+//!
+//! `AQV = Σ_q Σ_(ti,tf)∈T_q (tf − ti)` over live segments (paper,
+//! Section III-B). Two independent computations are provided — a
+//! direct sum over segments and the area under the usage step curve —
+//! and property tests assert they agree.
+
+/// Direct AQV: sum of segment durations.
+///
+/// Segments are `(start, end)` pairs in scheduler cycles; `end <
+/// start` segments are rejected by a debug assertion and clamp to 0 in
+/// release builds.
+pub fn aqv(segments: impl IntoIterator<Item = (u64, u64)>) -> u64 {
+    segments
+        .into_iter()
+        .map(|(s, e)| {
+            debug_assert!(e >= s, "segment ends before it starts");
+            e.saturating_sub(s)
+        })
+        .sum()
+}
+
+/// The qubits-in-use vs. time step curve (Fig. 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UsageCurve {
+    /// Breakpoints `(t, live_count)`: from time `t` (inclusive) until
+    /// the next breakpoint, `live_count` qubits are live. Sorted by
+    /// `t`; the curve is 0 before the first breakpoint.
+    points: Vec<(u64, u64)>,
+}
+
+impl UsageCurve {
+    /// Builds the curve from live segments.
+    pub fn from_segments(segments: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for (s, e) in segments {
+            if e > s {
+                events.push((s, 1));
+                events.push((e, -1));
+            }
+        }
+        events.sort_unstable();
+        let mut points = Vec::new();
+        let mut live = 0i64;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                live += events[i].1;
+                i += 1;
+            }
+            points.push((t, live as u64));
+        }
+        UsageCurve { points }
+    }
+
+    /// The breakpoints of the step curve.
+    pub fn points(&self) -> &[(u64, u64)] {
+        &self.points
+    }
+
+    /// Peak simultaneous liveness.
+    pub fn peak(&self) -> u64 {
+        self.points.iter().map(|&(_, c)| c).max().unwrap_or(0)
+    }
+
+    /// Area under the curve — equal to [`aqv`] over the same segments.
+    pub fn area(&self) -> u64 {
+        let mut area = 0u64;
+        for w in self.points.windows(2) {
+            area += (w[1].0 - w[0].0) * w[0].1;
+        }
+        area
+    }
+
+    /// Live count at time `t`.
+    pub fn at(&self, t: u64) -> u64 {
+        match self.points.binary_search_by_key(&t, |&(bt, _)| bt) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Samples the curve at `n` evenly spaced times across its span —
+    /// handy for printing Fig.-1-style time series.
+    pub fn sample(&self, n: usize) -> Vec<(u64, u64)> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let t0 = self.points[0].0;
+        let t1 = self.points[self.points.len() - 1].0;
+        (0..n)
+            .map(|i| {
+                let t = t0 + (t1 - t0) * i as u64 / (n.max(2) - 1).max(1) as u64;
+                (t, self.at(t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aqv_sums_durations() {
+        assert_eq!(aqv([(0, 10), (5, 7), (20, 21)]), 13);
+        assert_eq!(aqv(Vec::<(u64, u64)>::new()), 0);
+    }
+
+    #[test]
+    fn curve_area_matches_aqv() {
+        let segs = vec![(0u64, 10u64), (2, 8), (8, 12), (30, 31)];
+        let curve = UsageCurve::from_segments(segs.clone());
+        assert_eq!(curve.area(), aqv(segs));
+    }
+
+    #[test]
+    fn curve_tracks_overlap() {
+        let curve = UsageCurve::from_segments([(0, 4), (2, 6)]);
+        assert_eq!(curve.at(0), 1);
+        assert_eq!(curve.at(2), 2);
+        assert_eq!(curve.at(3), 2);
+        assert_eq!(curve.at(4), 1);
+        assert_eq!(curve.at(6), 0);
+        assert_eq!(curve.peak(), 2);
+    }
+
+    #[test]
+    fn empty_segments_are_ignored() {
+        let curve = UsageCurve::from_segments([(5, 5)]);
+        assert_eq!(curve.points().len(), 0);
+        assert_eq!(curve.area(), 0);
+    }
+
+    #[test]
+    fn sampling_spans_curve() {
+        let curve = UsageCurve::from_segments([(0, 100)]);
+        let samples = curve.sample(5);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0], (0, 1));
+        assert_eq!(samples[4].0, 100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The two AQV computations — segment-sum and curve-area —
+        /// agree for arbitrary segment sets.
+        #[test]
+        fn area_equals_sum(segs in proptest::collection::vec((0u64..1000, 0u64..1000), 0..50)) {
+            let segs: Vec<(u64, u64)> = segs
+                .into_iter()
+                .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+                .collect();
+            let curve = UsageCurve::from_segments(segs.clone());
+            prop_assert_eq!(curve.area(), aqv(segs));
+        }
+
+        /// Peak equals the maximum pointwise overlap count.
+        #[test]
+        fn peak_is_max_overlap(segs in proptest::collection::vec((0u64..100, 1u64..20), 1..20)) {
+            let segs: Vec<(u64, u64)> = segs.into_iter().map(|(s, d)| (s, s + d)).collect();
+            let curve = UsageCurve::from_segments(segs.clone());
+            let brute_peak = (0..=121u64)
+                .map(|t| segs.iter().filter(|&&(s, e)| s <= t && t < e).count() as u64)
+                .max()
+                .unwrap();
+            prop_assert_eq!(curve.peak(), brute_peak);
+        }
+    }
+}

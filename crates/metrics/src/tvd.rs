@@ -1,0 +1,175 @@
+//! Total variation distance between measurement-outcome histograms
+//! (the d_TV score of Fig. 8c).
+
+use std::collections::HashMap;
+
+/// A shot histogram over measurement outcomes. Outcomes are packed
+/// little-endian into a `u64` (qubit 0 = bit 0) — ample for the ≤ 20
+/// qubit circuits of the paper's noise-simulation study.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: HashMap<u64, u64>,
+    shots: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one shot with the given packed outcome.
+    pub fn record(&mut self, outcome: u64) {
+        *self.counts.entry(outcome).or_insert(0) += 1;
+        self.shots += 1;
+    }
+
+    /// Total shots recorded.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Empirical probability of an outcome.
+    pub fn probability(&self, outcome: u64) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            *self.counts.get(&outcome).unwrap_or(&0) as f64 / self.shots as f64
+        }
+    }
+
+    /// Iterates `(outcome, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Packs a boolean outcome vector (qubit 0 first) into the key
+    /// format used by [`Histogram::record`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 bits are supplied.
+    pub fn pack(bits: &[bool]) -> u64 {
+        assert!(bits.len() <= 64, "outcome wider than 64 bits");
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for outcome in iter {
+            h.record(outcome);
+        }
+        h
+    }
+}
+
+/// Total variation distance `½ Σ_x |p(x) − q(x)|` between two
+/// histograms' empirical distributions. Ranges over `[0, 1]`;
+/// 0 for identical distributions.
+pub fn total_variation_distance(p: &Histogram, q: &Histogram) -> f64 {
+    let mut keys: Vec<u64> = p.counts.keys().chain(q.counts.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    0.5 * keys
+        .iter()
+        .map(|&k| (p.probability(k) - q.probability(k)).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p: Histogram = [1u64, 2, 2, 3].into_iter().collect();
+        let q: Histogram = [1u64, 2, 2, 3].into_iter().collect();
+        assert_eq!(total_variation_distance(&p, &q), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_distance_one() {
+        let p: Histogram = [0u64; 10].into_iter().collect();
+        let q: Histogram = [1u64; 10].into_iter().collect();
+        assert!((total_variation_distance(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_vs_noisy() {
+        // Ideal: always 5. Noisy: 75% 5, 25% elsewhere → d_TV = 0.25.
+        let p: Histogram = [5u64; 4].into_iter().collect();
+        let q: Histogram = [5u64, 5, 5, 7].into_iter().collect();
+        assert!((total_variation_distance(&p, &q) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pack_round_trip() {
+        let bits = [true, false, true, true];
+        assert_eq!(Histogram::pack(&bits), 0b1101);
+        assert_eq!(Histogram::pack(&[]), 0);
+    }
+
+    #[test]
+    fn probability_and_shots() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(9);
+        assert_eq!(h.shots(), 3);
+        assert!((h.probability(3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.probability(42), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let p: Histogram = [0u64, 0, 1].into_iter().collect();
+        let q: Histogram = [0u64, 1, 1].into_iter().collect();
+        assert_eq!(
+            total_variation_distance(&p, &q),
+            total_variation_distance(&q, &p)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// d_TV is a metric bounded in [0,1], zero iff the empirical
+        /// distributions coincide (on these finite supports).
+        #[test]
+        fn bounded_and_symmetric(
+            a in proptest::collection::vec(0u64..8, 1..100),
+            b in proptest::collection::vec(0u64..8, 1..100),
+        ) {
+            let p: Histogram = a.into_iter().collect();
+            let q: Histogram = b.into_iter().collect();
+            let d = total_variation_distance(&p, &q);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+            let d2 = total_variation_distance(&q, &p);
+            prop_assert!((d - d2).abs() < 1e-12);
+        }
+
+        /// Triangle inequality on three empirical distributions.
+        #[test]
+        fn triangle(
+            a in proptest::collection::vec(0u64..4, 1..50),
+            b in proptest::collection::vec(0u64..4, 1..50),
+            c in proptest::collection::vec(0u64..4, 1..50),
+        ) {
+            let p: Histogram = a.into_iter().collect();
+            let q: Histogram = b.into_iter().collect();
+            let r: Histogram = c.into_iter().collect();
+            let pq = total_variation_distance(&p, &q);
+            let qr = total_variation_distance(&q, &r);
+            let pr = total_variation_distance(&p, &r);
+            prop_assert!(pr <= pq + qr + 1e-12);
+        }
+    }
+}

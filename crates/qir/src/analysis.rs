@@ -1,0 +1,214 @@
+//! Static program analysis: flattened gate counts, ancilla footprints,
+//! and call-graph shape.
+//!
+//! The CER heuristic (Eq. 2 of the paper) needs `G_p`, an estimate of
+//! the gates remaining between a reclamation point and the parent's
+//! uncompute block. These per-module *forward* costs (compute + store,
+//! calls fully expanded, no uncomputation) provide that estimate; the
+//! paper computes the same quantity from its instrumented LLVM IR.
+
+use std::collections::HashMap;
+
+use crate::gate::Gate;
+use crate::module::{ModuleId, Operand, Program, Stmt};
+
+/// Flattened static costs of one module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModuleStats {
+    /// Primitive gates in the compute block, calls fully expanded
+    /// (forward execution only — no uncompute blocks).
+    pub gates_compute: u64,
+    /// Primitive gates in the store block, calls fully expanded.
+    pub gates_store: u64,
+    /// Two-qubit interaction cost (Clifford+T decomposition) of the
+    /// forward execution, for noise-oriented costing.
+    pub two_qubit_cost: u64,
+    /// Ancilla the module allocates itself.
+    pub ancilla_own: usize,
+    /// Total ancilla allocations across a full forward execution
+    /// (own + every callee's, counted per call site).
+    pub ancilla_transitive: u64,
+    /// Maximum call-nesting depth below this module (leaf = 0).
+    pub height: usize,
+    /// Number of call sites in the module body.
+    pub call_sites: usize,
+}
+
+impl ModuleStats {
+    /// Forward gate cost of one full execution of the module.
+    pub fn gates_forward(&self) -> u64 {
+        self.gates_compute + self.gates_store
+    }
+}
+
+/// Per-program analysis results, indexed by [`ModuleId`].
+#[derive(Debug, Clone)]
+pub struct ProgramStats {
+    modules: Vec<ModuleStats>,
+}
+
+impl ProgramStats {
+    /// Analyzes `program` (linear in program size thanks to
+    /// memoization over the call DAG).
+    pub fn analyze(program: &Program) -> Self {
+        let n = program.modules().len();
+        let mut memo: Vec<Option<ModuleStats>> = vec![None; n];
+        for i in 0..n {
+            analyze_module(program, i, &mut memo);
+        }
+        ProgramStats {
+            modules: memo.into_iter().map(|m| m.unwrap_or_default()).collect(),
+        }
+    }
+
+    /// Stats for one module.
+    pub fn module(&self, id: ModuleId) -> &ModuleStats {
+        &self.modules[id.index()]
+    }
+
+    /// Forward gate cost of a single statement (1 per primitive gate;
+    /// multi-controlled gates and calls expand).
+    pub fn stmt_forward_gates(&self, stmt: &Stmt) -> u64 {
+        match stmt {
+            Stmt::Gate(g) => primitive_count(g),
+            Stmt::Call { callee, .. } => self.modules[callee.index()].gates_forward(),
+        }
+    }
+
+    /// Total forward gate cost of the whole program (one execution of
+    /// the entry module).
+    pub fn entry_forward_gates(&self, program: &Program) -> u64 {
+        self.module(program.entry()).gates_forward()
+    }
+
+    /// Histogram of module heights, useful for characterizing synthetic
+    /// benchmarks (the paper parameterizes them by nesting depth).
+    pub fn height_histogram(&self) -> HashMap<usize, usize> {
+        let mut h = HashMap::new();
+        for m in &self.modules {
+            *h.entry(m.height).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Primitive gate count of a single IR gate: standard gates count 1;
+/// a k-control MCX (k ≥ 3) expands to `2k − 3` Toffolis.
+pub fn primitive_count(gate: &Gate<Operand>) -> u64 {
+    match gate {
+        Gate::Mcx { controls, .. } if controls.len() >= 3 => 2 * controls.len() as u64 - 3,
+        _ => 1,
+    }
+}
+
+fn analyze_module(
+    program: &Program,
+    idx: usize,
+    memo: &mut Vec<Option<ModuleStats>>,
+) -> ModuleStats {
+    if let Some(s) = memo[idx] {
+        return s;
+    }
+    // Guard against (invalid) cyclic programs: report zero rather than
+    // recursing forever; `validate_program` rejects cycles separately.
+    memo[idx] = Some(ModuleStats::default());
+    let module = &program.modules()[idx];
+    let mut stats = ModuleStats {
+        ancilla_own: module.ancillas(),
+        ancilla_transitive: module.ancillas() as u64,
+        ..ModuleStats::default()
+    };
+    let block_cost = |stmts: &[Stmt],
+                          memo: &mut Vec<Option<ModuleStats>>,
+                          stats: &mut ModuleStats|
+     -> u64 {
+        let mut gates = 0u64;
+        for stmt in stmts {
+            match stmt {
+                Stmt::Gate(g) => {
+                    gates += primitive_count(g);
+                    stats.two_qubit_cost += g.two_qubit_cost();
+                }
+                Stmt::Call { callee, .. } => {
+                    let sub = analyze_module(program, callee.index(), memo);
+                    gates += sub.gates_forward();
+                    stats.two_qubit_cost += sub.two_qubit_cost;
+                    stats.ancilla_transitive += sub.ancilla_transitive;
+                    stats.height = stats.height.max(sub.height + 1);
+                    stats.call_sites += 1;
+                }
+            }
+        }
+        gates
+    };
+    stats.gates_compute = block_cost(module.compute(), memo, &mut stats);
+    stats.gates_store = block_cost(module.store(), memo, &mut stats);
+    memo[idx] = Some(stats);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn two_level_program() -> (Program, ModuleId, ModuleId) {
+        let mut b = ProgramBuilder::new();
+        let leaf = b
+            .module("leaf", 2, 1, |m| {
+                let (x, out) = (m.param(0), m.param(1));
+                let a = m.ancilla(0);
+                m.cx(x, a);
+                m.ccx(x, a, out); // compute touches out? it's fine: store empty
+            })
+            .unwrap();
+        let main = b
+            .module("main", 0, 2, |m| {
+                let (x, out) = (m.ancilla(0), m.ancilla(1));
+                m.x(x);
+                m.call(leaf, &[x, out]);
+                m.call(leaf, &[x, out]);
+            })
+            .unwrap();
+        (b.finish(main).unwrap(), leaf, main)
+    }
+
+    #[test]
+    fn counts_flatten_calls() {
+        let (p, leaf, main) = two_level_program();
+        let stats = ProgramStats::analyze(&p);
+        assert_eq!(stats.module(leaf).gates_forward(), 2);
+        // main: 1 X + 2 calls × 2 gates
+        assert_eq!(stats.module(main).gates_forward(), 5);
+        assert_eq!(stats.module(main).ancilla_transitive, 2 + 2);
+        assert_eq!(stats.module(main).height, 1);
+        assert_eq!(stats.module(main).call_sites, 2);
+        assert_eq!(stats.module(leaf).height, 0);
+    }
+
+    #[test]
+    fn stmt_cost_of_call_is_callee_forward() {
+        let (p, leaf, main) = two_level_program();
+        let stats = ProgramStats::analyze(&p);
+        let call = p.module(main).compute().iter().nth(1).unwrap();
+        assert_eq!(stats.stmt_forward_gates(call), 2);
+        let _ = leaf;
+    }
+
+    #[test]
+    fn mcx_counts_as_vchain() {
+        use crate::gate::Gate;
+        use crate::module::Operand;
+        let g = Gate::Mcx {
+            controls: vec![
+                Operand::Param(0),
+                Operand::Param(1),
+                Operand::Param(2),
+                Operand::Param(3),
+                Operand::Param(4),
+            ],
+            target: Operand::Param(5),
+        };
+        assert_eq!(primitive_count(&g), 7);
+    }
+}

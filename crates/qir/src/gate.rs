@@ -1,0 +1,299 @@
+//! Classical reversible gates, generic over the qubit naming scheme.
+//!
+//! The same [`Gate`] type is used at three abstraction levels:
+//! `Gate<Operand>` inside module bodies (qubits named relative to the
+//! module frame), `Gate<VirtId>` in executed traces (program-wide
+//! virtual qubits), and `Gate<PhysId>`-like instantiations after
+//! placement. All gates here are their own inverse, which makes
+//! uncomputation a purely mechanical transformation.
+
+use std::fmt;
+
+/// A classical reversible logic gate over qubits named by `Q`.
+///
+/// The gate set is the reversible-arithmetic subset the SQUARE paper
+/// operates on: NOT, CNOT, Toffoli, SWAP and the generalized
+/// multi-controlled NOT. Every variant is self-inverse.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Gate<Q> {
+    /// NOT: flips `target`.
+    X {
+        /// Qubit to flip.
+        target: Q,
+    },
+    /// Controlled-NOT: flips `target` iff `control` is 1.
+    Cx {
+        /// Control qubit (read-only).
+        control: Q,
+        /// Target qubit (written).
+        target: Q,
+    },
+    /// Toffoli: flips `target` iff both controls are 1.
+    Ccx {
+        /// First control qubit.
+        c0: Q,
+        /// Second control qubit.
+        c1: Q,
+        /// Target qubit (written).
+        target: Q,
+    },
+    /// Exchanges the states of the two qubits.
+    Swap {
+        /// First qubit.
+        a: Q,
+        /// Second qubit.
+        b: Q,
+    },
+    /// Multi-controlled NOT: flips `target` iff every control is 1.
+    ///
+    /// `Mcx` with zero controls is `X`; with one, `Cx`; with two, `Ccx`.
+    /// Higher control counts are used by logic-synthesis workloads and
+    /// are decomposed into Toffolis (with ancilla) before costing, see
+    /// `square-workloads`.
+    Mcx {
+        /// Control qubits (read-only).
+        controls: Vec<Q>,
+        /// Target qubit (written).
+        target: Q,
+    },
+}
+
+impl<Q> Gate<Q> {
+    /// Number of qubits the gate touches.
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::X { .. } => 1,
+            Gate::Cx { .. } | Gate::Swap { .. } => 2,
+            Gate::Ccx { .. } => 3,
+            Gate::Mcx { controls, .. } => controls.len() + 1,
+        }
+    }
+
+    /// Visits every qubit the gate touches, controls first.
+    pub fn for_each_qubit(&self, mut f: impl FnMut(&Q)) {
+        match self {
+            Gate::X { target } => f(target),
+            Gate::Cx { control, target } => {
+                f(control);
+                f(target);
+            }
+            Gate::Ccx { c0, c1, target } => {
+                f(c0);
+                f(c1);
+                f(target);
+            }
+            Gate::Swap { a, b } => {
+                f(a);
+                f(b);
+            }
+            Gate::Mcx { controls, target } => {
+                for c in controls {
+                    f(c);
+                }
+                f(target);
+            }
+        }
+    }
+
+    /// All qubits the gate touches, collected in control-then-target order.
+    pub fn qubits(&self) -> Vec<Q>
+    where
+        Q: Clone,
+    {
+        let mut v = Vec::with_capacity(self.arity());
+        self.for_each_qubit(|q| v.push(q.clone()));
+        v
+    }
+
+    /// Qubits the gate *writes* (may change state). Controls are excluded.
+    pub fn written_qubits(&self) -> Vec<Q>
+    where
+        Q: Clone,
+    {
+        match self {
+            Gate::X { target }
+            | Gate::Cx { target, .. }
+            | Gate::Ccx { target, .. }
+            | Gate::Mcx { target, .. } => vec![target.clone()],
+            Gate::Swap { a, b } => vec![a.clone(), b.clone()],
+        }
+    }
+
+    /// Maps the qubit names through `f`, preserving the gate kind.
+    pub fn map<R>(&self, mut f: impl FnMut(&Q) -> R) -> Gate<R> {
+        match self {
+            Gate::X { target } => Gate::X { target: f(target) },
+            Gate::Cx { control, target } => Gate::Cx {
+                control: f(control),
+                target: f(target),
+            },
+            Gate::Ccx { c0, c1, target } => Gate::Ccx {
+                c0: f(c0),
+                c1: f(c1),
+                target: f(target),
+            },
+            Gate::Swap { a, b } => Gate::Swap { a: f(a), b: f(b) },
+            Gate::Mcx { controls, target } => Gate::Mcx {
+                controls: controls.iter().map(&mut f).collect(),
+                target: f(target),
+            },
+        }
+    }
+
+    /// Returns the inverse gate. Every gate in this set is self-inverse,
+    /// so this is a clone; it exists to make inversion sites explicit.
+    pub fn inverse(&self) -> Gate<Q>
+    where
+        Q: Clone,
+    {
+        self.clone()
+    }
+
+    /// True if the gate acts on two or more qubits (and therefore needs
+    /// the operands to be adjacent / connected on hardware).
+    pub fn is_multi_qubit(&self) -> bool {
+        self.arity() >= 2
+    }
+
+    /// Number of native two-qubit interactions this gate costs after
+    /// decomposition to Clifford+T: CNOT and SWAP count as written
+    /// (SWAP = 3 CNOTs), a Toffoli costs 6 CNOTs in the standard
+    /// Clifford+T decomposition, and an `Mcx` with `k ≥ 3` controls
+    /// costs `(2k - 3)` Toffolis worth when a clean-ancilla V-chain is
+    /// used. Used only for *costing*; scheduling works on whole gates.
+    pub fn two_qubit_cost(&self) -> u64 {
+        match self {
+            Gate::X { .. } => 0,
+            Gate::Cx { .. } => 1,
+            Gate::Swap { .. } => 3,
+            Gate::Ccx { .. } => 6,
+            Gate::Mcx { controls, .. } => match controls.len() {
+                0 => 0,
+                1 => 1,
+                n => 6 * (2 * n as u64 - 3),
+            },
+        }
+    }
+}
+
+impl<Q: Eq> Gate<Q> {
+    /// True if any qubit appears more than once in the operand list.
+    pub fn has_duplicate_operand(&self) -> bool
+    where
+        Q: Clone,
+    {
+        let qs = self.qubits();
+        for (i, a) in qs.iter().enumerate() {
+            for b in &qs[i + 1..] {
+                if a == b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl<Q: fmt::Display> fmt::Display for Gate<Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::X { target } => write!(f, "X {target}"),
+            Gate::Cx { control, target } => write!(f, "CNOT {control} {target}"),
+            Gate::Ccx { c0, c1, target } => write!(f, "Toffoli {c0} {c1} {target}"),
+            Gate::Swap { a, b } => write!(f, "SWAP {a} {b}"),
+            Gate::Mcx { controls, target } => {
+                write!(f, "MCX")?;
+                for c in controls {
+                    write!(f, " {c}")?;
+                }
+                write!(f, " {target}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_qubits_len() {
+        let g: Gate<u32> = Gate::Ccx {
+            c0: 0,
+            c1: 1,
+            target: 2,
+        };
+        assert_eq!(g.arity(), 3);
+        assert_eq!(g.qubits(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn written_qubits_excludes_controls() {
+        let g: Gate<u32> = Gate::Cx {
+            control: 4,
+            target: 7,
+        };
+        assert_eq!(g.written_qubits(), vec![7]);
+        let s: Gate<u32> = Gate::Swap { a: 1, b: 2 };
+        assert_eq!(s.written_qubits(), vec![1, 2]);
+    }
+
+    #[test]
+    fn map_renames_all_operands() {
+        let g: Gate<u32> = Gate::Mcx {
+            controls: vec![0, 1, 2],
+            target: 3,
+        };
+        let h = g.map(|q| q * 10);
+        assert_eq!(
+            h,
+            Gate::Mcx {
+                controls: vec![0, 10, 20],
+                target: 30
+            }
+        );
+    }
+
+    #[test]
+    fn self_inverse() {
+        let g: Gate<u32> = Gate::Swap { a: 5, b: 6 };
+        assert_eq!(g.inverse(), g);
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let bad: Gate<u32> = Gate::Cx {
+            control: 3,
+            target: 3,
+        };
+        assert!(bad.has_duplicate_operand());
+        let ok: Gate<u32> = Gate::Cx {
+            control: 3,
+            target: 4,
+        };
+        assert!(!ok.has_duplicate_operand());
+    }
+
+    #[test]
+    fn two_qubit_costs() {
+        assert_eq!(Gate::X { target: 0u32 }.two_qubit_cost(), 0);
+        assert_eq!(
+            Gate::Mcx {
+                controls: vec![0u32, 1, 2, 3],
+                target: 4
+            }
+            .two_qubit_cost(),
+            6 * 5
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let g: Gate<u32> = Gate::Ccx {
+            c0: 1,
+            c1: 2,
+            target: 3,
+        };
+        assert_eq!(g.to_string(), "Toffoli 1 2 3");
+    }
+}

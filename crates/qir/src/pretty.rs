@@ -1,0 +1,123 @@
+//! Human-readable rendering of programs and traces.
+
+use std::fmt::Write as _;
+
+use crate::analysis::ProgramStats;
+use crate::module::{Program, Stmt};
+use crate::trace::TraceOp;
+
+/// Renders a program listing with per-module compute/store/uncompute
+/// sections, in the spirit of the paper's Fig. 6 sample code.
+pub fn program_listing(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, m) in program.modules().iter().enumerate() {
+        let marker = if crate::module::ModuleId::from_index(i) == program.entry() {
+            " (entry)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "module {}({} params, {} ancilla){}:",
+            m.name(),
+            m.params(),
+            m.ancillas(),
+            marker
+        );
+        let block = |out: &mut String, label: &str, stmts: &[Stmt], program: &Program| {
+            if stmts.is_empty() {
+                return;
+            }
+            let _ = writeln!(out, "  {label} {{");
+            for s in stmts {
+                match s {
+                    Stmt::Gate(g) => {
+                        let _ = writeln!(out, "    {g}");
+                    }
+                    Stmt::Call { callee, args } => {
+                        let name = program.module(*callee).name();
+                        let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                        let _ = writeln!(out, "    call {name}({})", args.join(", "));
+                    }
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        };
+        block(&mut out, "Compute", m.compute(), program);
+        block(&mut out, "Store", m.store(), program);
+        if let Some(u) = m.custom_uncompute() {
+            block(&mut out, "Uncompute", u, program);
+        }
+    }
+    out
+}
+
+/// One-line-per-event rendering of a trace (for debugging and the
+/// `quickstart` example).
+pub fn trace_listing(trace: &[TraceOp], limit: usize) -> String {
+    let mut out = String::new();
+    for (i, op) in trace.iter().take(limit).enumerate() {
+        let _ = writeln!(out, "{i:>6}  {op}");
+    }
+    if trace.len() > limit {
+        let _ = writeln!(out, "  … {} more events", trace.len() - limit);
+    }
+    out
+}
+
+/// Summarizes static program shape: module count, flattened gates,
+/// nesting height — the knobs the paper's synthetic benchmarks sweep.
+pub fn program_summary(program: &Program) -> String {
+    let stats = ProgramStats::analyze(program);
+    let entry = stats.module(program.entry());
+    format!(
+        "{} modules; entry `{}`: {} forward gates, {} transitive ancilla, height {}",
+        program.len(),
+        program.module(program.entry()).name(),
+        entry.gates_forward(),
+        entry.ancilla_transitive,
+        entry.height
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn listing_contains_sections_and_calls() {
+        let mut b = ProgramBuilder::new();
+        let f = b
+            .module("f", 1, 1, |m| {
+                let (x, a) = (m.param(0), m.ancilla(0));
+                m.cx(x, a);
+            })
+            .unwrap();
+        let main = b
+            .module("main", 0, 1, |m| {
+                let x = m.ancilla(0);
+                m.x(x);
+                m.call(f, &[x]);
+            })
+            .unwrap();
+        let p = b.finish(main).unwrap();
+        let listing = program_listing(&p);
+        assert!(listing.contains("module f(1 params, 1 ancilla)"));
+        assert!(listing.contains("call f(a0)"));
+        assert!(listing.contains("(entry)"));
+        let summary = program_summary(&p);
+        assert!(summary.contains("2 modules"));
+    }
+
+    #[test]
+    fn trace_listing_truncates() {
+        use crate::gate::Gate;
+        use crate::trace::VirtId;
+        let trace: Vec<TraceOp> = (0..10)
+            .map(|_| TraceOp::Gate(Gate::X { target: VirtId(0) }))
+            .collect();
+        let s = trace_listing(&trace, 3);
+        assert!(s.contains("… 7 more events"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Executed instruction traces and mechanical uncomputation.
+//!
+//! The instrumentation-driven compilation of the SQUARE paper executes
+//! the program's (fully known) control flow at compile time, producing
+//! a flat stream of allocation, gate, and free events over *virtual*
+//! qubits. Uncomputing a compute block is a purely mechanical
+//! transformation of the recorded trace slice: replay it in reverse,
+//! inverting each gate (all gates in this IR are self-inverse), turning
+//! `Alloc` into `Free` and `Free` into a fresh `Alloc`.
+//!
+//! This single transformation yields both phenomena the paper studies:
+//!
+//! * **Recursive recomputation** (Eager): a child that reclaimed its
+//!   ancilla has `Alloc … gates … Free` inside the parent's compute
+//!   slice; the inverse slice *re-allocates and re-runs* the child —
+//!   the `2^ℓ` blowup of Section III.
+//! * **Qubit reservation sweep** (Lazy): a child that kept garbage has
+//!   an `Alloc` with no matching `Free` in the slice; the inverse slice
+//!   ends the garbage's life with a `Free` — the ancestor's uncompute
+//!   cleans it up.
+
+use crate::gate::Gate;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A program-wide virtual qubit id, unique per allocation event.
+///
+/// Virtual ids are never reused: re-allocating a reclaimed physical
+/// qubit mints a fresh `VirtId`. This keeps trace inversion and
+/// liveness bookkeeping unambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VirtId(pub u32);
+
+impl VirtId {
+    /// Raw index (dense, allocation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VirtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// One event in an executed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A fresh virtual qubit comes alive in state |0⟩.
+    Alloc(VirtId),
+    /// The virtual qubit is reclaimed (must be |0⟩ for non-garbage
+    /// frees; checked by the reference semantics).
+    Free(VirtId),
+    /// A gate over live virtual qubits.
+    Gate(Gate<VirtId>),
+}
+
+impl TraceOp {
+    /// True for gate events.
+    pub fn is_gate(&self) -> bool {
+        matches!(self, TraceOp::Gate(_))
+    }
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceOp::Alloc(v) => write!(f, "alloc {v}"),
+            TraceOp::Free(v) => write!(f, "free {v}"),
+            TraceOp::Gate(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+/// Mechanically inverts a trace slice.
+///
+/// `fresh` mints virtual ids for qubits that the inverse slice must
+/// re-allocate (those that were freed inside the original slice). Ids
+/// allocated *outside* the slice (live-through qubits and garbage from
+/// non-reclaimed children) keep their identity, so the inverse acts on
+/// the same live qubits.
+///
+/// Replaying `slice` followed by `invert_slice(slice, …)` on any state
+/// restores that state (see the property tests in this module and in
+/// `sem`).
+pub fn invert_slice(slice: &[TraceOp], mut fresh: impl FnMut() -> VirtId) -> Vec<TraceOp> {
+    let mut remap: HashMap<VirtId, VirtId> = HashMap::new();
+    let mut out = Vec::with_capacity(slice.len());
+    for op in slice.iter().rev() {
+        match op {
+            TraceOp::Free(v) => {
+                let nv = fresh();
+                remap.insert(*v, nv);
+                out.push(TraceOp::Alloc(nv));
+            }
+            TraceOp::Alloc(v) => {
+                let mapped = remap.get(v).copied().unwrap_or(*v);
+                out.push(TraceOp::Free(mapped));
+            }
+            TraceOp::Gate(g) => {
+                let inv = g.inverse().map(|q| remap.get(q).copied().unwrap_or(*q));
+                out.push(TraceOp::Gate(inv));
+            }
+        }
+    }
+    out
+}
+
+/// Counts the gate events in a trace slice (allocation bookkeeping
+/// events are free at runtime and excluded from gate costs).
+pub fn gate_count(slice: &[TraceOp]) -> u64 {
+    slice.iter().filter(|op| op.is_gate()).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(ops: &[TraceOp], bits: &mut HashMap<VirtId, bool>) {
+        for op in ops {
+            match op {
+                TraceOp::Alloc(v) => {
+                    assert!(bits.insert(*v, false).is_none(), "double alloc {v}");
+                }
+                TraceOp::Free(v) => {
+                    bits.remove(v).expect("free of dead qubit");
+                }
+                TraceOp::Gate(g) => {
+                    let val = |q: &VirtId| bits[q];
+                    match g {
+                        Gate::X { target } => {
+                            let t = *target;
+                            *bits.get_mut(&t).unwrap() ^= true;
+                        }
+                        Gate::Cx { control, target } => {
+                            let c = val(control);
+                            let t = *target;
+                            if c {
+                                *bits.get_mut(&t).unwrap() ^= true;
+                            }
+                        }
+                        Gate::Ccx { c0, c1, target } => {
+                            let c = val(c0) && val(c1);
+                            let t = *target;
+                            if c {
+                                *bits.get_mut(&t).unwrap() ^= true;
+                            }
+                        }
+                        Gate::Swap { a, b } => {
+                            let (va, vb) = (val(a), val(b));
+                            *bits.get_mut(a).unwrap() = vb;
+                            *bits.get_mut(b).unwrap() = va;
+                        }
+                        Gate::Mcx { controls, target } => {
+                            let c = controls.iter().all(val);
+                            let t = *target;
+                            if c {
+                                *bits.get_mut(&t).unwrap() ^= true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_restores_state_including_inner_alloc_free() {
+        // Slice: alloc q2; CX q0->q2; CCX q0,q2->q1; CX q0->q2; free q2
+        // (an "eager child" that allocates, computes, reclaims).
+        let q0 = VirtId(0);
+        let q1 = VirtId(1);
+        let q2 = VirtId(2);
+        let slice = vec![
+            TraceOp::Alloc(q2),
+            TraceOp::Gate(Gate::Cx {
+                control: q0,
+                target: q2,
+            }),
+            TraceOp::Gate(Gate::Ccx {
+                c0: q0,
+                c1: q2,
+                target: q1,
+            }),
+            TraceOp::Gate(Gate::Cx {
+                control: q0,
+                target: q2,
+            }),
+            TraceOp::Free(q2),
+        ];
+        let mut next = 3u32;
+        let inv = invert_slice(&slice, || {
+            let v = VirtId(next);
+            next += 1;
+            v
+        });
+        // Inverse must re-allocate a fresh qubit where the free was.
+        assert!(matches!(inv[0], TraceOp::Alloc(VirtId(3))));
+        assert!(matches!(inv[4], TraceOp::Free(VirtId(3))));
+
+        let mut bits = HashMap::new();
+        bits.insert(q0, true);
+        bits.insert(q1, false);
+        apply(&slice, &mut bits);
+        assert_eq!(bits[&q1], true, "CCX fired: q2 held q0's value");
+        apply(&inv, &mut bits);
+        assert_eq!(bits[&q0], true);
+        assert_eq!(bits[&q1], false, "inverse undid the compute");
+        assert_eq!(bits.len(), 2, "no leaked allocations");
+    }
+
+    #[test]
+    fn inverse_frees_unmatched_garbage_alloc() {
+        // Slice: alloc q1; CX q0->q1  (a "lazy child" leaving garbage).
+        let q0 = VirtId(0);
+        let q1 = VirtId(1);
+        let slice = vec![
+            TraceOp::Alloc(q1),
+            TraceOp::Gate(Gate::Cx {
+                control: q0,
+                target: q1,
+            }),
+        ];
+        let inv = invert_slice(&slice, || unreachable!("no frees in slice"));
+        assert_eq!(
+            inv,
+            vec![
+                TraceOp::Gate(Gate::Cx {
+                    control: q0,
+                    target: q1
+                }),
+                TraceOp::Free(q1),
+            ]
+        );
+
+        let mut bits = HashMap::new();
+        bits.insert(q0, true);
+        apply(&slice, &mut bits);
+        assert_eq!(bits[&q1], true, "garbage holds a copy");
+        apply(&inv, &mut bits);
+        assert!(!bits.contains_key(&q1), "garbage swept by ancestor");
+        assert_eq!(bits[&q0], true);
+    }
+
+    #[test]
+    fn double_inversion_has_same_shape() {
+        let q0 = VirtId(0);
+        let slice = vec![
+            TraceOp::Alloc(VirtId(1)),
+            TraceOp::Gate(Gate::Cx {
+                control: q0,
+                target: VirtId(1),
+            }),
+            TraceOp::Free(VirtId(1)),
+        ];
+        let mut next = 10u32;
+        let mut fresh = || {
+            let v = VirtId(next);
+            next += 1;
+            v
+        };
+        let inv = invert_slice(&slice, &mut fresh);
+        let inv2 = invert_slice(&inv, &mut fresh);
+        assert_eq!(inv2.len(), slice.len());
+        assert_eq!(gate_count(&inv2), gate_count(&slice));
+    }
+
+    #[test]
+    fn gate_count_ignores_bookkeeping() {
+        let slice = vec![
+            TraceOp::Alloc(VirtId(0)),
+            TraceOp::Gate(Gate::X { target: VirtId(0) }),
+            TraceOp::Free(VirtId(0)),
+        ];
+        assert_eq!(gate_count(&slice), 1);
+    }
+}

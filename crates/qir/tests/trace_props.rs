@@ -1,0 +1,174 @@
+//! Property tests for the mechanical-uncomputation core: for arbitrary
+//! generated traces, replaying `invert_slice` of a slice undoes it
+//! exactly — including nested alloc/free structure — and the inverse
+//! of the inverse has the same cost.
+
+use proptest::prelude::*;
+use square_qir::{invert_slice, Gate, TraceOp, VirtId};
+use std::collections::HashMap;
+
+/// Applies trace ops to a sparse bit state; panics on structural
+/// violations (double alloc, free of dead qubit).
+fn apply(ops: &[TraceOp], bits: &mut HashMap<VirtId, bool>) {
+    for op in ops {
+        match op {
+            TraceOp::Alloc(v) => {
+                assert!(bits.insert(*v, false).is_none(), "double alloc");
+            }
+            TraceOp::Free(v) => {
+                bits.remove(v).expect("free of dead qubit");
+            }
+            TraceOp::Gate(g) => {
+                let get = |q: &VirtId| bits[q];
+                match g {
+                    Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
+                    Gate::Cx { control, target } => {
+                        if get(control) {
+                            *bits.get_mut(target).unwrap() ^= true;
+                        }
+                    }
+                    Gate::Ccx { c0, c1, target } => {
+                        if get(c0) && get(c1) {
+                            *bits.get_mut(target).unwrap() ^= true;
+                        }
+                    }
+                    Gate::Swap { a, b } => {
+                        let (va, vb) = (get(a), get(b));
+                        bits.insert(*a, vb);
+                        bits.insert(*b, va);
+                    }
+                    Gate::Mcx { controls, target } => {
+                        if controls.iter().all(get) {
+                            *bits.get_mut(target).unwrap() ^= true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Generates a structurally valid trace over `ext` pre-existing qubits
+/// (ids 0..ext) plus nested alloc/gate/free activity, from a byte
+/// script. Allocated-inside ids start at `ext`.
+fn trace_from_script(ext: u32, script: &[u8]) -> Vec<TraceOp> {
+    let mut live: Vec<VirtId> = (0..ext).map(VirtId).collect();
+    let mut inner: Vec<VirtId> = Vec::new(); // allocated in-slice, not freed
+    let mut next = ext;
+    let mut ops = Vec::new();
+    for chunk in script.chunks(4) {
+        let (a, b, c, d) = (
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(1),
+            chunk.get(2).copied().unwrap_or(2),
+            chunk.get(3).copied().unwrap_or(3),
+        );
+        match a % 5 {
+            0 => {
+                let v = VirtId(next);
+                next += 1;
+                inner.push(v);
+                live.push(v);
+                ops.push(TraceOp::Alloc(v));
+            }
+            1 if !inner.is_empty() => {
+                // Free an in-slice qubit. It must be |0⟩ at runtime,
+                // so emit a self-cancelling pair first (net zero) and
+                // free only qubits we allocated and never gated.
+                let v = inner.pop().unwrap();
+                live.retain(|q| *q != v);
+                ops.push(TraceOp::Gate(Gate::X { target: v }));
+                ops.push(TraceOp::Gate(Gate::X { target: v }));
+                ops.push(TraceOp::Free(v));
+            }
+            _ if live.len() >= 3 => {
+                let q0 = live[b as usize % live.len()];
+                let q1 = live[c as usize % live.len()];
+                let q2 = live[d as usize % live.len()];
+                // A gated in-slice qubit may become dirty; it can no
+                // longer be freed (a dirty free is an irreversible
+                // discard, which the real executors forbid).
+                inner.retain(|q| *q != q0 && *q != q1 && *q != q2);
+                if q0 != q1 && q1 != q2 && q0 != q2 {
+                    match a % 3 {
+                        0 => ops.push(TraceOp::Gate(Gate::X { target: q0 })),
+                        1 => ops.push(TraceOp::Gate(Gate::Cx {
+                            control: q0,
+                            target: q1,
+                        })),
+                        _ => ops.push(TraceOp::Gate(Gate::Ccx {
+                            c0: q0,
+                            c1: q1,
+                            target: q2,
+                        })),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    ops
+}
+
+proptest! {
+    /// slice ⨟ invert(slice) restores every pre-existing qubit and
+    /// leaves no leaked allocations.
+    #[test]
+    fn inversion_restores_state(
+        ext in 3u32..8,
+        script in proptest::collection::vec(any::<u8>(), 0..200),
+        seed_bits in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let slice = trace_from_script(ext, &script);
+        let mut next = 10_000u32;
+        let inv = invert_slice(&slice, || {
+            let v = VirtId(next);
+            next += 1;
+            v
+        });
+        let mut bits: HashMap<VirtId, bool> = (0..ext)
+            .map(|i| (VirtId(i), seed_bits[i as usize % seed_bits.len()]))
+            .collect();
+        let before = bits.clone();
+        apply(&slice, &mut bits);
+        apply(&inv, &mut bits);
+        // Only the original external qubits remain, with original values.
+        for (v, val) in &before {
+            prop_assert_eq!(bits.get(v), Some(val), "qubit {} changed", v);
+        }
+        prop_assert_eq!(bits.len(), before.len(), "leaked allocations");
+    }
+
+    /// Inversion preserves gate count and swaps alloc/free counts.
+    #[test]
+    fn inversion_preserves_costs(
+        ext in 3u32..8,
+        script in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let slice = trace_from_script(ext, &script);
+        let mut next = 20_000u32;
+        let inv = invert_slice(&slice, || {
+            let v = VirtId(next);
+            next += 1;
+            v
+        });
+        let count = |ops: &[TraceOp]| {
+            let mut g = 0u64;
+            let mut a = 0u64;
+            let mut f = 0u64;
+            for op in ops {
+                match op {
+                    TraceOp::Gate(_) => g += 1,
+                    TraceOp::Alloc(_) => a += 1,
+                    TraceOp::Free(_) => f += 1,
+                }
+            }
+            (g, a, f)
+        };
+        let (g1, a1, f1) = count(&slice);
+        let (g2, a2, f2) = count(&inv);
+        prop_assert_eq!(g1, g2, "gate counts differ");
+        prop_assert_eq!(a1, f2, "allocs must become frees");
+        prop_assert_eq!(f1, a2, "frees must become allocs");
+    }
+}

@@ -1,0 +1,30 @@
+//! # square-route — gate scheduling and communication
+//!
+//! The machine-facing half of the SQUARE compiler: an ASAP gate
+//! scheduler with per-qubit availability tracking, a swap-chain router
+//! for NISQ lattices (each SWAP costs three CNOT cycles; chain latency
+//! grows with distance), and a braid router for fault-tolerant surface
+//! code machines (braids complete in constant time but may not cross —
+//! conflicting braids queue, Section IV-D of the paper).
+//!
+//! The central type is [`Machine`]: it owns the virtual→physical
+//! placement, schedules every gate the compile-time executor emits,
+//! accumulates communication statistics (the running `S` factors the
+//! CER heuristic consumes), and records per-qubit liveness segments
+//! from which `square-metrics` computes the active quantum volume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod braid;
+pub mod machine;
+pub mod schedule;
+pub mod timeline;
+
+mod error;
+
+pub use braid::BraidField;
+pub use error::RouteError;
+pub use machine::{CommStats, LivenessSegment, Machine, MachineConfig, RouteReport};
+pub use schedule::ScheduledGate;
+pub use timeline::Timeline;

@@ -1,0 +1,874 @@
+//! The machine model: placement, routing, scheduling, liveness.
+//!
+//! [`Machine`] is the stateful target the compile-time executor drives.
+//! Placing a virtual qubit binds it to a physical slot; applying a gate
+//! resolves connectivity (swap chains on NISQ, braids on FT), schedules
+//! it ASAP, and updates the communication statistics that feed the
+//! CER heuristic's `S` factor. Releasing a qubit closes its liveness
+//! segment, from which active quantum volume is computed.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use square_arch::{CommModel, PhysId, Topology};
+use square_qir::{Gate, VirtId};
+
+use crate::braid::BraidField;
+use crate::error::RouteError;
+use crate::schedule::{gate_duration, ScheduledGate};
+use crate::timeline::Timeline;
+
+/// Construction options for [`Machine`].
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Communication model: swap chains (NISQ) or braiding (FT).
+    pub comm: CommModel,
+    /// Record the full scheduled physical circuit (needed for noise
+    /// simulation; costs memory on large programs).
+    pub record_schedule: bool,
+}
+
+impl MachineConfig {
+    /// NISQ defaults: swap chains, schedule recording off.
+    pub fn nisq() -> Self {
+        MachineConfig {
+            comm: CommModel::SwapChains,
+            record_schedule: false,
+        }
+    }
+
+    /// FT defaults: braiding, schedule recording off.
+    pub fn ft() -> Self {
+        MachineConfig {
+            comm: CommModel::Braiding,
+            record_schedule: false,
+        }
+    }
+
+    /// Enables schedule recording.
+    pub fn with_schedule(mut self) -> Self {
+        self.record_schedule = true;
+        self
+    }
+}
+
+/// Communication / scheduling statistics, accumulated online.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Program gates scheduled (excludes routing swaps).
+    pub program_gates: u64,
+    /// Multi-qubit program gates (denominator of the swap `S` factor).
+    pub multi_qubit_gates: u64,
+    /// SWAP gates inserted by routing.
+    pub swaps: u64,
+    /// Braids committed (FT machines).
+    pub braids: u64,
+    /// Braid conflicts that forced queuing (FT machines).
+    pub braid_conflicts: u64,
+    /// Toffoli operand-gathering passes that needed a retry.
+    pub gather_retries: u64,
+    /// Toffoli gathers that gave up before reaching full adjacency.
+    pub gather_failures: u64,
+}
+
+/// One closed liveness interval of a virtual qubit: from its first
+/// gate to the end of its last gate (or to program end for qubits
+/// never reclaimed). Heap time — after `Free`, before reuse — is
+/// excluded by construction, matching the paper's AQV definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessSegment {
+    /// The virtual qubit.
+    pub virt: VirtId,
+    /// Physical slot it occupied when released.
+    pub phys: PhysId,
+    /// First cycle the qubit was touched by a gate.
+    pub start: u64,
+    /// Cycle after its last gate (or program end if never reclaimed).
+    pub end: u64,
+}
+
+impl LivenessSegment {
+    /// Segment duration in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Final output of a machine run.
+#[derive(Debug, Clone)]
+pub struct RouteReport {
+    /// Circuit makespan in cycles.
+    pub depth: u64,
+    /// Communication statistics.
+    pub stats: CommStats,
+    /// Closed liveness segments of every virtual qubit that was used.
+    pub segments: Vec<LivenessSegment>,
+    /// The scheduled physical circuit (if recording was enabled).
+    pub schedule: Option<Vec<ScheduledGate>>,
+    /// Peak number of simultaneously placed qubits.
+    pub peak_active: usize,
+    /// Physical qubits that ever *held* a program qubit (excludes
+    /// cells merely traversed by swap chains).
+    pub footprint: usize,
+    /// Final placement of still-live virtual qubits.
+    pub final_placement: HashMap<VirtId, PhysId>,
+}
+
+/// A machine being scheduled onto: topology + placement + timeline.
+pub struct Machine {
+    topo: Box<dyn Topology>,
+    comm: CommModel,
+    timeline: Timeline,
+    occupant: Vec<Option<VirtId>>,
+    ever_used: Vec<bool>,
+    ever_placed: Vec<bool>,
+    place: HashMap<VirtId, PhysId>,
+    usage: HashMap<VirtId, (u64, u64)>,
+    segments: Vec<LivenessSegment>,
+    braid_field: BraidField,
+    stats: CommStats,
+    schedule: Option<Vec<ScheduledGate>>,
+    active: usize,
+    peak_active: usize,
+    coord_sum: (i64, i64),
+    relocations: Vec<(PhysId, PhysId)>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("topology", &self.topo.name())
+            .field("comm", &self.comm)
+            .field("qubits", &self.topo.qubit_count())
+            .field("active", &self.active)
+            .field("depth", &self.timeline.depth())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine over `topo` with the given configuration.
+    pub fn new(topo: Box<dyn Topology>, config: MachineConfig) -> Self {
+        let n = topo.qubit_count();
+        Machine {
+            timeline: Timeline::new(n),
+            occupant: vec![None; n],
+            ever_used: vec![false; n],
+            ever_placed: vec![false; n],
+            place: HashMap::new(),
+            usage: HashMap::new(),
+            segments: Vec::new(),
+            braid_field: BraidField::new(),
+            stats: CommStats::default(),
+            schedule: config.record_schedule.then(Vec::new),
+            active: 0,
+            peak_active: 0,
+            coord_sum: (0, 0),
+            relocations: Vec::new(),
+            comm: config.comm,
+            topo,
+        }
+    }
+
+    /// The machine's topology.
+    pub fn topo(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// The communication model in effect.
+    pub fn comm(&self) -> CommModel {
+        self.comm
+    }
+
+    /// Total physical qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.occupant.len()
+    }
+
+    /// Currently placed virtual qubits.
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// Free physical slots.
+    pub fn free_count(&self) -> usize {
+        self.qubit_count() - self.active
+    }
+
+    /// True if the slot holds no virtual qubit.
+    pub fn is_free(&self, p: PhysId) -> bool {
+        self.occupant[p.index()].is_none()
+    }
+
+    /// True if the slot has ever held a qubit (so it is "reused"
+    /// rather than "fresh" from the allocator's perspective).
+    pub fn was_ever_used(&self, p: PhysId) -> bool {
+        self.ever_used[p.index()]
+    }
+
+    /// Current placement of a virtual qubit.
+    pub fn phys_of(&self, v: VirtId) -> Option<PhysId> {
+        self.place.get(&v).copied()
+    }
+
+    /// Availability time of a physical slot (for serialization
+    /// penalties in the LAA score).
+    pub fn avail_of(&self, p: PhysId) -> u64 {
+        self.timeline.avail(p)
+    }
+
+    /// Earliest start for a gate over the given virtual qubits.
+    pub fn ready_time(&self, virts: &[VirtId]) -> u64 {
+        virts
+            .iter()
+            .filter_map(|v| self.phys_of(*v))
+            .map(|p| self.timeline.avail(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Geometric centroid of the given (placed) virtual qubits; `None`
+    /// if none are placed yet.
+    pub fn centroid_of(&self, virts: &[VirtId]) -> Option<(i32, i32)> {
+        let coords: Vec<(i32, i32)> = virts
+            .iter()
+            .filter_map(|v| self.phys_of(*v))
+            .map(|p| self.topo.coord(p))
+            .collect();
+        if coords.is_empty() {
+            return None;
+        }
+        let (sx, sy) = coords
+            .iter()
+            .fold((0i64, 0i64), |(sx, sy), (x, y)| (sx + *x as i64, sy + *y as i64));
+        let n = coords.len() as i64;
+        Some(((sx / n) as i32, (sy / n) as i32))
+    }
+
+    /// Drains the free-slot relocations caused by routing swaps since
+    /// the last call: a swap through a free cell moves that cell's |0⟩
+    /// to the cell the data qubit vacated. Callers holding pools of
+    /// free slots (the ancilla heap) must apply these renames.
+    pub fn drain_relocations(&mut self) -> Vec<(PhysId, PhysId)> {
+        std::mem::take(&mut self.relocations)
+    }
+
+    /// Centroid of all currently placed qubits (maintained
+    /// incrementally; O(1)). `None` when nothing is placed.
+    pub fn active_centroid(&self) -> Option<(i32, i32)> {
+        if self.active == 0 {
+            return None;
+        }
+        let n = self.active as i64;
+        Some(((self.coord_sum.0 / n) as i32, (self.coord_sum.1 / n) as i32))
+    }
+
+    /// The free slot nearest `center`. With `require_fresh`, only
+    /// never-used slots qualify (a "brand new" qubit in the paper's
+    /// allocation algorithm).
+    pub fn nearest_free(&self, center: (i32, i32), require_fresh: bool) -> Option<PhysId> {
+        self.topo
+            .ring_iter(center)
+            .find(|&p| self.is_free(p) && (!require_fresh || !self.ever_used[p.index()]))
+    }
+
+    /// Places virtual qubit `v` on slot `p`.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::SlotOccupied`] / [`RouteError::AlreadyPlaced`].
+    pub fn place_at(&mut self, v: VirtId, p: PhysId) -> Result<(), RouteError> {
+        if self.place.contains_key(&v) {
+            return Err(RouteError::AlreadyPlaced { virt: v });
+        }
+        if !self.is_free(p) {
+            return Err(RouteError::SlotOccupied { phys: p });
+        }
+        self.occupant[p.index()] = Some(v);
+        self.ever_used[p.index()] = true;
+        self.ever_placed[p.index()] = true;
+        self.place.insert(v, p);
+        self.active += 1;
+        self.peak_active = self.peak_active.max(self.active);
+        let (x, y) = self.topo.coord(p);
+        self.coord_sum.0 += x as i64;
+        self.coord_sum.1 += y as i64;
+        Ok(())
+    }
+
+    /// Releases virtual qubit `v`, closing its liveness segment, and
+    /// returns the physical slot it held (now free for reuse).
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnplacedQubit`] if `v` is not placed.
+    pub fn release(&mut self, v: VirtId) -> Result<PhysId, RouteError> {
+        let p = self
+            .place
+            .remove(&v)
+            .ok_or(RouteError::UnplacedQubit { virt: v })?;
+        self.occupant[p.index()] = None;
+        self.active -= 1;
+        let (x, y) = self.topo.coord(p);
+        self.coord_sum.0 -= x as i64;
+        self.coord_sum.1 -= y as i64;
+        if let Some((first, last)) = self.usage.remove(&v) {
+            self.segments.push(LivenessSegment {
+                virt: v,
+                phys: p,
+                start: first,
+                end: last,
+            });
+        }
+        Ok(p)
+    }
+
+    /// The running communication factor `S` (Section IV-D): average
+    /// swap-chain length per multi-qubit gate on NISQ machines, average
+    /// braid conflicts per braid on FT machines.
+    pub fn comm_factor(&self) -> f64 {
+        match self.comm {
+            CommModel::SwapChains => {
+                if self.stats.multi_qubit_gates == 0 {
+                    0.0
+                } else {
+                    self.stats.swaps as f64 / self.stats.multi_qubit_gates as f64
+                }
+            }
+            CommModel::Braiding => self.braid_field.avg_conflicts(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Current makespan.
+    pub fn depth(&self) -> u64 {
+        self.timeline.depth()
+    }
+
+    fn note_usage(&mut self, v: VirtId, start: u64, end: u64) {
+        let e = self.usage.entry(v).or_insert((start, end));
+        e.0 = e.0.min(start);
+        e.1 = e.1.max(end);
+    }
+
+    fn record(&mut self, gate: Gate<PhysId>, start: u64, dur: u64, is_comm: bool) {
+        if let Some(s) = &mut self.schedule {
+            s.push(ScheduledGate {
+                gate,
+                start,
+                dur,
+                is_comm,
+            });
+        }
+    }
+
+    /// Swaps the contents of two adjacent physical cells (a routing
+    /// SWAP: three CNOT cycles), updating placements.
+    fn swap_cells(&mut self, p: PhysId, q: PhysId) {
+        debug_assert!(self.topo.are_coupled(p, q), "swap of non-coupled cells");
+        let start = self.timeline.occupy_asap(&[p, q], 3);
+        let vp = self.occupant[p.index()];
+        let vq = self.occupant[q.index()];
+        self.occupant[p.index()] = vq;
+        self.occupant[q.index()] = vp;
+        let (px, py) = self.topo.coord(p);
+        let (qx, qy) = self.topo.coord(q);
+        if vp.is_some() != vq.is_some() {
+            // one occupant moved between the cells: shift the centroid sum
+            let sign = if vp.is_some() { 1 } else { -1 };
+            self.coord_sum.0 += sign * (qx as i64 - px as i64);
+            self.coord_sum.1 += sign * (qy as i64 - py as i64);
+            // The |0⟩ of the free cell relocated to the other cell:
+            // report it so pooled-qubit bookkeeping can follow.
+            if vp.is_some() {
+                self.relocations.push((q, p));
+            } else {
+                self.relocations.push((p, q));
+            }
+        }
+        if let Some(v) = vp {
+            self.place.insert(v, q);
+            self.note_usage(v, start, start + 3);
+        }
+        if let Some(v) = vq {
+            self.place.insert(v, p);
+            self.note_usage(v, start, start + 3);
+        }
+        self.ever_used[p.index()] = true;
+        self.ever_used[q.index()] = true;
+        self.stats.swaps += 1;
+        self.record(Gate::Swap { a: p, b: q }, start, 3, true);
+    }
+
+    /// Moves `mover` along a shortest path until coupled to `anchor`.
+    fn route_adjacent(&mut self, mover: VirtId, anchor: VirtId) -> Result<(), RouteError> {
+        let pm = self.phys_of(mover).ok_or(RouteError::UnplacedQubit { virt: mover })?;
+        let pa = self
+            .phys_of(anchor)
+            .ok_or(RouteError::UnplacedQubit { virt: anchor })?;
+        if self.topo.are_coupled(pm, pa) || pm == pa {
+            return Ok(());
+        }
+        let path = self.topo.shortest_path(pm, pa);
+        for i in 0..path.len().saturating_sub(2) {
+            self.swap_cells(path[i], path[i + 1]);
+        }
+        Ok(())
+    }
+
+    /// Bounded BFS from `from` to any cell satisfying `goal`, avoiding
+    /// `blocked` cells. Returns the path inclusive of both ends.
+    fn bfs_to(
+        &self,
+        from: PhysId,
+        goal: impl Fn(PhysId) -> bool,
+        blocked: &[PhysId],
+        max_visits: usize,
+    ) -> Option<Vec<PhysId>> {
+        if goal(from) {
+            return Some(vec![from]);
+        }
+        let mut prev: HashMap<PhysId, PhysId> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        prev.insert(from, from);
+        let mut visits = 0usize;
+        while let Some(cur) = queue.pop_front() {
+            visits += 1;
+            if visits > max_visits {
+                return None;
+            }
+            for nb in self.topo.neighbors(cur) {
+                if prev.contains_key(&nb) || blocked.contains(&nb) {
+                    continue;
+                }
+                prev.insert(nb, cur);
+                if goal(nb) {
+                    let mut path = vec![nb];
+                    let mut c = nb;
+                    while c != from {
+                        c = prev[&c];
+                        path.push(c);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(nb);
+            }
+        }
+        None
+    }
+
+    /// Brings both controls adjacent to the target for a Toffoli,
+    /// trying not to displace already-gathered operands.
+    fn gather_three(
+        &mut self,
+        c0: VirtId,
+        c1: VirtId,
+        t: VirtId,
+    ) -> Result<(), RouteError> {
+        for attempt in 0..4 {
+            let pt = self.phys_of(t).ok_or(RouteError::UnplacedQubit { virt: t })?;
+            let p0 = self.phys_of(c0).ok_or(RouteError::UnplacedQubit { virt: c0 })?;
+            let p1 = self.phys_of(c1).ok_or(RouteError::UnplacedQubit { virt: c1 })?;
+            let ok0 = self.topo.are_coupled(p0, pt);
+            let ok1 = self.topo.are_coupled(p1, pt);
+            if ok0 && ok1 {
+                return Ok(());
+            }
+            if attempt > 0 {
+                self.stats.gather_retries += 1;
+            }
+            if !ok0 {
+                self.route_adjacent(c0, t)?;
+                continue;
+            }
+            // c0 is in place; bring c1 next to t without crossing c0/t.
+            let blocked = [pt, p0];
+            let topo = &self.topo;
+            let goal = |cell: PhysId| topo.are_coupled(cell, pt) && cell != p0;
+            if let Some(path) = self.bfs_to(p1, goal, &blocked, 4096) {
+                for i in 0..path.len().saturating_sub(1) {
+                    self.swap_cells(path[i], path[i + 1]);
+                }
+            } else {
+                // No avoiding route (e.g. a line topology cut); route
+                // plainly and let the next attempt repair c0.
+                self.route_adjacent(c1, t)?;
+            }
+        }
+        self.stats.gather_failures += 1;
+        Ok(())
+    }
+
+    /// Applies a program gate: resolves connectivity, schedules ASAP,
+    /// updates statistics and liveness. Returns the start cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnplacedQubit`] if an operand has no placement.
+    pub fn apply(&mut self, gate: &Gate<VirtId>) -> Result<u64, RouteError> {
+        match self.comm {
+            CommModel::SwapChains => self.apply_swapchain(gate),
+            CommModel::Braiding => self.apply_braided(gate),
+        }
+    }
+
+    fn phys_operands(&self, gate: &Gate<VirtId>) -> Result<Vec<PhysId>, RouteError> {
+        let mut out = Vec::with_capacity(gate.arity());
+        let mut missing = None;
+        gate.for_each_qubit(|v| {
+            match self.phys_of(*v) {
+                Some(p) => out.push(p),
+                None => missing = Some(*v),
+            }
+        });
+        match missing {
+            Some(v) => Err(RouteError::UnplacedQubit { virt: v }),
+            None => Ok(out),
+        }
+    }
+
+    fn note_gate(&mut self, gate: &Gate<VirtId>, start: u64, dur: u64) {
+        gate.for_each_qubit(|v| {
+            // borrow: collect first
+            let _ = v;
+        });
+        let mut virts = Vec::with_capacity(gate.arity());
+        gate.for_each_qubit(|v| virts.push(*v));
+        for v in virts {
+            self.note_usage(v, start, start + dur);
+        }
+        self.stats.program_gates += 1;
+        if gate.arity() >= 2 {
+            self.stats.multi_qubit_gates += 1;
+        }
+    }
+
+    fn apply_swapchain(&mut self, gate: &Gate<VirtId>) -> Result<u64, RouteError> {
+        let swaps_before = self.stats.swaps;
+        match gate {
+            Gate::X { .. } => {}
+            Gate::Cx { control, target } => self.route_adjacent(*control, *target)?,
+            Gate::Swap { a, b } => self.route_adjacent(*a, *b)?,
+            Gate::Ccx { c0, c1, target } => self.gather_three(*c0, *c1, *target)?,
+            Gate::Mcx { controls, target } => {
+                // Lowered programs never reach here with ≥ 3 controls;
+                // handle small cases for completeness.
+                match controls.len() {
+                    0 => {}
+                    1 => self.route_adjacent(controls[0], *target)?,
+                    _ => {
+                        self.gather_three(controls[0], controls[1], *target)?;
+                        for c in &controls[2..] {
+                            self.route_adjacent(*c, *target)?;
+                        }
+                    }
+                }
+            }
+        }
+        let _ = swaps_before;
+        let phys = self.phys_operands(gate)?;
+        let phys_gate = gate.map(|v| self.place[v]);
+        let dur = gate_duration(&phys_gate);
+        let start = self.timeline.occupy_asap(&phys, dur);
+        self.note_gate(gate, start, dur);
+        self.record(phys_gate, start, dur, false);
+        Ok(start)
+    }
+
+    fn apply_braided(&mut self, gate: &Gate<VirtId>) -> Result<u64, RouteError> {
+        let phys = self.phys_operands(gate)?;
+        match gate {
+            Gate::X { .. } => {
+                let start = self.timeline.occupy_asap(&phys, 1);
+                self.note_gate(gate, start, 1);
+                self.record(gate.map(|v| self.place[v]), start, 1, false);
+                Ok(start)
+            }
+            Gate::Cx { .. } | Gate::Swap { .. } => {
+                let dur = if matches!(gate, Gate::Swap { .. }) { 3 } else { 1 };
+                let start = self.braid_pair(phys[0], phys[1], dur);
+                self.note_gate(gate, start, dur);
+                self.record(gate.map(|v| self.place[v]), start, dur, false);
+                Ok(start)
+            }
+            Gate::Ccx { .. } => {
+                // Three sequential pairwise braids of two cycles each —
+                // the braided Toffoli of the magic-state literature.
+                let s1 = self.braid_pair(phys[0], phys[2], 2);
+                let s2 = self.braid_pair(phys[1], phys[2], 2);
+                let s3 = self.braid_pair(phys[0], phys[1], 2);
+                let start = s1.min(s2).min(s3);
+                let end = (s1 + 2).max(s2 + 2).max(s3 + 2);
+                self.note_gate(gate, start, end - start);
+                self.record(gate.map(|v| self.place[v]), start, end - start, false);
+                Ok(start)
+            }
+            Gate::Mcx { controls, target } => {
+                // Chain of pairwise braids (for completeness; lowered
+                // programs do not produce k ≥ 3).
+                let pt = self.place[target];
+                let mut start = u64::MAX;
+                let mut end = 0u64;
+                for c in controls {
+                    let pc = self.place[c];
+                    let s = self.braid_pair(pc, pt, 2);
+                    start = start.min(s);
+                    end = end.max(s + 2);
+                }
+                if controls.is_empty() {
+                    let s = self.timeline.occupy_asap(&phys, 1);
+                    start = s;
+                    end = s + 1;
+                }
+                self.note_gate(gate, start, end - start);
+                self.record(gate.map(|v| self.place[v]), start, end - start, false);
+                Ok(start)
+            }
+        }
+    }
+
+    /// Schedules one braid between two placed qubits; returns start.
+    fn braid_pair(&mut self, a: PhysId, b: PhysId, dur: u64) -> u64 {
+        let ready = self.timeline.ready_at(&[a, b]);
+        let ca = self.topo.coord(a);
+        let cb = self.topo.coord(b);
+        let before = self.braid_field.conflicts();
+        let start = self.braid_field.route(ca, cb, ready, dur);
+        self.stats.braids += 1;
+        self.stats.braid_conflicts += self.braid_field.conflicts() - before;
+        self.timeline.occupy(&[a, b], start, dur);
+        start
+    }
+
+    /// Finishes the run: closes open liveness segments at the final
+    /// makespan and returns the report.
+    pub fn finish(mut self) -> RouteReport {
+        let depth = self.timeline.depth();
+        let final_placement = self.place.clone();
+        let mut segments = std::mem::take(&mut self.segments);
+        for (v, (first, last)) in self.usage.drain() {
+            // Still-live qubits (outputs, garbage never reclaimed)
+            // stay exposed until program end.
+            let phys = final_placement.get(&v).copied().unwrap_or(PhysId(0));
+            segments.push(LivenessSegment {
+                virt: v,
+                phys,
+                start: first,
+                end: depth.max(last),
+            });
+        }
+        let footprint = self.ever_placed.iter().filter(|&&b| b).count();
+        RouteReport {
+            depth,
+            stats: self.stats,
+            segments,
+            schedule: self.schedule,
+            peak_active: self.peak_active,
+            footprint,
+            final_placement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use square_arch::{FullTopology, GridTopology};
+
+    fn grid_machine(w: u32, h: u32) -> Machine {
+        Machine::new(
+            Box::new(GridTopology::new(w, h)),
+            MachineConfig::nisq().with_schedule(),
+        )
+    }
+
+    #[test]
+    fn place_and_release_round_trip() {
+        let mut m = grid_machine(3, 3);
+        m.place_at(VirtId(0), PhysId(4)).unwrap();
+        assert_eq!(m.active_count(), 1);
+        assert!(!m.is_free(PhysId(4)));
+        assert!(m.was_ever_used(PhysId(4)));
+        let p = m.release(VirtId(0)).unwrap();
+        assert_eq!(p, PhysId(4));
+        assert!(m.is_free(PhysId(4)));
+        assert!(m.was_ever_used(PhysId(4)), "fresh vs reused distinction");
+    }
+
+    #[test]
+    fn double_place_and_bad_release_error() {
+        let mut m = grid_machine(2, 2);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        assert!(matches!(
+            m.place_at(VirtId(0), PhysId(1)),
+            Err(RouteError::AlreadyPlaced { .. })
+        ));
+        assert!(matches!(
+            m.place_at(VirtId(1), PhysId(0)),
+            Err(RouteError::SlotOccupied { .. })
+        ));
+        assert!(matches!(
+            m.release(VirtId(9)),
+            Err(RouteError::UnplacedQubit { .. })
+        ));
+    }
+
+    #[test]
+    fn distant_cnot_inserts_swaps() {
+        let mut m = grid_machine(5, 1);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        m.place_at(VirtId(1), PhysId(4)).unwrap();
+        m.apply(&Gate::Cx {
+            control: VirtId(0),
+            target: VirtId(1),
+        })
+        .unwrap();
+        // distance 4 → 3 swaps to become adjacent.
+        assert_eq!(m.stats().swaps, 3);
+        // control moved next to target
+        assert_eq!(m.phys_of(VirtId(0)), Some(PhysId(3)));
+        assert!(m.comm_factor() > 0.0);
+    }
+
+    #[test]
+    fn adjacent_cnot_needs_no_swaps() {
+        let mut m = grid_machine(2, 1);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        m.place_at(VirtId(1), PhysId(1)).unwrap();
+        m.apply(&Gate::Cx {
+            control: VirtId(0),
+            target: VirtId(1),
+        })
+        .unwrap();
+        assert_eq!(m.stats().swaps, 0);
+        assert_eq!(m.comm_factor(), 0.0);
+    }
+
+    #[test]
+    fn toffoli_gathers_operands() {
+        let mut m = grid_machine(5, 5);
+        m.place_at(VirtId(0), PhysId(0)).unwrap(); // (0,0)
+        m.place_at(VirtId(1), PhysId(24)).unwrap(); // (4,4)
+        m.place_at(VirtId(2), PhysId(12)).unwrap(); // (2,2) target
+        m.apply(&Gate::Ccx {
+            c0: VirtId(0),
+            c1: VirtId(1),
+            target: VirtId(2),
+        })
+        .unwrap();
+        let pt = m.phys_of(VirtId(2)).unwrap();
+        let p0 = m.phys_of(VirtId(0)).unwrap();
+        let p1 = m.phys_of(VirtId(1)).unwrap();
+        assert!(m.topo().are_coupled(p0, pt));
+        assert!(m.topo().are_coupled(p1, pt));
+        assert_eq!(m.stats().gather_failures, 0);
+    }
+
+    #[test]
+    fn full_topology_never_swaps() {
+        let mut m = Machine::new(Box::new(FullTopology::new(8)), MachineConfig::nisq());
+        for i in 0..8 {
+            m.place_at(VirtId(i), PhysId(i)).unwrap();
+        }
+        for i in 0..7u32 {
+            m.apply(&Gate::Cx {
+                control: VirtId(i),
+                target: VirtId(i + 1),
+            })
+            .unwrap();
+        }
+        m.apply(&Gate::Ccx {
+            c0: VirtId(0),
+            c1: VirtId(4),
+            target: VirtId(7),
+        })
+        .unwrap();
+        assert_eq!(m.stats().swaps, 0);
+    }
+
+    #[test]
+    fn braided_machine_counts_conflicts() {
+        let mut m = Machine::new(
+            Box::new(GridTopology::new(6, 6)),
+            MachineConfig::ft(),
+        );
+        // Two crossing long braids on fresh qubits.
+        m.place_at(VirtId(0), PhysId(6)).unwrap(); // (0,1)
+        m.place_at(VirtId(1), PhysId(11)).unwrap(); // (5,1)
+        m.place_at(VirtId(2), PhysId(2)).unwrap(); // (2,0)
+        m.place_at(VirtId(3), PhysId(26)).unwrap(); // (2,4)
+        m.apply(&Gate::Cx {
+            control: VirtId(0),
+            target: VirtId(1),
+        })
+        .unwrap();
+        m.apply(&Gate::Cx {
+            control: VirtId(2),
+            target: VirtId(3),
+        })
+        .unwrap();
+        assert_eq!(m.stats().swaps, 0, "braiding inserts no swaps");
+        assert_eq!(m.stats().braids, 2);
+        // Both L-orientations of the second braid cross the first; it
+        // must have queued.
+        assert!(m.depth() >= 2);
+    }
+
+    #[test]
+    fn liveness_segments_cover_usage() {
+        let mut m = grid_machine(3, 1);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        m.place_at(VirtId(1), PhysId(1)).unwrap();
+        m.apply(&Gate::Cx {
+            control: VirtId(0),
+            target: VirtId(1),
+        })
+        .unwrap();
+        m.release(VirtId(1)).unwrap();
+        let report = m.finish();
+        assert_eq!(report.segments.len(), 2);
+        let seg1 = report
+            .segments
+            .iter()
+            .find(|s| s.virt == VirtId(1))
+            .unwrap();
+        assert_eq!((seg1.start, seg1.end), (0, 1));
+        // VirtId(0) never released: closed at program end.
+        let seg0 = report
+            .segments
+            .iter()
+            .find(|s| s.virt == VirtId(0))
+            .unwrap();
+        assert_eq!(seg0.end, report.depth);
+        assert_eq!(report.peak_active, 2);
+        assert_eq!(report.footprint, 2);
+        assert_eq!(report.schedule.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unplaced_operand_is_an_error() {
+        let mut m = grid_machine(2, 2);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        let err = m.apply(&Gate::Cx {
+            control: VirtId(0),
+            target: VirtId(9),
+        });
+        assert!(matches!(err, Err(RouteError::UnplacedQubit { .. })));
+    }
+
+    #[test]
+    fn nearest_free_respects_freshness() {
+        let mut m = grid_machine(3, 1);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        m.release(VirtId(0)).unwrap();
+        // Slot 0 is free but used; slot 1 is fresh.
+        assert_eq!(m.nearest_free((0, 0), false), Some(PhysId(0)));
+        assert_eq!(m.nearest_free((0, 0), true), Some(PhysId(1)));
+    }
+}

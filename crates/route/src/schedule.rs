@@ -1,0 +1,89 @@
+//! Scheduled physical gates — the compiler's final output, and the
+//! input to the Monte-Carlo noise simulator.
+
+use std::fmt;
+
+use square_arch::PhysId;
+use square_qir::Gate;
+
+/// A gate placed in time on physical qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledGate {
+    /// The gate, over physical qubits.
+    pub gate: Gate<PhysId>,
+    /// Start cycle.
+    pub start: u64,
+    /// Duration in cycles (1 for 1q/CNOT, 3 for SWAP, 6 for Toffoli).
+    pub dur: u64,
+    /// True for communication gates inserted by routing (swap chains /
+    /// braid bookkeeping), false for program gates.
+    pub is_comm: bool,
+}
+
+impl ScheduledGate {
+    /// End cycle (exclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.dur
+    }
+}
+
+impl fmt::Display for ScheduledGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.is_comm { " [comm]" } else { "" };
+        write!(f, "{:>8}  {}{tag}", self.start, self.gate)
+    }
+}
+
+/// Standard durations, in scheduler cycles, of each gate kind. SWAP is
+/// three back-to-back CNOTs; Toffoli is its depth in the standard
+/// Clifford+T decomposition.
+pub fn gate_duration(gate: &Gate<PhysId>) -> u64 {
+    match gate {
+        Gate::X { .. } => 1,
+        Gate::Cx { .. } => 1,
+        Gate::Swap { .. } => 3,
+        Gate::Ccx { .. } => 6,
+        Gate::Mcx { controls, .. } => match controls.len() {
+            0 | 1 => 1,
+            2 => 6,
+            n => 6 * (2 * n as u64 - 3),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations() {
+        assert_eq!(gate_duration(&Gate::X { target: PhysId(0) }), 1);
+        assert_eq!(
+            gate_duration(&Gate::Swap {
+                a: PhysId(0),
+                b: PhysId(1)
+            }),
+            3
+        );
+        assert_eq!(
+            gate_duration(&Gate::Ccx {
+                c0: PhysId(0),
+                c1: PhysId(1),
+                target: PhysId(2)
+            }),
+            6
+        );
+    }
+
+    #[test]
+    fn end_is_start_plus_duration() {
+        let g = ScheduledGate {
+            gate: Gate::X { target: PhysId(3) },
+            start: 10,
+            dur: 1,
+            is_comm: false,
+        };
+        assert_eq!(g.end(), 11);
+        assert!(g.to_string().contains("X Q3"));
+    }
+}

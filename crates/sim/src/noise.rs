@@ -1,0 +1,140 @@
+//! Stochastic noise channels over computational-basis states.
+
+use rand::Rng;
+use square_arch::NoiseParams;
+
+/// Sampled effect of one depolarizing event on the bits it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauliFlips {
+    /// Flip the first operand's bit.
+    pub flip_a: bool,
+    /// Flip the second operand's bit (meaningless for 1q events).
+    pub flip_b: bool,
+}
+
+/// Noise channel sampler built over [`NoiseParams`] (Table IV).
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    params: NoiseParams,
+}
+
+impl NoiseModel {
+    /// Wraps the given parameters.
+    pub fn new(params: NoiseParams) -> Self {
+        NoiseModel { params }
+    }
+
+    /// The underlying parameters.
+    pub fn params(&self) -> &NoiseParams {
+        &self.params
+    }
+
+    /// Samples a single-qubit depolarizing event: with probability
+    /// `p1`, one of {X, Y, Z} uniformly; X and Y flip the bit.
+    pub fn sample_1q(&self, rng: &mut impl Rng) -> bool {
+        if self.params.p1 > 0.0 && rng.gen_bool(self.params.p1) {
+            // X, Y, Z equiprobable; 2 of 3 flip the bit.
+            rng.gen_range(0..3) < 2
+        } else {
+            false
+        }
+    }
+
+    /// Samples a two-qubit depolarizing event: with probability `p2`,
+    /// one of the 15 non-identity Pauli pairs uniformly. A qubit's bit
+    /// flips iff its component is X or Y.
+    pub fn sample_2q(&self, rng: &mut impl Rng) -> PauliFlips {
+        if self.params.p2 > 0.0 && rng.gen_bool(self.params.p2) {
+            // Draw (Pa, Pb) ∈ {I,X,Y,Z}² \ {II} uniformly.
+            let k = rng.gen_range(1..16u8);
+            let pa = k & 0b11;
+            let pb = (k >> 2) & 0b11;
+            // Encoding: 0 = I, 1 = X, 2 = Y, 3 = Z.
+            PauliFlips {
+                flip_a: pa == 1 || pa == 2,
+                flip_b: pb == 1 || pb == 2,
+            }
+        } else {
+            PauliFlips {
+                flip_a: false,
+                flip_b: false,
+            }
+        }
+    }
+
+    /// Samples amplitude damping over `cycles` scheduler cycles:
+    /// returns `true` if a qubit in |1⟩ relaxes to |0⟩.
+    pub fn sample_relax(&self, cycles: u64, rng: &mut impl Rng) -> bool {
+        if cycles == 0 {
+            return false;
+        }
+        let p = self.params.relax_prob(cycles);
+        p > 0.0 && rng.gen_bool(p.min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_model_never_errors() {
+        let m = NoiseModel::new(NoiseParams::noiseless());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(!m.sample_1q(&mut rng));
+            let f = m.sample_2q(&mut rng);
+            assert!(!f.flip_a && !f.flip_b);
+            assert!(!m.sample_relax(1000, &mut rng));
+        }
+    }
+
+    #[test]
+    fn one_qubit_flip_rate_is_two_thirds_p() {
+        let m = NoiseModel::new(NoiseParams::paper_simulation());
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 2_000_000u64;
+        let flips = (0..n).filter(|_| m.sample_1q(&mut rng)).count() as f64;
+        let expected = 2.0 / 3.0 * 0.001;
+        let got = flips / n as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.2,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn two_qubit_flip_rate_is_eight_fifteenths_p() {
+        let m = NoiseModel::new(NoiseParams::paper_simulation());
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 2_000_000u64;
+        let mut a = 0u64;
+        let mut b = 0u64;
+        for _ in 0..n {
+            let f = m.sample_2q(&mut rng);
+            a += u64::from(f.flip_a);
+            b += u64::from(f.flip_b);
+        }
+        let expected = 8.0 / 15.0 * 0.01;
+        for got in [a as f64 / n as f64, b as f64 / n as f64] {
+            assert!(
+                (got - expected).abs() < expected * 0.1,
+                "got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn relaxation_rate_matches_exponential() {
+        let m = NoiseModel::new(NoiseParams::paper_simulation());
+        let mut rng = StdRng::seed_from_u64(13);
+        // 1000 cycles × 200 ns = 200 µs over T1 = 50 µs → ~98% decay.
+        let n = 100_000u64;
+        let decays = (0..n).filter(|_| m.sample_relax(1000, &mut rng)).count() as f64;
+        let expected = 1.0 - (-4.0f64).exp();
+        let got = decays / n as f64;
+        assert!((got - expected).abs() < 0.01, "got {got}");
+    }
+}

@@ -1,0 +1,331 @@
+//! Trajectory execution of scheduled physical circuits.
+//!
+//! Runs a compiled, scheduled circuit (from `square-route`) shot by
+//! shot: ideal boolean gate semantics plus stochastic error injection
+//! per the gate's Clifford+T decomposition (6 CNOT-events and 9
+//! one-qubit events per Toffoli, 3 CNOT-events per SWAP — the same
+//! accounting as the analytical model), and T1 relaxation over each
+//! qubit's idle gaps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use square_arch::PhysId;
+use square_metrics::Histogram;
+use square_qir::Gate;
+use square_route::ScheduledGate;
+
+use crate::noise::NoiseModel;
+
+/// Options for trajectory sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectoryConfig {
+    /// Number of shots (the paper uses 8192 in Fig. 8c).
+    pub shots: u32,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            shots: 8192,
+            seed: 0x51A5,
+        }
+    }
+}
+
+/// Applies a gate's boolean semantics to the state.
+fn apply_ideal(gate: &Gate<PhysId>, bits: &mut [bool]) {
+    match gate {
+        Gate::X { target } => bits[target.index()] ^= true,
+        Gate::Cx { control, target } => {
+            if bits[control.index()] {
+                bits[target.index()] ^= true;
+            }
+        }
+        Gate::Ccx { c0, c1, target } => {
+            if bits[c0.index()] && bits[c1.index()] {
+                bits[target.index()] ^= true;
+            }
+        }
+        Gate::Swap { a, b } => bits.swap(a.index(), b.index()),
+        Gate::Mcx { controls, target } => {
+            if controls.iter().all(|c| bits[c.index()]) {
+                bits[target.index()] ^= true;
+            }
+        }
+    }
+}
+
+/// Numbers of (1q, 2q) elementary error-injection events for a gate,
+/// mirroring `square_metrics::GateTally`.
+fn error_events(gate: &Gate<PhysId>) -> (u32, u32) {
+    match gate {
+        Gate::X { .. } => (1, 0),
+        Gate::Cx { .. } => (0, 1),
+        Gate::Swap { .. } => (0, 3),
+        Gate::Ccx { .. } => (9, 6),
+        Gate::Mcx { controls, .. } => match controls.len() {
+            0 => (1, 0),
+            1 => (0, 1),
+            n => {
+                let t = 2 * n as u32 - 3;
+                (9 * t, 6 * t)
+            }
+        },
+    }
+}
+
+/// Runs the circuit noiselessly from |0…0⟩ and returns the final
+/// basis state over `n_qubits` physical qubits.
+pub fn run_ideal(schedule: &[ScheduledGate], n_qubits: usize) -> Vec<bool> {
+    let mut order: Vec<&ScheduledGate> = schedule.iter().collect();
+    order.sort_by_key(|g| g.start);
+    let mut bits = vec![false; n_qubits];
+    for g in order {
+        apply_ideal(&g.gate, &mut bits);
+    }
+    bits
+}
+
+/// Runs one noisy trajectory and returns the final basis state.
+pub fn run_noisy(
+    schedule: &[ScheduledGate],
+    n_qubits: usize,
+    noise: &NoiseModel,
+    rng: &mut impl Rng,
+) -> Vec<bool> {
+    let mut order: Vec<&ScheduledGate> = schedule.iter().collect();
+    order.sort_by_key(|g| g.start);
+    let mut bits = vec![false; n_qubits];
+    let mut last_time = vec![0u64; n_qubits];
+    let mut depth = 0u64;
+    for g in &order {
+        depth = depth.max(g.end());
+        // Relax each operand over its idle gap before the gate.
+        let mut operands: Vec<PhysId> = Vec::with_capacity(g.gate.arity());
+        g.gate.for_each_qubit(|q| operands.push(*q));
+        for q in &operands {
+            let idle = g.start.saturating_sub(last_time[q.index()]);
+            if bits[q.index()] && noise.sample_relax(idle, rng) {
+                bits[q.index()] = false;
+            }
+        }
+        apply_ideal(&g.gate, &mut bits);
+        // Gate-error injection in the Clifford+T decomposition.
+        let (e1, e2) = error_events(&g.gate);
+        for _ in 0..e1 {
+            if noise.sample_1q(rng) {
+                let victim = operands[rng.gen_range(0..operands.len())];
+                bits[victim.index()] ^= true;
+            }
+        }
+        for _ in 0..e2 {
+            let f = noise.sample_2q(rng);
+            if f.flip_a {
+                let victim = operands[rng.gen_range(0..operands.len())];
+                bits[victim.index()] ^= true;
+            }
+            if f.flip_b && operands.len() >= 2 {
+                let victim = operands[rng.gen_range(0..operands.len())];
+                bits[victim.index()] ^= true;
+            }
+        }
+        // Relaxation during the gate itself.
+        for q in &operands {
+            if bits[q.index()] && noise.sample_relax(g.dur, rng) {
+                bits[q.index()] = false;
+            }
+            last_time[q.index()] = g.end();
+        }
+    }
+    // Final idle until measurement at circuit end.
+    for q in 0..n_qubits {
+        let idle = depth.saturating_sub(last_time[q]);
+        if bits[q] && noise.sample_relax(idle, rng) {
+            bits[q] = false;
+        }
+    }
+    bits
+}
+
+/// Samples `config.shots` noisy trajectories, measuring the listed
+/// qubits (little-endian packing), and returns the outcome histogram.
+pub fn sample_histogram(
+    schedule: &[ScheduledGate],
+    n_qubits: usize,
+    measure: &[PhysId],
+    noise: &NoiseModel,
+    config: &TrajectoryConfig,
+) -> Histogram {
+    assert!(measure.len() <= 64, "at most 64 measured qubits");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut hist = Histogram::new();
+    for _ in 0..config.shots {
+        let bits = run_noisy(schedule, n_qubits, noise, &mut rng);
+        let outcome: Vec<bool> = measure.iter().map(|q| bits[q.index()]).collect();
+        hist.record(Histogram::pack(&outcome));
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use square_arch::NoiseParams;
+
+    fn sched(gates: Vec<(Gate<PhysId>, u64, u64)>) -> Vec<ScheduledGate> {
+        gates
+            .into_iter()
+            .map(|(gate, start, dur)| ScheduledGate {
+                gate,
+                start,
+                dur,
+                is_comm: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ideal_run_computes_classically() {
+        // X q0; CX q0->q1; CCX q0,q1->q2
+        let s = sched(vec![
+            (Gate::X { target: PhysId(0) }, 0, 1),
+            (
+                Gate::Cx {
+                    control: PhysId(0),
+                    target: PhysId(1),
+                },
+                1,
+                1,
+            ),
+            (
+                Gate::Ccx {
+                    c0: PhysId(0),
+                    c1: PhysId(1),
+                    target: PhysId(2),
+                },
+                2,
+                6,
+            ),
+        ]);
+        assert_eq!(run_ideal(&s, 3), vec![true, true, true]);
+    }
+
+    #[test]
+    fn noiseless_trajectory_matches_ideal() {
+        let s = sched(vec![
+            (Gate::X { target: PhysId(0) }, 0, 1),
+            (
+                Gate::Swap {
+                    a: PhysId(0),
+                    b: PhysId(2),
+                },
+                1,
+                3,
+            ),
+        ]);
+        let noise = NoiseModel::new(NoiseParams::noiseless());
+        let mut rng = StdRng::seed_from_u64(3);
+        let bits = run_noisy(&s, 3, &noise, &mut rng);
+        assert_eq!(bits, run_ideal(&s, 3));
+        assert_eq!(bits, vec![false, false, true]);
+    }
+
+    #[test]
+    fn histogram_concentrates_on_ideal_under_light_noise() {
+        let s = sched(vec![
+            (Gate::X { target: PhysId(0) }, 0, 1),
+            (
+                Gate::Cx {
+                    control: PhysId(0),
+                    target: PhysId(1),
+                },
+                1,
+                1,
+            ),
+        ]);
+        let noise = NoiseModel::new(NoiseParams::paper_simulation());
+        let hist = sample_histogram(
+            &s,
+            2,
+            &[PhysId(0), PhysId(1)],
+            &noise,
+            &TrajectoryConfig {
+                shots: 4096,
+                seed: 42,
+            },
+        );
+        // Ideal outcome 0b11: overwhelmingly likely with 2 gates.
+        assert!(hist.probability(0b11) > 0.95);
+    }
+
+    #[test]
+    fn deeper_circuits_are_noisier() {
+        let noise = NoiseModel::new(NoiseParams::paper_simulation());
+        let shallow = sched(vec![(Gate::X { target: PhysId(0) }, 0, 1)]);
+        let mut deep_gates = vec![(Gate::X { target: PhysId(0) }, 0u64, 1u64)];
+        for i in 0..200u64 {
+            // 100 CNOT pairs that cancel: identity circuit with depth.
+            deep_gates.push((
+                Gate::Cx {
+                    control: PhysId(0),
+                    target: PhysId(1),
+                },
+                1 + i,
+                1,
+            ));
+        }
+        let deep = sched(deep_gates);
+        let cfg = TrajectoryConfig {
+            shots: 4096,
+            seed: 9,
+        };
+        let h_shallow =
+            sample_histogram(&shallow, 2, &[PhysId(0), PhysId(1)], &noise, &cfg);
+        let h_deep = sample_histogram(&deep, 2, &[PhysId(0), PhysId(1)], &noise, &cfg);
+        assert!(
+            h_deep.probability(0b01) < h_shallow.probability(0b01),
+            "more gates, lower success: {} vs {}",
+            h_deep.probability(0b01),
+            h_shallow.probability(0b01)
+        );
+    }
+
+    #[test]
+    fn relaxation_decays_idle_ones() {
+        // X at t=0, then nothing until a dummy gate at t=5000 on
+        // another qubit stretches the circuit: q0 idles 5000 cycles
+        // (1 ms over T1 = 50 µs) and should essentially always decay.
+        let s = sched(vec![
+            (Gate::X { target: PhysId(0) }, 0, 1),
+            (Gate::X { target: PhysId(1) }, 5000, 1),
+        ]);
+        let noise = NoiseModel::new(NoiseParams::paper_simulation());
+        let hist = sample_histogram(
+            &s,
+            2,
+            &[PhysId(0)],
+            &noise,
+            &TrajectoryConfig {
+                shots: 2048,
+                seed: 5,
+            },
+        );
+        assert!(hist.probability(0b0) > 0.99, "idle |1⟩ relaxed");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = sched(vec![(Gate::X { target: PhysId(0) }, 0, 1)]);
+        let noise = NoiseModel::new(NoiseParams::paper_simulation());
+        let cfg = TrajectoryConfig {
+            shots: 512,
+            seed: 77,
+        };
+        let h1 = sample_histogram(&s, 1, &[PhysId(0)], &noise, &cfg);
+        let h2 = sample_histogram(&s, 1, &[PhysId(0)], &noise, &cfg);
+        assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # square-workloads — the paper's benchmark suite (Table II)
+//!
+//! Every benchmark is built as a *modular reversible program* in the
+//! `square-qir` IR, with the ancilla discipline (compute–store–
+//! uncompute, Fig. 6 of the paper) that gives SQUARE its reclamation
+//! decisions:
+//!
+//! * **Logic** — RD53, 6SYM, 2OF5: symmetric/weight functions built
+//!   from controlled-increment counter networks.
+//! * **Arithmetic** — ADDER4/32/64 (controlled addition), MUL32/64
+//!   (controlled multipliers), MODEXP (modular exponentiation over
+//!   `Z_{2^n}`), SHA2 (round function), SALSA20 (quarter-round core).
+//! * **Synthetic** — Jasmine, Elsa, Belle (and small `-s` variants):
+//!   random modular programs parameterized by nesting depth, fan-out,
+//!   qubit and gate counts, exactly the knobs of Section V-A.
+//!
+//! See `catalog` for the named registry used by the experiment
+//! harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod catalog;
+pub mod logic;
+pub mod modexp;
+pub mod mul;
+pub mod salsa20;
+pub mod sha2;
+pub mod synthetic;
+
+pub use catalog::{build, Benchmark};

@@ -1,0 +1,218 @@
+//! Salsa20 core function (the SALSA20 benchmark of Table II).
+//!
+//! Per the paper (footnote 6): "20 rounds of 4 parallel modules; each
+//! module modifies 4 words with modular additions, XOR operations, and
+//! bit rotations." Each add-rotate-xor step is a Bennett module: the
+//! sum `a + b` is computed into ancilla, the store block XORs its
+//! rotation into the destination word, and the sum/carry ancilla are
+//! mechanically uncomputed. The 4 quarter-rounds of each round touch
+//! disjoint words, giving the scheduler genuine parallelism — exactly
+//! the workload property SQUARE trades against serialization when it
+//! reuses qubits.
+
+use square_qir::{ModuleId, Operand, ProgramBuilder, QirError};
+
+use crate::arith::{mask, ModuleCache};
+
+/// One add-rotate-xor step as a module: params `[a(w), b(w), dst(w)]`,
+/// `dst ^= rotl(a + b, r)`. Sum and carries are internal ancilla.
+pub fn arx_op(
+    b: &mut ProgramBuilder,
+    cache: &mut ModuleCache,
+    w: usize,
+    r: usize,
+) -> Result<ModuleId, QirError> {
+    assert!(w >= 2 && r < w, "need rotation < word width");
+    cache.get_or_insert(("arx", w, r as u64), || {
+        b.module(format!("arx{w}_{r}"), 3 * w, 2 * w, |m| {
+            let a: Vec<Operand> = (0..w).map(|i| m.param(i)).collect();
+            let x: Vec<Operand> = (0..w).map(|i| m.param(w + i)).collect();
+            let dst: Vec<Operand> = (0..w).map(|i| m.param(2 * w + i)).collect();
+            // carries c[i] = carry into bit i+1; sum s (mod 2^w).
+            let c: Vec<Operand> = (0..w).map(|i| m.ancilla(i)).collect();
+            let s: Vec<Operand> = (0..w).map(|i| m.ancilla(w + i)).collect();
+            m.ccx(a[0], x[0], c[0]);
+            for i in 1..w {
+                m.ccx(a[i], x[i], c[i]);
+                m.ccx(a[i], c[i - 1], c[i]);
+                m.ccx(x[i], c[i - 1], c[i]);
+            }
+            m.cx(a[0], s[0]);
+            m.cx(x[0], s[0]);
+            for i in 1..w {
+                m.cx(a[i], s[i]);
+                m.cx(x[i], s[i]);
+                m.cx(c[i - 1], s[i]);
+            }
+            m.store();
+            // dst ^= rotl(s, r): bit i of rotl(s,r) is s[(i + w - r) % w].
+            for i in 0..w {
+                m.cx(s[(i + w - r) % w], dst[i]);
+            }
+        })
+    })
+}
+
+/// Salsa20 quarter-round over words `(x0, x1, x2, x3)`:
+/// four chained ARX steps with rotations scaled to the word width
+/// (7, 9, 13, 18 at w = 32).
+pub fn quarter_round(
+    b: &mut ProgramBuilder,
+    cache: &mut ModuleCache,
+    w: usize,
+) -> Result<ModuleId, QirError> {
+    let rots = rotations(w);
+    let ops: Vec<ModuleId> = rots
+        .iter()
+        .map(|&r| arx_op(b, cache, w, r))
+        .collect::<Result<_, _>>()?;
+    cache.get_or_insert(("qr", w, 0), || {
+        b.module(format!("qr{w}"), 4 * w, 0, |m| {
+            let word = |m: &mut square_qir::ModuleBuilder, idx: usize| -> Vec<Operand> {
+                (0..w).map(|i| m.param(idx * w + i)).collect()
+            };
+            let x0 = word(m, 0);
+            let x1 = word(m, 1);
+            let x2 = word(m, 2);
+            let x3 = word(m, 3);
+            let call = |m: &mut square_qir::ModuleBuilder,
+                        op: ModuleId,
+                        a: &[Operand],
+                        bb: &[Operand],
+                        d: &[Operand]| {
+                let mut args = a.to_vec();
+                args.extend_from_slice(bb);
+                args.extend_from_slice(d);
+                m.call(op, &args);
+            };
+            call(m, ops[0], &x0, &x3, &x1); // x1 ^= R(x0 + x3, 7)
+            call(m, ops[1], &x1, &x0, &x2); // x2 ^= R(x1 + x0, 9)
+            call(m, ops[2], &x2, &x1, &x3); // x3 ^= R(x2 + x1, 13)
+            call(m, ops[3], &x3, &x2, &x0); // x0 ^= R(x3 + x2, 18)
+        })
+    })
+}
+
+/// Salsa20 rotation constants, scaled below 32-bit words.
+pub fn rotations(w: usize) -> [usize; 4] {
+    if w >= 32 {
+        [7, 9, 13, 18]
+    } else {
+        [1 % w, 2 % w, (w / 2) % w, (w - 1) % w]
+    }
+}
+
+/// The quarter-round word indices per round: columns on even rounds,
+/// rows on odd rounds (the Salsa20 double-round structure).
+pub fn round_pattern(round: usize) -> [[usize; 4]; 4] {
+    if round % 2 == 0 {
+        [[0, 4, 8, 12], [5, 9, 13, 1], [10, 14, 2, 6], [15, 3, 7, 11]]
+    } else {
+        [[0, 1, 2, 3], [5, 6, 7, 4], [10, 11, 8, 9], [15, 12, 13, 14]]
+    }
+}
+
+/// The SALSA20 benchmark program: `rounds` rounds over 16 `w`-bit
+/// words. Entry register = `[state(16w), out(16w)]`; the final state
+/// is copied to `out` (the feed-forward addition of the full cipher is
+/// omitted — the core permutation carries the workload).
+pub fn salsa20(w: usize, rounds: usize) -> Result<square_qir::Program, QirError> {
+    let mut b = ProgramBuilder::new();
+    let mut cache = ModuleCache::new();
+    let qr = quarter_round(&mut b, &mut cache, w)?;
+    let main = b.module("salsa20", 0, 32 * w, |m| {
+        let state: Vec<Operand> = (0..16 * w).map(|i| m.ancilla(i)).collect();
+        let out: Vec<Operand> = (0..16 * w).map(|i| m.ancilla(16 * w + i)).collect();
+        for round in 0..rounds {
+            for quad in round_pattern(round) {
+                let mut args = Vec::with_capacity(4 * w);
+                for word in quad {
+                    args.extend_from_slice(&state[word * w..(word + 1) * w]);
+                }
+                m.call(qr, &args);
+            }
+        }
+        m.store();
+        for i in 0..16 * w {
+            m.cx(state[i], out[i]);
+        }
+    })?;
+    b.finish(main)
+}
+
+/// Classical reference of [`salsa20`].
+pub fn salsa20_reference(init: [u64; 16], w: usize, rounds: usize) -> [u64; 16] {
+    let m = mask(w);
+    let rotl = |x: u64, r: usize| {
+        if r == 0 {
+            x & m
+        } else {
+            ((x << r) | (x >> (w - r))) & m
+        }
+    };
+    let rots = rotations(w);
+    let mut s = init.map(|v| v & m);
+    for round in 0..rounds {
+        for quad in round_pattern(round) {
+            let [i0, i1, i2, i3] = quad;
+            s[i1] ^= rotl(s[i0].wrapping_add(s[i3]) & m, rots[0]);
+            s[i2] ^= rotl(s[i1].wrapping_add(s[i0]) & m, rots[1]);
+            s[i3] ^= rotl(s[i2].wrapping_add(s[i1]) & m, rots[2]);
+            s[i0] ^= rotl(s[i3].wrapping_add(s[i2]) & m, rots[3]);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{from_bits, to_bits};
+    use square_qir::sem::run;
+
+    fn reclaim_inner(_m: square_qir::ModuleId, depth: usize) -> bool {
+        depth > 0
+    }
+
+    #[test]
+    fn single_round_matches_reference() {
+        let w = 6;
+        let p = salsa20(w, 1).unwrap();
+        let init: [u64; 16] = core::array::from_fn(|i| (i as u64 * 7 + 3) & mask(w));
+        let mut inputs = Vec::new();
+        for v in init {
+            inputs.extend(to_bits(v, w));
+        }
+        let r = run(&p, &inputs, &mut reclaim_inner).unwrap();
+        let expect = salsa20_reference(init, w, 1);
+        for word in 0..16 {
+            let got = from_bits(&r.outputs[16 * w + word * w..16 * w + (word + 1) * w]);
+            assert_eq!(got, expect[word], "word {word}");
+        }
+    }
+
+    #[test]
+    fn double_round_matches_reference() {
+        let w = 5;
+        let p = salsa20(w, 2).unwrap();
+        let init: [u64; 16] = core::array::from_fn(|i| (i as u64).wrapping_mul(11) & mask(w));
+        let mut inputs = Vec::new();
+        for v in init {
+            inputs.extend(to_bits(v, w));
+        }
+        let r = run(&p, &inputs, &mut reclaim_inner).unwrap();
+        let expect = salsa20_reference(init, w, 2);
+        for word in 0..16 {
+            let got = from_bits(&r.outputs[16 * w + word * w..16 * w + (word + 1) * w]);
+            assert_eq!(got, expect[word], "word {word}");
+        }
+    }
+
+    #[test]
+    fn lazy_sweep_keeps_hygiene() {
+        let w = 4;
+        let p = salsa20(w, 2).unwrap();
+        let r = run(&p, &to_bits(9, w), &mut square_qir::sem::TopLevelOnly).unwrap();
+        assert_eq!(r.final_live, 32 * w);
+    }
+}

@@ -1,0 +1,327 @@
+//! Synthetic modular benchmarks: Jasmine, Elsa, Belle (Table II).
+//!
+//! The paper parameterizes its synthetic programs by "number of nested
+//! levels, max number of callees per function, max number of input
+//! qubits per function, max number of ancilla qubits per function,
+//! maximum number of gates per function" with qubits and gates
+//! randomly assigned (footnote 7). [`SynthParams`] carries exactly
+//! those knobs plus a seed; generation is deterministic per seed.
+//!
+//! Generated modules follow the compute–store–uncompute discipline:
+//! random gates and child calls in the compute block over the input
+//! params and ancilla, one designated output param written by the
+//! store block, mechanical uncompute.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use square_qir::{ModuleId, Operand, Program, ProgramBuilder, QirError};
+
+/// The five knobs of Section V-A plus a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthParams {
+    /// Nesting levels below the entry (1 = entry calls leaves).
+    pub levels: usize,
+    /// Maximum callees per function.
+    pub max_callees: usize,
+    /// Input qubits per function (excluding the output param).
+    pub inputs_per_fn: usize,
+    /// Maximum ancilla qubits per function.
+    pub max_ancilla: usize,
+    /// Maximum random gates per function (besides calls).
+    pub max_gates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SynthParams {
+    /// Jasmine: shallowly nested, moderate everything.
+    pub fn jasmine() -> Self {
+        SynthParams {
+            levels: 3,
+            max_callees: 3,
+            inputs_per_fn: 8,
+            max_ancilla: 6,
+            max_gates: 24,
+            seed: 0x7A51,
+        }
+    }
+
+    /// Elsa: heavy workload, shallowly nested.
+    pub fn elsa() -> Self {
+        SynthParams {
+            levels: 2,
+            max_callees: 4,
+            inputs_per_fn: 12,
+            max_ancilla: 10,
+            max_gates: 80,
+            seed: 0xE15A,
+        }
+    }
+
+    /// Belle: light workload, deeply nested.
+    pub fn belle() -> Self {
+        SynthParams {
+            levels: 7,
+            max_callees: 2,
+            inputs_per_fn: 4,
+            max_ancilla: 3,
+            max_gates: 6,
+            seed: 0xBE11E,
+        }
+    }
+
+    /// Jasmine-s: small/shallow instance for ≤ 20-qubit noise runs.
+    pub fn jasmine_s() -> Self {
+        SynthParams {
+            levels: 2,
+            max_callees: 2,
+            inputs_per_fn: 4,
+            max_ancilla: 2,
+            max_gates: 8,
+            seed: 0x1A5,
+        }
+    }
+
+    /// Elsa-s: small heavy/shallow instance.
+    pub fn elsa_s() -> Self {
+        SynthParams {
+            levels: 1,
+            max_callees: 2,
+            inputs_per_fn: 5,
+            max_ancilla: 3,
+            max_gates: 14,
+            seed: 0xE15,
+        }
+    }
+
+    /// Belle-s: small light/deep instance.
+    pub fn belle_s() -> Self {
+        SynthParams {
+            levels: 3,
+            max_callees: 1,
+            inputs_per_fn: 3,
+            max_ancilla: 2,
+            max_gates: 4,
+            seed: 0xBE1,
+        }
+    }
+}
+
+/// Generates the synthetic program for `params`. The entry register is
+/// `[x(inputs_per_fn), scratch, out]`; inputs feed the top call chain
+/// and the result lands in `out` via the entry's store.
+pub fn synthesize(params: &SynthParams) -> Result<Program, QirError> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = ProgramBuilder::new();
+    let p_in = params.inputs_per_fn.max(2);
+    let anc = params.max_ancilla.max(2);
+
+    // Build bottom-up: level `levels` are leaves.
+    let mut below: Vec<ModuleId> = Vec::new();
+    for level in (1..=params.levels).rev() {
+        let fan = params.max_callees.max(1);
+        let mut this_level = Vec::with_capacity(fan);
+        for idx in 0..fan {
+            let callees = below.clone();
+            let id = gen_module(
+                &mut b,
+                &mut rng,
+                &format!("syn_l{level}_{idx}"),
+                p_in,
+                anc,
+                params.max_gates,
+                &callees,
+                params.max_callees,
+            )?;
+            this_level.push(id);
+        }
+        below = this_level;
+    }
+    // Entry: calls one top-level module, stores its output.
+    let top = below[rng.gen_range(0..below.len())];
+    let total = p_in + 2; // inputs + scratch out + final out
+    let main = b.module("synthetic_main", 0, total, |m| {
+        let x: Vec<Operand> = (0..p_in).map(|i| m.ancilla(i)).collect();
+        let scratch = m.ancilla(p_in);
+        let out = m.ancilla(p_in + 1);
+        let mut args = x.clone();
+        args.push(scratch);
+        m.call(top, &args);
+        m.store();
+        m.cx(scratch, out);
+    })?;
+    b.finish(main)
+}
+
+/// One random module: params = `p_in` inputs + 1 output; `anc`
+/// ancilla; compute = interleaved random gates and child calls; store
+/// = XOR-copy of one ancilla into the output param.
+#[allow(clippy::too_many_arguments)]
+fn gen_module(
+    b: &mut ProgramBuilder,
+    rng: &mut StdRng,
+    name: &str,
+    p_in: usize,
+    anc: usize,
+    max_gates: usize,
+    callees: &[ModuleId],
+    max_callees: usize,
+) -> Result<ModuleId, QirError> {
+    let gates = rng.gen_range(max_gates / 2..=max_gates.max(1));
+    let calls = if callees.is_empty() {
+        0
+    } else {
+        rng.gen_range(1..=max_callees.max(1))
+    };
+    // Pre-draw randomness so the builder closure stays deterministic.
+    let mut plan: Vec<PlanItem> = Vec::new();
+    for _ in 0..gates {
+        plan.push(PlanItem::Gate(rng.gen_range(0..3u8), rng.gen::<u64>()));
+    }
+    for _ in 0..calls {
+        let callee = callees[rng.gen_range(0..callees.len())];
+        plan.push(PlanItem::Call(callee, rng.gen::<u64>()));
+    }
+    plan.shuffle(rng);
+
+    b.module(name, p_in + 1, anc, |m| {
+        // Operand pool for compute: inputs + ancilla (never the output).
+        let mut pool: Vec<Operand> = Vec::with_capacity(p_in + anc);
+        for i in 0..p_in {
+            pool.push(m.param(i));
+        }
+        for i in 0..anc {
+            pool.push(m.ancilla(i));
+        }
+        let out = m.param(p_in);
+        let pick = |mix: u64, k: usize, n: usize| -> Vec<usize> {
+            // k distinct indices below n, derived from the fixed mix.
+            let mut idx: Vec<usize> = (0..n).collect();
+            let mut state = mix | 1;
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        };
+        for item in &plan {
+            match item {
+                PlanItem::Gate(kind, mix) => {
+                    let need = (*kind as usize + 1).min(pool.len());
+                    let chosen = pick(*mix, need, pool.len());
+                    match need {
+                        1 => m.x(pool[chosen[0]]),
+                        2 => m.cx(pool[chosen[0]], pool[chosen[1]]),
+                        _ => m.ccx(pool[chosen[0]], pool[chosen[1]], pool[chosen[2]]),
+                    }
+                }
+                PlanItem::Call(callee, mix) => {
+                    // Child signature is p_in inputs + 1 output; feed it
+                    // distinct pool qubits, output into an ancilla.
+                    let chosen = pick(*mix, p_in + 1, pool.len());
+                    let args: Vec<Operand> = chosen.iter().map(|&i| pool[i]).collect();
+                    m.call(*callee, &args);
+                }
+            }
+        }
+        m.store();
+        // The last ancilla feeds the output (ancilla never equal out).
+        m.cx(pool[p_in + anc - 1], out);
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PlanItem {
+    Gate(u8, u64),
+    Call(ModuleId, u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use square_qir::analysis::ProgramStats;
+    use square_qir::sem::{run, AlwaysReclaim, NeverReclaim, TopLevelOnly};
+
+    #[test]
+    fn all_presets_generate_valid_programs() {
+        for params in [
+            SynthParams::jasmine(),
+            SynthParams::elsa(),
+            SynthParams::belle(),
+            SynthParams::jasmine_s(),
+            SynthParams::elsa_s(),
+            SynthParams::belle_s(),
+        ] {
+            let p = synthesize(&params).unwrap();
+            square_qir::validate::validate_program(&p).unwrap();
+            let stats = ProgramStats::analyze(&p);
+            let entry = stats.module(p.entry());
+            assert!(entry.gates_forward() > 0, "{params:?}");
+            assert_eq!(entry.height, params.levels, "{params:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthesize(&SynthParams::belle_s()).unwrap();
+        let b = synthesize(&SynthParams::belle_s()).unwrap();
+        let ra = run(&a, &[true, false, true], &mut AlwaysReclaim).unwrap();
+        let rb = run(&b, &[true, false, true], &mut AlwaysReclaim).unwrap();
+        assert_eq!(ra.outputs, rb.outputs);
+        assert_eq!(ra.gate_count, rb.gate_count);
+    }
+
+    #[test]
+    fn policies_agree_on_outputs_and_hygiene() {
+        for params in [
+            SynthParams::jasmine_s(),
+            SynthParams::elsa_s(),
+            SynthParams::belle_s(),
+        ] {
+            let p = synthesize(&params).unwrap();
+            let inputs: Vec<bool> = (0..params.inputs_per_fn.max(2))
+                .map(|i| i % 2 == 0)
+                .collect();
+            let eager = run(&p, &inputs, &mut AlwaysReclaim).unwrap();
+            let lazy = run(&p, &inputs, &mut TopLevelOnly).unwrap();
+            let never = run(&p, &inputs, &mut NeverReclaim).unwrap();
+            let out = inputs.len() + 1;
+            assert_eq!(eager.outputs[out], lazy.outputs[out], "{params:?}");
+            assert_eq!(eager.outputs[out], never.outputs[out], "{params:?}");
+            assert!(eager.peak_live <= never.peak_live, "{params:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_blows_up_eager_gate_count() {
+        let p = synthesize(&SynthParams::belle()).unwrap();
+        let eager = run(&p, &[], &mut AlwaysReclaim).unwrap();
+        let lazy = run(&p, &[], &mut TopLevelOnly).unwrap();
+        assert!(
+            eager.gate_count > lazy.gate_count,
+            "recursive recomputation on deep nesting: {} vs {}",
+            eager.gate_count,
+            lazy.gate_count
+        );
+    }
+
+    #[test]
+    fn small_variants_fit_noise_simulation_budget() {
+        for params in [
+            SynthParams::jasmine_s(),
+            SynthParams::elsa_s(),
+            SynthParams::belle_s(),
+        ] {
+            let p = synthesize(&params).unwrap();
+            let r = run(&p, &[], &mut NeverReclaim).unwrap();
+            assert!(
+                r.peak_live <= 20,
+                "{params:?} peaks at {} qubits",
+                r.peak_live
+            );
+        }
+    }
+}

