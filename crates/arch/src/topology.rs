@@ -139,7 +139,7 @@ impl Topology for GridTopology {
     fn distance(&self, a: PhysId, b: PhysId) -> u32 {
         let (ax, ay) = self.xy(a);
         let (bx, by) = self.xy(b);
-        (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+        ax.abs_diff(bx) + ay.abs_diff(by)
     }
 
     fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId> {

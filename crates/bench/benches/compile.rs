@@ -16,9 +16,7 @@ fn bench_nisq_compile(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(bench.name(), policy.label()),
                 &policy,
-                |b, &policy| {
-                    b.iter(|| compile(&program, &CompilerConfig::nisq(policy)).unwrap())
-                },
+                |b, &policy| b.iter(|| compile(&program, &CompilerConfig::nisq(policy)).unwrap()),
             );
         }
     }

@@ -1,15 +1,111 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures, and runs policy sweeps.
+//!
+//! Legacy figure/table mode (one positional argument):
 //!
 //! ```text
-//! experiments [fig1|fig5|table3|table4|fig8|fig8-fast|fig9|fig9-quick|fig10|fig10-quick|all|all-quick]
+//! experiments [fig1|fig5|table3|table4|fig8|fig8-fast|fig9|fig9-quick|fig10|fig10-quick|ablation|sweep|all|all-quick]
 //! ```
+//!
+//! Sweep mode (any flag selects it): evaluates the
+//! `benchmark × policy × arch` product in parallel and prints a table,
+//! or a serialized matrix with `--json`.
+//!
+//! ```text
+//! experiments [--bench RD53,ADDER4,...] [--policy lazy,eager,square,laa]
+//!             [--arch nisq,ft,grid:WxH,full:N,line:N] [--json]
+//! ```
+//!
+//! Flag defaults: the NISQ benchmark set, all four policies, the
+//! auto-sized NISQ lattice.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use square_bench::{ablation, fig1, fig10, fig5, fig8, fig9, sweep, table3, table4};
+use square_bench::{run_sweep, SweepArch, SweepSpec};
+use square_core::Policy;
+use square_workloads::Benchmark;
 
-fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a.starts_with("--")) {
+        run_sweep_cli(&args)
+    } else {
+        run_legacy(args.first().map(String::as_str).unwrap_or("all"))
+    }
+}
+
+/// Splits a comma-separated flag value and parses each element.
+fn parse_list<T>(
+    flag: &str,
+    value: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s).ok_or_else(|| format!("{flag}: unknown value `{s}`")))
+        .collect()
+}
+
+fn sweep_spec_from_flags(args: &[String]) -> Result<(SweepSpec, bool), String> {
+    let mut spec = SweepSpec::nisq_default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--json" => json = true,
+            "--bench" | "--benchmark" => {
+                spec.benchmarks = parse_list(arg, flag_value(arg)?, Benchmark::from_name)?;
+            }
+            "--policy" => {
+                spec.policies = parse_list(arg, flag_value(arg)?, Policy::parse)?;
+            }
+            "--arch" => {
+                spec.archs = parse_list(arg, flag_value(arg)?, SweepArch::parse)?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if spec.is_empty() {
+        return Err("empty sweep: every axis needs at least one value".to_string());
+    }
+    Ok((spec, json))
+}
+
+fn run_sweep_cli(args: &[String]) -> ExitCode {
+    let (spec, json) = match sweep_spec_from_flags(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!(
+                "usage: experiments [--bench A,B] [--policy lazy,eager,square,laa] \
+                 [--arch nisq,ft,grid:WxH,full:N,line:N] [--json]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let matrix = run_sweep(&spec);
+    if json {
+        match serde_json::to_string_pretty(&matrix) {
+            Ok(text) => println!("{text}"),
+            Err(error) => {
+                eprintln!("serialization failed: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", matrix.render_table());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_legacy(arg: &str) -> ExitCode {
     let t = Instant::now();
     let run = |name: &str, body: &dyn Fn() -> String| {
         let start = Instant::now();
@@ -17,7 +113,7 @@ fn main() {
         println!("{}", body());
         println!("({name} took {:?})\n", start.elapsed());
     };
-    match arg.as_str() {
+    match arg {
         "fig1" => run("fig1", &fig1::render),
         "fig5" => run("fig5", &fig5::render),
         "table3" => run("table3", &table3::render),
@@ -44,8 +140,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     }
     println!("total: {:?}", t.elapsed());
+    ExitCode::SUCCESS
 }

@@ -86,7 +86,7 @@ pub fn compute(shots: u32) -> Vec<QualityRow> {
                     &model,
                     &TrajectoryConfig {
                         shots,
-                        seed: 0x516_8c + bench.input_qubits() as u64,
+                        seed: 0x5168c + bench.input_qubits() as u64,
                     },
                 );
                 total_variation_distance(&noisy, &ideal)

@@ -9,13 +9,14 @@
 
 pub mod ablation;
 pub mod fig1;
+pub mod fig10;
 pub mod fig5;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
 pub mod runner;
 pub mod sweep;
 pub mod table3;
 pub mod table4;
 
 pub use runner::{lattice_for, run_policies, ExperimentResult};
+pub use sweep::{run_sweep, SweepArch, SweepCell, SweepMatrix, SweepSpec};

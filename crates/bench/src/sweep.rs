@@ -1,14 +1,322 @@
-//! Machine-size sweep (Section V intro: "experiments that sweep a
-//! large range of system sizes, from tens to thousands of qubits").
+//! Policy sweeps, two kinds:
 //!
-//! For one benchmark, compile each policy across machine sizes from
-//! "barely fits Eager" to "comfortably fits Lazy" and report AQV and
-//! fit failures — the quantitative version of Fig. 1's capacity lines:
-//! Lazy stops fitting first; SQUARE degrades gracefully by forcing
-//! reclamation under pressure.
+//! 1. **Product sweep** ([`SweepSpec`] → [`run_sweep`] → [`SweepMatrix`]):
+//!    the general `benchmarks × policies × architectures` executor.
+//!    Every cell compiles independently, so the matrix is evaluated in
+//!    parallel with rayon; the result keeps the full [`CompileReport`]
+//!    per cell and serializes to JSON for downstream tooling (the
+//!    `experiments` binary's `--json` mode). This is the harness for
+//!    Reqomp-style space/gate trade-off frontiers: wide, cheap
+//!    coverage of the configuration space.
+//!
+//! 2. **Machine-size sweep** ([`compute`] / [`render`], Section V
+//!    intro: "experiments that sweep a large range of system sizes"):
+//!    for one benchmark, compile each policy across machine sizes from
+//!    "barely fits Eager" to "comfortably fits Lazy" — the
+//!    quantitative version of Fig. 1's capacity lines.
 
-use square_core::{compile, ArchSpec, CompilerConfig, Policy};
+use std::fmt;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::{Serialize, Value};
+use square_core::{compile, ArchSpec, CompileError, CompileReport, CompilerConfig, Policy};
 use square_workloads::{build, Benchmark};
+
+// ---------------------------------------------------------------------------
+// Product sweep: SweepSpec × rayon → SweepMatrix
+// ---------------------------------------------------------------------------
+
+/// One architecture setting of a sweep cell: the machine family plus
+/// its communication model. Auto-sized variants let every benchmark
+/// pick its own machine, which keeps cells independent (no shared
+/// probe pass) and therefore embarrassingly parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepArch {
+    /// NISQ: auto-sized 2-D lattice, swap-chain communication.
+    NisqAuto,
+    /// FT: auto-sized logical-tile grid, braid communication.
+    FtAuto,
+    /// Explicit lattice, swap chains.
+    Grid {
+        /// Width in qubits.
+        width: u32,
+        /// Height in qubits.
+        height: u32,
+    },
+    /// Fully connected machine, swap chains (distance 1: none occur).
+    Full {
+        /// Qubit count.
+        n: u32,
+    },
+    /// Linear chain, swap chains.
+    Line {
+        /// Qubit count.
+        n: u32,
+    },
+}
+
+impl SweepArch {
+    /// The compiler configuration this architecture implies for
+    /// `policy`.
+    pub fn config(&self, policy: Policy) -> CompilerConfig {
+        match *self {
+            SweepArch::NisqAuto => CompilerConfig::nisq(policy),
+            SweepArch::FtAuto => CompilerConfig::ft(policy),
+            SweepArch::Grid { width, height } => {
+                CompilerConfig::nisq(policy).with_arch(ArchSpec::Grid { width, height })
+            }
+            SweepArch::Full { n } => CompilerConfig::nisq(policy).with_arch(ArchSpec::Full { n }),
+            SweepArch::Line { n } => CompilerConfig::nisq(policy).with_arch(ArchSpec::Line { n }),
+        }
+    }
+
+    /// Parses a CLI-style spec: `nisq`, `ft`, `grid:WxH`, `full:N`,
+    /// `line:N` (case-insensitive). Dimensions must be nonzero and a
+    /// grid's total qubit count must fit `u32` — invalid sizes are a
+    /// parse error here so they surface as a usage message, not a
+    /// panic inside a sweep worker.
+    pub fn parse(spec: &str) -> Option<SweepArch> {
+        let lower = spec.to_ascii_lowercase();
+        match lower.as_str() {
+            "nisq" => return Some(SweepArch::NisqAuto),
+            "ft" => return Some(SweepArch::FtAuto),
+            _ => {}
+        }
+        let dim = |s: &str| s.parse::<u32>().ok().filter(|&n| n > 0);
+        let (kind, arg) = lower.split_once(':')?;
+        match kind {
+            "grid" => {
+                let (w, h) = arg.split_once('x')?;
+                let (width, height) = (dim(w)?, dim(h)?);
+                width.checked_mul(height)?;
+                Some(SweepArch::Grid { width, height })
+            }
+            "full" => Some(SweepArch::Full { n: dim(arg)? }),
+            "line" => Some(SweepArch::Line { n: dim(arg)? }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SweepArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SweepArch::NisqAuto => f.write_str("nisq"),
+            SweepArch::FtAuto => f.write_str("ft"),
+            SweepArch::Grid { width, height } => write!(f, "grid:{width}x{height}"),
+            SweepArch::Full { n } => write!(f, "full:{n}"),
+            SweepArch::Line { n } => write!(f, "line:{n}"),
+        }
+    }
+}
+
+/// The product to evaluate: every `(benchmark, policy, arch)` cell.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Benchmarks (rows).
+    pub benchmarks: Vec<Benchmark>,
+    /// Policies (columns).
+    pub policies: Vec<Policy>,
+    /// Architectures (planes).
+    pub archs: Vec<SweepArch>,
+}
+
+impl SweepSpec {
+    /// The default sweep: the paper's NISQ benchmark set under every
+    /// policy on the auto-sized NISQ lattice.
+    pub fn nisq_default() -> Self {
+        SweepSpec {
+            benchmarks: Benchmark::NISQ.to_vec(),
+            policies: Policy::ALL.to_vec(),
+            archs: vec![SweepArch::NisqAuto],
+        }
+    }
+
+    /// Number of cells in the product.
+    pub fn len(&self) -> usize {
+        self.benchmarks.len() * self.policies.len() * self.archs.len()
+    }
+
+    /// True when any axis is empty (nothing to run).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All cells of the product, benchmark-major.
+    pub fn cells(&self) -> Vec<(Benchmark, Policy, SweepArch)> {
+        let mut cells = Vec::with_capacity(self.len());
+        for &bench in &self.benchmarks {
+            for &arch in &self.archs {
+                for &policy in &self.policies {
+                    cells.push((bench, policy, arch));
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One evaluated cell of the sweep matrix.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Benchmark compiled.
+    pub benchmark: Benchmark,
+    /// Policy used.
+    pub policy: Policy,
+    /// Architecture targeted.
+    pub arch: SweepArch,
+    /// The compile outcome: a full report, or the failure (e.g.
+    /// [`CompileError::OutOfQubits`] when the policy does not fit).
+    pub report: Result<CompileReport, CompileError>,
+    /// Wall-clock compile time for this cell, milliseconds.
+    pub compile_ms: f64,
+}
+
+/// The evaluated matrix: every cell of the [`SweepSpec`] product, in
+/// benchmark-major order, plus end-to-end wall time.
+#[derive(Debug, Clone)]
+pub struct SweepMatrix {
+    /// Evaluated cells (same order as [`SweepSpec::cells`]).
+    pub cells: Vec<SweepCell>,
+    /// End-to-end wall time of the parallel run, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl SweepMatrix {
+    /// Looks up one cell.
+    pub fn get(&self, bench: Benchmark, policy: Policy, arch: SweepArch) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == bench && c.policy == policy && c.arch == arch)
+    }
+
+    /// Cells that compiled successfully.
+    pub fn ok_cells(&self) -> impl Iterator<Item = &SweepCell> {
+        self.cells.iter().filter(|c| c.report.is_ok())
+    }
+
+    /// Renders the matrix as an aligned text table (AQV per cell;
+    /// `-` marks fit failures).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:<10} {:<18} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9}\n",
+            "benchmark", "arch", "policy", "aqv", "gates", "swaps", "depth", "qubits", "time"
+        ));
+        for cell in &self.cells {
+            match &cell.report {
+                Ok(r) => out.push_str(&format!(
+                    "{:<12} {:<10} {:<18} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7.0}ms\n",
+                    cell.benchmark.name(),
+                    cell.arch.to_string(),
+                    cell.policy.label(),
+                    r.aqv,
+                    r.gates,
+                    r.swaps,
+                    r.depth,
+                    r.qubits,
+                    cell.compile_ms,
+                )),
+                Err(e) => out.push_str(&format!(
+                    "{:<12} {:<10} {:<18} {:>10} ({e})\n",
+                    cell.benchmark.name(),
+                    cell.arch.to_string(),
+                    cell.policy.label(),
+                    "-",
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "\n{} cells in {:.0}ms wall\n",
+            self.cells.len(),
+            self.wall_ms
+        ));
+        out
+    }
+}
+
+fn report_value(r: &CompileReport) -> Value {
+    Value::map([
+        ("gates", Value::UInt(r.gates)),
+        ("swaps", Value::UInt(r.swaps)),
+        ("depth", Value::UInt(r.depth)),
+        ("qubits", Value::UInt(r.qubits as u64)),
+        ("peak_active", Value::UInt(r.peak_active as u64)),
+        ("aqv", Value::UInt(r.aqv)),
+        ("comm_factor", Value::Float(r.comm_factor)),
+        ("machine_qubits", Value::UInt(r.machine_qubits as u64)),
+        (
+            "decisions",
+            Value::map([
+                ("reclaimed", Value::UInt(r.decisions.reclaimed)),
+                ("garbage", Value::UInt(r.decisions.garbage)),
+                ("forced", Value::UInt(r.decisions.forced)),
+            ]),
+        ),
+    ])
+}
+
+impl Serialize for SweepCell {
+    fn serialize(&self) -> Value {
+        let (ok, err) = match &self.report {
+            Ok(r) => (report_value(r), Value::Null),
+            Err(e) => (Value::Null, Value::String(e.to_string())),
+        };
+        Value::map([
+            (
+                "benchmark",
+                Value::String(self.benchmark.name().to_string()),
+            ),
+            ("policy", Value::String(self.policy.cli_name().to_string())),
+            ("arch", Value::String(self.arch.to_string())),
+            ("report", ok),
+            ("error", err),
+            ("compile_ms", Value::Float(self.compile_ms)),
+        ])
+    }
+}
+
+impl Serialize for SweepMatrix {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("cells", Value::seq(&self.cells)),
+            ("wall_ms", Value::Float(self.wall_ms)),
+        ])
+    }
+}
+
+/// Evaluates every cell of `spec` concurrently (rayon over the full
+/// `benchmark × policy × arch` product; each worker builds its own
+/// program instance, so cells share nothing and scale with cores).
+pub fn run_sweep(spec: &SweepSpec) -> SweepMatrix {
+    let start = Instant::now();
+    let cells: Vec<SweepCell> = spec
+        .cells()
+        .into_par_iter()
+        .map(|(benchmark, policy, arch)| {
+            let cell_start = Instant::now();
+            let report = build(benchmark)
+                .map_err(CompileError::from)
+                .and_then(|program| compile(&program, &arch.config(policy)));
+            SweepCell {
+                benchmark,
+                policy,
+                arch,
+                report,
+                compile_ms: cell_start.elapsed().as_secs_f64() * 1e3,
+            }
+        })
+        .collect();
+    SweepMatrix {
+        cells,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-size sweep (the quantitative Fig. 1)
+// ---------------------------------------------------------------------------
 
 /// One (machine size, policy) point.
 #[derive(Debug)]
@@ -25,10 +333,10 @@ pub struct SweepPoint {
 /// the Lazy peak, in `steps` geometric steps.
 pub fn compute(bench: Benchmark, steps: usize) -> Vec<SweepPoint> {
     let program = build(bench).expect("benchmark builds");
-    let lazy_probe = compile(&program, &CompilerConfig::nisq(Policy::Lazy))
-        .expect("auto-grid probe");
-    let eager_probe = compile(&program, &CompilerConfig::nisq(Policy::Eager))
-        .expect("auto-grid probe");
+    let lazy_probe =
+        compile(&program, &CompilerConfig::nisq(Policy::Lazy)).expect("auto-grid probe");
+    let eager_probe =
+        compile(&program, &CompilerConfig::nisq(Policy::Eager)).expect("auto-grid probe");
     let lo = (eager_probe.peak_active as f64 * 0.9).max(4.0);
     let hi = lazy_probe.peak_active as f64 * 1.3;
     let mut points = Vec::new();
@@ -52,7 +360,7 @@ pub fn compute(bench: Benchmark, steps: usize) -> Vec<SweepPoint> {
     points
 }
 
-/// Renders the sweep for MODEXP.
+/// Renders the machine-size sweep for MODEXP.
 pub fn render() -> String {
     let bench = Benchmark::Modexp;
     let mut out = String::new();
@@ -93,7 +401,11 @@ mod tests {
     #[test]
     fn square_fits_wherever_eager_fits() {
         let points = compute(Benchmark::Modexp, 5);
-        for m in points.iter().map(|p| p.machine).collect::<std::collections::BTreeSet<_>>() {
+        for m in points
+            .iter()
+            .map(|p| p.machine)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
             let get = |policy: Policy| {
                 points
                     .iter()
@@ -121,5 +433,84 @@ mod tests {
             lazy_small.aqv.is_none(),
             "Lazy unexpectedly fit the Eager-sized machine"
         );
+    }
+
+    #[test]
+    fn product_sweep_fills_every_cell() {
+        let spec = SweepSpec {
+            benchmarks: vec![Benchmark::Rd53, Benchmark::Adder4],
+            policies: vec![Policy::Lazy, Policy::Square],
+            archs: vec![SweepArch::NisqAuto],
+        };
+        let matrix = run_sweep(&spec);
+        assert_eq!(matrix.cells.len(), spec.len());
+        for cell in &matrix.cells {
+            let report = cell.report.as_ref().expect("auto-sized cells fit");
+            assert!(report.aqv > 0, "{}: zero AQV", cell.benchmark);
+        }
+        assert!(matrix
+            .get(Benchmark::Rd53, Policy::Square, SweepArch::NisqAuto)
+            .is_some());
+    }
+
+    #[test]
+    fn sweep_matrix_serializes_to_json() {
+        let spec = SweepSpec {
+            benchmarks: vec![Benchmark::Rd53],
+            policies: vec![Policy::Square],
+            archs: vec![SweepArch::NisqAuto, SweepArch::FtAuto],
+        };
+        let matrix = run_sweep(&spec);
+        let json = serde_json::to_string(&matrix).expect("serializes");
+        assert!(json.contains("\"benchmark\":\"RD53\""));
+        assert!(json.contains("\"arch\":\"ft\""));
+        assert!(json.contains("\"aqv\":"));
+    }
+
+    #[test]
+    fn failed_cells_report_the_error() {
+        // A 2×2 machine cannot fit RD53 under any policy.
+        let spec = SweepSpec {
+            benchmarks: vec![Benchmark::Rd53],
+            policies: vec![Policy::Lazy],
+            archs: vec![SweepArch::Grid {
+                width: 2,
+                height: 2,
+            }],
+        };
+        let matrix = run_sweep(&spec);
+        assert_eq!(matrix.cells.len(), 1);
+        assert!(matrix.cells[0].report.is_err());
+        let json = serde_json::to_string(&matrix).unwrap();
+        assert!(json.contains("\"report\":null"));
+        assert!(json.contains("out of qubits"));
+    }
+
+    #[test]
+    fn arch_specs_parse_and_round_trip() {
+        for (text, arch) in [
+            ("nisq", SweepArch::NisqAuto),
+            ("ft", SweepArch::FtAuto),
+            (
+                "grid:8x4",
+                SweepArch::Grid {
+                    width: 8,
+                    height: 4,
+                },
+            ),
+            ("full:64", SweepArch::Full { n: 64 }),
+            ("line:100", SweepArch::Line { n: 100 }),
+        ] {
+            assert_eq!(SweepArch::parse(text), Some(arch), "{text}");
+            assert_eq!(SweepArch::parse(&arch.to_string()), Some(arch));
+        }
+        assert_eq!(SweepArch::parse("grid:8"), None);
+        assert_eq!(SweepArch::parse("hex:3"), None);
+        // Degenerate and overflowing sizes are parse errors, not
+        // panics inside a sweep worker.
+        assert_eq!(SweepArch::parse("grid:0x4"), None);
+        assert_eq!(SweepArch::parse("full:0"), None);
+        assert_eq!(SweepArch::parse("line:0"), None);
+        assert_eq!(SweepArch::parse("grid:70000x70000"), None);
     }
 }

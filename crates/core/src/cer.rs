@@ -135,7 +135,13 @@ mod tests {
     fn deep_frames_resist_recomputation() {
         // Same costs, but deep in the call graph: 2^ℓ dominates.
         let shallow = decide(&CerInputs { level: 0, ..base() }, &CerParams::default());
-        let deep = decide(&CerInputs { level: 12, ..base() }, &CerParams::default());
+        let deep = decide(
+            &CerInputs {
+                level: 12,
+                ..base()
+            },
+            &CerParams::default(),
+        );
         assert!(shallow.c1 < deep.c1);
         assert!(deep.c1 > deep.c0, "deep frame prefers leaving garbage");
         assert!(!deep.reclaim);

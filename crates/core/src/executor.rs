@@ -76,8 +76,7 @@ pub fn compile_with_inputs(
     let machine_qubits = exec.machine.qubit_count();
     let trace = exec.trace;
     let route_report = exec.machine.finish();
-    let aqv_value =
-        square_metrics::aqv(route_report.segments.iter().map(|s| (s.start, s.end)));
+    let aqv_value = square_metrics::aqv(route_report.segments.iter().map(|s| (s.start, s.end)));
     Ok(CompileReport {
         policy,
         comm,
@@ -295,11 +294,9 @@ impl Exec<'_> {
                 // add the expected remainder (1−ρ)·g_p.
                 let own_uncomp = self.pstats.module(caller).gates_compute;
                 let total = self.decisions.reclaimed + self.decisions.garbage;
-                let rate =
-                    (self.decisions.reclaimed as f64 + 1.0) / (total as f64 + 2.0);
-                let g_p_child = gates_after_stmt
-                    + own_uncomp
-                    + ((1.0 - rate) * frame_g_p as f64) as u64;
+                let rate = (self.decisions.reclaimed as f64 + 1.0) / (total as f64 + 2.0);
+                let g_p_child =
+                    gates_after_stmt + own_uncomp + ((1.0 - rate) * frame_g_p as f64) as u64;
                 self.run_body(*callee, &resolved, &child_anc, depth + 1, g_p_child)
             }
         }
@@ -328,8 +325,7 @@ impl Exec<'_> {
                     free_qubits: self.machine.free_count(),
                     capacity: self.machine.qubit_count(),
                     // Laplace-smoothed running reclaim rate.
-                    reclaim_rate: (self.decisions.reclaimed as f64 + 1.0)
-                        / (total as f64 + 2.0),
+                    reclaim_rate: (self.decisions.reclaimed as f64 + 1.0) / (total as f64 + 2.0),
                     frame_qubits,
                 };
                 let d = cer::decide(&inputs, &self.config.cer);
@@ -475,7 +471,7 @@ mod tests {
             // which rolls the X prep itself back to |0⟩ under policies
             // that reclaim at top level).
             let vals: Vec<bool> = r.entry_register.iter().map(|v| bits[v]).collect();
-            assert_eq!(vals[2], true, "{policy}: output stored");
+            assert!(vals[2], "{policy}: output stored");
             // Reference semantics agree.
             let mut oracle = |_m: ModuleId, d: usize| match policy {
                 Policy::Eager | Policy::SquareLaaOnly => true,

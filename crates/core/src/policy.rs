@@ -47,6 +47,29 @@ impl Policy {
         matches!(self, Policy::Square)
     }
 
+    /// Parses a CLI-style policy name, case-insensitively: `lazy`,
+    /// `eager`, `square`, and `laa` / `square-laa` for
+    /// [`Policy::SquareLaaOnly`].
+    pub fn parse(name: &str) -> Option<Policy> {
+        match name.to_ascii_lowercase().as_str() {
+            "lazy" => Some(Policy::Lazy),
+            "eager" => Some(Policy::Eager),
+            "square" => Some(Policy::Square),
+            "laa" | "square-laa" | "square_laa" => Some(Policy::SquareLaaOnly),
+            _ => None,
+        }
+    }
+
+    /// The CLI name accepted back by [`Policy::parse`].
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            Policy::Eager => "eager",
+            Policy::Lazy => "lazy",
+            Policy::Square => "square",
+            Policy::SquareLaaOnly => "laa",
+        }
+    }
+
     /// Report label, matching the paper's figures.
     pub fn label(&self) -> &'static str {
         match self {
@@ -79,9 +102,17 @@ mod tests {
     }
 
     #[test]
+    fn parse_round_trips_cli_names() {
+        for p in Policy::ALL {
+            assert_eq!(Policy::parse(p.cli_name()), Some(p));
+            assert_eq!(Policy::parse(&p.cli_name().to_uppercase()), Some(p));
+        }
+        assert_eq!(Policy::parse("nonsense"), None);
+    }
+
+    #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Policy::ALL.iter().map(|p| p.label()).collect();
+        let labels: std::collections::HashSet<_> = Policy::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 }

@@ -118,29 +118,27 @@ fn analyze_module(
         ancilla_transitive: module.ancillas() as u64,
         ..ModuleStats::default()
     };
-    let block_cost = |stmts: &[Stmt],
-                          memo: &mut Vec<Option<ModuleStats>>,
-                          stats: &mut ModuleStats|
-     -> u64 {
-        let mut gates = 0u64;
-        for stmt in stmts {
-            match stmt {
-                Stmt::Gate(g) => {
-                    gates += primitive_count(g);
-                    stats.two_qubit_cost += g.two_qubit_cost();
-                }
-                Stmt::Call { callee, .. } => {
-                    let sub = analyze_module(program, callee.index(), memo);
-                    gates += sub.gates_forward();
-                    stats.two_qubit_cost += sub.two_qubit_cost;
-                    stats.ancilla_transitive += sub.ancilla_transitive;
-                    stats.height = stats.height.max(sub.height + 1);
-                    stats.call_sites += 1;
+    let block_cost =
+        |stmts: &[Stmt], memo: &mut Vec<Option<ModuleStats>>, stats: &mut ModuleStats| -> u64 {
+            let mut gates = 0u64;
+            for stmt in stmts {
+                match stmt {
+                    Stmt::Gate(g) => {
+                        gates += primitive_count(g);
+                        stats.two_qubit_cost += g.two_qubit_cost();
+                    }
+                    Stmt::Call { callee, .. } => {
+                        let sub = analyze_module(program, callee.index(), memo);
+                        gates += sub.gates_forward();
+                        stats.two_qubit_cost += sub.two_qubit_cost;
+                        stats.ancilla_transitive += sub.ancilla_transitive;
+                        stats.height = stats.height.max(sub.height + 1);
+                        stats.call_sites += 1;
+                    }
                 }
             }
-        }
-        gates
-    };
+            gates
+        };
     stats.gates_compute = block_cost(module.compute(), memo, &mut stats);
     stats.gates_store = block_cost(module.store(), memo, &mut stats);
     memo[idx] = Some(stats);
@@ -190,7 +188,7 @@ mod tests {
     fn stmt_cost_of_call_is_callee_forward() {
         let (p, leaf, main) = two_level_program();
         let stats = ProgramStats::analyze(&p);
-        let call = p.module(main).compute().iter().nth(1).unwrap();
+        let call = p.module(main).compute().get(1).unwrap();
         assert_eq!(stats.stmt_forward_gates(call), 2);
         let _ = leaf;
     }

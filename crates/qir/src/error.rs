@@ -88,7 +88,10 @@ impl fmt::Display for QirError {
                 write!(f, "gate uses the same qubit twice in module `{module}`")
             }
             QirError::StoreDiscipline { module, detail } => {
-                write!(f, "store discipline violated in module `{module}`: {detail}")
+                write!(
+                    f,
+                    "store discipline violated in module `{module}`: {detail}"
+                )
             }
             QirError::EntryHasParams { module } => {
                 write!(f, "entry module `{module}` must not declare parameters")

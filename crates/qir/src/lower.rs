@@ -166,7 +166,7 @@ mod tests {
         let main = b
             .module("main", 0, 8, |m| {
                 let q: Vec<_> = (0..8).map(|i| m.ancilla(i)).collect();
-                m.mcx(&q[0..4].to_vec(), q[6]);
+                m.mcx(&q[0..4], q[6]);
                 m.mcx(&[q[1], q[2], q[3], q[4]], q[5]);
                 m.store();
                 m.cx(q[6], q[7]);

@@ -475,7 +475,7 @@ mod tests {
         // Inputs are preserved (uncompute undoes compute, not the prep).
         assert_eq!(&lazy.outputs[..3], &[true, true, true]);
         // The scratch output q[3] is restored to |0⟩ by the uncompute.
-        assert_eq!(lazy.outputs[3], false);
+        assert!(!lazy.outputs[3]);
     }
 
     #[test]
@@ -514,7 +514,7 @@ mod tests {
         let eager = run(&p, &[], &mut AlwaysReclaim).unwrap();
         let lazy = run(&p, &[], &mut TopLevelOnly).unwrap();
         assert_eq!(eager.outputs, lazy.outputs);
-        assert_eq!(eager.outputs[2], true, "x=1 propagates to final out");
+        assert!(eager.outputs[2], "x=1 propagates to final out");
         assert!(
             eager.gate_count > lazy.gate_count,
             "recursive recomputation: eager {} vs lazy {}",

@@ -203,10 +203,10 @@ mod tests {
         bits.insert(q0, true);
         bits.insert(q1, false);
         apply(&slice, &mut bits);
-        assert_eq!(bits[&q1], true, "CCX fired: q2 held q0's value");
+        assert!(bits[&q1], "CCX fired: q2 held q0's value");
         apply(&inv, &mut bits);
-        assert_eq!(bits[&q0], true);
-        assert_eq!(bits[&q1], false, "inverse undid the compute");
+        assert!(bits[&q0]);
+        assert!(!bits[&q1], "inverse undid the compute");
         assert_eq!(bits.len(), 2, "no leaked allocations");
     }
 
@@ -237,10 +237,10 @@ mod tests {
         let mut bits = HashMap::new();
         bits.insert(q0, true);
         apply(&slice, &mut bits);
-        assert_eq!(bits[&q1], true, "garbage holds a copy");
+        assert!(bits[&q1], "garbage holds a copy");
         apply(&inv, &mut bits);
         assert!(!bits.contains_key(&q1), "garbage swept by ancestor");
-        assert_eq!(bits[&q0], true);
+        assert!(bits[&q0]);
     }
 
     #[test]

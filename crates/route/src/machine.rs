@@ -238,9 +238,9 @@ impl Machine {
         if coords.is_empty() {
             return None;
         }
-        let (sx, sy) = coords
-            .iter()
-            .fold((0i64, 0i64), |(sx, sy), (x, y)| (sx + *x as i64, sy + *y as i64));
+        let (sx, sy) = coords.iter().fold((0i64, 0i64), |(sx, sy), (x, y)| {
+            (sx + *x as i64, sy + *y as i64)
+        });
         let n = coords.len() as i64;
         Some(((sx / n) as i32, (sy / n) as i32))
     }
@@ -406,7 +406,9 @@ impl Machine {
 
     /// Moves `mover` along a shortest path until coupled to `anchor`.
     fn route_adjacent(&mut self, mover: VirtId, anchor: VirtId) -> Result<(), RouteError> {
-        let pm = self.phys_of(mover).ok_or(RouteError::UnplacedQubit { virt: mover })?;
+        let pm = self
+            .phys_of(mover)
+            .ok_or(RouteError::UnplacedQubit { virt: mover })?;
         let pa = self
             .phys_of(anchor)
             .ok_or(RouteError::UnplacedQubit { virt: anchor })?;
@@ -465,16 +467,17 @@ impl Machine {
 
     /// Brings both controls adjacent to the target for a Toffoli,
     /// trying not to displace already-gathered operands.
-    fn gather_three(
-        &mut self,
-        c0: VirtId,
-        c1: VirtId,
-        t: VirtId,
-    ) -> Result<(), RouteError> {
+    fn gather_three(&mut self, c0: VirtId, c1: VirtId, t: VirtId) -> Result<(), RouteError> {
         for attempt in 0..4 {
-            let pt = self.phys_of(t).ok_or(RouteError::UnplacedQubit { virt: t })?;
-            let p0 = self.phys_of(c0).ok_or(RouteError::UnplacedQubit { virt: c0 })?;
-            let p1 = self.phys_of(c1).ok_or(RouteError::UnplacedQubit { virt: c1 })?;
+            let pt = self
+                .phys_of(t)
+                .ok_or(RouteError::UnplacedQubit { virt: t })?;
+            let p0 = self
+                .phys_of(c0)
+                .ok_or(RouteError::UnplacedQubit { virt: c0 })?;
+            let p1 = self
+                .phys_of(c1)
+                .ok_or(RouteError::UnplacedQubit { virt: c1 })?;
             let ok0 = self.topo.are_coupled(p0, pt);
             let ok1 = self.topo.are_coupled(p1, pt);
             if ok0 && ok1 {
@@ -521,11 +524,9 @@ impl Machine {
     fn phys_operands(&self, gate: &Gate<VirtId>) -> Result<Vec<PhysId>, RouteError> {
         let mut out = Vec::with_capacity(gate.arity());
         let mut missing = None;
-        gate.for_each_qubit(|v| {
-            match self.phys_of(*v) {
-                Some(p) => out.push(p),
-                None => missing = Some(*v),
-            }
+        gate.for_each_qubit(|v| match self.phys_of(*v) {
+            Some(p) => out.push(p),
+            None => missing = Some(*v),
         });
         match missing {
             Some(v) => Err(RouteError::UnplacedQubit { virt: v }),
@@ -591,7 +592,11 @@ impl Machine {
                 Ok(start)
             }
             Gate::Cx { .. } | Gate::Swap { .. } => {
-                let dur = if matches!(gate, Gate::Swap { .. }) { 3 } else { 1 };
+                let dur = if matches!(gate, Gate::Swap { .. }) {
+                    3
+                } else {
+                    1
+                };
                 let start = self.braid_pair(phys[0], phys[1], dur);
                 self.note_gate(gate, start, dur);
                 self.record(gate.map(|v| self.place[v]), start, dur, false);
@@ -794,10 +799,7 @@ mod tests {
 
     #[test]
     fn braided_machine_counts_conflicts() {
-        let mut m = Machine::new(
-            Box::new(GridTopology::new(6, 6)),
-            MachineConfig::ft(),
-        );
+        let mut m = Machine::new(Box::new(GridTopology::new(6, 6)), MachineConfig::ft());
         // Two crossing long braids on fresh qubits.
         m.place_at(VirtId(0), PhysId(6)).unwrap(); // (0,1)
         m.place_at(VirtId(1), PhysId(11)).unwrap(); // (5,1)

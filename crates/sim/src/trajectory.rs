@@ -282,8 +282,7 @@ mod tests {
             shots: 4096,
             seed: 9,
         };
-        let h_shallow =
-            sample_histogram(&shallow, 2, &[PhysId(0), PhysId(1)], &noise, &cfg);
+        let h_shallow = sample_histogram(&shallow, 2, &[PhysId(0), PhysId(1)], &noise, &cfg);
         let h_deep = sample_histogram(&deep, 2, &[PhysId(0), PhysId(1)], &noise, &cfg);
         assert!(
             h_deep.probability(0b01) < h_shallow.probability(0b01),

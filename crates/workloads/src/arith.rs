@@ -291,7 +291,6 @@ pub fn ctrl_const_add_inplace(
     })
 }
 
-
 /// In-place controlled adder with widening: params
 /// `[ctl, a(na), b(nb)]` with `nb ≥ na`, `b += ctl · a (mod 2^nb)`.
 /// The operand register is zero-extended inside the temp load, so

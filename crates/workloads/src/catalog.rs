@@ -82,6 +82,36 @@ impl Benchmark {
         Benchmark::Belle,
     ];
 
+    /// Every benchmark of Table II: the NISQ set followed by the
+    /// medium/large set.
+    pub const ALL: [Benchmark; 17] = [
+        Benchmark::Rd53,
+        Benchmark::Sym6,
+        Benchmark::TwoOf5,
+        Benchmark::Adder4,
+        Benchmark::JasmineS,
+        Benchmark::ElsaS,
+        Benchmark::BelleS,
+        Benchmark::Adder32,
+        Benchmark::Adder64,
+        Benchmark::Mul32,
+        Benchmark::Mul64,
+        Benchmark::Modexp,
+        Benchmark::Sha2,
+        Benchmark::Salsa20,
+        Benchmark::Jasmine,
+        Benchmark::Elsa,
+        Benchmark::Belle,
+    ];
+
+    /// Looks a benchmark up by its table name, case-insensitively
+    /// (`"rd53"`, `"ADDER4"`, `"jasmine-s"`, ...).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
     /// Display name matching the paper's tables.
     pub fn name(&self) -> &'static str {
         match self {
@@ -212,7 +242,9 @@ pub fn modexp_program(spec: ModexpSpec) -> Result<Program, QirError> {
     let total = spec.k + 2 * spec.n;
     let main = b.module("modexp_main", 0, total, |m| {
         let q: Vec<Operand> = (0..spec.k + spec.n).map(|i| m.ancilla(i)).collect();
-        let out: Vec<Operand> = (0..spec.n).map(|i| m.ancilla(spec.k + spec.n + i)).collect();
+        let out: Vec<Operand> = (0..spec.n)
+            .map(|i| m.ancilla(spec.k + spec.n + i))
+            .collect();
         m.call(me, &q);
         m.store();
         for i in 0..spec.n {
@@ -231,8 +263,9 @@ mod tests {
     #[test]
     fn every_benchmark_builds_and_validates() {
         for bench in Benchmark::NISQ.iter().chain(Benchmark::MEDIUM.iter()) {
-            let p = build(*bench).expect(bench.name());
-            square_qir::validate::validate_program(&p).expect(bench.name());
+            let p = build(*bench).unwrap_or_else(|_| panic!("{}", bench.name()));
+            square_qir::validate::validate_program(&p)
+                .unwrap_or_else(|_| panic!("{}", bench.name()));
             let stats = ProgramStats::analyze(&p);
             assert!(
                 stats.module(p.entry()).gates_forward() > 0,
@@ -279,6 +312,25 @@ mod tests {
                 stats.module(p.entry()).height
             );
         }
+    }
+
+    #[test]
+    fn from_name_finds_every_benchmark() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(Benchmark::from_name(&b.name().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nope"), None);
+        // Element-wise, not just by length: ALL must stay exactly
+        // NISQ followed by MEDIUM or from_name silently misses
+        // benchmarks.
+        assert!(
+            Benchmark::NISQ
+                .iter()
+                .chain(Benchmark::MEDIUM.iter())
+                .eq(Benchmark::ALL.iter()),
+            "Benchmark::ALL drifted from NISQ ++ MEDIUM"
+        );
     }
 
     #[test]

@@ -67,9 +67,9 @@ pub fn modexp(
     // Adders for every (shift, step) we will need.
     let mut adders = vec![vec![None; n]; k];
     for (j, &cj) in consts.iter().enumerate().skip(1) {
-        for t in 0..n {
+        for (t, slot) in adders[j].iter_mut().enumerate() {
             if cj >> t & 1 == 1 {
-                adders[j][t] = Some(ctrl_add_inplace_ext(b, cache, n - t, n - t)?);
+                *slot = Some(ctrl_add_inplace_ext(b, cache, n - t, n - t)?);
             }
         }
     }
@@ -80,9 +80,9 @@ pub fn modexp(
             .map(|j| (0..n).map(|i| m.ancilla(j * n + i)).collect())
             .collect();
         // r_1 = e_0 ? g : 1  (bit loads controlled / anti-controlled).
-        for i in 0..n {
+        for (i, &r0i) in r[0].iter().enumerate() {
             if consts[0] >> i & 1 == 1 {
-                m.cx(e[0], r[0][i]);
+                m.cx(e[0], r0i);
             }
         }
         m.x(e[0]);
@@ -101,8 +101,9 @@ pub fn modexp(
             }
             // Anti-controlled copy: r_{j+1} ^= ¬e_j · r_j.
             m.x(e[j]);
-            for i in 0..n {
-                m.ccx(e[j], r[j - 1][i], r[j][i]);
+            let (prev, cur) = (&r[j - 1], &r[j]);
+            for (&src, &dst) in prev.iter().zip(cur) {
+                m.ccx(e[j], src, dst);
             }
             m.x(e[j]);
         }

@@ -105,7 +105,7 @@ pub fn rotations(w: usize) -> [usize; 4] {
 /// The quarter-round word indices per round: columns on even rounds,
 /// rows on odd rounds (the Salsa20 double-round structure).
 pub fn round_pattern(round: usize) -> [[usize; 4]; 4] {
-    if round % 2 == 0 {
+    if round.is_multiple_of(2) {
         [[0, 4, 8, 12], [5, 9, 13, 1], [10, 14, 2, 6], [15, 3, 7, 11]]
     } else {
         [[0, 1, 2, 3], [5, 6, 7, 4], [10, 11, 8, 9], [15, 12, 13, 14]]
@@ -185,9 +185,9 @@ mod tests {
         }
         let r = run(&p, &inputs, &mut reclaim_inner).unwrap();
         let expect = salsa20_reference(init, w, 1);
-        for word in 0..16 {
+        for (word, &want) in expect.iter().enumerate() {
             let got = from_bits(&r.outputs[16 * w + word * w..16 * w + (word + 1) * w]);
-            assert_eq!(got, expect[word], "word {word}");
+            assert_eq!(got, want, "word {word}");
         }
     }
 
@@ -202,9 +202,9 @@ mod tests {
         }
         let r = run(&p, &inputs, &mut reclaim_inner).unwrap();
         let expect = salsa20_reference(init, w, 2);
-        for word in 0..16 {
+        for (word, &want) in expect.iter().enumerate() {
             let got = from_bits(&r.outputs[16 * w + word * w..16 * w + (word + 1) * w]);
-            assert_eq!(got, expect[word], "word {word}");
+            assert_eq!(got, want, "word {word}");
         }
     }
 

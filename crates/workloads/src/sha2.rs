@@ -211,9 +211,9 @@ mod tests {
         }
         let r = run(&p, &inputs, &mut reclaim_inner).unwrap();
         let expect = sha2_reference(init, w, 1);
-        for word in 0..8 {
+        for (word, &want) in expect.iter().enumerate() {
             let got = from_bits(&r.outputs[8 * w + word * w..8 * w + (word + 1) * w]);
-            assert_eq!(got, expect[word], "word {word}");
+            assert_eq!(got, want, "word {word}");
         }
     }
 
@@ -229,9 +229,9 @@ mod tests {
             }
             let r = run(&p, &inputs, &mut reclaim_inner).unwrap();
             let expect = sha2_reference(init, w, rounds);
-            for word in 0..8 {
+            for (word, &want) in expect.iter().enumerate() {
                 let got = from_bits(&r.outputs[8 * w + word * w..8 * w + (word + 1) * w]);
-                assert_eq!(got, expect[word], "rounds={rounds} word={word}");
+                assert_eq!(got, want, "rounds={rounds} word={word}");
             }
         }
     }

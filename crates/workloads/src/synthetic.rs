@@ -200,7 +200,9 @@ fn gen_module(
             let mut idx: Vec<usize> = (0..n).collect();
             let mut state = mix | 1;
             for i in (1..n).rev() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let j = (state >> 33) as usize % (i + 1);
                 idx.swap(i, j);
             }

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out_base = spec.k + spec.n;
         let got = from_bits(&run.outputs[out_base..out_base + spec.n]);
         assert_eq!(got, spec.reference(e));
-        println!("g^{e} mod 2^{} = {got}  (reference {})", spec.n, spec.reference(e));
+        println!(
+            "g^{e} mod 2^{} = {got}  (reference {})",
+            spec.n,
+            spec.reference(e)
+        );
     }
 
     // Resource shape: the Fig. 1 trade-off.

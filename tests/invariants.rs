@@ -9,16 +9,22 @@ use square_repro::metrics::UsageCurve;
 use square_repro::workloads::synthetic::{synthesize, SynthParams};
 
 fn arb_params() -> impl Strategy<Value = SynthParams> {
-    (1usize..4, 1usize..4, 2usize..6, 2usize..5, 2usize..12, 0u64..1000).prop_map(
-        |(levels, callees, inputs, anc, gates, seed)| SynthParams {
+    (
+        1usize..4,
+        1usize..4,
+        2usize..6,
+        2usize..5,
+        2usize..12,
+        0u64..1000,
+    )
+        .prop_map(|(levels, callees, inputs, anc, gates, seed)| SynthParams {
             levels,
             max_callees: callees,
             inputs_per_fn: inputs,
             max_ancilla: anc,
             max_gates: gates,
             seed,
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,73 @@
+//! End-to-end checks of the parallel policy-sweep engine through the
+//! facade crate: the product executor fills every cell, reports
+//! meaningful metrics, serializes, and preserves the paper's headline
+//! resource ordering (SQUARE never uses more qubits than Lazy — Lazy
+//! reserves garbage, SQUARE reclaims).
+
+use square_repro::bench::{run_sweep, SweepArch, SweepSpec};
+use square_repro::core::Policy;
+use square_repro::workloads::Benchmark;
+
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        benchmarks: vec![Benchmark::Rd53, Benchmark::Adder4],
+        policies: vec![Policy::Lazy, Policy::Square],
+        archs: vec![SweepArch::NisqAuto],
+    }
+}
+
+#[test]
+fn small_sweep_returns_a_full_matrix_with_positive_aqv() {
+    let spec = small_spec();
+    let matrix = run_sweep(&spec);
+    assert_eq!(matrix.cells.len(), 4, "2 benchmarks × 2 policies");
+    for (bench, policy, arch) in spec.cells() {
+        let cell = matrix
+            .get(bench, policy, arch)
+            .unwrap_or_else(|| panic!("missing cell {bench}/{policy}/{arch}"));
+        let report = cell
+            .report
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{bench}/{policy}/{arch} failed: {e}"));
+        assert!(report.aqv > 0, "{bench}/{policy}: AQV must be positive");
+        assert!(report.gates > 0, "{bench}/{policy}: no gates executed");
+        assert!(report.depth > 0, "{bench}/{policy}: zero depth");
+    }
+}
+
+#[test]
+fn square_never_uses_more_qubits_than_lazy() {
+    let matrix = run_sweep(&small_spec());
+    for bench in [Benchmark::Rd53, Benchmark::Adder4] {
+        let qubits = |policy: Policy| {
+            matrix
+                .get(bench, policy, SweepArch::NisqAuto)
+                .and_then(|c| c.report.as_ref().ok())
+                .map(|r| (r.qubits, r.peak_active))
+                .expect("cell compiled")
+        };
+        let (lazy_qubits, lazy_peak) = qubits(Policy::Lazy);
+        let (square_qubits, square_peak) = qubits(Policy::Square);
+        assert!(
+            square_qubits <= lazy_qubits,
+            "{bench}: SQUARE used {square_qubits} qubits, Lazy {lazy_qubits}"
+        );
+        assert!(
+            square_peak <= lazy_peak,
+            "{bench}: SQUARE peaked at {square_peak}, Lazy at {lazy_peak}"
+        );
+    }
+}
+
+#[test]
+fn matrix_serializes_every_cell() {
+    let matrix = run_sweep(&small_spec());
+    let json = serde_json::to_string(&matrix).expect("matrix serializes");
+    for bench in ["RD53", "ADDER4"] {
+        assert!(json.contains(&format!("\"benchmark\":\"{bench}\"")));
+    }
+    for policy in ["lazy", "square"] {
+        assert!(json.contains(&format!("\"policy\":\"{policy}\"")));
+    }
+    assert_eq!(json.matches("\"aqv\":").count(), 4, "one report per cell");
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion`, covering the harness subset the
+//! workspace's benches use: `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark runs a short warm-up plus `sample_size`
+//! timed samples and prints min / mean per sample — no statistics
+//! engine, plots, or baselines. The workspace builds hermetically
+//! (no crates.io access), hence the shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id composed of a function name and a parameter label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        bencher.report(&self.name, &id.label);
+        self
+    }
+
+    /// Runs one benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        bencher.report(&self.name, &name.to_string());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` over the configured number of samples (after
+    /// one untimed warm-up call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        if self.samples.is_empty() {
+            println!("  {group}/{label}: no samples");
+            return;
+        }
+        let min = self.samples.iter().min().expect("nonempty");
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "  {group}/{label}: min {min:?}, mean {mean:?} over {} samples",
+            self.samples.len()
+        );
+    }
+}
+
+/// Bundles benchmark functions (each `fn(&mut Criterion)`) into one
+/// runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn id_formats_function_and_parameter() {
+        let id = BenchmarkId::new("compile", "square");
+        assert_eq!(id.label, "compile/square");
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for `rayon`, covering the parallel-iterator subset
+//! the sweep engine uses: `into_par_iter()` / `par_iter()`, `map`, and
+//! `collect`. Work is executed on `std::thread::scope` workers (one per
+//! available core, capped by item count) pulling indices from a shared
+//! atomic counter, so results preserve input order while cells run
+//! concurrently.
+//!
+//! The workspace builds hermetically (no crates.io access), hence the
+//! vendored shim rather than the real crate. The API is a strict
+//! subset; swapping in upstream rayon later is a one-line manifest
+//! change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The rayon-style prelude: import the iterator traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads for `n` items: one per available core,
+/// never more than the item count, at least one.
+fn workers_for(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Applies `f` to every item on a pool of scoped threads, preserving
+/// input order in the output.
+fn parallel_apply<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = workers_for(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work slot taken twice");
+                let result = f(item);
+                *out[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker died before filling slot")
+        })
+        .collect()
+}
+
+/// A parallel iterator: a recipe that materialises to an ordered
+/// `Vec` when driven by [`ParallelIterator::collect`].
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Runs the recipe to completion, in parallel, preserving order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` (applied on the worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters items through `pred` (applied on the worker threads).
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Drives the iterator and collects the results.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Drives `iter` and builds the collection.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.run()
+    }
+}
+
+/// Conversion of an owned collection into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts into the iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Borrowing parallel iteration (`par_iter()` on slices and vecs).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send + 'a;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterates over references in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Source iterator over an already-materialised vector.
+pub struct VecIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = VecIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecIter<&'a T> {
+        VecIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = VecIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecIter<&'a T> {
+        VecIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_apply(self.inner.run(), &self.f)
+    }
+}
+
+/// The result of [`ParallelIterator::filter`].
+pub struct Filter<I, F> {
+    inner: I,
+    pred: F,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Sync + Send,
+{
+    type Item = I::Item;
+
+    fn run(self) -> Vec<I::Item> {
+        let pred = &self.pred;
+        parallel_apply(self.inner.run(), &|item| {
+            if pred(&item) {
+                Some(item)
+            } else {
+                None
+            }
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps() {
+        let v: Vec<u32> = (0..64).collect();
+        let out: Vec<String> = v
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out[10], "11");
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<u64> = (0..128).collect();
+        let sum: Vec<u64> = v.par_iter().map(|&x| x).collect();
+        assert_eq!(sum.iter().sum::<u64>(), v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn filter_drops_items() {
+        let v: Vec<u32> = (0..100).collect();
+        let evens: Vec<u32> = v.into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 50);
+        assert!(evens.iter().all(|x| x % 2 == 0));
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        // With >1 core, two tasks that each sleep 50ms should overlap.
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return;
+        }
+        let start = std::time::Instant::now();
+        let _: Vec<()> = vec![(), (), (), ()]
+            .into_par_iter()
+            .map(|()| std::thread::sleep(std::time::Duration::from_millis(50)))
+            .collect();
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(190),
+            "no overlap observed: {:?}",
+            start.elapsed()
+        );
+    }
+}

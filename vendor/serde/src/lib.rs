@@ -1,0 +1,180 @@
+//! Offline stand-in for `serde`'s serialization half, built on an
+//! explicit data model: [`Serialize`] lowers a type to a [`Value`]
+//! tree, which backends (the vendored `serde_json`) render. There is
+//! no derive macro in the hermetic build, so report types implement
+//! [`Serialize`] by hand — each impl is a handful of lines via
+//! [`Value::map`].
+//!
+//! The workspace builds with no crates.io access; swapping in real
+//! serde later means replacing the manual impls with `#[derive]` and
+//! the manifest path with a registry version.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// The serialization data model: the JSON-shaped tree every
+/// [`Serialize`] implementation lowers into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// null / absent.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key→value map (struct fields keep declaration order).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a map value from `(key, value)` pairs; the idiom for
+    /// hand-written struct serializers.
+    pub fn map<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a sequence value by serializing every element.
+    pub fn seq<'a, T: Serialize + 'a, I: IntoIterator<Item = &'a T>>(items: I) -> Value {
+        Value::Seq(items.into_iter().map(Serialize::serialize).collect())
+    }
+}
+
+/// Lowers a type into the [`Value`] data model.
+pub trait Serialize {
+    /// Produces the value tree for `self`.
+    fn serialize(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )+};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )+};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower() {
+        assert_eq!(3u32.serialize(), Value::UInt(3));
+        assert_eq!((-2i64).serialize(), Value::Int(-2));
+        assert_eq!("hi".serialize(), Value::String("hi".into()));
+        assert_eq!(None::<u8>.serialize(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].serialize(),
+            Value::Seq(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+
+    #[test]
+    fn map_builder_keeps_order() {
+        let v = Value::map([("b", Value::UInt(1)), ("a", Value::UInt(2))]);
+        match v {
+            Value::Map(pairs) => {
+                assert_eq!(pairs[0].0, "b");
+                assert_eq!(pairs[1].0, "a");
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+}
