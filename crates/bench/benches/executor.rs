@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the compilation hot path: every policy ×
+//! the workload catalog through the full instrumentation-driven
+//! executor (allocation, CER decisions, routing, scheduling).
+//!
+//! Environment knobs (for the CI smoke lane):
+//!
+//! * `SQUARE_BENCH_SET=smoke|full` — benchmark set (default `smoke`,
+//!   the seven NISQ workloads; `full` adds the medium/large catalog).
+//! * `SQUARE_BENCH_SAMPLES=N` — timed samples per cell (default 10).
+//!
+//! The machine-readable companion is `bench_gate` (same measurement
+//! core via `square_bench::baseline`), which records/checks
+//! `BENCH_square.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use square_bench::baseline::BenchSet;
+use square_core::{compile, CompilerConfig, Policy};
+use square_workloads::build;
+
+fn env_set() -> BenchSet {
+    std::env::var("SQUARE_BENCH_SET")
+        .ok()
+        .and_then(|v| BenchSet::parse(&v))
+        .unwrap_or(BenchSet::Smoke)
+}
+
+fn env_samples() -> usize {
+    std::env::var("SQUARE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(env_samples());
+    for &bench in env_set().benchmarks() {
+        let program = build(bench).expect("benchmark builds");
+        for policy in Policy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(bench.name(), policy.cli_name()),
+                &policy,
+                |b, &policy| b.iter(|| compile(&program, &CompilerConfig::nisq(policy)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

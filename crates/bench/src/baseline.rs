@@ -1,0 +1,613 @@
+//! Machine-readable benchmark baselines (`BENCH_square.json`) and the
+//! regression gate that CI runs against them.
+//!
+//! A baseline is a set of measured cells — one per
+//! `(benchmark, policy)` on the auto-sized NISQ machine — each
+//! carrying two kinds of data:
+//!
+//! * the **circuit fingerprint** (gates, swaps, depth, qubits, AQV):
+//!   fully deterministic, compared exactly. Any drift means the
+//!   compiler changed behaviour, which a pure performance PR must not
+//!   do.
+//! * the **timing** (median/min ns over `samples` compiles):
+//!   machine-dependent, so every baseline also records a
+//!   `calibration_ns` — the median runtime of a fixed arithmetic
+//!   workload on the recording machine. Comparisons use
+//!   *calibration-normalized* medians (`median_ns / calibration_ns`),
+//!   which transfers tolerably across hosts of different speeds; the
+//!   gate fails when the geometric mean of per-cell ratios on the
+//!   executor hot path regresses beyond the configured tolerance
+//!   (15% in CI).
+//!
+//! Refreshing the committed baseline after an intentional change:
+//!
+//! ```text
+//! cargo run --release -p square-bench --bin bench_gate -- record --out BENCH_square.json
+//! ```
+
+use std::fmt;
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+use square_core::{compile, CompileReport, CompilerConfig, Policy};
+use square_workloads::{build, Benchmark};
+
+/// Schema marker for `BENCH_square.json` (bump on layout changes).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Which slice of the workload catalog a run covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchSet {
+    /// The seven NISQ benchmarks — the executor hot path the CI gate
+    /// guards; fast enough to run on every push.
+    Smoke,
+    /// The full 17-benchmark catalog (what the committed baseline
+    /// records).
+    Full,
+}
+
+impl BenchSet {
+    /// The benchmarks in this set.
+    pub fn benchmarks(&self) -> &'static [Benchmark] {
+        match self {
+            BenchSet::Smoke => &Benchmark::NISQ,
+            BenchSet::Full => &Benchmark::ALL,
+        }
+    }
+
+    /// Parses `smoke` / `full`.
+    pub fn parse(name: &str) -> Option<BenchSet> {
+        match name.to_ascii_lowercase().as_str() {
+            "smoke" | "nisq" => Some(BenchSet::Smoke),
+            "full" | "all" => Some(BenchSet::Full),
+            _ => None,
+        }
+    }
+}
+
+/// One measured `(benchmark, policy)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredCell {
+    /// Benchmark compiled.
+    pub benchmark: Benchmark,
+    /// Policy used.
+    pub policy: Policy,
+    /// Median wall time of one compile, nanoseconds.
+    pub median_ns: u64,
+    /// Fastest observed compile, nanoseconds.
+    pub min_ns: u64,
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Deterministic circuit fingerprint: program gates.
+    pub gates: u64,
+    /// Routing swaps.
+    pub swaps: u64,
+    /// Schedule depth.
+    pub depth: u64,
+    /// Physical qubits touched.
+    pub qubits: usize,
+    /// Active quantum volume.
+    pub aqv: u64,
+}
+
+impl MeasuredCell {
+    fn fingerprint(&self) -> (u64, u64, u64, usize, u64) {
+        (self.gates, self.swaps, self.depth, self.qubits, self.aqv)
+    }
+}
+
+/// A recorded baseline: calibration plus every measured cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Schema marker ([`SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Median runtime of the fixed calibration workload on the
+    /// recording machine, nanoseconds.
+    pub calibration_ns: u64,
+    /// Measured cells.
+    pub cells: Vec<MeasuredCell>,
+}
+
+impl Baseline {
+    /// Looks up one cell.
+    pub fn get(&self, benchmark: Benchmark, policy: Policy) -> Option<&MeasuredCell> {
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == benchmark && c.policy == policy)
+    }
+}
+
+impl Serialize for MeasuredCell {
+    fn serialize(&self) -> Value {
+        Value::map([
+            (
+                "benchmark",
+                Value::String(self.benchmark.name().to_string()),
+            ),
+            ("policy", Value::String(self.policy.cli_name().to_string())),
+            ("median_ns", Value::UInt(self.median_ns)),
+            ("min_ns", Value::UInt(self.min_ns)),
+            ("samples", Value::UInt(self.samples as u64)),
+            ("gates", Value::UInt(self.gates)),
+            ("swaps", Value::UInt(self.swaps)),
+            ("depth", Value::UInt(self.depth)),
+            ("qubits", Value::UInt(self.qubits as u64)),
+            ("aqv", Value::UInt(self.aqv)),
+        ])
+    }
+}
+
+impl Serialize for Baseline {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("schema", Value::UInt(self.schema)),
+            ("calibration_ns", Value::UInt(self.calibration_ns)),
+            ("cells", Value::seq(&self.cells)),
+        ])
+    }
+}
+
+/// Baseline parse/shape failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError(String);
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad baseline: {}", self.0)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, BaselineError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| BaselineError(format!("missing numeric field `{key}`")))
+}
+
+/// Parses a baseline back from its JSON text.
+///
+/// # Errors
+///
+/// [`BaselineError`] on malformed JSON, wrong schema version, or
+/// unknown benchmark/policy names.
+pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+    let root = serde_json::from_str(text).map_err(|e| BaselineError(e.to_string()))?;
+    let schema = field_u64(&root, "schema")?;
+    if schema != SCHEMA_VERSION {
+        return Err(BaselineError(format!(
+            "schema {schema} != supported {SCHEMA_VERSION}; refresh the baseline"
+        )));
+    }
+    let calibration_ns = field_u64(&root, "calibration_ns")?;
+    let cells = root
+        .get("cells")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| BaselineError("missing `cells` array".into()))?;
+    let cells = cells
+        .iter()
+        .map(|cell| {
+            let bench_name = cell
+                .get("benchmark")
+                .and_then(Value::as_str)
+                .ok_or_else(|| BaselineError("cell missing `benchmark`".into()))?;
+            let policy_name = cell
+                .get("policy")
+                .and_then(Value::as_str)
+                .ok_or_else(|| BaselineError("cell missing `policy`".into()))?;
+            Ok(MeasuredCell {
+                benchmark: Benchmark::from_name(bench_name)
+                    .ok_or_else(|| BaselineError(format!("unknown benchmark `{bench_name}`")))?,
+                policy: Policy::parse(policy_name)
+                    .ok_or_else(|| BaselineError(format!("unknown policy `{policy_name}`")))?,
+                median_ns: field_u64(cell, "median_ns")?,
+                min_ns: field_u64(cell, "min_ns")?,
+                samples: field_u64(cell, "samples")? as usize,
+                gates: field_u64(cell, "gates")?,
+                swaps: field_u64(cell, "swaps")?,
+                depth: field_u64(cell, "depth")?,
+                qubits: field_u64(cell, "qubits")? as usize,
+                aqv: field_u64(cell, "aqv")?,
+            })
+        })
+        .collect::<Result<Vec<_>, BaselineError>>()?;
+    Ok(Baseline {
+        schema,
+        calibration_ns,
+        cells,
+    })
+}
+
+/// Times the fixed calibration workload: a deterministic integer mix
+/// long enough to dwarf timer granularity (~tens of ms). The median
+/// of several runs gives each machine a speed yardstick that timing
+/// comparisons normalize by.
+pub fn calibrate() -> u64 {
+    fn one_run() -> u64 {
+        let start = Instant::now();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut acc = 0u64;
+        for i in 0..12_000_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            acc = acc.wrapping_add(state ^ i);
+        }
+        std::hint::black_box(acc);
+        start.elapsed().as_nanos() as u64
+    }
+    let mut runs: Vec<u64> = (0..5).map(|_| one_run()).collect();
+    runs.sort_unstable();
+    runs[runs.len() / 2]
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Measures every `(benchmark, policy)` cell of `set` on the
+/// auto-sized NISQ machine: `samples` timed compiles per cell (after
+/// one warm-up) plus the circuit fingerprint. `progress` receives one
+/// line per completed cell (route it to stderr so stdout stays
+/// machine-readable).
+pub fn measure(
+    set: BenchSet,
+    samples: usize,
+    mut progress: impl FnMut(&str),
+) -> Result<Baseline, String> {
+    let samples = samples.max(1);
+    let calibration_ns = calibrate();
+    let mut cells = Vec::new();
+    for &benchmark in set.benchmarks() {
+        let program = build(benchmark).map_err(|e| format!("{benchmark}: {e}"))?;
+        for policy in Policy::ALL {
+            let config = CompilerConfig::nisq(policy);
+            let compile_once = || -> Result<CompileReport, String> {
+                compile(&program, &config).map_err(|e| format!("{benchmark}/{policy}: {e}"))
+            };
+            let report = compile_once()?; // warm-up, keeps the fingerprint
+            let mut times = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let start = Instant::now();
+                let r = compile_once()?;
+                times.push(start.elapsed().as_nanos() as u64);
+                std::hint::black_box(r);
+            }
+            let cell = MeasuredCell {
+                benchmark,
+                policy,
+                median_ns: median(times.clone()),
+                min_ns: times.iter().copied().min().expect("samples >= 1"),
+                samples,
+                gates: report.gates,
+                swaps: report.swaps,
+                depth: report.depth,
+                qubits: report.qubits,
+                aqv: report.aqv,
+            };
+            progress(&format!(
+                "measured {benchmark}/{policy}: median {:.3}ms over {samples} samples",
+                cell.median_ns as f64 / 1e6
+            ));
+            cells.push(cell);
+        }
+    }
+    Ok(Baseline {
+        schema: SCHEMA_VERSION,
+        calibration_ns,
+        cells,
+    })
+}
+
+/// One cell's timing comparison.
+#[derive(Debug, Clone)]
+pub struct CellComparison {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Policy.
+    pub policy: Policy,
+    /// Calibration-normalized median in the baseline.
+    pub baseline_norm: f64,
+    /// Calibration-normalized median in the current run.
+    pub current_norm: f64,
+    /// The smaller of the median-based and min-based normalized
+    /// ratios (> 1 means slower). Taking the better of the two makes
+    /// the gate robust to one-sided scheduler noise — a genuine
+    /// regression slows the fastest sample too, while a noisy median
+    /// on a shared CI runner does not move `min_ns`.
+    pub ratio: f64,
+}
+
+/// Outcome of gating a current run against a baseline.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Cells whose deterministic circuit fingerprint drifted — always
+    /// a failure.
+    pub fingerprint_mismatches: Vec<String>,
+    /// Cells measured now but absent from the baseline (stale
+    /// baseline) — always a failure.
+    pub missing_cells: Vec<String>,
+    /// Per-cell timing comparisons (cells present in both runs).
+    pub timings: Vec<CellComparison>,
+    /// Geometric mean of timing ratios — the hot-path regression
+    /// metric the gate thresholds.
+    pub geomean_ratio: f64,
+    /// The configured tolerance (0.15 = fail above +15%).
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// True when the gate passes.
+    pub fn ok(&self) -> bool {
+        self.fingerprint_mismatches.is_empty()
+            && self.missing_cells.is_empty()
+            && self.geomean_ratio <= 1.0 + self.tolerance
+    }
+
+    /// Renders the human-readable gate summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.fingerprint_mismatches {
+            out.push_str(&format!("FINGERPRINT DRIFT: {m}\n"));
+        }
+        for m in &self.missing_cells {
+            out.push_str(&format!("MISSING FROM BASELINE: {m}\n"));
+        }
+        out.push_str(&format!(
+            "{:<12} {:<8} {:>14} {:>14} {:>8}\n",
+            "benchmark", "policy", "base(norm)", "now(norm)", "ratio"
+        ));
+        for t in &self.timings {
+            out.push_str(&format!(
+                "{:<12} {:<8} {:>14.4} {:>14.4} {:>8.3}\n",
+                t.benchmark.name(),
+                t.policy.cli_name(),
+                t.baseline_norm,
+                t.current_norm,
+                t.ratio
+            ));
+        }
+        out.push_str(&format!(
+            "geomean ratio {:.3} (tolerance +{:.0}%): {}\n",
+            self.geomean_ratio,
+            self.tolerance * 100.0,
+            if self.ok() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+/// Gates `current` against `baseline`: exact fingerprint equality on
+/// every shared cell, and a geometric-mean timing regression bound of
+/// `tolerance` over the shared (hot-path) cells. Cells only present
+/// in the baseline (e.g. the full catalog vs. a smoke run) are
+/// ignored; cells only present in `current` fail the gate (the
+/// committed baseline is stale).
+pub fn gate(baseline: &Baseline, current: &Baseline, tolerance: f64) -> GateReport {
+    let mut fingerprint_mismatches = Vec::new();
+    let mut missing_cells = Vec::new();
+    let mut timings = Vec::new();
+    let mut log_sum = 0.0f64;
+    for cell in &current.cells {
+        let Some(base) = baseline.get(cell.benchmark, cell.policy) else {
+            missing_cells.push(format!("{}/{}", cell.benchmark, cell.policy.cli_name()));
+            continue;
+        };
+        if base.fingerprint() != cell.fingerprint() {
+            fingerprint_mismatches.push(format!(
+                "{}/{}: baseline (gates {}, swaps {}, depth {}, qubits {}, aqv {}) vs current (gates {}, swaps {}, depth {}, qubits {}, aqv {})",
+                cell.benchmark,
+                cell.policy.cli_name(),
+                base.gates, base.swaps, base.depth, base.qubits, base.aqv,
+                cell.gates, cell.swaps, cell.depth, cell.qubits, cell.aqv,
+            ));
+        }
+        let base_cal = baseline.calibration_ns.max(1) as f64;
+        let cur_cal = current.calibration_ns.max(1) as f64;
+        let baseline_norm = base.median_ns as f64 / base_cal;
+        let current_norm = cell.median_ns as f64 / cur_cal;
+        let norm_ratio = |b: u64, c: u64| {
+            let b = b as f64 / base_cal;
+            if b > 0.0 {
+                (c as f64 / cur_cal) / b
+            } else {
+                1.0
+            }
+        };
+        // Per-cell ratio: the better of median-vs-median and
+        // min-vs-min. See [`CellComparison::ratio`].
+        let ratio =
+            norm_ratio(base.median_ns, cell.median_ns).min(norm_ratio(base.min_ns, cell.min_ns));
+        log_sum += ratio.max(f64::MIN_POSITIVE).ln();
+        timings.push(CellComparison {
+            benchmark: cell.benchmark,
+            policy: cell.policy,
+            baseline_norm,
+            current_norm,
+            ratio,
+        });
+    }
+    let geomean_ratio = if timings.is_empty() {
+        1.0
+    } else {
+        (log_sum / timings.len() as f64).exp()
+    };
+    GateReport {
+        fingerprint_mismatches,
+        missing_cells,
+        timings,
+        geomean_ratio,
+        tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(benchmark: Benchmark, policy: Policy, median_ns: u64, gates: u64) -> MeasuredCell {
+        MeasuredCell {
+            benchmark,
+            policy,
+            median_ns,
+            min_ns: median_ns,
+            samples: 3,
+            gates,
+            swaps: 1,
+            depth: 2,
+            qubits: 3,
+            aqv: 4,
+        }
+    }
+
+    fn baseline_of(cells: Vec<MeasuredCell>, calibration_ns: u64) -> Baseline {
+        Baseline {
+            schema: SCHEMA_VERSION,
+            calibration_ns,
+            cells,
+        }
+    }
+
+    #[test]
+    fn serialize_parse_round_trip() {
+        let b = baseline_of(
+            vec![
+                cell(Benchmark::Rd53, Policy::Square, 1_000_000, 42),
+                cell(Benchmark::Adder4, Policy::Lazy, 2_000_000, 99),
+            ],
+            50_000_000,
+        );
+        let text = serde_json::to_string_pretty(&b).unwrap();
+        assert_eq!(parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_names() {
+        assert!(parse("{}").is_err());
+        assert!(parse(r#"{"schema":999,"calibration_ns":1,"cells":[]}"#)
+            .unwrap_err()
+            .to_string()
+            .contains("schema"));
+        let bad = r#"{"schema":1,"calibration_ns":1,"cells":[{"benchmark":"NOPE","policy":"square","median_ns":1,"min_ns":1,"samples":1,"gates":1,"swaps":1,"depth":1,"qubits":1,"aqv":1}]}"#;
+        assert!(parse(bad).unwrap_err().to_string().contains("NOPE"));
+    }
+
+    #[test]
+    fn gate_passes_identical_runs() {
+        let b = baseline_of(vec![cell(Benchmark::Rd53, Policy::Square, 1_000, 42)], 100);
+        let report = gate(&b, &b.clone(), 0.15);
+        assert!(report.ok());
+        assert!((report.geomean_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_normalizes_across_machine_speeds() {
+        // Baseline machine: calibration 100, cell 1000. Current
+        // machine twice as slow overall: calibration 200, cell 2000 —
+        // normalized ratio 1.0, no regression.
+        let base = baseline_of(vec![cell(Benchmark::Rd53, Policy::Square, 1_000, 42)], 100);
+        let cur = baseline_of(vec![cell(Benchmark::Rd53, Policy::Square, 2_000, 42)], 200);
+        let report = gate(&base, &cur, 0.15);
+        assert!(report.ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn gate_fails_on_regression_beyond_tolerance() {
+        let base = baseline_of(vec![cell(Benchmark::Rd53, Policy::Square, 1_000, 42)], 100);
+        let cur = baseline_of(vec![cell(Benchmark::Rd53, Policy::Square, 1_200, 42)], 100);
+        let report = gate(&base, &cur, 0.15);
+        assert!(!report.ok());
+        assert!((report.geomean_ratio - 1.2).abs() < 1e-9);
+        // The same 20% slowdown passes a looser gate.
+        assert!(gate(&base, &cur, 0.25).ok());
+    }
+
+    #[test]
+    fn gate_tolerates_one_sided_median_noise_but_not_real_regressions() {
+        let base = baseline_of(vec![cell(Benchmark::Rd53, Policy::Square, 1_000, 42)], 100);
+        // Median drifted +30% but the fastest sample is unchanged:
+        // scheduler noise, not a regression — the min-based ratio
+        // rescues the cell.
+        let noisy = baseline_of(
+            vec![MeasuredCell {
+                median_ns: 1_300,
+                min_ns: 1_000,
+                ..cell(Benchmark::Rd53, Policy::Square, 1_300, 42)
+            }],
+            100,
+        );
+        assert!(gate(&base, &noisy, 0.15).ok());
+        // Both median and min moved: a real slowdown still fails.
+        let slow = baseline_of(
+            vec![MeasuredCell {
+                median_ns: 1_300,
+                min_ns: 1_300,
+                ..cell(Benchmark::Rd53, Policy::Square, 1_300, 42)
+            }],
+            100,
+        );
+        assert!(!gate(&base, &slow, 0.15).ok());
+    }
+
+    #[test]
+    fn gate_fails_on_fingerprint_drift_even_when_faster() {
+        let base = baseline_of(vec![cell(Benchmark::Rd53, Policy::Square, 1_000, 42)], 100);
+        let cur = baseline_of(vec![cell(Benchmark::Rd53, Policy::Square, 500, 43)], 100);
+        let report = gate(&base, &cur, 0.15);
+        assert!(!report.ok());
+        assert_eq!(report.fingerprint_mismatches.len(), 1);
+        assert!(report.render().contains("FINGERPRINT DRIFT"));
+    }
+
+    #[test]
+    fn gate_ignores_baseline_only_cells_but_fails_on_new_cells() {
+        let base = baseline_of(
+            vec![
+                cell(Benchmark::Rd53, Policy::Square, 1_000, 42),
+                cell(Benchmark::Modexp, Policy::Square, 9_000, 7),
+            ],
+            100,
+        );
+        // Smoke run covers a subset: fine.
+        let smoke = baseline_of(vec![cell(Benchmark::Rd53, Policy::Square, 1_000, 42)], 100);
+        assert!(gate(&base, &smoke, 0.15).ok());
+        // A cell the baseline has never seen: stale baseline.
+        let newer = baseline_of(
+            vec![
+                cell(Benchmark::Rd53, Policy::Square, 1_000, 42),
+                cell(Benchmark::Adder4, Policy::Lazy, 1_000, 5),
+            ],
+            100,
+        );
+        let report = gate(&base, &newer, 0.15);
+        assert!(!report.ok());
+        assert_eq!(report.missing_cells.len(), 1);
+    }
+
+    #[test]
+    fn smoke_measure_records_fingerprints_and_timing() {
+        // One tiny benchmark set through the real executor: use the
+        // smoke set restricted via a custom loop is overkill here, so
+        // measure the smallest benchmark directly with 1 sample.
+        let baseline = measure(BenchSet::Smoke, 1, |_| {}).unwrap();
+        assert_eq!(baseline.schema, SCHEMA_VERSION);
+        assert!(baseline.calibration_ns > 0);
+        assert_eq!(
+            baseline.cells.len(),
+            Benchmark::NISQ.len() * Policy::ALL.len()
+        );
+        for cell in &baseline.cells {
+            assert!(cell.gates > 0, "{}", cell.benchmark);
+            assert!(cell.median_ns > 0);
+        }
+        // Identical compilers gate cleanly against themselves.
+        let again = measure(BenchSet::Smoke, 1, |_| {}).unwrap();
+        let report = gate(&baseline, &again, 10.0);
+        assert!(
+            report.fingerprint_mismatches.is_empty(),
+            "{}",
+            report.render()
+        );
+    }
+}

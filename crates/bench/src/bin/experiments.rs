@@ -21,8 +21,10 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use square_bench::{ablation, fig1, fig10, fig5, fig8, fig9, sweep, table3, table4};
-use square_bench::{run_sweep, SweepArch, SweepSpec};
+use square_bench::{run_sweep_with_progress, SweepArch, SweepSpec};
 use square_core::Policy;
 use square_workloads::Benchmark;
 
@@ -90,7 +92,26 @@ fn run_sweep_cli(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let matrix = run_sweep(&spec);
+    // Progress always goes to stderr: with `--json`, stdout carries
+    // exactly one JSON document so the output stays pipeable
+    // (`experiments --json | jq .`).
+    let total = spec.len();
+    let done = AtomicUsize::new(0);
+    let matrix = run_sweep_with_progress(&spec, |cell| {
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let outcome = match &cell.report {
+            Ok(r) => format!("aqv {}", r.aqv),
+            Err(e) => format!("failed: {e}"),
+        };
+        eprintln!(
+            "[{n}/{total}] {} {} {}: {} ({:.0}ms)",
+            cell.benchmark,
+            cell.arch,
+            cell.policy.cli_name(),
+            outcome,
+            cell.compile_ms
+        );
+    });
     if json {
         match serde_json::to_string_pretty(&matrix) {
             Ok(text) => println!("{text}"),

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod baseline;
 pub mod fig1;
 pub mod fig10;
 pub mod fig5;
@@ -18,5 +19,6 @@ pub mod sweep;
 pub mod table3;
 pub mod table4;
 
+pub use baseline::{Baseline, BenchSet, GateReport, MeasuredCell};
 pub use runner::{lattice_for, run_policies, ExperimentResult};
-pub use sweep::{run_sweep, SweepArch, SweepCell, SweepMatrix, SweepSpec};
+pub use sweep::{run_sweep, run_sweep_with_progress, SweepArch, SweepCell, SweepMatrix, SweepSpec};

@@ -254,6 +254,14 @@ fn report_value(r: &CompileReport) -> Value {
                 ("forced", Value::UInt(r.decisions.forced)),
             ]),
         ),
+        (
+            "cer_cache",
+            Value::map([
+                ("hits", Value::UInt(r.cer_cache.hits)),
+                ("misses", Value::UInt(r.cer_cache.misses)),
+                ("invalidations", Value::UInt(r.cer_cache.invalidations)),
+            ]),
+        ),
     ])
 }
 
@@ -290,6 +298,17 @@ impl Serialize for SweepMatrix {
 /// `benchmark × policy × arch` product; each worker builds its own
 /// program instance, so cells share nothing and scale with cores).
 pub fn run_sweep(spec: &SweepSpec) -> SweepMatrix {
+    run_sweep_with_progress(spec, |_| {})
+}
+
+/// [`run_sweep`] with a per-completed-cell callback, invoked from the
+/// worker threads as cells finish. Callers that print progress must
+/// route it to **stderr** — stdout is reserved for the machine-
+/// readable matrix (`experiments --json | jq` must stay valid JSON).
+pub fn run_sweep_with_progress(
+    spec: &SweepSpec,
+    progress: impl Fn(&SweepCell) + Sync,
+) -> SweepMatrix {
     let start = Instant::now();
     let cells: Vec<SweepCell> = spec
         .cells()
@@ -299,13 +318,15 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepMatrix {
             let report = build(benchmark)
                 .map_err(CompileError::from)
                 .and_then(|program| compile(&program, &arch.config(policy)));
-            SweepCell {
+            let cell = SweepCell {
                 benchmark,
                 policy,
                 arch,
                 report,
                 compile_ms: cell_start.elapsed().as_secs_f64() * 1e3,
-            }
+            };
+            progress(&cell);
+            cell
         })
         .collect();
     SweepMatrix {

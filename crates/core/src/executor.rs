@@ -11,11 +11,12 @@
 //! casing.
 
 use square_qir::{
-    analysis::ProgramStats, lower_mcx, Gate, ModuleId, Operand, Program, Stmt, TraceOp, VirtId,
+    analysis::ProgramStats, lower_mcx, trace::invert_slice_into, Gate, ModuleId, Operand, Program,
+    Stmt, TraceOp, VirtId,
 };
 use square_route::{Machine, MachineConfig};
 
-use crate::cer::{self, CerInputs};
+use crate::cer::{CerEngine, CerInputs, ModuleCostTable};
 use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::heap::AncillaHeap;
@@ -48,6 +49,11 @@ pub fn compile_with_inputs(
     square_qir::validate::validate_program(program)?;
     let lowered = lower_mcx(program);
     let pstats = ProgramStats::analyze(&lowered);
+    // Per-module cost terms (custom-uncompute totals, block suffix
+    // sums) memoized up front — the per-frame hot path below never
+    // re-walks statement lists. Modules are mutually independent, so
+    // the table is built in parallel.
+    let costs = ModuleCostTable::build(&lowered, &pstats);
     let entry_stats = pstats.module(lowered.entry());
     let capacity_hint = entry_stats.ancilla_transitive as usize;
     let topo = config.arch.build(capacity_hint);
@@ -58,18 +64,24 @@ pub fn compile_with_inputs(
             record_schedule: config.record_schedule,
         },
     );
+    let heap = AncillaHeap::with_capacity(machine.qubit_count());
     let mut exec = Exec {
         program: &lowered,
         pstats,
+        costs,
+        cer: CerEngine::new(config.cer),
         config,
         machine,
-        heap: AncillaHeap::new(),
+        heap,
         trace: Vec::new(),
+        inverse_scratch: Vec::new(),
         next_virt: 0,
+        gates_emitted: 0,
         decisions: DecisionStats::default(),
     };
     let entry_register = exec.run_entry(inputs)?;
     let decisions = exec.decisions;
+    let cer_cache = exec.cer.stats();
     let policy = config.policy;
     let comm = config.comm;
     let comm_factor = exec.machine.comm_factor();
@@ -93,19 +105,41 @@ pub fn compile_with_inputs(
         entry_register,
         final_placement: route_report.final_placement,
         decisions,
+        cer_cache,
         machine_qubits,
         trace,
     })
 }
 
+/// Which block of a module [`Exec::run_block`] is executing (selects
+/// the matching suffix-sum table for O(1) tail-gate look-ahead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Compute,
+    Store,
+    CustomUncompute,
+}
+
 struct Exec<'p> {
     program: &'p Program,
     pstats: ProgramStats,
+    /// Memoized per-module static cost terms (see [`ModuleCostTable`]).
+    costs: ModuleCostTable,
+    /// Incremental CER evaluator (decision memo, invalidated only at
+    /// allocation events).
+    cer: CerEngine,
     config: &'p CompilerConfig,
     machine: Machine,
     heap: AncillaHeap,
     trace: Vec<TraceOp>,
+    /// Reused buffer for mechanical uncompute slices (avoids two Vec
+    /// allocations per reclaimed frame).
+    inverse_scratch: Vec<TraceOp>,
     next_virt: u32,
+    /// Running count of `TraceOp::Gate` events emitted, snapshotted
+    /// around compute blocks so `G_uncomp` is O(1) instead of a
+    /// re-walk of the recorded slice.
+    gates_emitted: u64,
     decisions: DecisionStats,
 }
 
@@ -132,13 +166,16 @@ impl Exec<'_> {
                     live: self.machine.active_count(),
                 })?;
                 self.machine.place_at(*v, choice.phys)?;
+                self.cer.note_allocation_event();
             }
             TraceOp::Free(v) => {
                 let phys = self.machine.release(*v)?;
                 self.heap.push(phys);
+                self.cer.note_allocation_event();
             }
             TraceOp::Gate(g) => {
                 self.machine.apply(g)?;
+                self.gates_emitted += 1;
                 // Routing swaps may have moved pooled |0⟩ cells.
                 for (from, to) in self.machine.drain_relocations() {
                     self.heap.relocate(from, to);
@@ -176,50 +213,51 @@ impl Exec<'_> {
         depth: usize,
         g_p: u64,
     ) -> Result<(), CompileError> {
-        let module = self.program.module(id);
         let compute_start = self.trace.len();
-        self.run_block(module.compute(), id, args, anc, depth, g_p)?;
+        let gates_before_compute = self.gates_emitted;
+        self.run_block(BlockKind::Compute, id, args, anc, depth, g_p)?;
         let compute_end = self.trace.len();
-        let module = self.program.module(id);
-        self.run_block(module.store(), id, args, anc, depth, g_p)?;
+        let gates_after_compute = self.gates_emitted;
+        self.run_block(BlockKind::Store, id, args, anc, depth, g_p)?;
 
         // Frames without ancilla have nothing to reclaim: skip the
         // decision (and the pointless uncompute) entirely.
         if depth > 0 && anc.is_empty() {
             return Ok(());
         }
-        // G_uncomp: measured size of the compute slice, or the static
-        // size of an explicit uncompute block when the author supplied
-        // one (e.g. operand unloading for in-place adders).
-        let g_uncomp = match self.program.module(id).custom_uncompute() {
-            Some(stmts) => stmts
-                .iter()
-                .map(|s| self.pstats.stmt_forward_gates(s))
-                .sum(),
-            None => square_qir::trace::gate_count(&self.trace[compute_start..compute_end]),
+        // G_uncomp: measured size of the compute slice (running gate
+        // counter, O(1)), or the memoized static size of an explicit
+        // uncompute block when the author supplied one (e.g. operand
+        // unloading for in-place adders).
+        let g_uncomp = match self.costs.custom_uncompute_gates(id) {
+            Some(gates) => gates,
+            None => gates_after_compute - gates_before_compute,
         };
         let n_anc = anc.len();
         let frame_qubits = args.len() + anc.len();
-        if self.decide(depth, g_uncomp, n_anc, g_p, frame_qubits) {
+        if self.decide(id, depth, g_uncomp, n_anc, g_p, frame_qubits) {
             self.decisions.reclaimed += 1;
-            if let Some(custom) = self.program.module(id).custom_uncompute() {
-                let custom: Vec<Stmt> = custom.to_vec();
-                for (i, stmt) in custom.iter().enumerate() {
-                    let rest = Self::block_tail_gates(&self.pstats, &custom[i + 1..]);
-                    self.exec_stmt(stmt, id, args, anc, depth, rest, g_p)?;
-                }
+            if self.program.module(id).custom_uncompute().is_some() {
+                self.run_block(BlockKind::CustomUncompute, id, args, anc, depth, g_p)?;
             } else {
-                let slice: Vec<TraceOp> = self.trace[compute_start..compute_end].to_vec();
+                // Invert the recorded compute slice into the reused
+                // scratch buffer (no per-frame slice copy).
+                let mut scratch = std::mem::take(&mut self.inverse_scratch);
                 let mut next = self.next_virt;
-                let inv = square_qir::invert_slice(&slice, || {
-                    let v = VirtId(next);
-                    next += 1;
-                    v
-                });
+                invert_slice_into(
+                    &self.trace[compute_start..compute_end],
+                    &mut scratch,
+                    || {
+                        let v = VirtId(next);
+                        next += 1;
+                        v
+                    },
+                );
                 self.next_virt = next;
-                for op in inv {
-                    self.emit(op, &[])?;
+                for op in &scratch {
+                    self.emit(op.clone(), &[])?;
                 }
+                self.inverse_scratch = scratch;
             }
             if depth > 0 {
                 for a in anc.iter().rev() {
@@ -234,23 +272,37 @@ impl Exec<'_> {
 
     fn run_block(
         &mut self,
-        stmts: &[Stmt],
+        block: BlockKind,
         id: ModuleId,
         args: &[VirtId],
         anc: &[VirtId],
         depth: usize,
         frame_g_p: u64,
     ) -> Result<(), CompileError> {
-        let stmts: Vec<Stmt> = stmts.to_vec();
+        // Copy the shared program reference out of `self` so the
+        // statement slice borrows the program's lifetime, not `self`
+        // (the historical code cloned every block to satisfy the
+        // borrow checker).
+        let program = self.program;
+        let module = program.module(id);
+        let stmts = match block {
+            BlockKind::Compute => module.compute(),
+            BlockKind::Store => module.store(),
+            BlockKind::CustomUncompute => module
+                .custom_uncompute()
+                .expect("caller checked the block exists"),
+        };
         for (i, stmt) in stmts.iter().enumerate() {
-            let rest = Self::block_tail_gates(&self.pstats, &stmts[i + 1..]);
+            // O(1) memoized look-ahead: gates left in this block after
+            // the current statement.
+            let rest = match block {
+                BlockKind::Compute => self.costs.compute_tail(id, i),
+                BlockKind::Store => self.costs.store_tail(id, i),
+                BlockKind::CustomUncompute => self.costs.custom_tail(id, i),
+            };
             self.exec_stmt(stmt, id, args, anc, depth, rest, frame_g_p)?;
         }
         Ok(())
-    }
-
-    fn block_tail_gates(pstats: &ProgramStats, tail: &[Stmt]) -> u64 {
-        tail.iter().map(|s| pstats.stmt_forward_gates(s)).sum()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -304,6 +356,7 @@ impl Exec<'_> {
 
     fn decide(
         &mut self,
+        id: ModuleId,
         depth: usize,
         g_uncomp: u64,
         n_anc: usize,
@@ -328,7 +381,7 @@ impl Exec<'_> {
                     reclaim_rate: (self.decisions.reclaimed as f64 + 1.0) / (total as f64 + 2.0),
                     frame_qubits,
                 };
-                let d = cer::decide(&inputs, &self.config.cer);
+                let d = self.cer.decide(id, &inputs);
                 if d.forced {
                     self.decisions.forced += 1;
                 }

@@ -80,11 +80,11 @@ pub fn choose_slot(
     });
 
     match (heap_candidate, fresh_candidate) {
-        (Some((hp, hs)), Some((fp, fs))) => {
+        (Some((handle, hs)), Some((fp, fs))) => {
             if hs <= fs {
-                heap_take(heap, hp);
+                let phys = heap.take(handle).expect("handle minted this decision");
                 Some(AllocChoice {
-                    phys: hp,
+                    phys,
                     reused: true,
                     score: hs,
                 })
@@ -96,10 +96,10 @@ pub fn choose_slot(
                 })
             }
         }
-        (Some((hp, hs)), None) => {
-            heap_take(heap, hp);
+        (Some((handle, hs)), None) => {
+            let phys = heap.take(handle).expect("handle minted this decision");
             Some(AllocChoice {
-                phys: hp,
+                phys,
                 reused: true,
                 score: hs,
             })
@@ -169,11 +169,6 @@ pub fn choose_slot_naive(
 fn dist_to(machine: &Machine, p: PhysId, center: (i32, i32)) -> f64 {
     let (x, y) = machine.topo().coord(p);
     ((x - center.0).abs() + (y - center.1).abs()) as f64
-}
-
-fn heap_take(heap: &mut AncillaHeap, p: PhysId) {
-    let taken = heap.take_best(|q| if q == p { 0.0 } else { f64::INFINITY });
-    debug_assert_eq!(taken, Some(p));
 }
 
 #[cfg(test)]

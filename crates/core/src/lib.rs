@@ -44,8 +44,10 @@ pub mod report;
 
 mod error;
 
+pub use cer::{CerCacheStats, CerEngine, ModuleCostTable};
 pub use config::{ArchSpec, CerParams, CompilerConfig, LaaWeights};
 pub use error::CompileError;
 pub use executor::{compile, compile_with_inputs};
+pub use heap::{AncillaHeap, HeapError, HeapHandle};
 pub use policy::Policy;
 pub use report::CompileReport;

@@ -7,6 +7,7 @@ use square_metrics::{aqv, UsageCurve};
 use square_qir::{TraceOp, VirtId};
 use square_route::{CommStats, LivenessSegment, ScheduledGate};
 
+use crate::cer::CerCacheStats;
 use crate::policy::Policy;
 
 /// Per-frame reclamation decision counters.
@@ -55,6 +56,9 @@ pub struct CompileReport {
     pub final_placement: HashMap<VirtId, PhysId>,
     /// Reclamation decisions taken.
     pub decisions: DecisionStats,
+    /// CER decision-memo effectiveness (all zeros for policies that
+    /// never consult CER).
+    pub cer_cache: CerCacheStats,
     /// Machine capacity used for this run.
     pub machine_qubits: usize,
     /// The executed virtual trace (alloc/gate/free events).
@@ -118,6 +122,7 @@ mod tests {
             entry_register: vec![],
             final_placement: HashMap::new(),
             decisions: DecisionStats::default(),
+            cer_cache: CerCacheStats::default(),
             machine_qubits: 20,
             trace: vec![],
         };

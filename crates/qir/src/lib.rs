@@ -60,4 +60,4 @@ pub use gate::Gate;
 pub use lower::lower_mcx;
 pub use module::{Module, ModuleId, Operand, Program, Stmt};
 pub use sem::{BitState, ReclaimOracle};
-pub use trace::{invert_slice, TraceOp, VirtId};
+pub use trace::{invert_slice, invert_slice_into, TraceOp, VirtId};

@@ -16,6 +16,8 @@
 
 use std::collections::HashMap;
 
+use rayon::prelude::*;
+
 use crate::gate::Gate;
 use crate::module::{Module, ModuleId, Operand, Program, Stmt};
 
@@ -26,33 +28,57 @@ use crate::module::{Module, ModuleId, Operand, Program, Stmt};
 /// The generated modules are shared across call sites (one per control
 /// count) and appended after the existing modules, so existing
 /// [`ModuleId`]s stay valid.
+///
+/// Lowering runs in two phases: a cheap sequential discovery scan
+/// assigns [`ModuleId`]s to the needed `__mcx{k}` modules in
+/// first-encounter order (identical to the historical single-pass
+/// numbering), then every module body is rewritten in parallel against
+/// the now-read-only id map — module bodies are independent, so the
+/// result is deterministic regardless of core count.
 pub fn lower_mcx(program: &Program) -> Program {
-    let mut modules: Vec<Module> = program.modules().to_vec();
+    // Phase 1: discovery. Walk statements in program order and give
+    // each required chain width its module id, preserving the
+    // historical first-encounter numbering.
+    let n = program.modules().len();
     let mut generated: HashMap<usize, ModuleId> = HashMap::new();
-    let n = modules.len();
-    for idx in 0..n {
-        let compute = lower_block(modules[idx].compute.clone(), &mut modules, &mut generated);
-        let store = lower_block(modules[idx].store.clone(), &mut modules, &mut generated);
-        let custom = modules[idx]
-            .custom_uncompute
-            .clone()
-            .map(|b| lower_block(b, &mut modules, &mut generated));
-        let m = &mut modules[idx];
-        m.compute = compute;
-        m.store = store;
-        m.custom_uncompute = custom;
+    let mut tail: Vec<Module> = Vec::new();
+    let mut any_mcx = false;
+    for module in program.modules() {
+        for stmt in module.all_stmts() {
+            if let Stmt::Gate(Gate::Mcx { controls, .. }) = stmt {
+                any_mcx = true;
+                let k = controls.len();
+                if k >= 3 && !generated.contains_key(&k) {
+                    let id = ModuleId::from_index(n + tail.len());
+                    tail.push(build_mcx_module(k));
+                    generated.insert(k, id);
+                }
+            }
+        }
     }
+    if !any_mcx {
+        return program.clone();
+    }
+    // Phase 2: rewrite. Each module body only reads the shared id map.
+    let mut modules: Vec<Module> = program
+        .modules()
+        .par_iter()
+        .map(|module| {
+            let mut m = module.clone();
+            m.compute = lower_block(m.compute, &generated);
+            m.store = lower_block(m.store, &generated);
+            m.custom_uncompute = m.custom_uncompute.map(|b| lower_block(b, &generated));
+            m
+        })
+        .collect();
+    modules.extend(tail);
     Program {
         modules,
         entry: program.entry(),
     }
 }
 
-fn lower_block(
-    stmts: Vec<Stmt>,
-    modules: &mut Vec<Module>,
-    generated: &mut HashMap<usize, ModuleId>,
-) -> Vec<Stmt> {
+fn lower_block(stmts: Vec<Stmt>, generated: &HashMap<usize, ModuleId>) -> Vec<Stmt> {
     stmts
         .into_iter()
         .map(|stmt| match stmt {
@@ -68,9 +94,7 @@ fn lower_block(
                     target,
                 }),
                 k => {
-                    let id = *generated
-                        .entry(k)
-                        .or_insert_with(|| push_mcx_module(modules, k));
+                    let id = generated[&k];
                     let mut args = controls;
                     args.push(target);
                     Stmt::Call { callee: id, args }
@@ -83,7 +107,7 @@ fn lower_block(
 
 /// Builds `__mcx{k}`: params = k controls then the target; k − 2
 /// ancilla form the prefix-AND chain.
-fn push_mcx_module(modules: &mut Vec<Module>, k: usize) -> ModuleId {
+fn build_mcx_module(k: usize) -> Module {
     debug_assert!(k >= 3);
     let controls: Vec<Operand> = (0..k).map(Operand::Param).collect();
     let target = Operand::Param(k);
@@ -106,16 +130,14 @@ fn push_mcx_module(modules: &mut Vec<Module>, k: usize) -> ModuleId {
         c1: anc[k - 3],
         target,
     })];
-    let id = ModuleId(modules.len() as u32);
-    modules.push(Module {
+    Module {
         name: format!("__mcx{k}"),
         params: k + 1,
         ancillas: k - 2,
         compute,
         store,
         custom_uncompute: None,
-    });
-    id
+    }
 }
 
 #[cfg(test)]

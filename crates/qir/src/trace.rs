@@ -84,9 +84,25 @@ impl fmt::Display for TraceOp {
 /// Replaying `slice` followed by `invert_slice(slice, …)` on any state
 /// restores that state (see the property tests in this module and in
 /// `sem`).
-pub fn invert_slice(slice: &[TraceOp], mut fresh: impl FnMut() -> VirtId) -> Vec<TraceOp> {
+pub fn invert_slice(slice: &[TraceOp], fresh: impl FnMut() -> VirtId) -> Vec<TraceOp> {
+    let mut out = Vec::new();
+    invert_slice_into(slice, &mut out, fresh);
+    out
+}
+
+/// [`invert_slice`] writing into a caller-owned buffer.
+///
+/// `out` is cleared first; its capacity is reused, which lets a
+/// compile loop invert one frame slice per reclamation without
+/// allocating a fresh vector each time.
+pub fn invert_slice_into(
+    slice: &[TraceOp],
+    out: &mut Vec<TraceOp>,
+    mut fresh: impl FnMut() -> VirtId,
+) {
+    out.clear();
+    out.reserve(slice.len());
     let mut remap: HashMap<VirtId, VirtId> = HashMap::new();
-    let mut out = Vec::with_capacity(slice.len());
     for op in slice.iter().rev() {
         match op {
             TraceOp::Free(v) => {
@@ -104,7 +120,6 @@ pub fn invert_slice(slice: &[TraceOp], mut fresh: impl FnMut() -> VirtId) -> Vec
             }
         }
     }
-    out
 }
 
 /// Counts the gate events in a trace slice (allocation bookkeeping
