@@ -1,0 +1,188 @@
+//! Seeded pipeline fuzzer: random modular programs through
+//! compile → route → replay, validated against the reference
+//! semantics across every policy and both machine targets.
+//!
+//! ```text
+//! fuzz_pipeline [--start N] [--count N] [--spec SPEC] [--no-shrink]
+//!               [--repro-out PATH]
+//! ```
+//!
+//! * `--start` / `--count` — the meta-seed range to run
+//!   (default `0..200`); seeds are evaluated in parallel.
+//! * `--spec` — re-run a single reproducer spec
+//!   (`levels=..,callees=..,inputs=..,anc=..,gates=..,seed=..,bits=..`)
+//!   instead of a seed range.
+//! * `--no-shrink` — report failures as found, without greedy
+//!   shrinking.
+//! * `--repro-out` — also write reproducer lines to a file (CI
+//!   uploads it as an artifact on failure).
+//!
+//! Exit code 0 when every case validates, 1 on any mismatch, 2 on
+//! usage errors. Progress goes to stderr; reproducers go to stdout
+//! (and `--repro-out`).
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use rayon::prelude::*;
+use square_verify::fuzz::{run_case, shrink, CaseStats, FuzzCase, FuzzFailure};
+
+struct Options {
+    start: u64,
+    count: u64,
+    spec: Option<String>,
+    shrink: bool,
+    repro_out: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        start: 0,
+        count: 200,
+        spec: None,
+        shrink: true,
+        repro_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--start" => {
+                opts.start = value(arg)?.parse().map_err(|e| format!("--start: {e}"))?;
+            }
+            "--count" => {
+                opts.count = value(arg)?.parse().map_err(|e| format!("--count: {e}"))?;
+            }
+            "--spec" => opts.spec = Some(value(arg)?),
+            "--no-shrink" => opts.shrink = false,
+            "--repro-out" => opts.repro_out = Some(value(arg)?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn report_failure(failure: &FuzzFailure, do_shrink: bool, lines: &mut Vec<String>) {
+    eprintln!("FAIL: {failure}");
+    if do_shrink {
+        let (_, small_failure) = shrink(&failure.case);
+        eprintln!("  shrunk to: {small_failure}");
+        lines.push(reproducer_line(&small_failure));
+    } else {
+        lines.push(reproducer_line(failure));
+    }
+}
+
+fn reproducer_line(failure: &FuzzFailure) -> String {
+    format!(
+        "fuzz_pipeline --spec {}   # seed {} · {}/{} · {}",
+        failure.case.spec(),
+        failure.case.seed,
+        failure.policy.cli_name(),
+        failure.machine,
+        failure.error
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!(
+                "usage: fuzz_pipeline [--start N] [--count N] [--spec SPEC] [--no-shrink] \
+                 [--repro-out PATH]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let t0 = Instant::now();
+
+    let (mut failures, totals, ran): (Vec<FuzzFailure>, CaseStats, u64) =
+        if let Some(spec) = &opts.spec {
+            let Some(case) = FuzzCase::parse_spec(spec) else {
+                eprintln!("unparseable spec `{spec}`");
+                return ExitCode::from(2);
+            };
+            match run_case(&case) {
+                Ok(stats) => (vec![], stats, 1),
+                Err(f) => (vec![*f], CaseStats::default(), 1),
+            }
+        } else {
+            let done = AtomicUsize::new(0);
+            let total = opts.count;
+            // (the vendored rayon parallelizes Vec, not ranges)
+            let seeds: Vec<u64> = (opts.start..opts.start + opts.count).collect();
+            let results: Vec<Result<CaseStats, Box<FuzzFailure>>> = seeds
+                .into_par_iter()
+                .map(|seed| {
+                    let outcome = run_case(&FuzzCase::from_seed(seed));
+                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if n.is_multiple_of(25) || n as u64 == total {
+                        eprintln!("[{n}/{total}] seeds validated");
+                    }
+                    outcome
+                })
+                .collect();
+            let mut failures = Vec::new();
+            let mut totals = CaseStats::default();
+            for r in results {
+                match r {
+                    Ok(s) => {
+                        totals.cells += s.cells;
+                        totals.gates += s.gates;
+                        totals.swaps += s.swaps;
+                    }
+                    Err(f) => failures.push(*f),
+                }
+            }
+            (failures, totals, opts.count)
+        };
+
+    failures.sort_by_key(|f| f.case.seed);
+    let mut repro_lines = Vec::new();
+    for failure in &failures {
+        report_failure(failure, opts.shrink, &mut repro_lines);
+    }
+    if let Some(path) = &opts.repro_out {
+        if !repro_lines.is_empty() {
+            match std::fs::File::create(path) {
+                Ok(mut f) => {
+                    for line in &repro_lines {
+                        let _ = writeln!(f, "{line}");
+                    }
+                    eprintln!("reproducers written to {path}");
+                }
+                Err(e) => eprintln!("cannot write {path}: {e}"),
+            }
+        }
+    }
+    for line in &repro_lines {
+        println!("{line}");
+    }
+
+    eprintln!(
+        "{ran} cases, {} cells validated ({} gates, {} swaps replayed), {} failures, {:.1?}",
+        totals.cells,
+        totals.gates,
+        totals.swaps,
+        failures.len(),
+        t0.elapsed()
+    );
+    if failures.is_empty() {
+        println!(
+            "fuzz_pipeline: {ran} cases / {} cells validated, zero semantic mismatches",
+            totals.cells
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

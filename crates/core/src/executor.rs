@@ -22,7 +22,7 @@ use crate::error::CompileError;
 use crate::heap::AncillaHeap;
 use crate::laa;
 use crate::policy::Policy;
-use crate::report::{CompileReport, DecisionStats};
+use crate::report::{CompileReport, DecisionStats, ReclaimDecision};
 
 /// Compiles `program` with all entry-register inputs |0⟩.
 ///
@@ -78,9 +78,11 @@ pub fn compile_with_inputs(
         next_virt: 0,
         gates_emitted: 0,
         decisions: DecisionStats::default(),
+        decision_log: Vec::new(),
     };
     let entry_register = exec.run_entry(inputs)?;
     let decisions = exec.decisions;
+    let decision_log = std::mem::take(&mut exec.decision_log);
     let cer_cache = exec.cer.stats();
     let policy = config.policy;
     let comm = config.comm;
@@ -105,6 +107,8 @@ pub fn compile_with_inputs(
         entry_register,
         final_placement: route_report.final_placement,
         decisions,
+        decision_log,
+        placement_history: route_report.placement_history,
         cer_cache,
         machine_qubits,
         trace,
@@ -141,6 +145,8 @@ struct Exec<'p> {
     /// re-walk of the recorded slice.
     gates_emitted: u64,
     decisions: DecisionStats,
+    /// Per-frame decisions in completion order (see [`ReclaimDecision`]).
+    decision_log: Vec<ReclaimDecision>,
 }
 
 impl Exec<'_> {
@@ -235,7 +241,13 @@ impl Exec<'_> {
         };
         let n_anc = anc.len();
         let frame_qubits = args.len() + anc.len();
-        if self.decide(id, depth, g_uncomp, n_anc, g_p, frame_qubits) {
+        let reclaim = self.decide(id, depth, g_uncomp, n_anc, g_p, frame_qubits);
+        self.decision_log.push(ReclaimDecision {
+            module: id,
+            depth: depth as u32,
+            reclaim,
+        });
+        if reclaim {
             self.decisions.reclaimed += 1;
             if self.program.module(id).custom_uncompute().is_some() {
                 self.run_block(BlockKind::CustomUncompute, id, args, anc, depth, g_p)?;
@@ -536,6 +548,42 @@ mod tests {
                 assert_eq!(sem.outputs, vals, "{policy}");
             }
         }
+    }
+
+    #[test]
+    fn decision_log_replays_through_reference_semantics() {
+        let p = nested_program();
+        for policy in Policy::ALL {
+            let r = compile(&p, &grid(policy)).unwrap();
+            assert_eq!(
+                r.decision_log.len() as u64,
+                r.decisions.reclaimed + r.decisions.garbage,
+                "{policy}: log covers every decision"
+            );
+            // The reference semantics, fed the recorded decisions,
+            // visit exactly the same reclamation points.
+            let lowered = square_qir::lower_mcx(&p);
+            let mut oracle = square_qir::RecordedDecisions::new(r.decision_bools());
+            let sem = square_qir::sem::run(&lowered, &[], &mut oracle).unwrap();
+            assert!(oracle.in_sync(), "{policy}: decision sequence drift");
+            assert_eq!(sem.outputs.len(), r.entry_register.len(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn schedule_recording_also_records_placement_history() {
+        let p = nested_program();
+        let r = compile(&p, &grid(Policy::Square).with_schedule()).unwrap();
+        let history = r.placement_history.as_ref().expect("recorded");
+        assert!(!history.is_empty());
+        // Every entry-register qubit's journey ends at its final
+        // placement.
+        for v in &r.entry_register {
+            let journey = square_route::journey_of(history, *v);
+            assert_eq!(journey.last(), r.final_placement.get(v), "{v}");
+        }
+        let bare = compile(&p, &grid(Policy::Square)).unwrap();
+        assert!(bare.placement_history.is_none());
     }
 
     #[test]

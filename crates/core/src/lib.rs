@@ -50,4 +50,4 @@ pub use error::CompileError;
 pub use executor::{compile, compile_with_inputs};
 pub use heap::{AncillaHeap, HeapError, HeapHandle};
 pub use policy::Policy;
-pub use report::CompileReport;
+pub use report::{CompileReport, ReclaimDecision};

@@ -4,11 +4,26 @@ use std::collections::HashMap;
 
 use square_arch::{CommModel, PhysId};
 use square_metrics::{aqv, UsageCurve};
-use square_qir::{TraceOp, VirtId};
-use square_route::{CommStats, LivenessSegment, ScheduledGate};
+use square_qir::{ModuleId, TraceOp, VirtId};
+use square_route::{CommStats, LivenessSegment, PlacementEvent, ScheduledGate};
 
 use crate::cer::CerCacheStats;
 use crate::policy::Policy;
+
+/// One recorded reclamation decision, in frame-completion (post-)
+/// order. The sequence of `reclaim` bits drives
+/// `square_qir::sem::RecordedDecisions`, letting the reference
+/// semantics replay exactly the choices this compile made — the oracle
+/// side of translation validation for state-dependent policies (CER).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReclaimDecision {
+    /// Module whose frame decided (an id in the *lowered* program).
+    pub module: ModuleId,
+    /// Call depth of the frame (entry = 0).
+    pub depth: u32,
+    /// True = uncomputed and reclaimed; false = left garbage.
+    pub reclaim: bool,
+}
 
 /// Per-frame reclamation decision counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +71,12 @@ pub struct CompileReport {
     pub final_placement: HashMap<VirtId, PhysId>,
     /// Reclamation decisions taken.
     pub decisions: DecisionStats,
+    /// Every reclamation decision in frame-completion order (the
+    /// replayable form of [`CompileReport::decisions`]).
+    pub decision_log: Vec<ReclaimDecision>,
+    /// Placement history (binds, routing moves, releases), if schedule
+    /// recording was requested — diagnostic input for the validator.
+    pub placement_history: Option<Vec<PlacementEvent>>,
     /// CER decision-memo effectiveness (all zeros for policies that
     /// never consult CER).
     pub cer_cache: CerCacheStats,
@@ -75,6 +96,12 @@ impl CompileReport {
     /// The qubits-in-use vs. time curve (Fig. 1).
     pub fn usage_curve(&self) -> UsageCurve {
         UsageCurve::from_segments(self.segments.iter().map(|s| (s.start, s.end)))
+    }
+
+    /// The reclaim bits of [`CompileReport::decision_log`], in oracle
+    /// consumption order.
+    pub fn decision_bools(&self) -> Vec<bool> {
+        self.decision_log.iter().map(|d| d.reclaim).collect()
     }
 
     /// Physical qubits to measure for the entry register, in register
@@ -122,6 +149,8 @@ mod tests {
             entry_register: vec![],
             final_placement: HashMap::new(),
             decisions: DecisionStats::default(),
+            decision_log: vec![],
+            placement_history: None,
             cer_cache: CerCacheStats::default(),
             machine_qubits: 20,
             trace: vec![],

@@ -149,6 +149,56 @@ mod tests {
     }
 
     #[test]
+    fn empty_tally_and_zero_volume_are_certain() {
+        // Boundary: no gates and no exposure — success is exactly 1
+        // even under realistic noise (0^0-style powf edge).
+        let noise = NoiseParams::paper_simulation();
+        assert_eq!(success_rate(&GateTally::new(), 0, &noise), 1.0);
+        assert_eq!(worst_case_success(0, 0, 0, &noise), 1.0);
+    }
+
+    #[test]
+    fn single_gate_matches_closed_form() {
+        let noise = NoiseParams::paper_simulation();
+        let t = GateTally {
+            one_qubit: 1,
+            two_qubit: 0,
+        };
+        assert!((success_rate(&t, 0, &noise) - (1.0 - noise.p1)).abs() < 1e-15);
+        assert!((worst_case_success(0, 1, 0, &noise) - (1.0 - noise.p2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mcx_tally_boundaries() {
+        // 0 controls = X; 1 control = CNOT; the generic branch starts
+        // at 2 where it must coincide with the Toffoli decomposition.
+        let mut t0 = GateTally::new();
+        t0.add_gate(&Gate::Mcx {
+            controls: vec![],
+            target: 0u32,
+        });
+        assert_eq!((t0.one_qubit, t0.two_qubit), (1, 0));
+        let mut t1 = GateTally::new();
+        t1.add_gate(&Gate::Mcx {
+            controls: vec![1u32],
+            target: 0,
+        });
+        assert_eq!((t1.one_qubit, t1.two_qubit), (0, 1));
+        let mut t2 = GateTally::new();
+        t2.add_gate(&Gate::Mcx {
+            controls: vec![1u32, 2],
+            target: 0,
+        });
+        let mut ccx = GateTally::new();
+        ccx.add_gate(&Gate::Ccx {
+            c0: 1u32,
+            c1: 2,
+            target: 0,
+        });
+        assert_eq!(t2, ccx, "2-control MCX ≡ Toffoli accounting");
+    }
+
+    #[test]
     fn success_bounded_by_unit_interval() {
         let noise = NoiseParams::paper_simulation();
         let t = GateTally {

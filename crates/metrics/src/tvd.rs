@@ -125,6 +125,42 @@ mod tests {
     }
 
     #[test]
+    fn empty_histograms_are_at_distance_zero() {
+        // Boundary: no shots on either side — the sum ranges over an
+        // empty support, not a 0/0 division.
+        let p = Histogram::new();
+        let q = Histogram::new();
+        assert_eq!(p.shots(), 0);
+        assert_eq!(total_variation_distance(&p, &q), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_point_mass_is_distance_one() {
+        // Boundary: an empty histogram assigns probability 0 to every
+        // outcome, so it sits at maximal distance from any point mass.
+        let p = Histogram::new();
+        let q: Histogram = [3u64; 5].into_iter().collect();
+        assert_eq!(total_variation_distance(&p, &q), 0.5 * 1.0);
+        assert_eq!(total_variation_distance(&q, &p), 0.5 * 1.0);
+    }
+
+    #[test]
+    fn fully_disjoint_supports_are_at_distance_one() {
+        let p: Histogram = [0u64, 1, 2].into_iter().collect();
+        let q: Histogram = [3u64, 4, 5].into_iter().collect();
+        assert!((total_variation_distance(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_with_different_shot_counts() {
+        // Same empirical distribution at different sample sizes: still
+        // distance zero — d_TV compares probabilities, not counts.
+        let p: Histogram = [1u64, 2].into_iter().collect();
+        let q: Histogram = [1u64, 1, 2, 2].into_iter().collect();
+        assert_eq!(total_variation_distance(&p, &q), 0.0);
+    }
+
+    #[test]
     fn symmetry() {
         let p: Histogram = [0u64, 0, 1].into_iter().collect();
         let q: Histogram = [0u64, 1, 1].into_iter().collect();

@@ -59,5 +59,5 @@ pub use error::QirError;
 pub use gate::Gate;
 pub use lower::lower_mcx;
 pub use module::{Module, ModuleId, Operand, Program, Stmt};
-pub use sem::{BitState, ReclaimOracle};
+pub use sem::{BitState, ReclaimOracle, RecordedDecisions};
 pub use trace::{invert_slice, invert_slice_into, TraceOp, VirtId};

@@ -67,6 +67,71 @@ impl<F: FnMut(ModuleId, usize) -> bool> ReclaimOracle for F {
     }
 }
 
+/// Replays a pre-recorded sequence of reclamation decisions in call
+/// order — the compiler executor's *actual* choices — so the reference
+/// semantics can run in lock-step with any policy, including the CER
+/// heuristic whose decisions depend on machine state the semantics do
+/// not model. The i-th `reclaim` call returns the i-th recorded bool.
+///
+/// Both executors visit frames in the same (post-)order, so after a
+/// run the oracle must be exactly exhausted; [`RecordedDecisions::in_sync`]
+/// is the translation validator's drift check.
+#[derive(Debug, Clone)]
+pub struct RecordedDecisions {
+    decisions: Vec<bool>,
+    next: usize,
+    overrun: bool,
+}
+
+impl RecordedDecisions {
+    /// An oracle replaying `decisions` in order.
+    pub fn new(decisions: Vec<bool>) -> Self {
+        RecordedDecisions {
+            decisions,
+            next: 0,
+            overrun: false,
+        }
+    }
+
+    /// Decisions consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.next
+    }
+
+    /// Recorded decisions not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.decisions.len() - self.next
+    }
+
+    /// True once more decisions were demanded than were recorded
+    /// (every overrun answers `false`, i.e. "leave garbage").
+    pub fn overrun(&self) -> bool {
+        self.overrun
+    }
+
+    /// True iff the run consumed exactly the recorded sequence — the
+    /// reference execution visited the same reclamation points as the
+    /// recording executor.
+    pub fn in_sync(&self) -> bool {
+        !self.overrun && self.remaining() == 0
+    }
+}
+
+impl ReclaimOracle for RecordedDecisions {
+    fn reclaim(&mut self, _module: ModuleId, _depth: usize) -> bool {
+        match self.decisions.get(self.next) {
+            Some(&d) => {
+                self.next += 1;
+                d
+            }
+            None => {
+                self.overrun = true;
+                false
+            }
+        }
+    }
+}
+
 /// Errors surfaced by the reference executor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -376,16 +441,26 @@ pub fn run(
         ctx.exec_stmt(stmt, &[], &anc, 0, oracle, &name)?;
     }
     if oracle.reclaim(program.entry(), 0) {
-        let slice: Vec<TraceOp> = ctx.trace[compute_start..compute_end].to_vec();
-        let mut next = ctx.next_id;
-        let inv = invert_slice(&slice, || {
-            let v = VirtId(next);
-            next += 1;
-            v
-        });
-        ctx.next_id = next;
-        for op in inv {
-            ctx.emit(op, &name)?;
+        // Same block selection as the child frames (and the compiler
+        // executor): an author-supplied uncompute block wins over
+        // mechanical inversion of the recorded compute slice.
+        if let Some(custom) = entry.custom_uncompute() {
+            let custom: Vec<Stmt> = custom.to_vec();
+            for stmt in &custom {
+                ctx.exec_stmt(stmt, &[], &anc, 0, oracle, &name)?;
+            }
+        } else {
+            let slice: Vec<TraceOp> = ctx.trace[compute_start..compute_end].to_vec();
+            let mut next = ctx.next_id;
+            let inv = invert_slice(&slice, || {
+                let v = VirtId(next);
+                next += 1;
+                v
+            });
+            ctx.next_id = next;
+            for op in inv {
+                ctx.emit(op, &name)?;
+            }
         }
     }
     let outputs = anc.iter().map(|v| ctx.state.get(*v)).collect();
@@ -546,6 +621,66 @@ mod tests {
         let p = b.finish(main).unwrap();
         let err = run(&p, &[], &mut AlwaysReclaim).unwrap_err();
         assert!(matches!(err, SemError::DirtyAncilla { .. }));
+    }
+
+    #[test]
+    fn recorded_decisions_replay_in_order() {
+        let p = fig6_program();
+        // Frame order is post-order: fun1 first, entry last. Reclaim
+        // fun1, skip the entry → fun1's ancilla is freed, the entry's
+        // compute survives (q[3] still holds the stored value).
+        let mut oracle = RecordedDecisions::new(vec![true, false]);
+        let r = run(&p, &[true, true, false], &mut oracle).unwrap();
+        assert!(oracle.in_sync());
+        assert_eq!(oracle.consumed(), 2);
+        assert_eq!(r.final_live, 5, "fun1's ancilla reclaimed");
+        // Same input through the always-reclaim path for the output.
+        let expected = run(&p, &[true, true, false], &mut AlwaysReclaim)
+            .unwrap()
+            .outputs[4];
+        assert_eq!(r.outputs[4], expected);
+    }
+
+    #[test]
+    fn recorded_decisions_flag_drift() {
+        let p = fig6_program();
+        // Too few: the run demands 2 decisions.
+        let mut short = RecordedDecisions::new(vec![true]);
+        run(&p, &[], &mut short).unwrap();
+        assert!(short.overrun());
+        assert!(!short.in_sync());
+        // Too many: one left over.
+        let mut long = RecordedDecisions::new(vec![true, false, true]);
+        run(&p, &[], &mut long).unwrap();
+        assert!(!long.overrun());
+        assert_eq!(long.remaining(), 1);
+        assert!(!long.in_sync());
+    }
+
+    #[test]
+    fn entry_custom_uncompute_is_used() {
+        // An entry whose author wrote the uncompute by hand (undo the
+        // compute CX explicitly). The final X on `flag` inside the
+        // custom block proves the block ran: mechanical inversion
+        // would leave flag at 0.
+        let mut b = ProgramBuilder::new();
+        let main = b
+            .module("main", 0, 3, |m| {
+                let (x, t, flag) = (m.ancilla(0), m.ancilla(1), m.ancilla(2));
+                m.x(x);
+                m.cx(x, t);
+                m.store();
+                m.uncompute();
+                m.cx(x, t);
+                m.x(x);
+                m.x(flag);
+            })
+            .unwrap();
+        let p = b.finish(main).unwrap();
+        let r = run(&p, &[], &mut AlwaysReclaim).unwrap();
+        assert_eq!(r.outputs, vec![false, false, true]);
+        let skipped = run(&p, &[], &mut NeverReclaim).unwrap();
+        assert_eq!(skipped.outputs, vec![true, true, false]);
     }
 
     #[test]

@@ -25,6 +25,8 @@ mod error;
 
 pub use braid::BraidField;
 pub use error::RouteError;
-pub use machine::{CommStats, LivenessSegment, Machine, MachineConfig, RouteReport};
+pub use machine::{
+    journey_of, CommStats, LivenessSegment, Machine, MachineConfig, PlacementEvent, RouteReport,
+};
 pub use schedule::ScheduledGate;
 pub use timeline::Timeline;

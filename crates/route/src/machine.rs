@@ -71,6 +71,63 @@ pub struct CommStats {
     pub gather_failures: u64,
 }
 
+/// One event in a machine's placement history: where a virtual qubit
+/// was bound, every cell routing moved it through, and where it was
+/// released. Recorded only when schedule recording is on (same knob,
+/// same memory rationale), and consumed by the translation validator
+/// to explain *how* a mismatching qubit reached its final cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementEvent {
+    /// The qubit was bound to a physical cell.
+    Place {
+        /// The virtual qubit.
+        virt: VirtId,
+        /// The cell it was bound to.
+        phys: PhysId,
+    },
+    /// A routing swap carried the qubit between adjacent cells.
+    Move {
+        /// The virtual qubit.
+        virt: VirtId,
+        /// Cell it left.
+        from: PhysId,
+        /// Cell it arrived in.
+        to: PhysId,
+    },
+    /// The qubit was released; its cell returned to the free pool.
+    Release {
+        /// The virtual qubit.
+        virt: VirtId,
+        /// The cell it vacated.
+        phys: PhysId,
+    },
+}
+
+impl PlacementEvent {
+    /// The virtual qubit this event concerns.
+    pub fn virt(&self) -> VirtId {
+        match self {
+            PlacementEvent::Place { virt, .. }
+            | PlacementEvent::Move { virt, .. }
+            | PlacementEvent::Release { virt, .. } => *virt,
+        }
+    }
+}
+
+/// The sequence of physical cells `virt` occupied, in order, extracted
+/// from a placement history (first entry is the initial placement).
+pub fn journey_of(history: &[PlacementEvent], virt: VirtId) -> Vec<PhysId> {
+    let mut cells = Vec::new();
+    for ev in history {
+        match ev {
+            PlacementEvent::Place { virt: v, phys } if *v == virt => cells.push(*phys),
+            PlacementEvent::Move { virt: v, to, .. } if *v == virt => cells.push(*to),
+            _ => {}
+        }
+    }
+    cells
+}
+
 /// One closed liveness interval of a virtual qubit: from its first
 /// gate to the end of its last gate (or to program end for qubits
 /// never reclaimed). Heap time — after `Free`, before reuse — is
@@ -112,6 +169,9 @@ pub struct RouteReport {
     pub footprint: usize,
     /// Final placement of still-live virtual qubits.
     pub final_placement: HashMap<VirtId, PhysId>,
+    /// Full placement history (if recording was enabled): every bind,
+    /// routing move, and release, in machine order.
+    pub placement_history: Option<Vec<PlacementEvent>>,
 }
 
 /// A machine being scheduled onto: topology + placement + timeline.
@@ -128,6 +188,7 @@ pub struct Machine {
     braid_field: BraidField,
     stats: CommStats,
     schedule: Option<Vec<ScheduledGate>>,
+    history: Option<Vec<PlacementEvent>>,
     active: usize,
     peak_active: usize,
     coord_sum: (i64, i64),
@@ -161,6 +222,7 @@ impl Machine {
             braid_field: BraidField::new(),
             stats: CommStats::default(),
             schedule: config.record_schedule.then(Vec::new),
+            history: config.record_schedule.then(Vec::new),
             active: 0,
             peak_active: 0,
             coord_sum: (0, 0),
@@ -288,6 +350,9 @@ impl Machine {
         self.ever_used[p.index()] = true;
         self.ever_placed[p.index()] = true;
         self.place.insert(v, p);
+        if let Some(h) = &mut self.history {
+            h.push(PlacementEvent::Place { virt: v, phys: p });
+        }
         self.active += 1;
         self.peak_active = self.peak_active.max(self.active);
         let (x, y) = self.topo.coord(p);
@@ -309,6 +374,9 @@ impl Machine {
             .ok_or(RouteError::UnplacedQubit { virt: v })?;
         self.occupant[p.index()] = None;
         self.active -= 1;
+        if let Some(h) = &mut self.history {
+            h.push(PlacementEvent::Release { virt: v, phys: p });
+        }
         let (x, y) = self.topo.coord(p);
         self.coord_sum.0 -= x as i64;
         self.coord_sum.1 -= y as i64;
@@ -393,10 +461,24 @@ impl Machine {
         if let Some(v) = vp {
             self.place.insert(v, q);
             self.note_usage(v, start, start + 3);
+            if let Some(h) = &mut self.history {
+                h.push(PlacementEvent::Move {
+                    virt: v,
+                    from: p,
+                    to: q,
+                });
+            }
         }
         if let Some(v) = vq {
             self.place.insert(v, p);
             self.note_usage(v, start, start + 3);
+            if let Some(h) = &mut self.history {
+                h.push(PlacementEvent::Move {
+                    virt: v,
+                    from: q,
+                    to: p,
+                });
+            }
         }
         self.ever_used[p.index()] = true;
         self.ever_used[q.index()] = true;
@@ -677,6 +759,7 @@ impl Machine {
             peak_active: self.peak_active,
             footprint,
             final_placement,
+            placement_history: self.history,
         }
     }
 }
@@ -851,6 +934,39 @@ mod tests {
         assert_eq!(report.peak_active, 2);
         assert_eq!(report.footprint, 2);
         assert_eq!(report.schedule.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn placement_history_tracks_routing_moves() {
+        let mut m = grid_machine(5, 1);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        m.place_at(VirtId(1), PhysId(4)).unwrap();
+        m.apply(&Gate::Cx {
+            control: VirtId(0),
+            target: VirtId(1),
+        })
+        .unwrap();
+        m.release(VirtId(1)).unwrap();
+        let report = m.finish();
+        let history = report.placement_history.expect("recording on");
+        // VirtId(0) journeyed 0 → 1 → 2 → 3 chasing its target.
+        assert_eq!(
+            journey_of(&history, VirtId(0)),
+            vec![PhysId(0), PhysId(1), PhysId(2), PhysId(3)]
+        );
+        assert_eq!(journey_of(&history, VirtId(1)), vec![PhysId(4)]);
+        assert!(history.contains(&PlacementEvent::Release {
+            virt: VirtId(1),
+            phys: PhysId(4)
+        }));
+        assert!(history.iter().all(|ev| ev.virt().0 <= 1));
+    }
+
+    #[test]
+    fn history_off_by_default() {
+        let mut m = Machine::new(Box::new(GridTopology::new(2, 2)), MachineConfig::nisq());
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        assert!(m.finish().placement_history.is_none());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Property tests for the machine model: a byte script drives
+//! [`Machine`] and a naive lock-step model through random placements,
+//! releases, and routed gates on small grids, checking after every
+//! operation that
+//!
+//! * no two live virtual qubits ever share a physical cell, and the
+//!   occupancy bookkeeping (`is_free` / `phys_of` / `active_count`)
+//!   stays mutually consistent;
+//! * `avail_of` is monotone per qubit — the ASAP timeline never
+//!   travels backwards;
+//! * `drain_relocations` round-trips placement: a mirrored pool of
+//!   released cells, updated only by the reported relocations, always
+//!   names genuinely free cells — so pool-driven re-placement (what
+//!   the compiler's ancilla heap does) can never collide with a live
+//!   qubit.
+
+use proptest::prelude::*;
+use square_arch::{GridTopology, PhysId};
+use square_qir::{Gate, VirtId};
+use square_route::{Machine, MachineConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn machine_matches_naive_model(
+        width in 2u32..6,
+        height in 2u32..6,
+        script in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>()),
+            0..160,
+        ),
+    ) {
+        let n = (width * height) as usize;
+        let mut m = Machine::new(
+            Box::new(GridTopology::new(width, height)),
+            MachineConfig::nisq().with_schedule(),
+        );
+        // Naive model state.
+        let mut live: Vec<VirtId> = Vec::new();
+        let mut pool: Vec<PhysId> = Vec::new(); // released cells, relocation-tracked
+        let mut next_virt = 0u32;
+        let mut avail_before: Vec<u64> = (0..n).map(|i| m.avail_of(PhysId(i as u32))).collect();
+
+        for (op, x, y) in script {
+            match op % 4 {
+                // Place a fresh virtual qubit: alternately from the
+                // mirrored pool (the heap path) and from a fresh scan
+                // (the expansion path).
+                0 => {
+                    if live.len() == n {
+                        continue;
+                    }
+                    let v = VirtId(next_virt);
+                    next_virt += 1;
+                    let slot = if !pool.is_empty() && x % 2 == 0 {
+                        pool.remove(usize::from(y) % pool.len())
+                    } else {
+                        let center = (i32::from(x % 8), i32::from(y % 8));
+                        match m.nearest_free(center, false) {
+                            Some(p) => p,
+                            None => continue,
+                        }
+                    };
+                    // If relocations were mis-reported, a pooled slot
+                    // could be occupied and this would error.
+                    m.place_at(v, slot).expect("pool/scan slots are free");
+                    pool.retain(|p| *p != slot);
+                    live.push(v);
+                }
+                // Release a live qubit into the mirrored pool.
+                1 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let v = live.remove(usize::from(x) % live.len());
+                    let p = m.release(v).expect("live qubits release");
+                    prop_assert!(!pool.contains(&p), "released cell already pooled");
+                    pool.push(p);
+                }
+                // Apply a CNOT between two live qubits (drives swap
+                // chains, which is what relocates pooled cells).
+                2 => {
+                    if live.len() < 2 {
+                        continue;
+                    }
+                    let a = live[usize::from(x) % live.len()];
+                    let b = live[usize::from(y) % live.len()];
+                    if a == b {
+                        continue;
+                    }
+                    m.apply(&Gate::Cx { control: a, target: b }).expect("routable");
+                }
+                // Apply a Toffoli over three live qubits.
+                _ => {
+                    if live.len() < 3 {
+                        continue;
+                    }
+                    let c0 = live[usize::from(x) % live.len()];
+                    let c1 = live[usize::from(y) % live.len()];
+                    let t = live[usize::from(x ^ y) % live.len()];
+                    if c0 == c1 || c0 == t || c1 == t {
+                        continue;
+                    }
+                    m.apply(&Gate::Ccx { c0, c1, target: t }).expect("routable");
+                }
+            }
+
+            // Routing swaps move pooled |0⟩ cells: apply the reported
+            // renames to the mirror *in order*, exactly as the
+            // compiler's heap does. (Within one swap chain a cell can
+            // receive a |0⟩ and hand it on again, so only the final
+            // pool state — invariant 3 below — is checkable.)
+            for (from, to) in m.drain_relocations() {
+                if let Some(slot) = pool.iter_mut().find(|p| **p == from) {
+                    *slot = to;
+                }
+            }
+
+            // 1. Occupancy: live virtuals sit on distinct free-marked
+            //    cells; counts agree.
+            let mut cells: Vec<PhysId> = Vec::with_capacity(live.len());
+            for v in &live {
+                let p = m.phys_of(*v).expect("live qubit is placed");
+                prop_assert!(!m.is_free(p), "cell of live {v} reads free");
+                cells.push(p);
+            }
+            cells.sort_unstable();
+            let distinct = cells.windows(2).all(|w| w[0] != w[1]);
+            prop_assert!(distinct, "two live virtuals share a cell");
+            prop_assert_eq!(m.active_count(), live.len());
+            prop_assert_eq!(m.free_count(), n - live.len());
+
+            // 2. Timeline monotonicity.
+            for (i, before) in avail_before.iter_mut().enumerate() {
+                let now = m.avail_of(PhysId(i as u32));
+                prop_assert!(
+                    now >= *before,
+                    "avail of Q{i} went backwards: {before} -> {now}"
+                );
+                *before = now;
+            }
+
+            // 3. Relocation round-trip: every pooled cell is free on
+            //    the machine (pooled cells are exactly the released,
+            //    relocation-tracked |0⟩ slots).
+            for p in &pool {
+                prop_assert!(
+                    m.is_free(*p),
+                    "pooled cell {p} is occupied — relocations lost track"
+                );
+            }
+        }
+
+        // Liveness closure: the final report closes one segment per
+        // virtual qubit that ever carried a gate or release.
+        let report = m.finish();
+        prop_assert_eq!(report.stats.program_gates + report.stats.swaps,
+            report.schedule.as_ref().expect("recorded").len() as u64);
+        for seg in &report.segments {
+            prop_assert!(seg.end >= seg.start, "segment runs backwards");
+            prop_assert!(seg.end <= report.depth, "segment outlives the circuit");
+        }
+    }
+}

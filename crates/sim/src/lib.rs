@@ -23,7 +23,9 @@
 #![warn(missing_docs)]
 
 pub mod noise;
+pub mod replay;
 pub mod trajectory;
 
 pub use noise::NoiseModel;
+pub use replay::{check_swapchain_schedule, replay_schedule, Replay, ScheduleViolation};
 pub use trajectory::{run_ideal, run_noisy, sample_histogram, TrajectoryConfig};

@@ -16,6 +16,7 @@ use square_qir::Gate;
 use square_route::ScheduledGate;
 
 use crate::noise::NoiseModel;
+use crate::replay::apply_gate;
 
 /// Options for trajectory sampling.
 #[derive(Debug, Clone, Copy)]
@@ -31,29 +32,6 @@ impl Default for TrajectoryConfig {
         TrajectoryConfig {
             shots: 8192,
             seed: 0x51A5,
-        }
-    }
-}
-
-/// Applies a gate's boolean semantics to the state.
-fn apply_ideal(gate: &Gate<PhysId>, bits: &mut [bool]) {
-    match gate {
-        Gate::X { target } => bits[target.index()] ^= true,
-        Gate::Cx { control, target } => {
-            if bits[control.index()] {
-                bits[target.index()] ^= true;
-            }
-        }
-        Gate::Ccx { c0, c1, target } => {
-            if bits[c0.index()] && bits[c1.index()] {
-                bits[target.index()] ^= true;
-            }
-        }
-        Gate::Swap { a, b } => bits.swap(a.index(), b.index()),
-        Gate::Mcx { controls, target } => {
-            if controls.iter().all(|c| bits[c.index()]) {
-                bits[target.index()] ^= true;
-            }
         }
     }
 }
@@ -79,14 +57,13 @@ fn error_events(gate: &Gate<PhysId>) -> (u32, u32) {
 
 /// Runs the circuit noiselessly from |0…0⟩ and returns the final
 /// basis state over `n_qubits` physical qubits.
+///
+/// Gates are applied in record order — the machine's emission order —
+/// which is the correct data-dependency order for both swap-chain and
+/// braided schedules (see `crate::replay` for why start-cycle sorting
+/// is unsound on braided composite gates).
 pub fn run_ideal(schedule: &[ScheduledGate], n_qubits: usize) -> Vec<bool> {
-    let mut order: Vec<&ScheduledGate> = schedule.iter().collect();
-    order.sort_by_key(|g| g.start);
-    let mut bits = vec![false; n_qubits];
-    for g in order {
-        apply_ideal(&g.gate, &mut bits);
-    }
-    bits
+    crate::replay::replay_schedule(schedule, n_qubits).bits
 }
 
 /// Runs one noisy trajectory and returns the final basis state.
@@ -96,12 +73,14 @@ pub fn run_noisy(
     noise: &NoiseModel,
     rng: &mut impl Rng,
 ) -> Vec<bool> {
-    let mut order: Vec<&ScheduledGate> = schedule.iter().collect();
-    order.sort_by_key(|g| g.start);
+    // Record order (not start-cycle order): same rationale as
+    // [`run_ideal`]. Idle-gap accounting is per-qubit against explicit
+    // start/end cycles, so cross-qubit processing order only permutes
+    // the RNG draw sequence, which is statistically equivalent.
     let mut bits = vec![false; n_qubits];
     let mut last_time = vec![0u64; n_qubits];
     let mut depth = 0u64;
-    for g in &order {
+    for g in schedule {
         depth = depth.max(g.end());
         // Relax each operand over its idle gap before the gate.
         let mut operands: Vec<PhysId> = Vec::with_capacity(g.gate.arity());
@@ -112,7 +91,7 @@ pub fn run_noisy(
                 bits[q.index()] = false;
             }
         }
-        apply_ideal(&g.gate, &mut bits);
+        apply_gate(&g.gate, &mut bits);
         // Gate-error injection in the Clifford+T decomposition.
         let (e1, e2) = error_events(&g.gate);
         for _ in 0..e1 {

@@ -1,0 +1,88 @@
+//! Golden determinism tests for the simulator on *real* compiled
+//! schedules: fixed seeds must reproduce histograms bit-for-bit across
+//! runs, and the ideal (noiseless) execution of a routed catalog
+//! benchmark must agree with the reference bit-level semantics.
+
+use square_arch::NoiseParams;
+use square_core::{compile_with_inputs, CompileReport, CompilerConfig, Policy};
+use square_qir::lower_mcx;
+use square_qir::sem::RecordedDecisions;
+use square_sim::{run_ideal, run_noisy, sample_histogram, NoiseModel, TrajectoryConfig};
+use square_workloads::{build, Benchmark};
+
+fn compiled(bench: Benchmark, policy: Policy) -> (CompileReport, Vec<bool>) {
+    let program = build(bench).expect("benchmark builds");
+    let inputs: Vec<bool> = (0..bench.input_qubits()).map(|i| i % 3 == 0).collect();
+    let cfg = CompilerConfig::nisq(policy).with_schedule();
+    let report = compile_with_inputs(&program, &inputs, &cfg).expect("compiles");
+    (report, inputs)
+}
+
+#[test]
+fn fixed_seed_histograms_are_identical_across_runs() {
+    let (report, _) = compiled(Benchmark::Rd53, Policy::Square);
+    let schedule = report.schedule.as_deref().expect("recorded");
+    let noise = NoiseModel::new(NoiseParams::paper_simulation());
+    let cfg = TrajectoryConfig {
+        shots: 512,
+        seed: 0xD5EED,
+    };
+    let measure = report.measure_map();
+    let h1 = sample_histogram(schedule, report.machine_qubits, &measure, &noise, &cfg);
+    let h2 = sample_histogram(schedule, report.machine_qubits, &measure, &noise, &cfg);
+    assert_eq!(h1, h2, "same seed, same histogram");
+    assert_eq!(h1.shots(), 512);
+    // A different seed almost surely shifts at least one count on a
+    // realistically noisy circuit of this depth.
+    let other = sample_histogram(
+        schedule,
+        report.machine_qubits,
+        &measure,
+        &noise,
+        &TrajectoryConfig {
+            shots: 512,
+            seed: 0xD5EED + 1,
+        },
+    );
+    assert_ne!(h1, other, "independent seeds explore different noise");
+}
+
+#[test]
+fn noiseless_trajectories_equal_ideal_execution() {
+    let (report, _) = compiled(Benchmark::Adder4, Policy::Eager);
+    let schedule = report.schedule.as_deref().expect("recorded");
+    use rand::SeedableRng;
+    let noiseless = NoiseModel::new(NoiseParams::noiseless());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let bits = run_noisy(schedule, report.machine_qubits, &noiseless, &mut rng);
+    assert_eq!(bits, run_ideal(schedule, report.machine_qubits));
+}
+
+#[test]
+fn ideal_execution_agrees_with_reference_semantics_on_catalog() {
+    // The start-sorted ideal replay (the noise simulator's order) must
+    // read back exactly what `qir::sem` computes, under the compiler's
+    // own recorded reclamation decisions — for every policy on a
+    // swap-chain target.
+    for bench in [Benchmark::Rd53, Benchmark::Adder4, Benchmark::BelleS] {
+        let program = build(bench).expect("benchmark builds");
+        let lowered = lower_mcx(&program);
+        for policy in Policy::ALL {
+            let (report, inputs) = compiled(bench, policy);
+            let schedule = report.schedule.as_deref().expect("recorded");
+            let bits = run_ideal(schedule, report.machine_qubits);
+            let physical: Vec<bool> = report
+                .measure_map()
+                .iter()
+                .map(|q| bits[q.index()])
+                .collect();
+            let mut oracle = RecordedDecisions::new(report.decision_bools());
+            let sem = square_qir::sem::run(&lowered, &inputs, &mut oracle).expect("sem runs");
+            assert!(oracle.in_sync(), "{bench}/{policy}: decision drift");
+            assert_eq!(
+                sem.outputs, physical,
+                "{bench}/{policy}: routed circuit diverged from reference semantics"
+            );
+        }
+    }
+}

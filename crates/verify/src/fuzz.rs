@@ -1,0 +1,398 @@
+//! Seeded pipeline fuzzing: random modular programs through
+//! compile → route → replay, across every policy and both machine
+//! targets, with greedy shrinking of failing cases.
+//!
+//! One meta-seed deterministically derives a [`SynthParams`] draw plus
+//! an input pattern ([`FuzzCase::from_seed`]); [`run_case`] validates
+//! the generated program over the full `policy × machine` product and
+//! additionally cross-checks that every cell agrees on the observable
+//! outputs (inputs echoed back plus the store-protected result). A
+//! failing case greedily [`shrink`]s toward the smallest program
+//! structure that still fails and prints as a one-line reproducer
+//! ([`FuzzCase::spec`] / [`FuzzCase::parse_spec`]).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use square_core::Policy;
+use square_qir::Program;
+use square_workloads::synthetic::{synthesize, synthesize_disciplined, SynthParams};
+
+use crate::validate::{validate, MachineKind, Mismatch, Stage, ValidationError};
+
+/// Domain separator so case derivation is independent of any other
+/// consumer of the same seed.
+const META_SEED_SALT: u64 = 0x5147_5541_5245_F22E;
+
+/// One fuzz case: the derived program knobs plus an input pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// Meta-seed this case was derived from (0 for hand-built cases).
+    pub seed: u64,
+    /// Synthetic-program knobs.
+    pub params: SynthParams,
+    /// Computational-basis input bits for the entry register.
+    pub inputs: Vec<bool>,
+}
+
+impl FuzzCase {
+    /// Derives the case for a meta-seed. Knob ranges are chosen so a
+    /// single case compiles in milliseconds while still exercising
+    /// nesting, fan-out, Toffoli lowering, and forced reclamation.
+    pub fn from_seed(seed: u64) -> FuzzCase {
+        let mut rng = StdRng::seed_from_u64(seed ^ META_SEED_SALT);
+        let params = SynthParams {
+            levels: rng.gen_range(1..=4usize),
+            max_callees: rng.gen_range(1..=3usize),
+            inputs_per_fn: rng.gen_range(2..=6usize),
+            max_ancilla: rng.gen_range(1..=4usize),
+            max_gates: rng.gen_range(2..=14usize),
+            seed: rng.gen::<u64>(),
+        };
+        let inputs = (0..params.inputs_per_fn.max(2))
+            .map(|_| rng.gen::<bool>())
+            .collect();
+        FuzzCase {
+            seed,
+            params,
+            inputs,
+        }
+    }
+
+    /// One-token reproducer spec:
+    /// `levels=2,callees=1,inputs=3,anc=2,gates=6,seed=123,bits=101`.
+    pub fn spec(&self) -> String {
+        let bits: String = self
+            .inputs
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        format!(
+            "levels={},callees={},inputs={},anc={},gates={},seed={},bits={}",
+            self.params.levels,
+            self.params.max_callees,
+            self.params.inputs_per_fn,
+            self.params.max_ancilla,
+            self.params.max_gates,
+            self.params.seed,
+            bits
+        )
+    }
+
+    /// Parses a [`FuzzCase::spec`] line back into a case.
+    pub fn parse_spec(spec: &str) -> Option<FuzzCase> {
+        let mut params = SynthParams {
+            levels: 0,
+            max_callees: 0,
+            inputs_per_fn: 0,
+            max_ancilla: 0,
+            max_gates: 0,
+            seed: 0,
+        };
+        let mut inputs = Vec::new();
+        for field in spec.split(',') {
+            let (key, value) = field.split_once('=')?;
+            match key.trim() {
+                "levels" => params.levels = value.parse().ok()?,
+                "callees" => params.max_callees = value.parse().ok()?,
+                "inputs" => params.inputs_per_fn = value.parse().ok()?,
+                "anc" => params.max_ancilla = value.parse().ok()?,
+                "gates" => params.max_gates = value.parse().ok()?,
+                "seed" => params.seed = value.parse().ok()?,
+                "bits" => {
+                    inputs = value
+                        .chars()
+                        .map(|c| match c {
+                            '0' => Some(false),
+                            '1' => Some(true),
+                            _ => None,
+                        })
+                        .collect::<Option<Vec<bool>>>()?;
+                }
+                _ => return None,
+            }
+        }
+        (params.levels > 0).then_some(FuzzCase {
+            seed: 0,
+            params,
+            inputs,
+        })
+    }
+}
+
+/// Statistics from one passing case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseStats {
+    /// `policy × machine` cells validated.
+    pub cells: usize,
+    /// Total program gates across all cells.
+    pub gates: u64,
+    /// Total routing swaps across all cells.
+    pub swaps: u64,
+}
+
+/// One failing cell of a case.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// The case that failed.
+    pub case: FuzzCase,
+    /// Policy of the failing cell.
+    pub policy: Policy,
+    /// Machine target of the failing cell.
+    pub machine: MachineKind,
+    /// True if the failing program came from the disciplined
+    /// generator (the cross-policy differential half of the case).
+    pub disciplined: bool,
+    /// What went wrong.
+    pub error: ValidationError,
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {} [{}] {}/{} ({}): {}",
+            self.case.seed,
+            self.case.spec(),
+            self.policy.cli_name(),
+            self.machine,
+            if self.disciplined { "clean" } else { "free" },
+            self.error
+        )
+    }
+}
+
+/// Validates one program over the full `policy × machine` product.
+/// With `cross_check`, the observable register (echoed inputs + the
+/// store-protected result; the scratch cell between them is
+/// legitimately policy-dependent) must also agree across every cell —
+/// only sound for disciplined programs.
+fn run_program(
+    program: &Program,
+    inputs: &[bool],
+    cross_check: bool,
+    stats: &mut CaseStats,
+) -> Result<(), (Policy, MachineKind, ValidationError)> {
+    let mut reference: Option<(Vec<bool>, bool)> = None;
+    for machine in MachineKind::BOTH {
+        for policy in Policy::ALL {
+            let v = validate(program, inputs, &machine.config(policy))
+                .map_err(|e| (policy, machine, e))?;
+            stats.cells += 1;
+            stats.gates += v.report.gates;
+            stats.swaps += v.report.swaps;
+            if !cross_check {
+                continue;
+            }
+            let echoed = v.outputs[..inputs.len()].to_vec();
+            let result = *v.outputs.last().expect("entry register is non-empty");
+            match &reference {
+                None => reference = Some((echoed, result)),
+                Some((ref_echo, ref_result)) => {
+                    if *ref_echo != echoed || *ref_result != result {
+                        // Name the first diverging bit and report *its*
+                        // two values (an echoed input, or the result).
+                        let (index, reference_value, cell_value) = ref_echo
+                            .iter()
+                            .zip(&echoed)
+                            .position(|(a, b)| a != b)
+                            .map(|i| (i, ref_echo[i], echoed[i]))
+                            .unwrap_or((v.outputs.len() - 1, *ref_result, result));
+                        let m = Mismatch::OutputDiff {
+                            stage: Stage::ReferenceSemantics,
+                            index,
+                            virtual_value: reference_value,
+                            other_value: cell_value,
+                            virt: v.report.entry_register[index],
+                            phys: None,
+                            journey: vec![],
+                        };
+                        return Err((policy, machine, ValidationError::Mismatch(Box::new(m))));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one case: the *free* program through per-cell translation
+/// validation (free programs may legitimately be policy-divergent, so
+/// no cross-cell check), then the *disciplined* sibling — same seed,
+/// same shape — through per-cell validation plus the cross-policy
+/// differential check.
+///
+/// A generation error is a failure too: the fuzzer's contract is that
+/// every generated program validates.
+///
+/// # Errors
+///
+/// The first failing cell, boxed with its case.
+pub fn run_case(case: &FuzzCase) -> Result<CaseStats, Box<FuzzFailure>> {
+    let mut stats = CaseStats::default();
+    for disciplined in [false, true] {
+        let fail = |policy, machine, error| {
+            Box::new(FuzzFailure {
+                case: case.clone(),
+                policy,
+                machine,
+                disciplined,
+                error,
+            })
+        };
+        let generated = if disciplined {
+            synthesize_disciplined(&case.params)
+        } else {
+            synthesize(&case.params)
+        };
+        let program = match generated {
+            Ok(p) => p,
+            Err(e) => {
+                return Err(fail(
+                    Policy::Lazy,
+                    MachineKind::Nisq,
+                    ValidationError::Compile(e.into()),
+                ))
+            }
+        };
+        if let Err((policy, machine, error)) =
+            run_program(&program, &case.inputs, disciplined, &mut stats)
+        {
+            return Err(fail(policy, machine, error));
+        }
+    }
+    Ok(stats)
+}
+
+/// Candidate one-step reductions of a case, largest-first.
+fn reductions(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut FuzzCase)| {
+        let mut c = case.clone();
+        f(&mut c);
+        if c.params != case.params || c.inputs != case.inputs {
+            out.push(c);
+        }
+    };
+    push(&|c| c.params.levels = (c.params.levels.saturating_sub(1)).max(1));
+    push(&|c| c.params.max_callees = (c.params.max_callees.saturating_sub(1)).max(1));
+    push(&|c| c.params.max_gates = (c.params.max_gates / 2).max(1));
+    push(&|c| c.params.max_gates = (c.params.max_gates.saturating_sub(1)).max(1));
+    push(&|c| c.params.max_ancilla = (c.params.max_ancilla.saturating_sub(1)).max(1));
+    push(&|c| {
+        c.params.inputs_per_fn = (c.params.inputs_per_fn.saturating_sub(1)).max(2);
+        // Keep the case structurally valid: the entry register only
+        // holds `inputs_per_fn` input cells, and over-long inputs
+        // would fail as TooManyInputs instead of the bug being shrunk.
+        let cap = c.params.inputs_per_fn.max(2);
+        c.inputs.truncate(cap);
+    });
+    push(&|c| {
+        for b in &mut c.inputs {
+            *b = false;
+        }
+    });
+    push(&|c| {
+        let n = c.inputs.len();
+        c.inputs.truncate(n.saturating_sub(1));
+    });
+    out
+}
+
+/// Coarse failure class used to keep shrinking on-topic: a candidate
+/// only counts as "still failing" when it fails the same way as the
+/// original (otherwise a reduction that merely trips a *different*
+/// error — a compile failure, say — would hijack the reproducer).
+fn failure_class(e: &ValidationError) -> &'static str {
+    match e {
+        ValidationError::Compile(_) => "compile",
+        ValidationError::Sem(_) => "sem",
+        ValidationError::Mismatch(m) => match **m {
+            Mismatch::DoubleAlloc { .. } => "double-alloc",
+            Mismatch::UseAfterFree { .. } => "use-after-free",
+            Mismatch::DirtyFree { .. } => "dirty-free",
+            Mismatch::DecisionDrift { .. } => "decision-drift",
+            Mismatch::OutputDiff { .. } => "output-diff",
+            Mismatch::ScheduleInconsistent { .. } => "schedule",
+        },
+    }
+}
+
+/// Greedily shrinks a failing case: repeatedly applies the first
+/// single-knob reduction that still fails *in the same way*, until
+/// none does. Returns the shrunk case and its failure.
+pub fn shrink(case: &FuzzCase) -> (FuzzCase, Box<FuzzFailure>) {
+    let mut best = case.clone();
+    let mut failure = run_case(&best).expect_err("shrink called on a passing case");
+    let class = failure_class(&failure.error);
+    loop {
+        let mut improved = false;
+        for candidate in reductions(&best) {
+            match run_case(&candidate) {
+                Err(f) if failure_class(&f.error) == class => {
+                    best = candidate;
+                    failure = f;
+                    improved = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !improved {
+            return (best, failure);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_derive_deterministically() {
+        let a = FuzzCase::from_seed(7);
+        let b = FuzzCase::from_seed(7);
+        assert_eq!(a, b);
+        assert_ne!(a.params, FuzzCase::from_seed(8).params);
+        assert!(a.params.levels >= 1 && a.params.levels <= 4);
+        assert_eq!(a.inputs.len(), a.params.inputs_per_fn.max(2));
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let case = FuzzCase::from_seed(1234);
+        let parsed = FuzzCase::parse_spec(&case.spec()).unwrap();
+        assert_eq!(parsed.params, case.params);
+        assert_eq!(parsed.inputs, case.inputs);
+        assert_eq!(FuzzCase::parse_spec("garbage"), None);
+        assert_eq!(FuzzCase::parse_spec("levels=x"), None);
+    }
+
+    #[test]
+    fn a_handful_of_seeds_validate_cleanly() {
+        for seed in 0..4u64 {
+            let case = FuzzCase::from_seed(seed);
+            let stats = run_case(&case).unwrap_or_else(|f| panic!("{f}"));
+            assert_eq!(stats.cells, 16, "4 policies × 2 machines × 2 modes");
+            assert!(stats.gates > 0);
+        }
+    }
+
+    #[test]
+    fn reductions_strictly_simplify() {
+        let case = FuzzCase::from_seed(42);
+        for r in reductions(&case) {
+            let sum = |c: &FuzzCase| {
+                c.params.levels
+                    + c.params.max_callees
+                    + c.params.max_gates
+                    + c.params.max_ancilla
+                    + c.params.inputs_per_fn
+                    + c.inputs.iter().filter(|&&b| b).count()
+                    + c.inputs.len()
+            };
+            assert!(sum(&r) < sum(&case), "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! End-to-end translation validation of one compile.
+//!
+//! The oracle stack has three layers, each strictly stronger than the
+//! last:
+//!
+//! 1. **Virtual replay** ([`replay_virtual`]): the compiler's executed
+//!    trace, replayed on booleans with full hygiene checking — double
+//!    allocations, use-after-free, and dirty frees (a reclaimed qubit
+//!    not restored to |0⟩) are all hard failures.
+//! 2. **Reference semantics** ([`check_reference`]): `square_qir::sem`
+//!    re-executes the *lowered* program under a
+//!    [`RecordedDecisions`](square_qir::sem::RecordedDecisions) oracle
+//!    replaying the compiler's actual per-frame reclamation choices,
+//!    and the entry-register values must agree bit-for-bit. This works
+//!    for every policy, including CER's machine-state-dependent
+//!    decisions.
+//! 3. **Physical replay** ([`check_physical`]): the routed, scheduled
+//!    physical gate stream — inserted SWAP chains, relocated |0⟩
+//!    cells, recycled ancilla slots and all — is replayed on a
+//!    physical basis-state vector and read back through the final
+//!    placement; the data register must again agree. Swap-chain
+//!    schedules additionally pass the per-qubit ASAP consistency
+//!    check.
+//!
+//! [`validate`] composes all three over a single compile, and
+//! [`validate_benchmark`] runs a catalog benchmark cell.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use square_arch::{CommModel, PhysId};
+use square_core::{
+    compile_with_inputs, CompileError, CompileReport, CompilerConfig, Policy, ReclaimDecision,
+};
+use square_qir::sem::{RecordedDecisions, SemError};
+use square_qir::{lower_mcx, Gate, Program, TraceOp, VirtId};
+use square_route::journey_of;
+use square_sim::{check_swapchain_schedule, replay_schedule, ScheduleViolation};
+use square_workloads::{build, Benchmark};
+
+/// Which oracle layer detected a disagreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The virtual trace itself is malformed (hygiene violation).
+    VirtualReplay,
+    /// Virtual trace vs. reference semantics.
+    ReferenceSemantics,
+    /// Physical schedule vs. virtual trace.
+    PhysicalReplay,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::VirtualReplay => "virtual replay",
+            Stage::ReferenceSemantics => "reference semantics",
+            Stage::PhysicalReplay => "physical replay",
+        })
+    }
+}
+
+/// A detected semantics break, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mismatch {
+    /// A virtual qubit was allocated twice without an intervening free.
+    DoubleAlloc {
+        /// The qubit.
+        qubit: VirtId,
+    },
+    /// A gate or free touched a qubit that is not live.
+    UseAfterFree {
+        /// The qubit.
+        qubit: VirtId,
+        /// Trace position of the offending op.
+        at: usize,
+    },
+    /// A qubit was freed while holding |1⟩ — its uncompute failed.
+    DirtyFree {
+        /// The qubit.
+        qubit: VirtId,
+        /// Trace position of the free.
+        at: usize,
+    },
+    /// The reference execution demanded a different number of
+    /// reclamation decisions than the compiler recorded.
+    DecisionDrift {
+        /// Decisions the reference run consumed.
+        consumed: usize,
+        /// Decisions the compiler recorded.
+        recorded: usize,
+        /// True if the reference run ran out of recorded decisions.
+        overrun: bool,
+    },
+    /// An entry-register bit differs between two oracle layers.
+    OutputDiff {
+        /// Layer that disagreed with the virtual trace.
+        stage: Stage,
+        /// Register position (entry ancilla index).
+        index: usize,
+        /// Value per the virtual trace.
+        virtual_value: bool,
+        /// Value per the disagreeing layer.
+        other_value: bool,
+        /// The virtual qubit at that register position.
+        virt: VirtId,
+        /// Its final physical cell, if placed.
+        phys: Option<PhysId>,
+        /// Every physical cell the qubit occupied, in order (empty if
+        /// placement history was not recorded).
+        journey: Vec<PhysId>,
+    },
+    /// A swap-chain schedule violated per-qubit ASAP consistency.
+    ScheduleInconsistent {
+        /// The violation.
+        violation: ScheduleViolation,
+    },
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mismatch::DoubleAlloc { qubit } => write!(f, "virtual replay: double alloc of {qubit}"),
+            Mismatch::UseAfterFree { qubit, at } => {
+                write!(f, "virtual replay: op #{at} touches dead qubit {qubit}")
+            }
+            Mismatch::DirtyFree { qubit, at } => write!(
+                f,
+                "virtual replay: op #{at} frees {qubit} holding |1⟩ (uncompute failed)"
+            ),
+            Mismatch::DecisionDrift {
+                consumed,
+                recorded,
+                overrun,
+            } => write!(
+                f,
+                "reference semantics visited {consumed} reclamation points, compiler recorded \
+                 {recorded}{}",
+                if *overrun { " (oracle overrun)" } else { "" }
+            ),
+            Mismatch::OutputDiff {
+                stage,
+                index,
+                virtual_value,
+                other_value,
+                virt,
+                phys,
+                journey,
+            } => {
+                write!(
+                    f,
+                    "{stage}: register[{index}] ({virt}) is {} per the virtual trace but {} \
+                     per {stage}",
+                    *virtual_value as u8, *other_value as u8
+                )?;
+                if let Some(p) = phys {
+                    write!(f, "; final cell {p}")?;
+                }
+                if !journey.is_empty() {
+                    write!(f, "; journey")?;
+                    for p in journey {
+                        write!(f, " → {p}")?;
+                    }
+                }
+                Ok(())
+            }
+            Mismatch::ScheduleInconsistent { violation } => {
+                write!(f, "schedule consistency: {violation}")
+            }
+        }
+    }
+}
+
+/// Everything that can end a validation run unsuccessfully.
+#[derive(Debug)]
+pub enum ValidationError {
+    /// The compile itself failed (e.g. out of qubits).
+    Compile(CompileError),
+    /// The reference execution failed outright.
+    Sem(SemError),
+    /// The layers disagree — the translation is wrong.
+    Mismatch(Box<Mismatch>),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Compile(e) => write!(f, "compile failed: {e}"),
+            ValidationError::Sem(e) => write!(f, "reference execution failed: {e}"),
+            ValidationError::Mismatch(m) => write!(f, "semantic mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl From<CompileError> for ValidationError {
+    fn from(e: CompileError) -> Self {
+        ValidationError::Compile(e)
+    }
+}
+
+impl From<SemError> for ValidationError {
+    fn from(e: SemError) -> Self {
+        ValidationError::Sem(e)
+    }
+}
+
+impl From<Mismatch> for ValidationError {
+    fn from(m: Mismatch) -> Self {
+        ValidationError::Mismatch(Box::new(m))
+    }
+}
+
+/// A successfully validated compile.
+#[derive(Debug)]
+pub struct Validated {
+    /// Final entry-register values (agreed on by all three layers).
+    pub outputs: Vec<bool>,
+    /// The full compile report (schedule and placement history
+    /// included — validation forces recording on).
+    pub report: CompileReport,
+}
+
+/// Replays a virtual trace on booleans with hygiene checking and
+/// returns the final values of `register`.
+///
+/// # Errors
+///
+/// [`Mismatch::DoubleAlloc`] / [`Mismatch::UseAfterFree`] /
+/// [`Mismatch::DirtyFree`] on malformed traces.
+pub fn replay_virtual(trace: &[TraceOp], register: &[VirtId]) -> Result<Vec<bool>, Mismatch> {
+    let mut bits: HashMap<VirtId, bool> = HashMap::new();
+    for (at, op) in trace.iter().enumerate() {
+        match op {
+            TraceOp::Alloc(v) => {
+                if bits.insert(*v, false).is_some() {
+                    return Err(Mismatch::DoubleAlloc { qubit: *v });
+                }
+            }
+            TraceOp::Free(v) => match bits.remove(v) {
+                None => return Err(Mismatch::UseAfterFree { qubit: *v, at }),
+                Some(true) => return Err(Mismatch::DirtyFree { qubit: *v, at }),
+                Some(false) => {}
+            },
+            TraceOp::Gate(g) => {
+                let mut dead = None;
+                g.for_each_qubit(|q| {
+                    if dead.is_none() && !bits.contains_key(q) {
+                        dead = Some(*q);
+                    }
+                });
+                if let Some(qubit) = dead {
+                    return Err(Mismatch::UseAfterFree { qubit, at });
+                }
+                apply_virtual(g, &mut bits);
+            }
+        }
+    }
+    register
+        .iter()
+        .map(|v| {
+            bits.get(v)
+                .copied()
+                .ok_or(Mismatch::UseAfterFree { qubit: *v, at: 0 })
+        })
+        .collect()
+}
+
+fn apply_virtual(g: &Gate<VirtId>, bits: &mut HashMap<VirtId, bool>) {
+    let get = |bits: &HashMap<VirtId, bool>, q: &VirtId| bits[q];
+    match g {
+        Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
+        Gate::Cx { control, target } => {
+            if get(bits, control) {
+                *bits.get_mut(target).unwrap() ^= true;
+            }
+        }
+        Gate::Ccx { c0, c1, target } => {
+            if get(bits, c0) && get(bits, c1) {
+                *bits.get_mut(target).unwrap() ^= true;
+            }
+        }
+        Gate::Swap { a, b } => {
+            let (va, vb) = (get(bits, a), get(bits, b));
+            bits.insert(*a, vb);
+            bits.insert(*b, va);
+        }
+        Gate::Mcx { controls, target } => {
+            if controls.iter().all(|c| get(bits, c)) {
+                *bits.get_mut(target).unwrap() ^= true;
+            }
+        }
+    }
+}
+
+fn output_diff(
+    stage: Stage,
+    report: &CompileReport,
+    virt_vals: &[bool],
+    other_vals: &[bool],
+) -> Option<Mismatch> {
+    let index = virt_vals.iter().zip(other_vals).position(|(a, b)| a != b)?;
+    let virt = report.entry_register[index];
+    let phys = report.final_placement.get(&virt).copied();
+    let journey = report
+        .placement_history
+        .as_deref()
+        .map(|h| journey_of(h, virt))
+        .unwrap_or_default();
+    Some(Mismatch::OutputDiff {
+        stage,
+        index,
+        virtual_value: virt_vals[index],
+        other_value: other_vals[index],
+        virt,
+        phys,
+        journey,
+    })
+}
+
+/// Checks the compiled result against the reference semantics run
+/// under the compiler's own recorded reclamation decisions. `lowered`
+/// must be the MCX-lowered program (the form the executor actually
+/// compiled, and the form whose frame order the decision log follows).
+///
+/// # Errors
+///
+/// [`ValidationError::Sem`] if the reference run fails,
+/// [`ValidationError::Mismatch`] on decision drift or output
+/// disagreement.
+pub fn check_reference(
+    lowered: &Program,
+    inputs: &[bool],
+    report: &CompileReport,
+    virt_vals: &[bool],
+) -> Result<(), ValidationError> {
+    let mut oracle = RecordedDecisions::new(report.decision_bools());
+    let sem = square_qir::sem::run(lowered, inputs, &mut oracle)?;
+    if !oracle.in_sync() {
+        return Err(Mismatch::DecisionDrift {
+            consumed: oracle.consumed(),
+            recorded: report.decision_log.len(),
+            overrun: oracle.overrun(),
+        }
+        .into());
+    }
+    if let Some(m) = output_diff(Stage::ReferenceSemantics, report, virt_vals, &sem.outputs) {
+        return Err(m.into());
+    }
+    Ok(())
+}
+
+/// Replays the routed physical schedule and checks the read-back
+/// register against the virtual values. Swap-chain schedules also
+/// pass the per-qubit ASAP consistency check.
+///
+/// # Errors
+///
+/// [`Mismatch::ScheduleInconsistent`] / [`Mismatch::OutputDiff`].
+///
+/// # Panics
+///
+/// Panics if the report carries no recorded schedule (callers go
+/// through [`validate`], which forces recording on).
+pub fn check_physical(report: &CompileReport, virt_vals: &[bool]) -> Result<(), Mismatch> {
+    let schedule = report
+        .schedule
+        .as_deref()
+        .expect("validation requires a recorded schedule");
+    if report.comm == CommModel::SwapChains {
+        if let Err(violation) = check_swapchain_schedule(schedule) {
+            return Err(Mismatch::ScheduleInconsistent { violation });
+        }
+    }
+    let replay = replay_schedule(schedule, report.machine_qubits);
+    let phys_vals = replay.read(&report.measure_map());
+    if let Some(m) = output_diff(Stage::PhysicalReplay, report, virt_vals, &phys_vals) {
+        return Err(m);
+    }
+    Ok(())
+}
+
+/// Compiles `program` under `config` (with schedule recording forced
+/// on) and validates the result through all three oracle layers.
+///
+/// # Errors
+///
+/// See [`ValidationError`].
+pub fn validate(
+    program: &Program,
+    inputs: &[bool],
+    config: &CompilerConfig,
+) -> Result<Validated, ValidationError> {
+    let mut config = config.clone();
+    config.record_schedule = true;
+    let report = compile_with_inputs(program, inputs, &config)?;
+    let virt_vals = replay_virtual(&report.trace, &report.entry_register)?;
+    let lowered = lower_mcx(program);
+    check_reference(&lowered, inputs, &report, &virt_vals)?;
+    check_physical(&report, &virt_vals)?;
+    Ok(Validated {
+        outputs: virt_vals,
+        report,
+    })
+}
+
+/// The two auto-sized machine targets of the sweep matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// Auto-sized NISQ lattice, swap chains.
+    Nisq,
+    /// Auto-sized FT tile grid, braiding.
+    Ft,
+}
+
+impl MachineKind {
+    /// Both targets.
+    pub const BOTH: [MachineKind; 2] = [MachineKind::Nisq, MachineKind::Ft];
+
+    /// The compiler configuration for `policy` on this target.
+    pub fn config(&self, policy: Policy) -> CompilerConfig {
+        match self {
+            MachineKind::Nisq => CompilerConfig::nisq(policy),
+            MachineKind::Ft => CompilerConfig::ft(policy),
+        }
+    }
+}
+
+impl fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MachineKind::Nisq => "nisq",
+            MachineKind::Ft => "ft",
+        })
+    }
+}
+
+/// Deterministic alternating input pattern for a benchmark's input
+/// register (the pattern the integration suites use).
+pub fn default_inputs(bench: Benchmark) -> Vec<bool> {
+    (0..bench.input_qubits()).map(|i| i % 2 == 0).collect()
+}
+
+/// Validates one catalog benchmark under one policy on one target.
+///
+/// # Errors
+///
+/// See [`ValidationError`]; benchmark build failures surface as
+/// [`ValidationError::Compile`].
+pub fn validate_benchmark(
+    bench: Benchmark,
+    policy: Policy,
+    machine: MachineKind,
+) -> Result<Validated, ValidationError> {
+    let program = build(bench).map_err(CompileError::from)?;
+    validate(&program, &default_inputs(bench), &machine.config(policy))
+}
+
+/// A decision summary useful in logs: how many frames reclaimed.
+pub fn decision_summary(log: &[ReclaimDecision]) -> (usize, usize) {
+    let reclaimed = log.iter().filter(|d| d.reclaim).count();
+    (reclaimed, log.len() - reclaimed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use square_qir::ProgramBuilder;
+
+    fn small_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let child = b
+            .module("child", 2, 1, |m| {
+                let (x, out) = (m.param(0), m.param(1));
+                let a = m.ancilla(0);
+                m.cx(x, a);
+                m.store();
+                m.cx(a, out);
+            })
+            .unwrap();
+        let main = b
+            .module("main", 0, 3, |m| {
+                let (x, s, out) = (m.ancilla(0), m.ancilla(1), m.ancilla(2));
+                m.x(x);
+                m.call(child, &[x, s]);
+                m.store();
+                m.cx(s, out);
+            })
+            .unwrap();
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn validate_passes_for_all_policies_on_both_targets() {
+        let p = small_program();
+        for policy in Policy::ALL {
+            for machine in MachineKind::BOTH {
+                let v = validate(&p, &[], &machine.config(policy))
+                    .unwrap_or_else(|e| panic!("{policy}/{machine}: {e}"));
+                assert!(v.outputs[2], "{policy}/{machine}: stored output");
+                assert!(v.report.schedule.is_some());
+                assert!(v.report.placement_history.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_schedule_is_caught() {
+        let p = small_program();
+        let cfg = CompilerConfig::nisq(Policy::Lazy).with_schedule();
+        let mut report = compile_with_inputs(&p, &[], &cfg).unwrap();
+        let virt_vals = replay_virtual(&report.trace, &report.entry_register).unwrap();
+        check_physical(&report, &virt_vals).expect("untampered schedule validates");
+        // Flip one program gate into an X on the measured output cell:
+        // the physical replay must now disagree.
+        let out_cell = report.measure_map()[2];
+        let schedule = report.schedule.as_mut().unwrap();
+        let last = schedule.last().unwrap().clone();
+        schedule.push(square_route::ScheduledGate {
+            gate: Gate::X { target: out_cell },
+            start: last.end(),
+            dur: 1,
+            is_comm: false,
+        });
+        let err = check_physical(&report, &virt_vals).unwrap_err();
+        match err {
+            Mismatch::OutputDiff { stage, index, .. } => {
+                assert_eq!(stage, Stage::PhysicalReplay);
+                assert_eq!(index, 2);
+            }
+            other => panic!("wrong mismatch: {other}"),
+        }
+    }
+
+    #[test]
+    fn tampered_decision_log_is_caught_as_drift() {
+        let p = small_program();
+        let cfg = CompilerConfig::nisq(Policy::Eager).with_schedule();
+        let mut report = compile_with_inputs(&p, &[], &cfg).unwrap();
+        let virt_vals = replay_virtual(&report.trace, &report.entry_register).unwrap();
+        let lowered = lower_mcx(&p);
+        check_reference(&lowered, &[], &report, &virt_vals).expect("clean log checks out");
+        report.decision_log.pop();
+        let err = check_reference(&lowered, &[], &report, &virt_vals).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ValidationError::Mismatch(ref m)
+                    if matches!(**m, Mismatch::DecisionDrift { overrun: true, .. })
+            ),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn dirty_trace_is_caught() {
+        use TraceOp::*;
+        let v = VirtId(0);
+        let trace = vec![Alloc(v), Gate(square_qir::Gate::X { target: v }), Free(v)];
+        assert_eq!(
+            replay_virtual(&trace, &[]),
+            Err(Mismatch::DirtyFree { qubit: v, at: 2 })
+        );
+        let use_after = vec![Alloc(v), Free(v), Gate(square_qir::Gate::X { target: v })];
+        assert_eq!(
+            replay_virtual(&use_after, &[]),
+            Err(Mismatch::UseAfterFree { qubit: v, at: 2 })
+        );
+        assert_eq!(
+            replay_virtual(&[Alloc(v), Alloc(v)], &[]),
+            Err(Mismatch::DoubleAlloc { qubit: v })
+        );
+    }
+
+    #[test]
+    fn mismatch_diagnostics_name_the_journey() {
+        let p = small_program();
+        let cfg = CompilerConfig::nisq(Policy::Square).with_schedule();
+        let report = compile_with_inputs(&p, &[], &cfg).unwrap();
+        let virt_vals = replay_virtual(&report.trace, &report.entry_register).unwrap();
+        let mut flipped = virt_vals.clone();
+        flipped[0] = !flipped[0];
+        let m = output_diff(Stage::PhysicalReplay, &report, &virt_vals, &flipped).unwrap();
+        let text = m.to_string();
+        assert!(text.contains("register[0]"), "{text}");
+        assert!(text.contains("journey"), "{text}");
+    }
+}

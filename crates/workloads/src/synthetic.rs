@@ -108,10 +108,43 @@ impl SynthParams {
     }
 }
 
+/// Operand discipline of generated compute blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Discipline {
+    /// Gates and call outputs may target params freely (the paper's
+    /// literal "randomly assigned" reading). Such programs can be
+    /// *policy-divergent*: a frame that skips uncomputation leaves its
+    /// param scribbles visible to the caller's later gates.
+    Free,
+    /// Gates only ever *write* a frame's own ancillas, and a call's
+    /// designated output param is always bound to a caller ancilla.
+    /// Under this discipline reclaim decisions are unobservable, so
+    /// every policy computes identical inputs-echo and output bits —
+    /// the invariant the pipeline fuzzer cross-checks.
+    Clean,
+}
+
 /// Generates the synthetic program for `params`. The entry register is
 /// `[x(inputs_per_fn), scratch, out]`; inputs feed the top call chain
 /// and the result lands in `out` via the entry's store.
 pub fn synthesize(params: &SynthParams) -> Result<Program, QirError> {
+    synthesize_with(params, Discipline::Free)
+}
+
+/// Like [`synthesize`], but generated compute blocks follow the
+/// write-discipline of the hand-written benchmarks: gates only write
+/// the frame's own ancillas and call outputs land in caller ancillas.
+/// The resulting programs compute the same observable function under
+/// *every* reclamation policy, which makes them the right substrate
+/// for cross-policy differential testing. Uses the identical RNG
+/// stream as [`synthesize`] (only the operand-role assignment
+/// differs), so a seed corresponds to the same program shape in both
+/// modes.
+pub fn synthesize_disciplined(params: &SynthParams) -> Result<Program, QirError> {
+    synthesize_with(params, Discipline::Clean)
+}
+
+fn synthesize_with(params: &SynthParams, discipline: Discipline) -> Result<Program, QirError> {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut b = ProgramBuilder::new();
     let p_in = params.inputs_per_fn.max(2);
@@ -133,6 +166,7 @@ pub fn synthesize(params: &SynthParams) -> Result<Program, QirError> {
                 params.max_gates,
                 &callees,
                 params.max_callees,
+                discipline,
             )?;
             this_level.push(id);
         }
@@ -167,6 +201,7 @@ fn gen_module(
     max_gates: usize,
     callees: &[ModuleId],
     max_callees: usize,
+    discipline: Discipline,
 ) -> Result<ModuleId, QirError> {
     let gates = rng.gen_range(max_gates / 2..=max_gates.max(1));
     let calls = if callees.is_empty() {
@@ -209,11 +244,28 @@ fn gen_module(
             idx.truncate(k);
             idx
         };
+        // Under the clean discipline, the *written* operand (a gate's
+        // target, a call's output param — always the last chosen
+        // index) is forced into the ancilla region of the pool: swap
+        // an already-chosen ancilla into place, or overwrite with a
+        // mix-derived ancilla (no collision possible — the others are
+        // then all params).
+        let force_ancilla_last = |chosen: &mut Vec<usize>, mix: u64| {
+            if discipline == Discipline::Free {
+                return;
+            }
+            let last = chosen.len() - 1;
+            match chosen.iter().rposition(|&i| i >= p_in) {
+                Some(pos) => chosen.swap(pos, last),
+                None => chosen[last] = p_in + (mix >> 17) as usize % anc,
+            }
+        };
         for item in &plan {
             match item {
                 PlanItem::Gate(kind, mix) => {
                     let need = (*kind as usize + 1).min(pool.len());
-                    let chosen = pick(*mix, need, pool.len());
+                    let mut chosen = pick(*mix, need, pool.len());
+                    force_ancilla_last(&mut chosen, *mix);
                     match need {
                         1 => m.x(pool[chosen[0]]),
                         2 => m.cx(pool[chosen[0]], pool[chosen[1]]),
@@ -223,7 +275,8 @@ fn gen_module(
                 PlanItem::Call(callee, mix) => {
                     // Child signature is p_in inputs + 1 output; feed it
                     // distinct pool qubits, output into an ancilla.
-                    let chosen = pick(*mix, p_in + 1, pool.len());
+                    let mut chosen = pick(*mix, p_in + 1, pool.len());
+                    force_ancilla_last(&mut chosen, *mix);
                     let args: Vec<Operand> = chosen.iter().map(|&i| pool[i]).collect();
                     m.call(*callee, &args);
                 }
@@ -295,6 +348,67 @@ mod tests {
             assert_eq!(eager.outputs[out], never.outputs[out], "{params:?}");
             assert!(eager.peak_live <= never.peak_live, "{params:?}");
         }
+    }
+
+    #[test]
+    fn disciplined_programs_are_policy_invariant() {
+        // Under the clean write-discipline, the echoed inputs and the
+        // store-protected output agree across *every* reclamation
+        // pattern — including adversarial per-frame mixtures. The free
+        // generator gives no such guarantee (a frame that skips
+        // uncomputation leaves its param scribbles visible), which is
+        // exactly why the fuzzer's differential check uses this mode.
+        for seed in [1u64, 7, 9612741360521087737] {
+            let params = SynthParams {
+                levels: 2,
+                max_callees: 2,
+                inputs_per_fn: 2,
+                max_ancilla: 3,
+                max_gates: 4,
+                seed,
+            };
+            let p = synthesize_disciplined(&params).unwrap();
+            square_qir::validate::validate_program(&p).unwrap();
+            let inputs = [false, true];
+            let reference = run(&p, &inputs, &mut AlwaysReclaim).unwrap();
+            let out = inputs.len() + 1;
+            let mut flip = false;
+            let mut mixed = |_m: square_qir::ModuleId, _d: usize| {
+                flip = !flip;
+                flip
+            };
+            for r in [
+                run(&p, &inputs, &mut TopLevelOnly).unwrap(),
+                run(&p, &inputs, &mut NeverReclaim).unwrap(),
+                run(&p, &inputs, &mut mixed).unwrap(),
+            ] {
+                assert_eq!(r.outputs[out], reference.outputs[out], "seed {seed}");
+                assert_eq!(
+                    &r.outputs[..inputs.len()],
+                    &reference.outputs[..inputs.len()],
+                    "seed {seed}: inputs echo"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn free_and_disciplined_modes_share_program_shape() {
+        // Same seed → same module count and call structure; only the
+        // operand roles differ.
+        let params = SynthParams::belle_s();
+        let free = synthesize(&params).unwrap();
+        let clean = synthesize_disciplined(&params).unwrap();
+        let sf = ProgramStats::analyze(&free);
+        let sc = ProgramStats::analyze(&clean);
+        assert_eq!(
+            sf.module(free.entry()).height,
+            sc.module(clean.entry()).height
+        );
+        assert_eq!(
+            sf.module(free.entry()).gates_compute,
+            sc.module(clean.entry()).gates_compute
+        );
     }
 
     #[test]

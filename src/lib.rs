@@ -21,4 +21,5 @@ pub use square_metrics as metrics;
 pub use square_qir as qir;
 pub use square_route as route;
 pub use square_sim as sim;
+pub use square_verify as verify;
 pub use square_workloads as workloads;

@@ -1,0 +1,126 @@
+//! Translation-validation integration tests: the routed, scheduled
+//! physical circuit of every benchmark cell must compute exactly what
+//! the reference bit-level semantics say it should, under the
+//! compiler's own recorded reclamation decisions.
+//!
+//! The quick test covers the NISQ set on both machine targets in
+//! debug builds. The full 17-benchmark × 4-policy × {nisq, ft} matrix
+//! (136 cells, some with multi-million-gate schedules) is `#[ignore]`d
+//! here and run in release by CI's translation-validation job:
+//!
+//! ```sh
+//! cargo test --release --test validate -- --ignored
+//! ```
+
+use rayon::prelude::*;
+use square_repro::core::Policy;
+use square_repro::verify::{validate_benchmark, MachineKind, Mismatch, ValidationError};
+use square_repro::workloads::Benchmark;
+
+fn cells(benchmarks: &[Benchmark]) -> Vec<(Benchmark, Policy, MachineKind)> {
+    let mut out = Vec::new();
+    for &bench in benchmarks {
+        for machine in MachineKind::BOTH {
+            for policy in Policy::ALL {
+                out.push((bench, policy, machine));
+            }
+        }
+    }
+    out
+}
+
+fn validate_cells(benchmarks: &[Benchmark]) {
+    let failures: Vec<String> = cells(benchmarks)
+        .into_par_iter()
+        .map(|(bench, policy, machine)| {
+            validate_benchmark(bench, policy, machine)
+                .err()
+                .map(|e| format!("{bench}/{}/{machine}: {e}", policy.cli_name()))
+        })
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} cells failed translation validation:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn nisq_benchmark_cells_validate() {
+    validate_cells(&Benchmark::NISQ);
+}
+
+#[test]
+#[ignore = "full 136-cell matrix; run in release (CI translation-validation job)"]
+fn full_sweep_matrix_validates() {
+    validate_cells(&Benchmark::ALL);
+}
+
+#[test]
+fn validation_survives_the_facade_round_trip() {
+    // One cell end-to-end through the public facade, checking the
+    // report really carries the new artifacts.
+    let v = validate_benchmark(Benchmark::Rd53, Policy::Square, MachineKind::Nisq).unwrap();
+    assert!(v.report.schedule.is_some());
+    assert!(v.report.placement_history.is_some());
+    assert!(!v.report.decision_log.is_empty());
+    assert_eq!(
+        v.report.decision_log.iter().filter(|d| d.reclaim).count() as u64,
+        v.report.decisions.reclaimed
+    );
+    assert_eq!(v.outputs.len(), v.report.entry_register.len());
+}
+
+#[test]
+fn validation_detects_a_sabotaged_schedule() {
+    use square_repro::core::{compile_with_inputs, CompilerConfig};
+    use square_repro::qir::Gate;
+    use square_repro::route::ScheduledGate;
+    use square_repro::verify::{check_physical, replay_virtual};
+    use square_repro::workloads::build;
+
+    let program = build(Benchmark::TwoOf5).unwrap();
+    let cfg = CompilerConfig::nisq(Policy::Lazy).with_schedule();
+    let mut report = compile_with_inputs(&program, &[], &cfg).unwrap();
+    let virt_vals = replay_virtual(&report.trace, &report.entry_register).unwrap();
+    check_physical(&report, &virt_vals).expect("honest schedule validates");
+
+    // Inject a stray X on a measured cell — the kind of off-by-one a
+    // routing bug would produce. The oracle stack must notice.
+    let target = report.measure_map()[0];
+    let schedule = report.schedule.as_mut().unwrap();
+    let end = schedule.last().unwrap().end();
+    schedule.push(ScheduledGate {
+        gate: Gate::X { target },
+        start: end,
+        dur: 1,
+        is_comm: false,
+    });
+    let err = check_physical(&report, &virt_vals).unwrap_err();
+    match err {
+        Mismatch::OutputDiff { index, journey, .. } => {
+            assert_eq!(index, 0);
+            assert!(!journey.is_empty(), "diagnostics carry the journey");
+        }
+        other => panic!("expected an output diff, got: {other}"),
+    }
+}
+
+#[test]
+fn compile_failures_surface_as_compile_errors() {
+    use square_repro::core::{ArchSpec, CompilerConfig};
+    use square_repro::verify::validate;
+    use square_repro::workloads::build;
+
+    let program = build(Benchmark::Rd53).unwrap();
+    let cfg = CompilerConfig::nisq(Policy::Lazy).with_arch(ArchSpec::Grid {
+        width: 2,
+        height: 2,
+    });
+    let err = validate(&program, &[], &cfg).unwrap_err();
+    assert!(matches!(err, ValidationError::Compile(_)), "got: {err}");
+}
