@@ -1,0 +1,372 @@
+//! `squarec` — the `.sq` compiler driver.
+//!
+//! Compiles textual `.sq` programs (the `square-lang` frontend) end to
+//! end through the SQUARE pipeline: parse → resolve → lower → compile
+//! → route, optionally running the `square-verify` translation-
+//! validation oracle stack over the result.
+//!
+//! ```text
+//! squarec FILE.sq [FILE2.sq …] [flags]
+//!   --policy NAME        lazy | eager | square | laa        (default square)
+//!   --arch SPEC          nisq | ft | grid:WxH | full:N | line:N (default nisq)
+//!   --all-policies       compile each file under all four policies
+//!   --validate           replay + diff the compiled schedule against
+//!                        the reference semantics (oracle stack)
+//!   --emit WHAT          report | listing | schedule         (default report)
+//!   --json               machine-readable output on stdout
+//!   --roundtrip          also check parse → pretty → parse is the identity
+//!   --dump-catalog DIR   write the 17 built-in benchmarks as .sq files
+//! ```
+//!
+//! Parse errors render as spanned, multi-error diagnostics with
+//! line/column carets on stderr. Exit code 0 when everything
+//! succeeded, 1 on any parse/compile/validation failure, 2 on usage
+//! errors. With `--json`, stdout carries exactly one JSON document
+//! (`squarec … --json | jq .` stays valid), everything else goes to
+//! stderr.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use serde::Value;
+use square_bench::{report_json, SweepArch};
+use square_core::{compile, CompileReport, Policy};
+use square_qir::pretty::program_listing;
+use square_qir::Program;
+use square_workloads::{sq_file_stem, sq_source, Benchmark};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    Report,
+    Listing,
+    Schedule,
+}
+
+struct Options {
+    files: Vec<PathBuf>,
+    policy: Policy,
+    arch: SweepArch,
+    all_policies: bool,
+    validate: bool,
+    emit: Emit,
+    json: bool,
+    roundtrip: bool,
+    dump_catalog: Option<PathBuf>,
+}
+
+/// Set as soon as any file fails, so an early exit (EPIPE on stdout)
+/// still reports the failure through the exit code.
+static FAILED: AtomicBool = AtomicBool::new(false);
+
+fn mark_failed() {
+    FAILED.store(true, Ordering::Relaxed);
+}
+
+const USAGE: &str = "usage: squarec FILE.sq [FILE2.sq …] \
+     [--policy lazy|eager|square|laa] [--arch nisq|ft|grid:WxH|full:N|line:N] \
+     [--all-policies] [--validate] [--emit report|listing|schedule] [--json] \
+     [--roundtrip] [--dump-catalog DIR]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        policy: Policy::Square,
+        arch: SweepArch::NisqAuto,
+        all_policies: false,
+        validate: false,
+        emit: Emit::Report,
+        json: false,
+        roundtrip: false,
+        dump_catalog: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--policy" => {
+                let v = value(arg)?;
+                opts.policy =
+                    Policy::parse(&v).ok_or_else(|| format!("--policy: unknown policy `{v}`"))?;
+            }
+            "--arch" => {
+                let v = value(arg)?;
+                opts.arch =
+                    SweepArch::parse(&v).ok_or_else(|| format!("--arch: unknown arch `{v}`"))?;
+            }
+            "--all-policies" => opts.all_policies = true,
+            "--validate" => opts.validate = true,
+            "--emit" => {
+                opts.emit = match value(arg)?.as_str() {
+                    "report" => Emit::Report,
+                    "listing" => Emit::Listing,
+                    "schedule" => Emit::Schedule,
+                    other => return Err(format!("--emit: unknown artifact `{other}`")),
+                };
+            }
+            "--json" => opts.json = true,
+            "--roundtrip" => opts.roundtrip = true,
+            "--dump-catalog" => opts.dump_catalog = Some(PathBuf::from(value(arg)?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if opts.files.is_empty() && opts.dump_catalog.is_none() {
+        return Err("no input files (and no --dump-catalog)".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(dir) = &opts.dump_catalog {
+        if let Err(message) = dump_catalog(dir) {
+            eprintln!("{message}");
+            mark_failed();
+        }
+    }
+
+    let mut json_cells: Vec<Value> = Vec::new();
+    for file in &opts.files {
+        if !run_file(file, &opts, &mut json_cells) {
+            mark_failed();
+        }
+    }
+    if opts.json && !opts.files.is_empty() {
+        match serde_json::to_string_pretty(&Value::Seq(json_cells)) {
+            Ok(text) => {
+                write_stdout(&text);
+                write_stdout("\n");
+            }
+            Err(error) => {
+                eprintln!("serialization failed: {error}");
+                mark_failed();
+            }
+        }
+    }
+    if FAILED.load(Ordering::Relaxed) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Writes every catalog benchmark as a `.sq` file under `dir`.
+fn dump_catalog(dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    for bench in Benchmark::ALL {
+        let source =
+            sq_source(bench).map_err(|e| format!("{}: render failed: {e}", bench.name()))?;
+        let path = dir.join(format!("{}.sq", sq_file_stem(bench)));
+        std::fs::write(&path, &source)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "{:<12} -> {} ({} lines)",
+            bench.name(),
+            path.display(),
+            source.lines().count()
+        );
+    }
+    Ok(())
+}
+
+/// Processes one input file. Returns false on any failure.
+fn run_file(file: &Path, opts: &Options, json_cells: &mut Vec<Value>) -> bool {
+    let display = file.display().to_string();
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{display}: cannot read: {e}");
+            return false;
+        }
+    };
+    let program = match square_lang::parse_program(&source) {
+        Ok(p) => p,
+        Err(diags) => {
+            eprint!("{}", square_lang::render(&source, &display, &diags));
+            eprintln!(
+                "{display}: {} error{}",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            );
+            return false;
+        }
+    };
+
+    if opts.roundtrip && !report_roundtrip(&program, &display) {
+        return false;
+    }
+
+    // Listing emission needs no compile — but `--validate` still means
+    // "run the oracle stack", so only skip the compile loop when
+    // nothing asked for one.
+    let policies: Vec<Policy> = if opts.all_policies {
+        Policy::ALL.to_vec()
+    } else {
+        vec![opts.policy]
+    };
+    let mut ok = true;
+    let mut rows: Vec<(Policy, CompileReport)> = Vec::new();
+    if opts.validate || opts.emit != Emit::Listing {
+        for &policy in &policies {
+            let mut config = opts.arch.config(policy);
+            if opts.emit == Emit::Schedule {
+                config = config.with_schedule();
+            }
+            let outcome = if opts.validate {
+                square_verify::validate(&program, &[], &config)
+                    .map(|v| v.report)
+                    .map_err(|e| e.to_string())
+            } else {
+                compile(&program, &config).map_err(|e| e.to_string())
+            };
+            match outcome {
+                Ok(report) => rows.push((policy, report)),
+                Err(error) => {
+                    eprintln!("{display}: {} on {}: {error}", policy.cli_name(), opts.arch);
+                    // Also mark globally, so a later early EPIPE exit
+                    // still reports failure through the exit code.
+                    mark_failed();
+                    ok = false;
+                }
+            }
+        }
+    }
+
+    if opts.emit == Emit::Listing {
+        if !opts.json {
+            write_stdout(&program_listing(&program));
+        } else {
+            json_cells.push(Value::map([
+                ("file", Value::String(display.clone())),
+                ("validated", Value::Bool(opts.validate && ok)),
+                ("listing", Value::String(program_listing(&program))),
+            ]));
+        }
+        return ok;
+    }
+
+    for (policy, report) in &rows {
+        if opts.json {
+            let mut cell = vec![
+                ("file", Value::String(display.clone())),
+                ("policy", Value::String(policy.cli_name().to_string())),
+                ("arch", Value::String(opts.arch.to_string())),
+                ("validated", Value::Bool(opts.validate)),
+                ("report", report_json(report)),
+            ];
+            if opts.emit == Emit::Schedule {
+                cell.push(("schedule", schedule_json(report)));
+            }
+            json_cells.push(Value::map(cell));
+        } else if opts.emit == Emit::Schedule {
+            let schedule = report.schedule.as_deref().unwrap_or(&[]);
+            write_stdout(&format!(
+                "# {display} {} {} — {} scheduled gates, depth {}\n",
+                opts.arch,
+                policy.cli_name(),
+                schedule.len(),
+                report.depth
+            ));
+            let mut chunk = String::new();
+            for (i, g) in schedule.iter().enumerate() {
+                let _ = writeln!(chunk, "{g}");
+                // Flush in batches so multi-million-gate schedules
+                // stream instead of materializing one giant string.
+                if chunk.len() >= 1 << 16 || i + 1 == schedule.len() {
+                    write_stdout(&chunk);
+                    chunk.clear();
+                }
+            }
+        }
+    }
+    if opts.emit == Emit::Report && !opts.json && !rows.is_empty() {
+        write_stdout(&render_table(&display, opts, &rows));
+    }
+    ok
+}
+
+/// The scheduled physical circuit as a JSON array (one object per
+/// gate, in record order).
+fn schedule_json(report: &CompileReport) -> Value {
+    let gates: Vec<Value> = report
+        .schedule
+        .as_deref()
+        .unwrap_or(&[])
+        .iter()
+        .map(|g| {
+            Value::map([
+                ("gate", Value::String(g.gate.to_string())),
+                ("start", Value::UInt(g.start)),
+                ("dur", Value::UInt(g.dur)),
+                ("comm", Value::Bool(g.is_comm)),
+            ])
+        })
+        .collect();
+    Value::Seq(gates)
+}
+
+/// Writes to stdout, exiting quietly when the reader is gone —
+/// `squarec … --emit schedule | head` must not panic on EPIPE. The
+/// exit code still reflects any failure recorded so far.
+fn write_stdout(text: &str) {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    if out.write_all(text.as_bytes()).is_err() || out.flush().is_err() {
+        std::process::exit(i32::from(FAILED.load(Ordering::Relaxed)));
+    }
+}
+
+/// Per-file mini sweep table (one row per compiled policy).
+fn render_table(file: &str, opts: &Options, rows: &[(Policy, CompileReport)]) -> String {
+    let mut out = String::new();
+    let validated = if opts.validate { " [validated]" } else { "" };
+    out.push_str(&format!("{file} — {}{validated}\n", opts.arch));
+    out.push_str(&format!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+        "policy", "gates", "swaps", "depth", "qubits", "peak", "aqv"
+    ));
+    for (policy, r) in rows {
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+            policy.label(),
+            r.gates,
+            r.swaps,
+            r.depth,
+            r.qubits,
+            r.peak_active,
+            r.aqv
+        ));
+    }
+    out
+}
+
+/// Checks that the canonical listing of the parsed program parses back
+/// to the identical program — the frontend/printer round-trip
+/// (`square_lang::check_roundtrip`), reported per file.
+fn report_roundtrip(program: &Program, display: &str) -> bool {
+    match square_lang::check_roundtrip(program) {
+        Ok(()) => {
+            eprintln!("{display}: round-trip OK ({} modules)", program.len());
+            true
+        }
+        Err(e) => {
+            eprintln!("{display}: round-trip FAILED: {e}");
+            false
+        }
+    }
+}

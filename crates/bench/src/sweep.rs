@@ -236,7 +236,10 @@ impl SweepMatrix {
     }
 }
 
-fn report_value(r: &CompileReport) -> Value {
+/// The JSON encoding of a [`CompileReport`], shared by the sweep
+/// matrix serializer and the `squarec` driver's `--json` mode so both
+/// emit field-identical report objects.
+pub fn report_json(r: &CompileReport) -> Value {
     Value::map([
         ("gates", Value::UInt(r.gates)),
         ("swaps", Value::UInt(r.swaps)),
@@ -268,7 +271,7 @@ fn report_value(r: &CompileReport) -> Value {
 impl Serialize for SweepCell {
     fn serialize(&self) -> Value {
         let (ok, err) = match &self.report {
-            Ok(r) => (report_value(r), Value::Null),
+            Ok(r) => (report_json(r), Value::Null),
             Err(e) => (Value::Null, Value::String(e.to_string())),
         };
         Value::map([

@@ -1,0 +1,193 @@
+//! End-to-end tests of the `squarec` driver and the frontend's
+//! compile-equivalence guarantee.
+//!
+//! Two layers:
+//!
+//! * **Driver**: the actual binary run against the committed
+//!   `examples/sq/` corpus (all four policies, `--validate`), against
+//!   broken input (diagnostics + exit code), and through a
+//!   `--dump-catalog` / `--roundtrip` cycle.
+//! * **API**: every catalog benchmark must survive
+//!   `pretty → parse → compile` with a report *field-identical* to
+//!   compiling the in-memory program — the external `.sq` path is the
+//!   same compiler, not a near miss. (NISQ set here; the full catalog
+//!   including MUL64 runs under `--ignored` in the `frontend` CI job.)
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use square_core::{compile, CompileReport, CompilerConfig, Policy};
+use square_qir::pretty::program_listing;
+use square_workloads::{build, Benchmark};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/sq")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("examples/sq exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sq"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "committed corpus went missing: {files:?}");
+    files
+}
+
+fn squarec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_squarec"))
+}
+
+#[test]
+fn corpus_compiles_under_every_policy() {
+    for file in corpus_files() {
+        for policy in Policy::ALL {
+            let out = squarec()
+                .arg(&file)
+                .args(["--policy", policy.cli_name()])
+                .output()
+                .expect("squarec runs");
+            assert!(
+                out.status.success(),
+                "{} under {}: {}",
+                file.display(),
+                policy.cli_name(),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert!(stdout.contains("aqv"), "missing table header:\n{stdout}");
+        }
+    }
+}
+
+#[test]
+fn corpus_validates_with_the_oracle_stack() {
+    let out = squarec()
+        .args(corpus_files())
+        .args(["--all-policies", "--validate", "--roundtrip"])
+        .output()
+        .expect("squarec runs");
+    assert!(
+        out.status.success(),
+        "validation failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("round-trip OK"), "{stderr}");
+}
+
+#[test]
+fn parse_errors_exit_nonzero_with_spans() {
+    let dir = std::env::temp_dir().join("squarec_test_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.sq");
+    std::fs::write(
+        &bad,
+        "entry module main(0 params, 1 ancilla) {\n  compute {\n    ccz a0;\n  }\n}\n",
+    )
+    .unwrap();
+    let out = squarec().arg(&bad).output().expect("squarec runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown gate `ccz`"), "{stderr}");
+    assert!(stderr.contains(":3:5"), "line/col anchor missing: {stderr}");
+    assert!(stderr.contains("did you mean `ccx`?"), "{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = squarec().output().expect("squarec runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = squarec()
+        .args(["x.sq", "--policy", "bogus"])
+        .output()
+        .expect("squarec runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn dumped_catalog_round_trips_through_the_driver() {
+    let dir = std::env::temp_dir().join("squarec_test_catalog");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = squarec()
+        .arg("--dump-catalog")
+        .arg(&dir)
+        .output()
+        .expect("squarec runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dumped: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(dumped.len(), 17, "one .sq per catalog benchmark");
+    // Round-trip the cheap files through the driver (listing mode so
+    // nothing compiles; the full compile equivalence is tested below).
+    let small: Vec<&PathBuf> = dumped
+        .iter()
+        .filter(|p| {
+            let stem = p.file_stem().unwrap().to_string_lossy().into_owned();
+            Benchmark::NISQ
+                .iter()
+                .any(|b| square_workloads::sq_file_stem(*b) == stem)
+        })
+        .collect();
+    assert_eq!(small.len(), 7);
+    let out = squarec()
+        .args(&small)
+        .args(["--roundtrip", "--emit", "listing"])
+        .output()
+        .expect("squarec runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Field-by-field comparison of everything the evaluation consumes.
+fn assert_reports_identical(a: &CompileReport, b: &CompileReport, what: &str) {
+    assert_eq!(a.gates, b.gates, "{what}: gates");
+    assert_eq!(a.swaps, b.swaps, "{what}: swaps");
+    assert_eq!(a.depth, b.depth, "{what}: depth");
+    assert_eq!(a.qubits, b.qubits, "{what}: qubits");
+    assert_eq!(a.peak_active, b.peak_active, "{what}: peak_active");
+    assert_eq!(a.aqv, b.aqv, "{what}: aqv");
+    assert_eq!(a.comm_factor, b.comm_factor, "{what}: comm_factor");
+    assert_eq!(a.machine_qubits, b.machine_qubits, "{what}: machine_qubits");
+    assert_eq!(a.decisions, b.decisions, "{what}: decision stats");
+    assert_eq!(a.decision_log, b.decision_log, "{what}: decision log");
+    assert_eq!(a.entry_register, b.entry_register, "{what}: entry register");
+    assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace length");
+    assert_eq!(a.trace, b.trace, "{what}: trace");
+}
+
+fn check_compile_equivalence(benches: &[Benchmark]) {
+    for &bench in benches {
+        let program = build(bench).expect("benchmark builds");
+        let parsed = square_lang::parse_program(&program_listing(&program))
+            .unwrap_or_else(|d| panic!("{bench}: listing failed to parse: {d:?}"));
+        assert_eq!(parsed, program, "{bench}: round-trip changed the program");
+        for policy in Policy::ALL {
+            let config = CompilerConfig::nisq(policy);
+            let direct = compile(&program, &config).expect("in-memory compile");
+            let via_sq = compile(&parsed, &config).expect(".sq compile");
+            assert_reports_identical(&direct, &via_sq, &format!("{bench}/{}", policy.cli_name()));
+        }
+    }
+}
+
+#[test]
+fn catalog_compiles_identically_through_sq_nisq_set() {
+    check_compile_equivalence(&Benchmark::NISQ);
+}
+
+#[test]
+#[ignore = "full catalog × 4 policies: run with --ignored (release)"]
+fn catalog_compiles_identically_through_sq_full() {
+    check_compile_equivalence(&Benchmark::ALL);
+}

@@ -1,0 +1,230 @@
+//! Spanned diagnostics with line/column carets and suggestions.
+//!
+//! Every frontend error carries a byte [`Span`] into the source text;
+//! [`render`] turns a batch of diagnostics into the familiar
+//! `error: … --> file:line:col` display with a caret line under the
+//! offending token. [`suggest`] powers the "did you mean" hints for
+//! misspelled gate mnemonics and module names.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte of the spanned region.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// One frontend error: a message anchored to a [`Span`], with an
+/// optional `help` hint rendered next to the caret.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Byte span of the offending region.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+    /// Optional hint (e.g. a "did you mean" suggestion).
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic without a help hint.
+    pub fn new(span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a help hint.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// The 1-based (line, column) of the diagnostic's span start.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        line_col(source, self.span.start)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(h) = &self.help {
+            write!(f, " ({h})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The 1-based (line, column) of byte `offset` in `source`. Columns
+/// count characters, not bytes, so carets line up for non-ASCII text.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(source.len());
+    let before = &source[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let col = source[line_start..offset].chars().count() + 1;
+    (line, col)
+}
+
+/// Renders diagnostics as compiler-style error reports:
+///
+/// ```text
+/// error: unknown gate `ccz`
+///   --> prog.sq:4:5
+///    |
+///  4 |     ccz p0 p1 a0;
+///    |     ^^^ did you mean `ccx`?
+/// ```
+pub fn render(source: &str, file: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let (line, col) = line_col(source, d.span.start);
+        out.push_str(&format!("error: {}\n", d.message));
+        out.push_str(&format!("  --> {file}:{line}:{col}\n"));
+        let line_start = source[..d.span.start.min(source.len())]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let line_text = source[line_start..].lines().next().unwrap_or("");
+        let gutter = format!("{line}");
+        let pad = " ".repeat(gutter.len());
+        out.push_str(&format!(" {pad} |\n"));
+        out.push_str(&format!(" {gutter} | {line_text}\n"));
+        // Caret width: the spanned characters on this line (at least 1).
+        let span_on_line = d.span.end.min(line_start + line_text.len());
+        let width = source[d.span.start.min(span_on_line)..span_on_line]
+            .chars()
+            .count()
+            .max(1);
+        // Pad with the line's own tabs so the caret stays aligned
+        // under the span regardless of how the terminal expands them.
+        let caret_pad: String = source[line_start..d.span.start.min(source.len())]
+            .chars()
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        out.push_str(&format!(" {pad} | {caret_pad}{}", "^".repeat(width)));
+        if let Some(h) = &d.help {
+            out.push_str(&format!(" {h}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Returns the candidate closest to `name` (case-insensitively) when
+/// it is close enough to be a plausible typo — the "did you mean"
+/// heuristic. The edit-distance budget scales with the name's length
+/// so short mnemonics don't suggest wildly.
+pub fn suggest<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    let lower = name.to_ascii_lowercase();
+    let budget = 1 + lower.chars().count() / 4;
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(&lower, &c.to_ascii_lowercase()), c))
+        // An exact match is not a typo — but a case-only variant
+        // (distance 0 after folding, different spelling) is worth
+        // suggesting when the caller matched case-sensitively.
+        .filter(|&(d, c)| c != name && d <= budget)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+/// Levenshtein distance over characters.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 4), (2, 2));
+        assert_eq!(line_col(src, 8), (3, 3));
+    }
+
+    #[test]
+    fn render_carets_under_the_span() {
+        let src = "module f(1 params, 0 ancilla) {\n  compute {\n    ccz p0;\n  }\n}\n";
+        let at = src.find("ccz").unwrap();
+        let d = Diagnostic::new(Span::new(at, at + 3), "unknown gate `ccz`")
+            .with_help("did you mean `ccx`?");
+        let rendered = render(src, "prog.sq", &[d]);
+        assert!(rendered.contains("error: unknown gate `ccz`"));
+        assert!(rendered.contains("--> prog.sq:3:5"));
+        assert!(rendered.contains("^^^ did you mean `ccx`?"));
+    }
+
+    #[test]
+    fn suggestions_respect_the_distance_budget() {
+        assert_eq!(suggest("ccz", ["x", "cx", "ccx", "swap"]), Some("ccx"));
+        assert_eq!(suggest("fun2", ["fun1", "main"]), Some("fun1"));
+        assert_eq!(suggest("zzzzz", ["x", "cx", "ccx"]), None);
+        // An exact match is not a typo; no suggestion.
+        assert_eq!(suggest("ccx", ["ccx"]), None);
+        // A case-only variant *is* suggested (the caller matched
+        // case-sensitively, so the user needs the canonical spelling).
+        assert_eq!(suggest("COMPUTE", ["compute", "store"]), Some("compute"));
+    }
+
+    #[test]
+    fn render_keeps_carets_aligned_under_tabs() {
+        let src = "module m(1 params, 0 ancilla) {\n\tcompute {\n\t\tzz p0;\n\t}\n}\n";
+        let at = src.find("zz").unwrap();
+        let d = Diagnostic::new(Span::new(at, at + 2), "unknown gate `zz`");
+        let rendered = render(src, "prog.sq", &[d]);
+        // The caret line reuses the source line's tabs, so the carets
+        // land under the span however wide the terminal draws a tab.
+        assert!(
+            rendered.contains(" 3 | \t\tzz p0;\n   | \t\t^^"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+    }
+}

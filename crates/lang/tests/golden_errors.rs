@@ -1,0 +1,201 @@
+//! Golden snapshots of rendered parse/resolution diagnostics.
+//!
+//! Each case asserts the *exact* rendered report — file:line:column
+//! anchors, caret placement, and "did you mean" hints are all part of
+//! the frontend's contract (the acceptance bar for the `.sq` frontend
+//! is that errors carry usable spans). If an intentional wording
+//! change breaks one of these, update the expected string alongside.
+
+use square_lang::{parse_program, render};
+
+fn report(source: &str) -> String {
+    let diags = parse_program(source).expect_err("source must not parse");
+    render(source, "prog.sq", &diags)
+}
+
+#[test]
+fn golden_unknown_gate_with_suggestion() {
+    let src = "\
+entry module main(0 params, 2 ancilla) {
+  compute {
+    ccz a0 a1;
+  }
+}
+";
+    assert_eq!(
+        report(src),
+        "\
+error: unknown gate `ccz`
+  --> prog.sq:3:5
+   |
+ 3 |     ccz a0 a1;
+   |     ^^^ did you mean `ccx`?
+"
+    );
+}
+
+#[test]
+fn golden_call_arity_mismatch() {
+    let src = "\
+module f(2 params, 0 ancilla) {
+  compute {
+    cx p0 p1;
+  }
+}
+entry module main(0 params, 3 ancilla) {
+  compute {
+    call f(a0, a1, a2);
+  }
+}
+";
+    assert_eq!(
+        report(src),
+        "\
+error: call to `f` passes 3 arguments, but it declares 2 params
+  --> prog.sq:8:5
+   |
+ 8 |     call f(a0, a1, a2);
+   |     ^^^^^^^^^^^^^^^^^^^
+"
+    );
+}
+
+#[test]
+fn golden_unknown_module_with_suggestion() {
+    let src = "\
+module fun1(1 params, 0 ancilla) {
+  compute {
+    x p0;
+  }
+}
+entry module main(0 params, 1 ancilla) {
+  compute {
+    call fun2(a0);
+  }
+}
+";
+    assert_eq!(
+        report(src),
+        "\
+error: call to unknown module `fun2`
+  --> prog.sq:8:10
+   |
+ 8 |     call fun2(a0);
+   |          ^^^^ did you mean `fun1`?
+"
+    );
+}
+
+#[test]
+fn golden_duplicate_entry() {
+    let src = "\
+entry module a(0 params, 1 ancilla) {
+  compute {
+    x a0;
+  }
+}
+entry module b(0 params, 1 ancilla) {
+  compute {
+    x a0;
+  }
+}
+";
+    assert_eq!(
+        report(src),
+        "\
+error: duplicate `entry` marker on module `b`
+  --> prog.sq:6:1
+   |
+ 6 | entry module b(0 params, 1 ancilla) {
+   | ^^^^^ module `a` is already the entry
+"
+    );
+}
+
+#[test]
+fn golden_operand_out_of_range() {
+    let src = "\
+entry module main(0 params, 2 ancilla) {
+  compute {
+    cx a0 a7;
+  }
+}
+";
+    assert_eq!(
+        report(src),
+        "\
+error: operand `a7` is out of range: module `main` declares 2 ancillas
+  --> prog.sq:3:11
+   |
+ 3 |     cx a0 a7;
+   |           ^^
+"
+    );
+}
+
+#[test]
+fn golden_missing_entry() {
+    let src = "\
+module lonely(0 params, 1 ancilla) {
+  compute {
+    x a0;
+  }
+}
+";
+    assert_eq!(
+        report(src),
+        "\
+error: no module is marked `entry`
+  --> prog.sq:1:8
+   |
+ 1 | module lonely(0 params, 1 ancilla) {
+   |        ^^^^^^ mark the top-level module: `entry module …`
+"
+    );
+}
+
+#[test]
+fn golden_multi_error_report() {
+    // One parse collects every problem: an unknown gate, a bad gate
+    // arity, and a missing semicolon, each with its own anchor.
+    let src = "\
+entry module main(0 params, 3 ancilla) {
+  compute {
+    nott a0;
+    cx a0;
+    x a1
+  }
+}
+";
+    assert_eq!(
+        report(src),
+        "\
+error: unknown gate `nott`
+  --> prog.sq:3:5
+   |
+ 3 |     nott a0;
+   |     ^^^^ did you mean `not`?
+
+error: `cx` takes 2 operands (control, target), found 1 operand
+  --> prog.sq:4:5
+   |
+ 4 |     cx a0;
+   |     ^^
+
+error: expected `;` to end the statement, found `}`
+  --> prog.sq:6:3
+   |
+ 6 |   }
+   |   ^
+"
+    );
+}
+
+#[test]
+fn line_columns_survive_crlf_free_sources() {
+    // The span machinery reports 1-based lines and columns.
+    let src = "entry module m(0 params, 1 ancilla) {\n  compute {\n    swap a0;\n  }\n}\n";
+    let diags = parse_program(src).unwrap_err();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].line_col(src), (3, 5));
+}

@@ -1,0 +1,90 @@
+//! The frontend's central guarantee: `parse(pretty(p)) == p`.
+//!
+//! Property-tested over the synthetic program generator (both the
+//! free and the disciplined variant, the same generators the pipeline
+//! fuzzer drives) and checked exhaustively over the benchmark catalog
+//! (the NISQ set plus the cheap medium programs here; the full
+//! 17-benchmark sweep including the large arithmetic cores runs in
+//! `catalog_round_trips_full`, exercised by the `frontend` CI job).
+
+use proptest::prelude::*;
+use square_lang::{check_roundtrip, parse_program};
+use square_qir::pretty::program_listing;
+use square_workloads::synthetic::{synthesize, synthesize_disciplined, SynthParams};
+use square_workloads::{build, Benchmark};
+
+fn assert_round_trips(program: &square_qir::Program, what: &str) {
+    if let Err(e) = check_roundtrip(program) {
+        panic!("{what}: {e}\nlisting:\n{}", e.listing);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn synthetic_programs_round_trip(
+        levels in 1usize..=4,
+        max_callees in 1usize..=3,
+        inputs_per_fn in 2usize..=6,
+        max_ancilla in 1usize..=4,
+        max_gates in 1usize..=14,
+        seed in any::<u64>(),
+    ) {
+        let params = SynthParams {
+            levels,
+            max_callees,
+            inputs_per_fn,
+            max_ancilla,
+            max_gates,
+            seed,
+        };
+        let free = synthesize(&params).expect("synthetic program builds");
+        assert_round_trips(&free, "free synthetic");
+        let clean = synthesize_disciplined(&params).expect("disciplined program builds");
+        assert_round_trips(&clean, "disciplined synthetic");
+    }
+}
+
+/// The benchmarks cheap enough to round-trip in a debug test run.
+const QUICK: [Benchmark; 10] = [
+    Benchmark::Rd53,
+    Benchmark::Sym6,
+    Benchmark::TwoOf5,
+    Benchmark::Adder4,
+    Benchmark::JasmineS,
+    Benchmark::ElsaS,
+    Benchmark::BelleS,
+    Benchmark::Jasmine,
+    Benchmark::Elsa,
+    Benchmark::Belle,
+];
+
+#[test]
+fn catalog_round_trips_quick() {
+    for bench in QUICK {
+        let program = build(bench).expect("benchmark builds");
+        assert_round_trips(&program, bench.name());
+    }
+}
+
+/// Every benchmark of Table II, including the large arithmetic cores
+/// (ADDER64, MUL64, MODEXP, SHA2, SALSA20). Run with `--ignored`
+/// (release recommended); the `frontend` CI job does.
+#[test]
+#[ignore = "full catalog: run with --ignored (release)"]
+fn catalog_round_trips_full() {
+    for bench in Benchmark::ALL {
+        let program = build(bench).expect("benchmark builds");
+        assert_round_trips(&program, bench.name());
+    }
+}
+
+#[test]
+fn listing_is_a_fixed_point() {
+    // pretty ∘ parse ∘ pretty == pretty: the canonical listing is
+    // stable under a round trip, so dumped `.sq` files never churn.
+    let program = build(Benchmark::Adder4).unwrap();
+    let listing = program_listing(&program);
+    let reparsed = parse_program(&listing).unwrap();
+    assert_eq!(program_listing(&reparsed), listing);
+}

@@ -68,7 +68,7 @@ pub enum Stmt {
 }
 
 /// A reversible function with the compute–store–uncompute structure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Module {
     pub(crate) name: String,
     pub(crate) params: usize,
@@ -124,7 +124,11 @@ impl Module {
 }
 
 /// A complete modular reversible program.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural (same modules in the same order, same entry),
+/// which is what the `.sq` round-trip guarantee in `square-lang` is
+/// stated in terms of: `parse(pretty(p)) == p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     pub(crate) modules: Vec<Module>,
     pub(crate) entry: ModuleId,

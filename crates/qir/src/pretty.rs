@@ -1,53 +1,102 @@
 //! Human-readable rendering of programs and traces.
+//!
+//! [`program_listing`] emits the canonical `.sq` surface syntax of the
+//! `square-lang` frontend — the Fig. 6-style module listings of the
+//! paper, made machine-parseable. The rendering is *lossless*: for any
+//! valid [`Program`] `p`, parsing the listing back reproduces `p`
+//! structurally (`square_lang::parse_program(&program_listing(&p)) ==
+//! Ok(p)`), which the frontend's round-trip tests and the pipeline
+//! fuzzer enforce. Losslessness requires three things the historical
+//! renderer got wrong: the entry module is marked deterministically
+//! (`entry module …`), an *empty* explicit uncompute block prints as
+//! `uncompute {}` (it means "do nothing", which is different from the
+//! absent block's "mechanically invert compute"), and every statement
+//! is terminated so the grammar needs no newline sensitivity.
 
 use std::fmt::Write as _;
 
 use crate::analysis::ProgramStats;
-use crate::module::{Program, Stmt};
+use crate::gate::Gate;
+use crate::module::{ModuleId, Operand, Program, Stmt};
 use crate::trace::TraceOp;
 
-/// Renders a program listing with per-module compute/store/uncompute
-/// sections, in the spirit of the paper's Fig. 6 sample code.
+/// The canonical lowercase `.sq` mnemonic for a gate kind.
+pub fn gate_mnemonic<Q>(gate: &Gate<Q>) -> &'static str {
+    match gate {
+        Gate::X { .. } => "x",
+        Gate::Cx { .. } => "cx",
+        Gate::Ccx { .. } => "ccx",
+        Gate::Swap { .. } => "swap",
+        Gate::Mcx { .. } => "mcx",
+    }
+}
+
+/// Renders one statement in `.sq` surface syntax, without indentation
+/// or the trailing `;` (`ccx p0 p1 a0`, `call fun1(a0, p1)`).
+pub fn stmt_listing(stmt: &Stmt, program: &Program) -> String {
+    let mut out = String::new();
+    match stmt {
+        Stmt::Gate(g) => {
+            out.push_str(gate_mnemonic(g));
+            g.for_each_qubit(|q| {
+                let _ = write!(out, " {q}");
+            });
+        }
+        Stmt::Call { callee, args } => {
+            let name = program.module(*callee).name();
+            let args: Vec<String> = args.iter().map(Operand::to_string).collect();
+            let _ = write!(out, "call {name}({})", args.join(", "));
+        }
+    }
+    out
+}
+
+/// Renders a program as canonical `.sq` source: per-module
+/// compute/store/uncompute sections in the spirit of the paper's
+/// Fig. 6 sample code, parseable by the `square-lang` frontend.
+///
+/// Empty compute and store blocks are omitted (absence means empty);
+/// an explicit uncompute block is always printed — `uncompute {}`
+/// when empty — because its *presence* is semantically meaningful.
 pub fn program_listing(program: &Program) -> String {
     let mut out = String::new();
     for (i, m) in program.modules().iter().enumerate() {
-        let marker = if crate::module::ModuleId::from_index(i) == program.entry() {
-            " (entry)"
+        if i > 0 {
+            out.push('\n');
+        }
+        let marker = if ModuleId::from_index(i) == program.entry() {
+            "entry "
         } else {
             ""
         };
         let _ = writeln!(
             out,
-            "module {}({} params, {} ancilla){}:",
+            "{marker}module {}({} params, {} ancilla) {{",
             m.name(),
             m.params(),
             m.ancillas(),
-            marker
         );
-        let block = |out: &mut String, label: &str, stmts: &[Stmt], program: &Program| {
+        let block = |out: &mut String, label: &str, stmts: &[Stmt]| {
             if stmts.is_empty() {
+                let _ = writeln!(out, "  {label} {{}}");
                 return;
             }
             let _ = writeln!(out, "  {label} {{");
             for s in stmts {
-                match s {
-                    Stmt::Gate(g) => {
-                        let _ = writeln!(out, "    {g}");
-                    }
-                    Stmt::Call { callee, args } => {
-                        let name = program.module(*callee).name();
-                        let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-                        let _ = writeln!(out, "    call {name}({})", args.join(", "));
-                    }
-                }
+                let _ = writeln!(out, "    {};", stmt_listing(s, program));
             }
             let _ = writeln!(out, "  }}");
         };
-        block(&mut out, "Compute", m.compute(), program);
-        block(&mut out, "Store", m.store(), program);
-        if let Some(u) = m.custom_uncompute() {
-            block(&mut out, "Uncompute", u, program);
+        if !m.compute().is_empty() {
+            block(&mut out, "compute", m.compute());
         }
+        if !m.store().is_empty() {
+            block(&mut out, "store", m.store());
+        }
+        if let Some(u) = m.custom_uncompute() {
+            block(&mut out, "uncompute", u);
+        }
+        out.push_str("}\n");
     }
     out
 }
@@ -103,11 +152,43 @@ mod tests {
             .unwrap();
         let p = b.finish(main).unwrap();
         let listing = program_listing(&p);
-        assert!(listing.contains("module f(1 params, 1 ancilla)"));
-        assert!(listing.contains("call f(a0)"));
-        assert!(listing.contains("(entry)"));
+        assert!(listing.contains("module f(1 params, 1 ancilla) {"));
+        assert!(listing.contains("call f(a0);"));
+        assert!(listing.contains("entry module main(0 params, 1 ancilla) {"));
         let summary = program_summary(&p);
         assert!(summary.contains("2 modules"));
+    }
+
+    #[test]
+    fn empty_custom_uncompute_is_rendered() {
+        // `Some([])` (explicitly do nothing) must stay distinguishable
+        // from `None` (mechanically invert compute) in the listing.
+        let mut b = ProgramBuilder::new();
+        let id = b
+            .module("noop_unc", 0, 2, |m| {
+                let (a, out) = (m.ancilla(0), m.ancilla(1));
+                m.x(a);
+                m.store();
+                m.cx(a, out);
+                m.uncompute();
+            })
+            .unwrap();
+        let p = b.finish(id).unwrap();
+        let listing = program_listing(&p);
+        assert!(listing.contains("uncompute {}"), "{listing}");
+    }
+
+    #[test]
+    fn mnemonics_are_lowercase_sq_names() {
+        use crate::gate::Gate;
+        assert_eq!(gate_mnemonic(&Gate::X { target: 0u32 }), "x");
+        assert_eq!(
+            gate_mnemonic(&Gate::Mcx {
+                controls: vec![0u32],
+                target: 1
+            }),
+            "mcx"
+        );
     }
 
     #[test]

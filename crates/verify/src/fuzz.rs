@@ -256,6 +256,16 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseStats, Box<FuzzFailure>> {
                 ))
             }
         };
+        // Frontend coverage for free: every generated program must
+        // survive the `.sq` pretty → parse round trip unchanged
+        // before it enters the semantic cells.
+        if let Err(e) = square_lang::check_roundtrip(&program) {
+            return Err(fail(
+                Policy::Lazy,
+                MachineKind::Nisq,
+                ValidationError::RoundTrip(e.to_string()),
+            ));
+        }
         if let Err((policy, machine, error)) =
             run_program(&program, &case.inputs, disciplined, &mut stats)
         {
@@ -308,6 +318,7 @@ fn failure_class(e: &ValidationError) -> &'static str {
     match e {
         ValidationError::Compile(_) => "compile",
         ValidationError::Sem(_) => "sem",
+        ValidationError::RoundTrip(_) => "round-trip",
         ValidationError::Mismatch(m) => match **m {
             Mismatch::DoubleAlloc { .. } => "double-alloc",
             Mismatch::UseAfterFree { .. } => "use-after-free",

@@ -179,6 +179,11 @@ pub enum ValidationError {
     Sem(SemError),
     /// The layers disagree — the translation is wrong.
     Mismatch(Box<Mismatch>),
+    /// The `.sq` frontend round-trip broke: the canonical listing of
+    /// the program failed to parse back, or parsed to a different
+    /// program (checked by the pipeline fuzzer for every generated
+    /// program).
+    RoundTrip(String),
 }
 
 impl fmt::Display for ValidationError {
@@ -187,6 +192,9 @@ impl fmt::Display for ValidationError {
             ValidationError::Compile(e) => write!(f, "compile failed: {e}"),
             ValidationError::Sem(e) => write!(f, "reference execution failed: {e}"),
             ValidationError::Mismatch(m) => write!(f, "semantic mismatch: {m}"),
+            ValidationError::RoundTrip(detail) => {
+                write!(f, "frontend round-trip failed: {detail}")
+            }
         }
     }
 }

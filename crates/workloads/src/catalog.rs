@@ -166,6 +166,24 @@ impl std::fmt::Display for Benchmark {
     }
 }
 
+/// File stem for the benchmark's `.sq` dump (`squarec --dump-catalog`):
+/// the table name lowercased, e.g. `RD53` → `rd53.sq`,
+/// `Jasmine-s` → `jasmine-s.sq`.
+pub fn sq_file_stem(bench: Benchmark) -> String {
+    bench.name().to_lowercase()
+}
+
+/// The benchmark rendered as canonical `.sq` source (parseable back to
+/// the identical program by `square-lang`).
+///
+/// # Errors
+///
+/// Propagates IR validation failures from [`build`] (none occur for
+/// the shipped generators).
+pub fn sq_source(bench: Benchmark) -> Result<String, QirError> {
+    Ok(square_qir::pretty::program_listing(&build(bench)?))
+}
+
 /// Builds the benchmark at its default evaluation size.
 ///
 /// # Errors
@@ -331,6 +349,17 @@ mod tests {
                 .eq(Benchmark::ALL.iter()),
             "Benchmark::ALL drifted from NISQ ++ MEDIUM"
         );
+    }
+
+    #[test]
+    fn sq_exports_have_unique_stems_and_parse_headers() {
+        let mut stems: Vec<String> = Benchmark::ALL.iter().map(|b| sq_file_stem(*b)).collect();
+        stems.sort_unstable();
+        stems.dedup();
+        assert_eq!(stems.len(), 17, "file stems collide");
+        let src = sq_source(Benchmark::Rd53).unwrap();
+        assert!(src.contains("entry module rd53("), "{src}");
+        assert!(src.trim_end().ends_with('}'));
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod salsa20;
 pub mod sha2;
 pub mod synthetic;
 
-pub use catalog::{build, Benchmark};
+pub use catalog::{build, sq_file_stem, sq_source, Benchmark};

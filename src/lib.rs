@@ -17,6 +17,7 @@
 pub use square_arch as arch;
 pub use square_bench as bench;
 pub use square_core as core;
+pub use square_lang as lang;
 pub use square_metrics as metrics;
 pub use square_qir as qir;
 pub use square_route as route;
