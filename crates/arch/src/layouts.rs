@@ -1,0 +1,386 @@
+//! Graph-backed layouts: IBM-style heavy-hex and a 1-D ring.
+//!
+//! Unlike the closed-form layouts in [`crate::topology`] (grid, full,
+//! line), these have no analytic distance formula, so they derive all
+//! geometry from a [`CouplingGraph`]: BFS all-pairs distances, cached
+//! next-hop tables, and graph-distance ring ordering.
+
+use crate::coupling::CouplingGraph;
+use crate::topology::{PhysId, Topology};
+
+/// IBM-style heavy-hex lattice of distance `d`.
+///
+/// The construction follows the heavy-hexagon code layout used by
+/// IBM's superconducting devices: a `d × d` array of *data* qubits
+/// whose rows are chains joined through *flag* qubits (one per
+/// horizontal edge — the "heavy" edges), with *syndrome* qubits
+/// bridging adjacent rows at alternating columns so the cells tile as
+/// hexagons. Every qubit has degree ≤ 3, the defining property that
+/// makes heavy-hex routing so much harder than lattice routing.
+///
+/// Index layout (deterministic): data qubits row-major first, then
+/// flag qubits row-major, then syndrome qubits row-major.
+#[derive(Debug)]
+pub struct HeavyHexTopology {
+    d: u32,
+    graph: CouplingGraph,
+}
+
+impl HeavyHexTopology {
+    /// Creates the distance-`d` heavy-hex lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn new(d: u32) -> Self {
+        assert!(d > 0, "heavy-hex distance must be positive");
+        let mut coords: Vec<(i32, i32)> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let data = |r: u32, c: u32| r * d + c;
+        // Data qubits: (r, c) at geometric (2c, 2r).
+        for r in 0..d {
+            for c in 0..d {
+                coords.push((2 * c as i32, 2 * r as i32));
+            }
+        }
+        // Flag qubits: one per horizontal data-data edge ("heavy").
+        for r in 0..d {
+            for c in 0..d.saturating_sub(1) {
+                let flag = coords.len() as u32;
+                coords.push((2 * c as i32 + 1, 2 * r as i32));
+                edges.push((flag, data(r, c)));
+                edges.push((flag, data(r, c + 1)));
+            }
+        }
+        // Syndrome qubits: vertical bridges at alternating columns
+        // (column parity tracks row parity, which is what turns the
+        // square cells into hexagons).
+        for r in 0..d.saturating_sub(1) {
+            for c in 0..d {
+                if c % 2 != r % 2 {
+                    continue;
+                }
+                let syn = coords.len() as u32;
+                coords.push((2 * c as i32, 2 * r as i32 + 1));
+                edges.push((syn, data(r, c)));
+                edges.push((syn, data(r + 1, c)));
+            }
+        }
+        HeavyHexTopology {
+            d,
+            graph: CouplingGraph::new(coords, &edges),
+        }
+    }
+
+    /// The smallest heavy-hex lattice (odd `d`, the code-distance
+    /// convention) holding at least `n` qubits.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut d = 1;
+        loop {
+            let hex = HeavyHexTopology::new(d);
+            if hex.qubit_count() >= n {
+                return hex;
+            }
+            d += 2;
+        }
+    }
+
+    /// The lattice distance parameter.
+    pub fn distance_param(&self) -> u32 {
+        self.d
+    }
+
+    /// The backing coupling graph.
+    pub fn coupling(&self) -> &CouplingGraph {
+        &self.graph
+    }
+}
+
+impl Topology for HeavyHexTopology {
+    fn name(&self) -> &str {
+        "heavyhex"
+    }
+
+    fn qubit_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn coord(&self, q: PhysId) -> (i32, i32) {
+        self.graph.coord(q)
+    }
+
+    fn distance(&self, a: PhysId, b: PhysId) -> u32 {
+        self.graph.distance(a, b)
+    }
+
+    fn neighbors(&self, q: PhysId) -> Vec<PhysId> {
+        self.graph.neighbors(q).to_vec()
+    }
+
+    fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId> {
+        self.graph.shortest_path(a, b)
+    }
+
+    fn next_hop(&self, a: PhysId, b: PhysId) -> Option<PhysId> {
+        self.graph.next_hop(a, b)
+    }
+
+    fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_> {
+        Box::new(self.graph.ring_order(center).into_iter())
+    }
+}
+
+/// A 1-D ring (cycle) of `n` qubits: like [`crate::LineTopology`] but
+/// with wrap-around coupling, so the worst-case distance halves. The
+/// geometric embedding walks the perimeter of a square so centroids
+/// and braid paths stay two-dimensional.
+#[derive(Debug)]
+pub struct RingTopology {
+    n: u32,
+    graph: CouplingGraph,
+}
+
+impl RingTopology {
+    /// Creates an `n`-qubit ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "machine must have at least one qubit");
+        let coords = perimeter_coords(n);
+        let mut edges = Vec::with_capacity(n as usize);
+        if n > 1 {
+            for i in 0..n {
+                edges.push((i, (i + 1) % n));
+            }
+        }
+        RingTopology {
+            n,
+            graph: CouplingGraph::new(coords, &edges),
+        }
+    }
+
+    /// A ring holding at least `n` qubits (exactly `n`: rings come in
+    /// every size).
+    pub fn with_capacity(n: usize) -> Self {
+        RingTopology::new(n.max(1) as u32)
+    }
+
+    /// The backing coupling graph.
+    pub fn coupling(&self) -> &CouplingGraph {
+        &self.graph
+    }
+}
+
+/// `n` distinct integer points walking the perimeter of the smallest
+/// square that fits them, clockwise from the origin.
+fn perimeter_coords(n: u32) -> Vec<(i32, i32)> {
+    if n == 1 {
+        return vec![(0, 0)];
+    }
+    let side = (n as i32 + 3) / 4 + 1;
+    let mut coords = Vec::with_capacity(n as usize);
+    let (mut x, mut y) = (0, 0);
+    let legs = [(1, 0), (0, 1), (-1, 0), (0, -1)];
+    let mut leg = 0;
+    loop {
+        coords.push((x, y));
+        if coords.len() == n as usize {
+            break;
+        }
+        let (dx, dy) = legs[leg];
+        let (nx, ny) = (x + dx, y + dy);
+        if nx < 0 || ny < 0 || nx >= side || ny >= side || (leg == 3 && ny == 0) {
+            leg += 1;
+            let (dx, dy) = legs[leg];
+            x += dx;
+            y += dy;
+        } else {
+            x = nx;
+            y = ny;
+        }
+    }
+    coords
+}
+
+impl Topology for RingTopology {
+    fn name(&self) -> &str {
+        "ring"
+    }
+
+    fn qubit_count(&self) -> usize {
+        self.n as usize
+    }
+
+    fn coord(&self, q: PhysId) -> (i32, i32) {
+        self.graph.coord(q)
+    }
+
+    fn distance(&self, a: PhysId, b: PhysId) -> u32 {
+        // Closed form (cheaper than the table and always available):
+        // the shorter way around the cycle.
+        let d = a.0.abs_diff(b.0);
+        d.min(self.n - d)
+    }
+
+    fn neighbors(&self, q: PhysId) -> Vec<PhysId> {
+        self.graph.neighbors(q).to_vec()
+    }
+
+    fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId> {
+        let mut path = Vec::with_capacity(self.distance(a, b) as usize + 1);
+        let mut cur = a;
+        path.push(cur);
+        while cur != b {
+            cur = self.next_hop(cur, b).expect("cycle is connected");
+            path.push(cur);
+        }
+        path
+    }
+
+    fn next_hop(&self, a: PhysId, b: PhysId) -> Option<PhysId> {
+        // Closed form — a ring never needs the n × n tables (which
+        // would make `ring:200000` allocate hundreds of GB): step the
+        // shorter way around, and on an exact tie step toward `a`'s
+        // lower-indexed neighbour, matching what the BFS table builder
+        // would have answered (it dequeues ascending neighbours).
+        if a == b {
+            return None;
+        }
+        let forward = (b.0 + self.n - a.0) % self.n;
+        let backward = self.n - forward;
+        let fwd = PhysId((a.0 + 1) % self.n);
+        let bwd = PhysId((a.0 + self.n - 1) % self.n);
+        Some(match forward.cmp(&backward) {
+            std::cmp::Ordering::Less => fwd,
+            std::cmp::Ordering::Greater => bwd,
+            std::cmp::Ordering::Equal => {
+                if fwd.0 < bwd.0 {
+                    fwd
+                } else {
+                    bwd
+                }
+            }
+        })
+    }
+
+    fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_> {
+        // Closed-form ring order (again avoiding the tables): sort by
+        // cycle distance from the qubit nearest the center, ties by
+        // index — the same order `CouplingGraph::ring_order` yields.
+        let anchor = self.graph.nearest_to(center);
+        let mut order: Vec<PhysId> = (0..self.n).map(PhysId).collect();
+        order.sort_by_key(|&q| (self.distance(anchor, q), q.0));
+        Box::new(order.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hex_counts_and_degree() {
+        for d in [1u32, 2, 3, 5] {
+            let hex = HeavyHexTopology::new(d);
+            let n = hex.qubit_count();
+            // data d², flags d(d−1), syndromes per alternating column.
+            assert!(n >= (d * d) as usize, "d={d}");
+            for q in 0..n as u32 {
+                let deg = hex.neighbors(PhysId(q)).len();
+                assert!(deg <= 3, "d={d}: {q} has degree {deg}");
+                if n > 1 {
+                    assert!(deg >= 1, "d={d}: {q} disconnected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hex_is_connected() {
+        let hex = HeavyHexTopology::new(3);
+        let n = hex.qubit_count();
+        for q in 1..n as u32 {
+            assert!(
+                hex.distance(PhysId(0), PhysId(q)) < u32::MAX,
+                "qubit {q} unreachable"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hex_with_capacity_fits() {
+        for n in [1usize, 5, 20, 57, 100] {
+            let hex = HeavyHexTopology::with_capacity(n);
+            assert!(hex.qubit_count() >= n);
+            assert_eq!(hex.distance_param() % 2, 1, "odd code distance");
+        }
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let ring = RingTopology::new(10);
+        assert_eq!(ring.distance(PhysId(0), PhysId(9)), 1);
+        assert_eq!(ring.distance(PhysId(0), PhysId(5)), 5);
+        assert_eq!(ring.distance(PhysId(2), PhysId(8)), 4);
+        // Graph tables agree with the closed form.
+        for a in 0..10u32 {
+            for b in 0..10u32 {
+                assert_eq!(
+                    ring.coupling().distance(PhysId(a), PhysId(b)),
+                    ring.distance(PhysId(a), PhysId(b)),
+                    "{a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_next_hop_matches_bfs_tables_including_ties() {
+        // Even ring: antipodal pairs tie both ways; the closed form
+        // must pick exactly what the BFS table builder would.
+        for n in [2u32, 4, 8, 9, 10] {
+            let ring = RingTopology::new(n);
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        ring.next_hop(PhysId(a), PhysId(b)),
+                        ring.coupling().next_hop(PhysId(a), PhysId(b)),
+                        "n={n}: {a}->{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_paths_may_wrap_around() {
+        let ring = RingTopology::new(8);
+        let p = ring.shortest_path(PhysId(1), PhysId(7));
+        assert_eq!(p.len(), 3, "wraps through 0: {p:?}");
+        assert_eq!(p.first(), Some(&PhysId(1)));
+        assert_eq!(p.last(), Some(&PhysId(7)));
+    }
+
+    #[test]
+    fn ring_coords_are_distinct() {
+        for n in [1u32, 2, 3, 4, 7, 12, 17] {
+            let ring = RingTopology::new(n);
+            let mut coords: Vec<_> = (0..n).map(|q| ring.coord(PhysId(q))).collect();
+            coords.sort_unstable();
+            coords.dedup();
+            assert_eq!(coords.len(), n as usize, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ring_iter_orders_by_graph_distance() {
+        let ring = RingTopology::new(9);
+        let order: Vec<PhysId> = ring.ring_iter(ring.coord(PhysId(4))).collect();
+        assert_eq!(order.len(), 9);
+        assert_eq!(order[0], PhysId(4));
+        let dists: Vec<u32> = order.iter().map(|&q| ring.distance(PhysId(4), q)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{dists:?}");
+    }
+}

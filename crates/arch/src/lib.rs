@@ -18,8 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coupling;
 pub mod device;
+pub mod layouts;
 pub mod topology;
 
+pub use coupling::CouplingGraph;
 pub use device::{CommModel, Device, NoiseParams};
+pub use layouts::{HeavyHexTopology, RingTopology};
 pub use topology::{FullTopology, GridTopology, LineTopology, PhysId, Topology};

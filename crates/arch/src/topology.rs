@@ -56,10 +56,25 @@ pub trait Topology {
     /// A shortest path from `a` to `b`, inclusive of both endpoints.
     fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId>;
 
-    /// Qubits ordered by nondecreasing distance from `center`
-    /// (geometric, not graph — identical for our layouts). Used by the
-    /// locality-aware allocator to find the nearest free qubit without
-    /// scanning the whole machine.
+    /// The neighbour of `a` that is first on a shortest path toward
+    /// `b` (`None` when `a == b`). The closed-form layouts answer in
+    /// O(1); graph-backed layouts read their cached next-hop table.
+    /// Routers use this to walk swap chains without materializing
+    /// whole path `Vec`s.
+    fn next_hop(&self, a: PhysId, b: PhysId) -> Option<PhysId> {
+        if a == b {
+            None
+        } else {
+            self.shortest_path(a, b).get(1).copied()
+        }
+    }
+
+    /// Qubits ordered by nondecreasing *graph* distance from the
+    /// qubit nearest `center` — the contract the locality-aware
+    /// allocator relies on to stop at the first free cell. For the
+    /// closed-form layouts (grid, full, line) geometric and graph
+    /// distance coincide; graph-backed layouts (heavy-hex, ring)
+    /// order by hop count, which can diverge from the embedding.
     fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_>;
 }
 
@@ -160,6 +175,21 @@ impl Topology for GridTopology {
         path
     }
 
+    fn next_hop(&self, a: PhysId, b: PhysId) -> Option<PhysId> {
+        // First step of the L-shaped route: x first, then y (must
+        // match [`GridTopology::shortest_path`] hop for hop).
+        if a == b {
+            return None;
+        }
+        let (ax, ay) = self.xy(a);
+        let (bx, by) = self.xy(b);
+        if ax != bx {
+            self.id_at(ax + (bx - ax).signum(), ay)
+        } else {
+            self.id_at(ax, ay + (by - ay).signum())
+        }
+    }
+
     fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_> {
         let grid = *self;
         let max_radius = (self.width + self.height) as i32;
@@ -235,6 +265,10 @@ impl Topology for FullTopology {
         }
     }
 
+    fn next_hop(&self, a: PhysId, b: PhysId) -> Option<PhysId> {
+        (a != b).then_some(b)
+    }
+
     fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_> {
         // All qubits are equally close; yield them in index order
         // starting from the center's embedding for determinism.
@@ -301,6 +335,14 @@ impl Topology for LineTopology {
             path.push(PhysId(x as u32));
         }
         path
+    }
+
+    fn next_hop(&self, a: PhysId, b: PhysId) -> Option<PhysId> {
+        match b.0.cmp(&a.0) {
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Greater => Some(PhysId(a.0 + 1)),
+            std::cmp::Ordering::Less => Some(PhysId(a.0 - 1)),
+        }
     }
 
     fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_> {

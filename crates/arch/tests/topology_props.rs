@@ -1,0 +1,146 @@
+//! Property tests over all five topologies (grid, full, line,
+//! heavy-hex, ring): metric axioms, path validity, next-hop/BFS
+//! agreement, neighbour/coupling consistency, and ring-iterator
+//! ordering. These are the invariants every router — greedy or
+//! lookahead — silently assumes.
+
+use proptest::prelude::*;
+use square_arch::{
+    FullTopology, GridTopology, HeavyHexTopology, LineTopology, PhysId, RingTopology, Topology,
+};
+
+/// Deterministically builds one of the five topologies from a fuzzed
+/// selector + two size knobs (all sizes kept small enough that the
+/// quadratic pair checks stay fast).
+fn build_topology(kind: u8, a: u32, b: u32) -> Box<dyn Topology> {
+    match kind % 5 {
+        0 => Box::new(GridTopology::new(1 + a % 7, 1 + b % 7)),
+        1 => Box::new(FullTopology::new(1 + a % 20)),
+        2 => Box::new(LineTopology::new(1 + a % 28)),
+        3 => Box::new(HeavyHexTopology::new(1 + a % 5)),
+        _ => Box::new(RingTopology::new(1 + a % 22)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distance is a metric: identity, positivity, symmetry, and the
+    /// triangle inequality over sampled triples.
+    #[test]
+    fn distance_is_a_metric(kind in 0u8..5, a in 0u32..100, b in 0u32..100,
+                            triples in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..24)) {
+        let topo = build_topology(kind, a, b);
+        let n = topo.qubit_count() as u32;
+        for (x, y, z) in triples {
+            let (x, y, z) = (PhysId(x % n), PhysId(y % n), PhysId(z % n));
+            prop_assert_eq!(topo.distance(x, x), 0, "identity ({})", topo.name());
+            if x != y {
+                prop_assert!(topo.distance(x, y) > 0, "positivity ({})", topo.name());
+            }
+            prop_assert_eq!(topo.distance(x, y), topo.distance(y, x), "symmetry ({})", topo.name());
+            prop_assert!(
+                topo.distance(x, z) <= topo.distance(x, y) + topo.distance(y, z),
+                "triangle inequality ({}): d({x},{z}) > d({x},{y}) + d({y},{z})",
+                topo.name()
+            );
+        }
+    }
+
+    /// `shortest_path(a, b)` is a coupled walk from `a` to `b` of
+    /// exactly `distance(a, b) + 1` cells.
+    #[test]
+    fn shortest_paths_are_valid_coupled_walks(kind in 0u8..5, a in 0u32..100, b in 0u32..100,
+                                              pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..16)) {
+        let topo = build_topology(kind, a, b);
+        let n = topo.qubit_count() as u32;
+        for (x, y) in pairs {
+            let (x, y) = (PhysId(x % n), PhysId(y % n));
+            let path = topo.shortest_path(x, y);
+            prop_assert_eq!(path.first(), Some(&x), "{}", topo.name());
+            prop_assert_eq!(path.last(), Some(&y), "{}", topo.name());
+            prop_assert_eq!(path.len() as u32, topo.distance(x, y) + 1, "{}: {x}->{y}", topo.name());
+            for w in path.windows(2) {
+                prop_assert!(topo.are_coupled(w[0], w[1]),
+                    "{}: path step {} -> {} not coupled", topo.name(), w[0], w[1]);
+            }
+        }
+    }
+
+    /// Walking `next_hop` from `a` to `b` takes exactly
+    /// `distance(a, b)` hops — the cached tables and the closed forms
+    /// agree with BFS on path length.
+    #[test]
+    fn next_hop_walks_match_bfs_distance(kind in 0u8..5, a in 0u32..100, b in 0u32..100,
+                                         pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..16)) {
+        let topo = build_topology(kind, a, b);
+        let n = topo.qubit_count() as u32;
+        for (x, y) in pairs {
+            let (x, y) = (PhysId(x % n), PhysId(y % n));
+            prop_assert_eq!(topo.next_hop(x, x), None, "{}", topo.name());
+            let mut cur = x;
+            let mut hops = 0u32;
+            while cur != y {
+                let hop = topo.next_hop(cur, y).expect("connected fabric");
+                prop_assert!(topo.are_coupled(cur, hop),
+                    "{}: next_hop {} -> {} not an edge", topo.name(), cur, hop);
+                prop_assert_eq!(topo.distance(hop, y), topo.distance(cur, y) - 1,
+                    "{}: hop does not make progress", topo.name());
+                cur = hop;
+                hops += 1;
+            }
+            prop_assert_eq!(hops, topo.distance(x, y), "{}", topo.name());
+        }
+    }
+
+    /// `neighbors` and `are_coupled` agree exactly, coupling is
+    /// symmetric and irreflexive, and every neighbour is at distance 1.
+    #[test]
+    fn neighbors_agree_with_coupling(kind in 0u8..5, a in 0u32..100, b in 0u32..100) {
+        let topo = build_topology(kind, a, b);
+        let n = topo.qubit_count() as u32;
+        for x in 0..n {
+            let x = PhysId(x);
+            let nbs = topo.neighbors(x);
+            for &nb in &nbs {
+                prop_assert!(topo.are_coupled(x, nb), "{}", topo.name());
+                prop_assert!(topo.are_coupled(nb, x), "{}: coupling asymmetric", topo.name());
+                prop_assert_eq!(topo.distance(x, nb), 1, "{}", topo.name());
+            }
+            prop_assert!(!topo.are_coupled(x, x), "{}: self-coupled", topo.name());
+            for y in 0..n {
+                let y = PhysId(y);
+                prop_assert_eq!(
+                    topo.are_coupled(x, y),
+                    nbs.contains(&y),
+                    "{}: neighbors/are_coupled disagree on ({x}, {y})",
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    /// `ring_iter` from any qubit's own coordinate visits every qubit
+    /// exactly once in nondecreasing graph-distance order from that
+    /// qubit — the contract the locality-aware allocator relies on to
+    /// stop at the first free cell.
+    #[test]
+    fn ring_iter_orders_by_nondecreasing_distance(kind in 0u8..5, a in 0u32..100, b in 0u32..100,
+                                                  center in any::<u32>()) {
+        let topo = build_topology(kind, a, b);
+        let n = topo.qubit_count() as u32;
+        let c = PhysId(center % n);
+        let order: Vec<PhysId> = topo.ring_iter(topo.coord(c)).collect();
+        prop_assert_eq!(order.len() as u32, n, "{}: not every qubit visited", topo.name());
+        let mut seen = order.clone();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len() as u32, n, "{}: duplicate visits", topo.name());
+        let dists: Vec<u32> = order.iter().map(|&q| topo.distance(c, q)).collect();
+        prop_assert!(
+            dists.windows(2).all(|w| w[0] <= w[1]),
+            "{}: ring order not nondecreasing from {}: {:?}",
+            topo.name(), c, dists
+        );
+    }
+}

@@ -12,10 +12,12 @@
 //! literal readings, CER under-reclaims on deep module towers (MCX
 //! lowering adds call levels), inflating AQV back toward Lazy.
 
-use square_core::{compile, CerParams, CompilerConfig, Policy};
+use serde::{Serialize, Value};
+use square_core::{compile, CerParams, CompilerConfig, Policy, RouterKind};
 use square_workloads::{build, Benchmark};
 
 use crate::runner::lattice_for;
+use crate::sweep::{run_sweep, SweepArch, SweepSpec};
 
 /// One ablation variant.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +111,155 @@ pub fn render() -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Router ablation: swap counts + compile time per benchmark × router
+// × topology
+// ---------------------------------------------------------------------------
+
+/// One cell of the router ablation: a benchmark compiled under the
+/// SQUARE policy with one router on one topology.
+#[derive(Debug, Clone)]
+pub struct RouterCell {
+    /// Benchmark compiled.
+    pub benchmark: Benchmark,
+    /// Topology targeted.
+    pub arch: SweepArch,
+    /// Router used.
+    pub router: RouterKind,
+    /// Routing swaps inserted.
+    pub swaps: u64,
+    /// Program gates (router-invariant; sanity anchor).
+    pub gates: u64,
+    /// Schedule depth in cycles.
+    pub depth: u64,
+    /// Compile wall time, nanoseconds.
+    pub compile_ns: u64,
+}
+
+impl Serialize for RouterCell {
+    fn serialize(&self) -> Value {
+        Value::map([
+            (
+                "benchmark",
+                Value::String(self.benchmark.name().to_string()),
+            ),
+            ("arch", Value::String(self.arch.to_string())),
+            ("router", Value::String(self.router.cli_name().to_string())),
+            ("swaps", Value::UInt(self.swaps)),
+            ("gates", Value::UInt(self.gates)),
+            ("depth", Value::UInt(self.depth)),
+            ("compile_ns", Value::UInt(self.compile_ns)),
+        ])
+    }
+}
+
+/// Compiles `benchmarks × archs × both routers` under the SQUARE
+/// policy (the paper's headline configuration) and returns every cell
+/// that fit the machine.
+pub fn router_compare(benchmarks: &[Benchmark], archs: &[SweepArch]) -> Vec<RouterCell> {
+    let spec = SweepSpec {
+        benchmarks: benchmarks.to_vec(),
+        policies: vec![Policy::Square],
+        archs: archs.to_vec(),
+        routers: RouterKind::ALL.to_vec(),
+    };
+    run_sweep(&spec)
+        .cells
+        .iter()
+        .filter_map(|cell| {
+            let r = cell.report.as_ref().ok()?;
+            Some(RouterCell {
+                benchmark: cell.benchmark,
+                arch: cell.arch,
+                router: cell.router,
+                swaps: r.swaps,
+                gates: r.gates,
+                depth: r.depth,
+                compile_ns: (cell.compile_ms * 1e6) as u64,
+            })
+        })
+        .collect()
+}
+
+/// Geometric mean of per-`(benchmark, arch)` lookahead/greedy swap
+/// ratios (< 1 means the lookahead router inserts fewer swaps).
+/// `None` when no pair has nonzero greedy swaps.
+pub fn swap_ratio_geomean(cells: &[RouterCell]) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for g in cells.iter().filter(|c| c.router == RouterKind::Greedy) {
+        let Some(l) = cells.iter().find(|c| {
+            c.router == RouterKind::Lookahead && c.benchmark == g.benchmark && c.arch == g.arch
+        }) else {
+            continue;
+        };
+        if g.swaps == 0 {
+            continue; // all-to-all cell: nothing to route
+        }
+        log_sum += ((l.swaps.max(1) as f64) / (g.swaps as f64)).ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
+/// Renders the router-comparison table (one row per
+/// `benchmark × topology`, greedy and lookahead side by side).
+pub fn render_router_table(cells: &[RouterCell]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Router ablation — SQUARE policy (swaps: lower is better; ratio = lookahead/greedy)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:<12} {:>12} {:>12} {:>7} {:>12} {:>12}\n",
+        "benchmark", "arch", "greedy", "lookahead", "ratio", "greedy ms", "lookahead ms"
+    ));
+    for g in cells.iter().filter(|c| c.router == RouterKind::Greedy) {
+        let l = cells.iter().find(|c| {
+            c.router == RouterKind::Lookahead && c.benchmark == g.benchmark && c.arch == g.arch
+        });
+        let (l_swaps, ratio, l_ms) = match l {
+            Some(l) => (
+                l.swaps.to_string(),
+                if g.swaps > 0 {
+                    format!("{:.3}", l.swaps as f64 / g.swaps as f64)
+                } else {
+                    "-".to_string()
+                },
+                format!("{:.1}", l.compile_ns as f64 / 1e6),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        out.push_str(&format!(
+            "{:<12} {:<12} {:>12} {:>12} {:>7} {:>12.1} {:>12}\n",
+            g.benchmark.name(),
+            g.arch.to_string(),
+            g.swaps,
+            l_swaps,
+            ratio,
+            g.compile_ns as f64 / 1e6,
+            l_ms,
+        ));
+    }
+    if let Some(geo) = swap_ratio_geomean(cells) {
+        out.push_str(&format!(
+            "\ngeomean swap ratio (lookahead/greedy): {geo:.3}\n"
+        ));
+    }
+    out
+}
+
+/// The default router-ablation scene: the NISQ catalog on the three
+/// swap-routed topologies (auto lattice, auto heavy-hex, auto ring).
+pub fn render_router() -> String {
+    let archs = [
+        SweepArch::NisqAuto,
+        SweepArch::HeavyHexAuto,
+        SweepArch::RingAuto,
+    ];
+    let cells = router_compare(&Benchmark::NISQ, &archs);
+    render_router_table(&cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +290,26 @@ mod tests {
             literal_both < default_reclaims,
             "literal {literal_both} vs default {default_reclaims}"
         );
+    }
+
+    #[test]
+    fn router_compare_fills_both_routers_and_serializes() {
+        let cells = router_compare(&[Benchmark::Rd53], &[SweepArch::NisqAuto]);
+        assert_eq!(cells.len(), 2, "greedy + lookahead");
+        let greedy = cells
+            .iter()
+            .find(|c| c.router == RouterKind::Greedy)
+            .unwrap();
+        let look = cells
+            .iter()
+            .find(|c| c.router == RouterKind::Lookahead)
+            .unwrap();
+        // The router only changes communication, never program gates.
+        assert_eq!(greedy.gates, look.gates);
+        assert!(swap_ratio_geomean(&cells).is_some());
+        let json = serde_json::to_string(&Value::seq(&cells)).unwrap();
+        assert!(json.contains("\"router\":\"lookahead\""), "{json}");
+        let table = render_router_table(&cells);
+        assert!(table.contains("geomean swap ratio"), "{table}");
     }
 }

@@ -3,7 +3,7 @@
 //! Legacy figure/table mode (one positional argument):
 //!
 //! ```text
-//! experiments [fig1|fig5|table3|table4|fig8|fig8-fast|fig9|fig9-quick|fig10|fig10-quick|ablation|sweep|all|all-quick]
+//! experiments [fig1|fig5|table3|table4|fig8|fig8-fast|fig9|fig9-quick|fig10|fig10-quick|ablation|ablation-router|sweep|all|all-quick]
 //! ```
 //!
 //! Sweep mode (any flag selects it): evaluates the
@@ -12,11 +12,12 @@
 //!
 //! ```text
 //! experiments [--bench RD53,ADDER4,...] [--policy lazy,eager,square,laa]
-//!             [--arch nisq,ft,grid:WxH,full:N,line:N] [--json]
+//!             [--arch nisq,ft,grid:WxH,full:N,line:N,heavyhex:D,ring:N]
+//!             [--router greedy,lookahead|both] [--json]
 //! ```
 //!
 //! Flag defaults: the NISQ benchmark set, all four policies, the
-//! auto-sized NISQ lattice.
+//! auto-sized NISQ lattice, the greedy router.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -25,7 +26,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use square_bench::{ablation, fig1, fig10, fig5, fig8, fig9, sweep, table3, table4};
 use square_bench::{run_sweep_with_progress, SweepArch, SweepSpec};
-use square_core::Policy;
+use square_core::{Policy, RouterKind};
 use square_workloads::Benchmark;
 
 fn main() -> ExitCode {
@@ -71,6 +72,14 @@ fn sweep_spec_from_flags(args: &[String]) -> Result<(SweepSpec, bool), String> {
             "--arch" => {
                 spec.archs = parse_list(arg, flag_value(arg)?, SweepArch::parse)?;
             }
+            "--router" => {
+                let value = flag_value(arg)?;
+                spec.routers = if value.eq_ignore_ascii_case("both") {
+                    RouterKind::ALL.to_vec()
+                } else {
+                    parse_list(arg, value, RouterKind::parse)?
+                };
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -87,7 +96,8 @@ fn run_sweep_cli(args: &[String]) -> ExitCode {
             eprintln!("{message}");
             eprintln!(
                 "usage: experiments [--bench A,B] [--policy lazy,eager,square,laa] \
-                 [--arch nisq,ft,grid:WxH,full:N,line:N] [--json]"
+                 [--arch nisq,ft,grid:WxH,full:N,line:N,heavyhex:D,ring:N] \
+                 [--router greedy,lookahead|both] [--json]"
             );
             return ExitCode::from(2);
         }
@@ -104,10 +114,11 @@ fn run_sweep_cli(args: &[String]) -> ExitCode {
             Err(e) => format!("failed: {e}"),
         };
         eprintln!(
-            "[{n}/{total}] {} {} {}: {} ({:.0}ms)",
+            "[{n}/{total}] {} {} {} {}: {} ({:.0}ms)",
             cell.benchmark,
             cell.arch,
             cell.policy.cli_name(),
+            cell.router.cli_name(),
             outcome,
             cell.compile_ms
         );
@@ -146,6 +157,7 @@ fn run_legacy(arg: &str) -> ExitCode {
         "fig10" => run("fig10", &|| fig10::render(false)),
         "fig10-quick" => run("fig10", &|| fig10::render(true)),
         "ablation" => run("ablation", &ablation::render),
+        "ablation-router" => run("ablation-router", &ablation::render_router),
         "sweep" => run("sweep", &sweep::render),
         "all" | "all-quick" => {
             let quick = arg == "all-quick";

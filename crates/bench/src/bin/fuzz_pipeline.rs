@@ -1,6 +1,7 @@
 //! Seeded pipeline fuzzer: random modular programs through
 //! compile → route → replay, validated against the reference
-//! semantics across every policy and both machine targets.
+//! semantics across every policy, every machine target (lattice, FT,
+//! heavy-hex, ring), and both swap-chain routers.
 //!
 //! ```text
 //! fuzz_pipeline [--start N] [--count N] [--spec SPEC] [--no-shrink]
@@ -81,11 +82,12 @@ fn report_failure(failure: &FuzzFailure, do_shrink: bool, lines: &mut Vec<String
 
 fn reproducer_line(failure: &FuzzFailure) -> String {
     format!(
-        "fuzz_pipeline --spec {}   # seed {} · {}/{} · {}",
+        "fuzz_pipeline --spec {}   # seed {} · {}/{}/{} · {}",
         failure.case.spec(),
         failure.case.seed,
         failure.policy.cli_name(),
         failure.machine,
+        failure.router.cli_name(),
         failure.error
     )
 }

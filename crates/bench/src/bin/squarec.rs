@@ -8,7 +8,9 @@
 //! ```text
 //! squarec FILE.sq [FILE2.sq …] [flags]
 //!   --policy NAME        lazy | eager | square | laa        (default square)
-//!   --arch SPEC          nisq | ft | grid:WxH | full:N | line:N (default nisq)
+//!   --arch SPEC          nisq | ft | grid:WxH | full:N | line:N
+//!                        | heavyhex[:D] | ring[:N]          (default nisq)
+//!   --router NAME        greedy | lookahead                 (default greedy)
 //!   --all-policies       compile each file under all four policies
 //!   --validate           replay + diff the compiled schedule against
 //!                        the reference semantics (oracle stack)
@@ -32,7 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use serde::Value;
 use square_bench::{report_json, SweepArch};
-use square_core::{compile, CompileReport, Policy};
+use square_core::{compile, CompileReport, Policy, RouterKind};
 use square_qir::pretty::program_listing;
 use square_qir::Program;
 use square_workloads::{sq_file_stem, sq_source, Benchmark};
@@ -48,6 +50,7 @@ struct Options {
     files: Vec<PathBuf>,
     policy: Policy,
     arch: SweepArch,
+    router: RouterKind,
     all_policies: bool,
     validate: bool,
     emit: Emit,
@@ -65,15 +68,17 @@ fn mark_failed() {
 }
 
 const USAGE: &str = "usage: squarec FILE.sq [FILE2.sq …] \
-     [--policy lazy|eager|square|laa] [--arch nisq|ft|grid:WxH|full:N|line:N] \
-     [--all-policies] [--validate] [--emit report|listing|schedule] [--json] \
-     [--roundtrip] [--dump-catalog DIR]";
+     [--policy lazy|eager|square|laa] \
+     [--arch nisq|ft|grid:WxH|full:N|line:N|heavyhex[:D]|ring[:N]] \
+     [--router greedy|lookahead] [--all-policies] [--validate] \
+     [--emit report|listing|schedule] [--json] [--roundtrip] [--dump-catalog DIR]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         files: Vec::new(),
         policy: Policy::Square,
         arch: SweepArch::NisqAuto,
+        router: RouterKind::Greedy,
         all_policies: false,
         validate: false,
         emit: Emit::Report,
@@ -98,6 +103,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = value(arg)?;
                 opts.arch =
                     SweepArch::parse(&v).ok_or_else(|| format!("--arch: unknown arch `{v}`"))?;
+            }
+            "--router" => {
+                let v = value(arg)?;
+                opts.router = RouterKind::parse(&v)
+                    .ok_or_else(|| format!("--router: unknown router `{v}`"))?;
             }
             "--all-policies" => opts.all_policies = true,
             "--validate" => opts.validate = true,
@@ -223,7 +233,7 @@ fn run_file(file: &Path, opts: &Options, json_cells: &mut Vec<Value>) -> bool {
     let mut rows: Vec<(Policy, CompileReport)> = Vec::new();
     if opts.validate || opts.emit != Emit::Listing {
         for &policy in &policies {
-            let mut config = opts.arch.config(policy);
+            let mut config = opts.arch.config(policy).with_router(opts.router);
             if opts.emit == Emit::Schedule {
                 config = config.with_schedule();
             }
@@ -266,6 +276,7 @@ fn run_file(file: &Path, opts: &Options, json_cells: &mut Vec<Value>) -> bool {
                 ("file", Value::String(display.clone())),
                 ("policy", Value::String(policy.cli_name().to_string())),
                 ("arch", Value::String(opts.arch.to_string())),
+                ("router", Value::String(opts.router.cli_name().to_string())),
                 ("validated", Value::Bool(opts.validate)),
                 ("report", report_json(report)),
             ];

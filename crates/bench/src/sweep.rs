@@ -20,7 +20,9 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use serde::{Serialize, Value};
-use square_core::{compile, ArchSpec, CompileError, CompileReport, CompilerConfig, Policy};
+use square_core::{
+    compile, ArchSpec, CompileError, CompileReport, CompilerConfig, Policy, RouterKind,
+};
 use square_workloads::{build, Benchmark};
 
 // ---------------------------------------------------------------------------
@@ -54,6 +56,21 @@ pub enum SweepArch {
         /// Qubit count.
         n: u32,
     },
+    /// IBM-style heavy-hex lattice of distance `d`, swap chains.
+    HeavyHex {
+        /// Lattice distance parameter.
+        d: u32,
+    },
+    /// Auto-sized heavy-hex lattice (smallest odd distance that fits
+    /// the program), swap chains.
+    HeavyHexAuto,
+    /// 1-D ring of `n` qubits, swap chains.
+    Ring {
+        /// Qubit count.
+        n: u32,
+    },
+    /// Auto-sized ring, swap chains.
+    RingAuto,
 }
 
 impl SweepArch {
@@ -68,19 +85,36 @@ impl SweepArch {
             }
             SweepArch::Full { n } => CompilerConfig::nisq(policy).with_arch(ArchSpec::Full { n }),
             SweepArch::Line { n } => CompilerConfig::nisq(policy).with_arch(ArchSpec::Line { n }),
+            SweepArch::HeavyHex { d } => {
+                CompilerConfig::nisq(policy).with_arch(ArchSpec::HeavyHex { d })
+            }
+            SweepArch::HeavyHexAuto => {
+                CompilerConfig::nisq(policy).with_arch(ArchSpec::AutoHeavyHex)
+            }
+            SweepArch::Ring { n } => CompilerConfig::nisq(policy).with_arch(ArchSpec::Ring { n }),
+            SweepArch::RingAuto => CompilerConfig::nisq(policy).with_arch(ArchSpec::AutoRing),
         }
     }
 
+    /// True when this architecture communicates by braiding — the
+    /// swap-chain router never runs there.
+    pub fn is_braided(&self) -> bool {
+        matches!(self, SweepArch::FtAuto)
+    }
+
     /// Parses a CLI-style spec: `nisq`, `ft`, `grid:WxH`, `full:N`,
-    /// `line:N` (case-insensitive). Dimensions must be nonzero and a
-    /// grid's total qubit count must fit `u32` — invalid sizes are a
-    /// parse error here so they surface as a usage message, not a
-    /// panic inside a sweep worker.
+    /// `line:N`, `heavyhex:D` (or bare `heavyhex` for auto-sizing),
+    /// `ring:N` (or bare `ring`), case-insensitive. Dimensions must be
+    /// nonzero and a grid's total qubit count must fit `u32` — invalid
+    /// sizes are a parse error here so they surface as a usage
+    /// message, not a panic inside a sweep worker.
     pub fn parse(spec: &str) -> Option<SweepArch> {
         let lower = spec.to_ascii_lowercase();
         match lower.as_str() {
             "nisq" => return Some(SweepArch::NisqAuto),
             "ft" => return Some(SweepArch::FtAuto),
+            "heavyhex" => return Some(SweepArch::HeavyHexAuto),
+            "ring" => return Some(SweepArch::RingAuto),
             _ => {}
         }
         let dim = |s: &str| s.parse::<u32>().ok().filter(|&n| n > 0);
@@ -94,6 +128,12 @@ impl SweepArch {
             }
             "full" => Some(SweepArch::Full { n: dim(arg)? }),
             "line" => Some(SweepArch::Line { n: dim(arg)? }),
+            // Heavy-hex qubit count grows ~5d²/2: keep d small enough
+            // that the n×n BFS tables stay sane.
+            "heavyhex" => Some(SweepArch::HeavyHex {
+                d: dim(arg).filter(|&d| d <= 63)?,
+            }),
+            "ring" => Some(SweepArch::Ring { n: dim(arg)? }),
             _ => None,
         }
     }
@@ -107,6 +147,10 @@ impl fmt::Display for SweepArch {
             SweepArch::Grid { width, height } => write!(f, "grid:{width}x{height}"),
             SweepArch::Full { n } => write!(f, "full:{n}"),
             SweepArch::Line { n } => write!(f, "line:{n}"),
+            SweepArch::HeavyHex { d } => write!(f, "heavyhex:{d}"),
+            SweepArch::HeavyHexAuto => f.write_str("heavyhex"),
+            SweepArch::Ring { n } => write!(f, "ring:{n}"),
+            SweepArch::RingAuto => f.write_str("ring"),
         }
     }
 }
@@ -120,6 +164,9 @@ pub struct SweepSpec {
     pub policies: Vec<Policy>,
     /// Architectures (planes).
     pub archs: Vec<SweepArch>,
+    /// Swap-chain routers (hyper-planes; `Greedy` alone reproduces
+    /// the historical single-router sweeps cell for cell).
+    pub routers: Vec<RouterKind>,
 }
 
 impl SweepSpec {
@@ -130,12 +177,26 @@ impl SweepSpec {
             benchmarks: Benchmark::NISQ.to_vec(),
             policies: Policy::ALL.to_vec(),
             archs: vec![SweepArch::NisqAuto],
+            routers: vec![RouterKind::Greedy],
         }
     }
 
-    /// Number of cells in the product.
+    /// Number of cells in the product. Braided architectures
+    /// contribute one cell regardless of the router axis (see
+    /// [`SweepSpec::cells`]).
     pub fn len(&self) -> usize {
-        self.benchmarks.len() * self.policies.len() * self.archs.len()
+        let per_arch: usize = self
+            .archs
+            .iter()
+            .map(|a| {
+                if a.is_braided() {
+                    1
+                } else {
+                    self.routers.len()
+                }
+            })
+            .sum();
+        self.benchmarks.len() * self.policies.len() * per_arch
     }
 
     /// True when any axis is empty (nothing to run).
@@ -143,13 +204,23 @@ impl SweepSpec {
         self.len() == 0
     }
 
-    /// All cells of the product, benchmark-major.
-    pub fn cells(&self) -> Vec<(Benchmark, Policy, SweepArch)> {
+    /// All cells of the product, benchmark-major (router innermost).
+    /// Braided architectures never consult the swap-chain router, so
+    /// they emit a single greedy-labelled cell instead of one
+    /// byte-identical cell per requested router.
+    pub fn cells(&self) -> Vec<(Benchmark, Policy, SweepArch, RouterKind)> {
         let mut cells = Vec::with_capacity(self.len());
         for &bench in &self.benchmarks {
             for &arch in &self.archs {
+                let routers: &[RouterKind] = if arch.is_braided() {
+                    &[RouterKind::Greedy]
+                } else {
+                    &self.routers
+                };
                 for &policy in &self.policies {
-                    cells.push((bench, policy, arch));
+                    for &router in routers {
+                        cells.push((bench, policy, arch, router));
+                    }
                 }
             }
         }
@@ -166,6 +237,8 @@ pub struct SweepCell {
     pub policy: Policy,
     /// Architecture targeted.
     pub arch: SweepArch,
+    /// Swap-chain router used.
+    pub router: RouterKind,
     /// The compile outcome: a full report, or the failure (e.g.
     /// [`CompileError::OutOfQubits`] when the policy does not fit).
     pub report: Result<CompileReport, CompileError>,
@@ -184,11 +257,25 @@ pub struct SweepMatrix {
 }
 
 impl SweepMatrix {
-    /// Looks up one cell.
+    /// Looks up one cell (the first matching one when the sweep ran
+    /// several routers; use [`SweepMatrix::get_router`] to pin one).
     pub fn get(&self, bench: Benchmark, policy: Policy, arch: SweepArch) -> Option<&SweepCell> {
         self.cells
             .iter()
             .find(|c| c.benchmark == bench && c.policy == policy && c.arch == arch)
+    }
+
+    /// Looks up one cell of a specific router.
+    pub fn get_router(
+        &self,
+        bench: Benchmark,
+        policy: Policy,
+        arch: SweepArch,
+        router: RouterKind,
+    ) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.benchmark == bench && c.policy == policy && c.arch == arch && c.router == router
+        })
     }
 
     /// Cells that compiled successfully.
@@ -201,16 +288,26 @@ impl SweepMatrix {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<12} {:<10} {:<18} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9}\n",
-            "benchmark", "arch", "policy", "aqv", "gates", "swaps", "depth", "qubits", "time"
+            "{:<12} {:<10} {:<18} {:<10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9}\n",
+            "benchmark",
+            "arch",
+            "policy",
+            "router",
+            "aqv",
+            "gates",
+            "swaps",
+            "depth",
+            "qubits",
+            "time"
         ));
         for cell in &self.cells {
             match &cell.report {
                 Ok(r) => out.push_str(&format!(
-                    "{:<12} {:<10} {:<18} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7.0}ms\n",
+                    "{:<12} {:<10} {:<18} {:<10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7.0}ms\n",
                     cell.benchmark.name(),
                     cell.arch.to_string(),
                     cell.policy.label(),
+                    cell.router.cli_name(),
                     r.aqv,
                     r.gates,
                     r.swaps,
@@ -219,10 +316,11 @@ impl SweepMatrix {
                     cell.compile_ms,
                 )),
                 Err(e) => out.push_str(&format!(
-                    "{:<12} {:<10} {:<18} {:>10} ({e})\n",
+                    "{:<12} {:<10} {:<18} {:<10} {:>10} ({e})\n",
                     cell.benchmark.name(),
                     cell.arch.to_string(),
                     cell.policy.label(),
+                    cell.router.cli_name(),
                     "-",
                 )),
             }
@@ -241,6 +339,7 @@ impl SweepMatrix {
 /// emit field-identical report objects.
 pub fn report_json(r: &CompileReport) -> Value {
     Value::map([
+        ("router", Value::String(r.router.cli_name().to_string())),
         ("gates", Value::UInt(r.gates)),
         ("swaps", Value::UInt(r.swaps)),
         ("depth", Value::UInt(r.depth)),
@@ -281,6 +380,7 @@ impl Serialize for SweepCell {
             ),
             ("policy", Value::String(self.policy.cli_name().to_string())),
             ("arch", Value::String(self.arch.to_string())),
+            ("router", Value::String(self.router.cli_name().to_string())),
             ("report", ok),
             ("error", err),
             ("compile_ms", Value::Float(self.compile_ms)),
@@ -316,15 +416,16 @@ pub fn run_sweep_with_progress(
     let cells: Vec<SweepCell> = spec
         .cells()
         .into_par_iter()
-        .map(|(benchmark, policy, arch)| {
+        .map(|(benchmark, policy, arch, router)| {
             let cell_start = Instant::now();
             let report = build(benchmark)
                 .map_err(CompileError::from)
-                .and_then(|program| compile(&program, &arch.config(policy)));
+                .and_then(|program| compile(&program, &arch.config(policy).with_router(router)));
             let cell = SweepCell {
                 benchmark,
                 policy,
                 arch,
+                router,
                 report,
                 compile_ms: cell_start.elapsed().as_secs_f64() * 1e3,
             };
@@ -465,6 +566,7 @@ mod tests {
             benchmarks: vec![Benchmark::Rd53, Benchmark::Adder4],
             policies: vec![Policy::Lazy, Policy::Square],
             archs: vec![SweepArch::NisqAuto],
+            routers: vec![RouterKind::Greedy],
         };
         let matrix = run_sweep(&spec);
         assert_eq!(matrix.cells.len(), spec.len());
@@ -483,6 +585,7 @@ mod tests {
             benchmarks: vec![Benchmark::Rd53],
             policies: vec![Policy::Square],
             archs: vec![SweepArch::NisqAuto, SweepArch::FtAuto],
+            routers: vec![RouterKind::Greedy],
         };
         let matrix = run_sweep(&spec);
         let json = serde_json::to_string(&matrix).expect("serializes");
@@ -501,6 +604,7 @@ mod tests {
                 width: 2,
                 height: 2,
             }],
+            routers: vec![RouterKind::Greedy],
         };
         let matrix = run_sweep(&spec);
         assert_eq!(matrix.cells.len(), 1);
@@ -524,12 +628,19 @@ mod tests {
             ),
             ("full:64", SweepArch::Full { n: 64 }),
             ("line:100", SweepArch::Line { n: 100 }),
+            ("heavyhex:5", SweepArch::HeavyHex { d: 5 }),
+            ("heavyhex", SweepArch::HeavyHexAuto),
+            ("ring:24", SweepArch::Ring { n: 24 }),
+            ("ring", SweepArch::RingAuto),
         ] {
             assert_eq!(SweepArch::parse(text), Some(arch), "{text}");
             assert_eq!(SweepArch::parse(&arch.to_string()), Some(arch));
         }
         assert_eq!(SweepArch::parse("grid:8"), None);
         assert_eq!(SweepArch::parse("hex:3"), None);
+        assert_eq!(SweepArch::parse("heavyhex:0"), None);
+        assert_eq!(SweepArch::parse("heavyhex:99"), None, "table-size guard");
+        assert_eq!(SweepArch::parse("ring:0"), None);
         // Degenerate and overflowing sizes are parse errors, not
         // panics inside a sweep worker.
         assert_eq!(SweepArch::parse("grid:0x4"), None);

@@ -1,6 +1,9 @@
 //! Compiler configuration: target machine, policy, heuristic knobs.
 
-use square_arch::{CommModel, FullTopology, GridTopology, LineTopology, Topology};
+use square_arch::{
+    CommModel, FullTopology, GridTopology, HeavyHexTopology, LineTopology, RingTopology, Topology,
+};
+use square_route::RouterKind;
 
 use crate::policy::Policy;
 
@@ -24,25 +27,53 @@ pub enum ArchSpec {
         /// Qubit count.
         n: u32,
     },
+    /// IBM-style heavy-hex lattice of distance `d`.
+    HeavyHex {
+        /// Lattice distance parameter.
+        d: u32,
+    },
+    /// 1-D ring (cycle) of `n` qubits.
+    Ring {
+        /// Qubit count.
+        n: u32,
+    },
     /// A near-square lattice auto-sized from the program's worst-case
     /// footprint (total forward ancilla allocations plus slack) — the
     /// "large enough machine" setting for AQV studies.
     AutoGrid,
+    /// A heavy-hex lattice auto-sized the same way (smallest odd
+    /// distance that fits).
+    AutoHeavyHex,
+    /// A ring auto-sized the same way.
+    AutoRing,
 }
 
 impl ArchSpec {
-    /// Builds the topology; `capacity_hint` feeds [`ArchSpec::AutoGrid`].
+    /// The auto-sizing slack shared by every `Auto*` variant: worst
+    /// case every forward allocation is simultaneously live, plus
+    /// slack for uncompute re-allocations.
+    fn auto_capacity(capacity_hint: usize) -> usize {
+        capacity_hint.saturating_mul(3) / 2 + 16
+    }
+
+    /// Builds the topology; `capacity_hint` feeds the `Auto*`
+    /// variants.
     pub fn build(&self, capacity_hint: usize) -> Box<dyn Topology> {
         match self {
             ArchSpec::Grid { width, height } => Box::new(GridTopology::new(*width, *height)),
             ArchSpec::Full { n } => Box::new(FullTopology::new(*n)),
             ArchSpec::Line { n } => Box::new(LineTopology::new(*n)),
-            ArchSpec::AutoGrid => {
-                // Worst case: every forward allocation is simultaneously
-                // live, plus slack for uncompute re-allocations.
-                let cap = capacity_hint.saturating_mul(3) / 2 + 16;
-                Box::new(GridTopology::with_capacity(cap))
-            }
+            ArchSpec::HeavyHex { d } => Box::new(HeavyHexTopology::new(*d)),
+            ArchSpec::Ring { n } => Box::new(RingTopology::new(*n)),
+            ArchSpec::AutoGrid => Box::new(GridTopology::with_capacity(Self::auto_capacity(
+                capacity_hint,
+            ))),
+            ArchSpec::AutoHeavyHex => Box::new(HeavyHexTopology::with_capacity(
+                Self::auto_capacity(capacity_hint),
+            )),
+            ArchSpec::AutoRing => Box::new(RingTopology::with_capacity(Self::auto_capacity(
+                capacity_hint,
+            ))),
         }
     }
 }
@@ -135,6 +166,9 @@ pub struct CompilerConfig {
     /// Record the scheduled physical circuit (needed for noise
     /// simulation; memory-heavy on large programs).
     pub record_schedule: bool,
+    /// Swap-chain router. Braiding never consults it; the compiler
+    /// normalizes the recorded selection to greedy on FT targets.
+    pub router: RouterKind,
     /// LAA score weights.
     pub laa: LaaWeights,
     /// CER cost-model parameters.
@@ -149,6 +183,7 @@ impl CompilerConfig {
             arch: ArchSpec::AutoGrid,
             comm: CommModel::SwapChains,
             record_schedule: false,
+            router: RouterKind::Greedy,
             laa: LaaWeights::default(),
             cer: CerParams::default(),
         }
@@ -161,6 +196,7 @@ impl CompilerConfig {
             arch: ArchSpec::AutoGrid,
             comm: CommModel::Braiding,
             record_schedule: false,
+            router: RouterKind::Greedy,
             laa: LaaWeights::default(),
             cer: CerParams::default(),
         }
@@ -175,6 +211,12 @@ impl CompilerConfig {
     /// Enables schedule recording.
     pub fn with_schedule(mut self) -> Self {
         self.record_schedule = true;
+        self
+    }
+
+    /// Selects the swap-chain router.
+    pub fn with_router(mut self, router: RouterKind) -> Self {
+        self.router = router;
         self
     }
 }

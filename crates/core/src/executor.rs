@@ -10,11 +10,18 @@
 //! and garbage sweeping (for lazy children) without any special
 //! casing.
 
+use square_arch::CommModel;
 use square_qir::{
     analysis::ProgramStats, lower_mcx, trace::invert_slice_into, Gate, ModuleId, Operand, Program,
     Stmt, TraceOp, VirtId,
 };
-use square_route::{Machine, MachineConfig};
+use square_route::{Machine, MachineConfig, RouterKind};
+
+/// How many upcoming multi-qubit gates the executor shows a
+/// lookahead router per routed gate (SABRE's extended set). The
+/// window ends at the first call statement — callee gate streams are
+/// not statically visible at this altitude.
+const LOOKAHEAD_WINDOW: usize = 16;
 
 use crate::cer::{CerEngine, CerInputs, ModuleCostTable};
 use crate::config::CompilerConfig;
@@ -57,11 +64,19 @@ pub fn compile_with_inputs(
     let entry_stats = pstats.module(lowered.entry());
     let capacity_hint = entry_stats.ancilla_transitive as usize;
     let topo = config.arch.build(capacity_hint);
+    // Braiding never consults the swap-chain router: normalize the
+    // recorded selection to greedy so reports cannot claim a lookahead
+    // router that never ran.
+    let router = match config.comm {
+        CommModel::SwapChains => config.router,
+        CommModel::Braiding => RouterKind::Greedy,
+    };
     let machine = Machine::new(
         topo,
         MachineConfig {
             comm: config.comm,
             record_schedule: config.record_schedule,
+            router,
         },
     );
     let heap = AncillaHeap::with_capacity(machine.qubit_count());
@@ -79,7 +94,10 @@ pub fn compile_with_inputs(
         gates_emitted: 0,
         decisions: DecisionStats::default(),
         decision_log: Vec::new(),
+        lookahead: false,
     };
+    let lookahead = exec.machine.wants_lookahead();
+    exec.lookahead = lookahead;
     let entry_register = exec.run_entry(inputs)?;
     let decisions = exec.decisions;
     let decision_log = std::mem::take(&mut exec.decision_log);
@@ -94,6 +112,7 @@ pub fn compile_with_inputs(
     Ok(CompileReport {
         policy,
         comm,
+        router,
         gates: route_report.stats.program_gates,
         swaps: route_report.stats.swaps,
         depth: route_report.depth,
@@ -147,6 +166,10 @@ struct Exec<'p> {
     decisions: DecisionStats,
     /// Per-frame decisions in completion order (see [`ReclaimDecision`]).
     decision_log: Vec<ReclaimDecision>,
+    /// True when the machine's router consumes upcoming-gate windows
+    /// (gates the per-gate window construction off the hot path
+    /// otherwise).
+    lookahead: bool,
 }
 
 impl Exec<'_> {
@@ -266,8 +289,22 @@ impl Exec<'_> {
                     },
                 );
                 self.next_virt = next;
-                for op in &scratch {
-                    self.emit(op.clone(), &[])?;
+                for j in 0..scratch.len() {
+                    if self.lookahead && matches!(&scratch[j], TraceOp::Gate(g) if g.arity() >= 2) {
+                        let window = self.machine.lookahead_mut();
+                        window.clear();
+                        for op in &scratch[j + 1..] {
+                            if let TraceOp::Gate(g) = op {
+                                if g.arity() >= 2 {
+                                    window.push(g.clone());
+                                    if window.len() >= LOOKAHEAD_WINDOW {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    self.emit(scratch[j].clone(), &[])?;
                 }
                 self.inverse_scratch = scratch;
             }
@@ -312,9 +349,41 @@ impl Exec<'_> {
                 BlockKind::Store => self.costs.store_tail(id, i),
                 BlockKind::CustomUncompute => self.costs.custom_tail(id, i),
             };
+            // Only multi-qubit gates route, so only they read the
+            // window — skip the O(block) rebuild for 1-qubit gates.
+            if self.lookahead && matches!(stmt, Stmt::Gate(g) if g.arity() >= 2) {
+                self.fill_window(&stmts[i + 1..], args, anc);
+            }
             self.exec_stmt(stmt, id, args, anc, depth, rest, frame_g_p)?;
         }
         Ok(())
+    }
+
+    /// Refills the machine's lookahead window with the next
+    /// [`LOOKAHEAD_WINDOW`] multi-qubit gates of the current block,
+    /// resolved to virtual qubits — the front/extended set a
+    /// SABRE-style router scores swaps against.
+    fn fill_window(&mut self, upcoming: &[Stmt], args: &[VirtId], anc: &[VirtId]) {
+        let resolve = |op: &Operand| -> VirtId {
+            match op {
+                Operand::Param(i) => args[*i],
+                Operand::Ancilla(i) => anc[*i],
+            }
+        };
+        let window = self.machine.lookahead_mut();
+        window.clear();
+        for stmt in upcoming {
+            match stmt {
+                Stmt::Gate(g) if g.arity() >= 2 => {
+                    window.push(g.map(resolve));
+                    if window.len() >= LOOKAHEAD_WINDOW {
+                        break;
+                    }
+                }
+                Stmt::Gate(_) => {}
+                Stmt::Call { .. } => break,
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -51,3 +51,6 @@ pub use executor::{compile, compile_with_inputs};
 pub use heap::{AncillaHeap, HeapError, HeapHandle};
 pub use policy::Policy;
 pub use report::{CompileReport, ReclaimDecision};
+// Router selection is part of the compiler configuration; re-export
+// the kind so downstream crates need not depend on square-route.
+pub use square_route::RouterKind;

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use square_arch::{CommModel, PhysId};
 use square_metrics::{aqv, UsageCurve};
 use square_qir::{ModuleId, TraceOp, VirtId};
-use square_route::{CommStats, LivenessSegment, PlacementEvent, ScheduledGate};
+use square_route::{CommStats, LivenessSegment, PlacementEvent, RouterKind, ScheduledGate};
 
 use crate::cer::CerCacheStats;
 use crate::policy::Policy;
@@ -44,6 +44,9 @@ pub struct CompileReport {
     pub policy: Policy,
     /// Communication model of the target.
     pub comm: CommModel,
+    /// Swap-chain router that produced this schedule (greedy under
+    /// braiding, where no swap chains exist).
+    pub router: RouterKind,
     /// Program gates executed (uncomputation included, routing swaps
     /// excluded — Table III's "# Gates").
     pub gates: u64,
@@ -136,6 +139,7 @@ mod tests {
         let report = CompileReport {
             policy: Policy::Square,
             comm: CommModel::SwapChains,
+            router: RouterKind::Greedy,
             gates: 932,
             swaps: 370,
             depth: 635,

@@ -18,6 +18,7 @@
 
 pub mod braid;
 pub mod machine;
+pub mod router;
 pub mod schedule;
 pub mod timeline;
 
@@ -28,5 +29,6 @@ pub use error::RouteError;
 pub use machine::{
     journey_of, CommStats, LivenessSegment, Machine, MachineConfig, PlacementEvent, RouteReport,
 };
+pub use router::{GreedyRouter, LookaheadRouter, Router, RouterKind};
 pub use schedule::ScheduledGate;
 pub use timeline::Timeline;

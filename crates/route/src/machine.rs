@@ -7,7 +7,7 @@
 //! CER heuristic's `S` factor. Releasing a qubit closes its liveness
 //! segment, from which active quantum volume is computed.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 
 use square_arch::{CommModel, PhysId, Topology};
@@ -15,6 +15,7 @@ use square_qir::{Gate, VirtId};
 
 use crate::braid::BraidField;
 use crate::error::RouteError;
+use crate::router::{Router, RouterKind};
 use crate::schedule::{gate_duration, ScheduledGate};
 use crate::timeline::Timeline;
 
@@ -26,14 +27,18 @@ pub struct MachineConfig {
     /// Record the full scheduled physical circuit (needed for noise
     /// simulation; costs memory on large programs).
     pub record_schedule: bool,
+    /// Swap-chain router (ignored under braiding).
+    pub router: RouterKind,
 }
 
 impl MachineConfig {
-    /// NISQ defaults: swap chains, schedule recording off.
+    /// NISQ defaults: swap chains, greedy router, schedule recording
+    /// off.
     pub fn nisq() -> Self {
         MachineConfig {
             comm: CommModel::SwapChains,
             record_schedule: false,
+            router: RouterKind::Greedy,
         }
     }
 
@@ -42,12 +47,19 @@ impl MachineConfig {
         MachineConfig {
             comm: CommModel::Braiding,
             record_schedule: false,
+            router: RouterKind::Greedy,
         }
     }
 
     /// Enables schedule recording.
     pub fn with_schedule(mut self) -> Self {
         self.record_schedule = true;
+        self
+    }
+
+    /// Selects the swap-chain router.
+    pub fn with_router(mut self, router: RouterKind) -> Self {
+        self.router = router;
         self
     }
 }
@@ -172,12 +184,21 @@ pub struct RouteReport {
     /// Full placement history (if recording was enabled): every bind,
     /// routing move, and release, in machine order.
     pub placement_history: Option<Vec<PlacementEvent>>,
+    /// Which swap-chain router produced this schedule.
+    pub router: RouterKind,
 }
 
 /// A machine being scheduled onto: topology + placement + timeline.
 pub struct Machine {
     topo: Box<dyn Topology>,
     comm: CommModel,
+    /// Swap-chain router; parked in an `Option` so it can be taken
+    /// out while routing borrows the machine mutably.
+    router: Option<Box<dyn Router>>,
+    router_kind: RouterKind,
+    /// Upcoming-gate hint window for lookahead routers, filled by the
+    /// executor before each gate.
+    lookahead: Vec<Gate<VirtId>>,
     timeline: Timeline,
     occupant: Vec<Option<VirtId>>,
     ever_used: Vec<bool>,
@@ -228,6 +249,9 @@ impl Machine {
             coord_sum: (0, 0),
             relocations: Vec::new(),
             comm: config.comm,
+            router: Some(config.router.build()),
+            router_kind: config.router,
+            lookahead: Vec::new(),
             topo,
         }
     }
@@ -434,9 +458,39 @@ impl Machine {
         }
     }
 
+    /// The communication model's router selection.
+    pub fn router_kind(&self) -> RouterKind {
+        self.router_kind
+    }
+
+    /// True when the active router consumes the lookahead window —
+    /// callers skip building the window otherwise.
+    pub fn wants_lookahead(&self) -> bool {
+        self.comm == CommModel::SwapChains && self.router_kind.wants_lookahead()
+    }
+
+    /// The upcoming-gate hint window the router sees on the next
+    /// [`Machine::apply`]. Callers clear and refill it per gate; a
+    /// stale window only degrades routing scores, never correctness.
+    pub fn lookahead_mut(&mut self) -> &mut Vec<Gate<VirtId>> {
+        &mut self.lookahead
+    }
+
+    /// Records a Toffoli operand-gathering retry (router bookkeeping).
+    pub(crate) fn note_gather_retry(&mut self) {
+        self.stats.gather_retries += 1;
+    }
+
+    /// Records a Toffoli gather that gave up before full adjacency.
+    pub(crate) fn note_gather_failure(&mut self) {
+        self.stats.gather_failures += 1;
+    }
+
     /// Swaps the contents of two adjacent physical cells (a routing
-    /// SWAP: three CNOT cycles), updating placements.
-    fn swap_cells(&mut self, p: PhysId, q: PhysId) {
+    /// SWAP: three CNOT cycles), updating placements, liveness,
+    /// free-cell relocations, and the placement history. This is the
+    /// only mutation [`Router`] implementations perform.
+    pub fn swap_cells(&mut self, p: PhysId, q: PhysId) {
         debug_assert!(self.topo.are_coupled(p, q), "swap of non-coupled cells");
         let start = self.timeline.occupy_asap(&[p, q], 3);
         let vp = self.occupant[p.index()];
@@ -486,110 +540,6 @@ impl Machine {
         self.record(Gate::Swap { a: p, b: q }, start, 3, true);
     }
 
-    /// Moves `mover` along a shortest path until coupled to `anchor`.
-    fn route_adjacent(&mut self, mover: VirtId, anchor: VirtId) -> Result<(), RouteError> {
-        let pm = self
-            .phys_of(mover)
-            .ok_or(RouteError::UnplacedQubit { virt: mover })?;
-        let pa = self
-            .phys_of(anchor)
-            .ok_or(RouteError::UnplacedQubit { virt: anchor })?;
-        if self.topo.are_coupled(pm, pa) || pm == pa {
-            return Ok(());
-        }
-        let path = self.topo.shortest_path(pm, pa);
-        for i in 0..path.len().saturating_sub(2) {
-            self.swap_cells(path[i], path[i + 1]);
-        }
-        Ok(())
-    }
-
-    /// Bounded BFS from `from` to any cell satisfying `goal`, avoiding
-    /// `blocked` cells. Returns the path inclusive of both ends.
-    fn bfs_to(
-        &self,
-        from: PhysId,
-        goal: impl Fn(PhysId) -> bool,
-        blocked: &[PhysId],
-        max_visits: usize,
-    ) -> Option<Vec<PhysId>> {
-        if goal(from) {
-            return Some(vec![from]);
-        }
-        let mut prev: HashMap<PhysId, PhysId> = HashMap::new();
-        let mut queue = VecDeque::new();
-        queue.push_back(from);
-        prev.insert(from, from);
-        let mut visits = 0usize;
-        while let Some(cur) = queue.pop_front() {
-            visits += 1;
-            if visits > max_visits {
-                return None;
-            }
-            for nb in self.topo.neighbors(cur) {
-                if prev.contains_key(&nb) || blocked.contains(&nb) {
-                    continue;
-                }
-                prev.insert(nb, cur);
-                if goal(nb) {
-                    let mut path = vec![nb];
-                    let mut c = nb;
-                    while c != from {
-                        c = prev[&c];
-                        path.push(c);
-                    }
-                    path.reverse();
-                    return Some(path);
-                }
-                queue.push_back(nb);
-            }
-        }
-        None
-    }
-
-    /// Brings both controls adjacent to the target for a Toffoli,
-    /// trying not to displace already-gathered operands.
-    fn gather_three(&mut self, c0: VirtId, c1: VirtId, t: VirtId) -> Result<(), RouteError> {
-        for attempt in 0..4 {
-            let pt = self
-                .phys_of(t)
-                .ok_or(RouteError::UnplacedQubit { virt: t })?;
-            let p0 = self
-                .phys_of(c0)
-                .ok_or(RouteError::UnplacedQubit { virt: c0 })?;
-            let p1 = self
-                .phys_of(c1)
-                .ok_or(RouteError::UnplacedQubit { virt: c1 })?;
-            let ok0 = self.topo.are_coupled(p0, pt);
-            let ok1 = self.topo.are_coupled(p1, pt);
-            if ok0 && ok1 {
-                return Ok(());
-            }
-            if attempt > 0 {
-                self.stats.gather_retries += 1;
-            }
-            if !ok0 {
-                self.route_adjacent(c0, t)?;
-                continue;
-            }
-            // c0 is in place; bring c1 next to t without crossing c0/t.
-            let blocked = [pt, p0];
-            let topo = &self.topo;
-            let goal = |cell: PhysId| topo.are_coupled(cell, pt) && cell != p0;
-            if let Some(path) = self.bfs_to(p1, goal, &blocked, 4096) {
-                for i in 0..path.len().saturating_sub(1) {
-                    self.swap_cells(path[i], path[i + 1]);
-                }
-            } else {
-                // No avoiding route (e.g. a line topology cut); route
-                // plainly and let the next attempt repair c0.
-                self.route_adjacent(c1, t)?;
-            }
-        }
-        self.stats.gather_failures += 1;
-        Ok(())
-    }
-
     /// Applies a program gate: resolves connectivity, schedules ASAP,
     /// updates statistics and liveness. Returns the start cycle.
     ///
@@ -633,28 +583,15 @@ impl Machine {
     }
 
     fn apply_swapchain(&mut self, gate: &Gate<VirtId>) -> Result<u64, RouteError> {
-        let swaps_before = self.stats.swaps;
-        match gate {
-            Gate::X { .. } => {}
-            Gate::Cx { control, target } => self.route_adjacent(*control, *target)?,
-            Gate::Swap { a, b } => self.route_adjacent(*a, *b)?,
-            Gate::Ccx { c0, c1, target } => self.gather_three(*c0, *c1, *target)?,
-            Gate::Mcx { controls, target } => {
-                // Lowered programs never reach here with ≥ 3 controls;
-                // handle small cases for completeness.
-                match controls.len() {
-                    0 => {}
-                    1 => self.route_adjacent(controls[0], *target)?,
-                    _ => {
-                        self.gather_three(controls[0], controls[1], *target)?;
-                        for c in &controls[2..] {
-                            self.route_adjacent(*c, *target)?;
-                        }
-                    }
-                }
-            }
-        }
-        let _ = swaps_before;
+        // The router is parked in an Option so it can borrow the
+        // machine mutably while routing; the window rides along the
+        // same way (it is read-only to the router).
+        let mut router = self.router.take().expect("router parked in place");
+        let window = std::mem::take(&mut self.lookahead);
+        let routed = router.route_gate(self, gate, &window);
+        self.lookahead = window;
+        self.router = Some(router);
+        routed?;
         let phys = self.phys_operands(gate)?;
         let phys_gate = gate.map(|v| self.place[v]);
         let dur = gate_duration(&phys_gate);
@@ -760,6 +697,7 @@ impl Machine {
             footprint,
             final_placement,
             placement_history: self.history,
+            router: self.router_kind,
         }
     }
 }

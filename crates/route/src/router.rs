@@ -1,0 +1,686 @@
+//! Pluggable swap-chain routers.
+//!
+//! Routing — deciding which SWAP chains bring a gate's operands into
+//! coupled positions — was historically inlined in [`Machine`]. It is
+//! now behind the [`Router`] trait with two implementations:
+//!
+//! * [`GreedyRouter`]: the original per-gate shortest-path swapper,
+//!   kept *bit-compatible* with the inlined code (same shortest-path
+//!   walks, same bounded-BFS operand gathering, same swap order) — the
+//!   correctness anchor every regression suite pins against.
+//! * [`LookaheadRouter`]: a SABRE-style scorer (Li, Ding & Xie,
+//!   ASPLOS 2019). Each candidate swap on an edge incident to the
+//!   current gate's operands is scored against the *front* (the gate
+//!   being routed) plus an *extended set* — a sliding window of
+//!   upcoming multi-qubit gates supplied by the compile-time executor
+//!   — with a decay factor penalizing cells swapped moments ago (the
+//!   anti-ping-pong term). Distances come from the topology's O(1)
+//!   closed forms or the [`CouplingGraph`](square_arch::CouplingGraph)
+//!   next-hop/distance tables, never from a per-gate BFS allocation.
+//!
+//! Routers only *move* qubits (via [`Machine::swap_cells`]); gate
+//! scheduling, statistics, and liveness stay in the machine. Braided
+//! (FT) communication does not route through swap chains and is
+//! unaffected by the router choice.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use square_qir::{Gate, VirtId};
+
+use square_arch::PhysId;
+
+use crate::error::RouteError;
+use crate::machine::Machine;
+
+/// Which swap-chain router a machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterKind {
+    /// Per-gate shortest-path swapper (the historical router).
+    Greedy,
+    /// SABRE-style lookahead scorer over a window of upcoming gates.
+    Lookahead,
+}
+
+impl RouterKind {
+    /// Both routers, greedy first.
+    pub const ALL: [RouterKind; 2] = [RouterKind::Greedy, RouterKind::Lookahead];
+
+    /// Parses a CLI-style router name, case-insensitively: `greedy`,
+    /// `lookahead` (alias `sabre`).
+    pub fn parse(name: &str) -> Option<RouterKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "greedy" => Some(RouterKind::Greedy),
+            "lookahead" | "sabre" => Some(RouterKind::Lookahead),
+            _ => None,
+        }
+    }
+
+    /// The CLI name accepted back by [`RouterKind::parse`].
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            RouterKind::Greedy => "greedy",
+            RouterKind::Lookahead => "lookahead",
+        }
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterKind::Greedy => "GREEDY",
+            RouterKind::Lookahead => "LOOKAHEAD",
+        }
+    }
+
+    /// True if this router consumes the executor's lookahead window
+    /// (callers skip building the window otherwise).
+    pub fn wants_lookahead(&self) -> bool {
+        matches!(self, RouterKind::Lookahead)
+    }
+
+    /// Instantiates the router.
+    pub fn build(&self) -> Box<dyn Router> {
+        match self {
+            RouterKind::Greedy => Box::new(GreedyRouter),
+            RouterKind::Lookahead => Box::new(LookaheadRouter::new()),
+        }
+    }
+}
+
+impl fmt::Display for RouterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A swap-chain routing strategy.
+///
+/// `route_gate` must leave every multi-qubit operand pair the gate
+/// needs coupled (or give up the way the greedy gatherer does, which
+/// the machine records as a gather failure); it moves qubits
+/// exclusively through [`Machine::swap_cells`], which keeps placement,
+/// liveness, relocation, and history bookkeeping consistent.
+pub trait Router: Send {
+    /// Which kind this router is.
+    fn kind(&self) -> RouterKind;
+
+    /// Routes one program gate: inserts whatever swaps make the
+    /// gate's operands adjacent. `window` is the upcoming-gate hint
+    /// stream (empty unless the executor knows the router wants it).
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnplacedQubit`] if an operand has no placement.
+    fn route_gate(
+        &mut self,
+        machine: &mut Machine,
+        gate: &Gate<VirtId>,
+        window: &[Gate<VirtId>],
+    ) -> Result<(), RouteError>;
+}
+
+// ---------------------------------------------------------------------------
+// Shared primitives (the historical Machine routines, verbatim)
+// ---------------------------------------------------------------------------
+
+/// Moves `mover` along a shortest path until coupled to `anchor` —
+/// the historical greedy chain walk, hop for hop.
+fn route_adjacent(m: &mut Machine, mover: VirtId, anchor: VirtId) -> Result<(), RouteError> {
+    let pm = m
+        .phys_of(mover)
+        .ok_or(RouteError::UnplacedQubit { virt: mover })?;
+    let pa = m
+        .phys_of(anchor)
+        .ok_or(RouteError::UnplacedQubit { virt: anchor })?;
+    if m.topo().are_coupled(pm, pa) || pm == pa {
+        return Ok(());
+    }
+    let path = m.topo().shortest_path(pm, pa);
+    for i in 0..path.len().saturating_sub(2) {
+        m.swap_cells(path[i], path[i + 1]);
+    }
+    Ok(())
+}
+
+/// Bounded BFS from `from` to any cell satisfying `goal`, avoiding
+/// `blocked` cells. Returns the path inclusive of both ends.
+fn bfs_to(
+    m: &Machine,
+    from: PhysId,
+    goal: impl Fn(PhysId) -> bool,
+    blocked: &[PhysId],
+    max_visits: usize,
+) -> Option<Vec<PhysId>> {
+    if goal(from) {
+        return Some(vec![from]);
+    }
+    let mut prev: HashMap<PhysId, PhysId> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    prev.insert(from, from);
+    let mut visits = 0usize;
+    while let Some(cur) = queue.pop_front() {
+        visits += 1;
+        if visits > max_visits {
+            return None;
+        }
+        for nb in m.topo().neighbors(cur) {
+            if prev.contains_key(&nb) || blocked.contains(&nb) {
+                continue;
+            }
+            prev.insert(nb, cur);
+            if goal(nb) {
+                let mut path = vec![nb];
+                let mut c = nb;
+                while c != from {
+                    c = prev[&c];
+                    path.push(c);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(nb);
+        }
+    }
+    None
+}
+
+/// Brings both controls adjacent to the target for a Toffoli, trying
+/// not to displace already-gathered operands (historical logic).
+fn gather_three(m: &mut Machine, c0: VirtId, c1: VirtId, t: VirtId) -> Result<(), RouteError> {
+    for attempt in 0..4 {
+        let pt = m.phys_of(t).ok_or(RouteError::UnplacedQubit { virt: t })?;
+        let p0 = m
+            .phys_of(c0)
+            .ok_or(RouteError::UnplacedQubit { virt: c0 })?;
+        let p1 = m
+            .phys_of(c1)
+            .ok_or(RouteError::UnplacedQubit { virt: c1 })?;
+        let ok0 = m.topo().are_coupled(p0, pt);
+        let ok1 = m.topo().are_coupled(p1, pt);
+        if ok0 && ok1 {
+            return Ok(());
+        }
+        if attempt > 0 {
+            m.note_gather_retry();
+        }
+        if !ok0 {
+            route_adjacent(m, c0, t)?;
+            continue;
+        }
+        // c0 is in place; bring c1 next to t without crossing c0/t.
+        let blocked = [pt, p0];
+        let goal = |cell: PhysId| m.topo().are_coupled(cell, pt) && cell != p0;
+        if let Some(path) = bfs_to(m, p1, goal, &blocked, 4096) {
+            for i in 0..path.len().saturating_sub(1) {
+                m.swap_cells(path[i], path[i + 1]);
+            }
+        } else {
+            // No avoiding route (e.g. a line topology cut); route
+            // plainly and let the next attempt repair c0.
+            route_adjacent(m, c1, t)?;
+        }
+    }
+    m.note_gather_failure();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// GreedyRouter
+// ---------------------------------------------------------------------------
+
+/// The original per-gate shortest-path router. Stateless; swap
+/// sequences are bit-identical to the pre-trait inlined code on every
+/// topology.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyRouter;
+
+impl Router for GreedyRouter {
+    fn kind(&self) -> RouterKind {
+        RouterKind::Greedy
+    }
+
+    fn route_gate(
+        &mut self,
+        m: &mut Machine,
+        gate: &Gate<VirtId>,
+        _window: &[Gate<VirtId>],
+    ) -> Result<(), RouteError> {
+        match gate {
+            Gate::X { .. } => Ok(()),
+            Gate::Cx { control, target } => route_adjacent(m, *control, *target),
+            Gate::Swap { a, b } => route_adjacent(m, *a, *b),
+            Gate::Ccx { c0, c1, target } => gather_three(m, *c0, *c1, *target),
+            Gate::Mcx { controls, target } => {
+                // Lowered programs never reach here with ≥ 3 controls;
+                // handle small cases for completeness.
+                match controls.len() {
+                    0 => Ok(()),
+                    1 => route_adjacent(m, controls[0], *target),
+                    _ => {
+                        gather_three(m, controls[0], controls[1], *target)?;
+                        for c in &controls[2..] {
+                            route_adjacent(m, *c, *target)?;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LookaheadRouter
+// ---------------------------------------------------------------------------
+
+/// Weight of the extended set (upcoming-gate window) relative to the
+/// front gate in the swap score. SABRE's W.
+const EXT_WEIGHT: f64 = 0.5;
+/// Decay added to a cell each time a swap touches it while routing
+/// one gate; discourages undoing a swap just made.
+const DECAY_BUMP: f64 = 0.1;
+/// Consecutive non-improving swaps tolerated before falling back to
+/// the guaranteed-terminating greedy walk.
+const STALL_LIMIT: u32 = 3;
+
+/// SABRE-style lookahead router: scores candidate swaps on edges
+/// incident to the current gate's operands against the front gate and
+/// a decayed window of upcoming multi-qubit gates.
+#[derive(Debug, Default)]
+pub struct LookaheadRouter {
+    /// Per-cell decay factors (≥ 1.0); reset between gates via
+    /// `touched`, so the cost stays proportional to swaps inserted.
+    decay: Vec<f64>,
+    /// Cells whose decay is currently above 1.0.
+    touched: Vec<PhysId>,
+    /// Virtual operand pairs of the window gates, refreshed per gate.
+    pairs: Vec<(VirtId, VirtId)>,
+}
+
+impl LookaheadRouter {
+    /// A fresh router with an empty window.
+    pub fn new() -> Self {
+        LookaheadRouter::default()
+    }
+
+    fn reset_decay(&mut self, n: usize) {
+        if self.decay.len() != n {
+            self.decay = vec![1.0; n];
+            self.touched.clear();
+            return;
+        }
+        for p in self.touched.drain(..) {
+            self.decay[p.index()] = 1.0;
+        }
+    }
+
+    fn bump_decay(&mut self, p: PhysId) {
+        if self.decay[p.index()] == 1.0 {
+            self.touched.push(p);
+        }
+        self.decay[p.index()] += DECAY_BUMP;
+    }
+
+    fn collect_pairs(&mut self, window: &[Gate<VirtId>]) {
+        self.pairs.clear();
+        for g in window {
+            match g {
+                Gate::X { .. } => {}
+                Gate::Cx { control, target } => self.pairs.push((*control, *target)),
+                Gate::Swap { a, b } => self.pairs.push((*a, *b)),
+                Gate::Ccx { c0, c1, target } => {
+                    self.pairs.push((*c0, *target));
+                    self.pairs.push((*c1, *target));
+                }
+                Gate::Mcx { controls, target } => {
+                    for c in controls {
+                        self.pairs.push((*c, *target));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scores swapping cells `u`/`v`: front-pair distance after the
+    /// hypothetical swap, plus the decayed average over the window
+    /// pairs. Lower is better.
+    fn score_swap(&self, m: &Machine, u: PhysId, v: PhysId, front: (PhysId, PhysId)) -> f64 {
+        let adj = |p: PhysId| {
+            if p == u {
+                v
+            } else if p == v {
+                u
+            } else {
+                p
+            }
+        };
+        let topo = m.topo();
+        let d_front = topo.distance(adj(front.0), adj(front.1)) as f64;
+        let mut ext = 0.0;
+        let mut ext_n = 0usize;
+        for &(a, b) in &self.pairs {
+            if let (Some(pa), Some(pb)) = (m.phys_of(a), m.phys_of(b)) {
+                ext += topo.distance(adj(pa), adj(pb)) as f64;
+                ext_n += 1;
+            }
+        }
+        let base = d_front
+            + if ext_n > 0 {
+                EXT_WEIGHT * ext / ext_n as f64
+            } else {
+                0.0
+            };
+        base * self.decay[u.index()].max(self.decay[v.index()])
+    }
+
+    /// Routes one virtual pair until coupled, one scored swap at a
+    /// time. Candidate swaps may never *increase* the front distance
+    /// (streaming window hints are too weak to justify detours — on
+    /// low-degree fabrics like heavy-hex they systematically
+    /// mislead). With `move_anchor` false only `a`'s side moves,
+    /// which is how Toffoli gathering keeps the target parked. Falls
+    /// back to the greedy next-hop walk after [`STALL_LIMIT`]
+    /// consecutive distance-preserving swaps, which guarantees
+    /// termination.
+    fn route_pair(
+        &mut self,
+        m: &mut Machine,
+        a: VirtId,
+        b: VirtId,
+        move_anchor: bool,
+    ) -> Result<(), RouteError> {
+        let mut pa = m.phys_of(a).ok_or(RouteError::UnplacedQubit { virt: a })?;
+        let mut pb = m.phys_of(b).ok_or(RouteError::UnplacedQubit { virt: b })?;
+        self.reset_decay(m.qubit_count());
+        let mut stall = 0u32;
+        loop {
+            if pa == pb || m.topo().are_coupled(pa, pb) {
+                return Ok(());
+            }
+            let before = m.topo().distance(pa, pb);
+            // Candidate swaps: every edge incident to a movable
+            // endpoint that keeps the front distance from growing.
+            let ends: &[PhysId] = if move_anchor { &[pa, pb] } else { &[pa] };
+            let mut best: Option<(f64, PhysId, PhysId)> = None;
+            for &end in ends {
+                for nb in m.topo().neighbors(end) {
+                    let adj = |p: PhysId| {
+                        if p == end {
+                            nb
+                        } else if p == nb {
+                            end
+                        } else {
+                            p
+                        }
+                    };
+                    if m.topo().distance(adj(pa), adj(pb)) > before {
+                        continue;
+                    }
+                    let s = self.score_swap(m, end, nb, (pa, pb));
+                    if best.is_none_or(|(bs, be, bn)| (s, end.0, nb.0) < (bs, be.0, bn.0)) {
+                        best = Some((s, end, nb));
+                    }
+                }
+            }
+            let Some((_, u, v)) = best else {
+                // No distance-preserving edge at all (cannot happen on
+                // a connected fabric, where the next hop qualifies) —
+                // walk the guaranteed-progress chain.
+                self.greedy_walk(m, a, b)?;
+                return Ok(());
+            };
+            m.swap_cells(u, v);
+            self.bump_decay(u);
+            self.bump_decay(v);
+            pa = m.phys_of(a).expect("still placed");
+            pb = m.phys_of(b).expect("still placed");
+            if m.topo().distance(pa, pb) >= before {
+                stall += 1;
+                if stall >= STALL_LIMIT {
+                    self.greedy_walk(m, a, b)?;
+                    return Ok(());
+                }
+            } else {
+                stall = 0;
+            }
+        }
+    }
+
+    /// Deterministic escape hatch: walk `a` toward `b` along cached
+    /// next hops (each swap shrinks the distance by one, so this
+    /// always terminates).
+    fn greedy_walk(&mut self, m: &mut Machine, a: VirtId, b: VirtId) -> Result<(), RouteError> {
+        let mut pa = m.phys_of(a).ok_or(RouteError::UnplacedQubit { virt: a })?;
+        let mut pb = m.phys_of(b).ok_or(RouteError::UnplacedQubit { virt: b })?;
+        while pa != pb && !m.topo().are_coupled(pa, pb) {
+            let hop = m.topo().next_hop(pa, pb).expect("connected fabric");
+            m.swap_cells(pa, hop);
+            pa = hop;
+            pb = m.phys_of(b).expect("still placed");
+        }
+        Ok(())
+    }
+
+    /// Gathers a Toffoli: lookahead-routes `c0` to the target, then
+    /// steers `c1` to the cheapest free neighbour of the target along
+    /// cached next hops, side-stepping the cells holding `t`/`c0`.
+    fn gather(
+        &mut self,
+        m: &mut Machine,
+        c0: VirtId,
+        c1: VirtId,
+        t: VirtId,
+    ) -> Result<(), RouteError> {
+        for attempt in 0..4 {
+            let pt = m.phys_of(t).ok_or(RouteError::UnplacedQubit { virt: t })?;
+            let p0 = m
+                .phys_of(c0)
+                .ok_or(RouteError::UnplacedQubit { virt: c0 })?;
+            let p1 = m
+                .phys_of(c1)
+                .ok_or(RouteError::UnplacedQubit { virt: c1 })?;
+            let ok0 = m.topo().are_coupled(p0, pt);
+            let ok1 = m.topo().are_coupled(p1, pt);
+            if ok0 && ok1 {
+                return Ok(());
+            }
+            if attempt > 0 {
+                m.note_gather_retry();
+            }
+            if !ok0 {
+                self.route_pair(m, c0, t, true)?;
+                continue;
+            }
+            // c0 is in place: pick the goal cell for c1 — the
+            // target-adjacent cell nearest c1 that is not c0's —
+            // and walk next hops toward it, side-stepping t/c0.
+            let goal = m
+                .topo()
+                .neighbors(pt)
+                .into_iter()
+                .filter(|&nb| nb != p0)
+                .min_by_key(|&nb| (m.topo().distance(p1, nb), nb.0));
+            let Some(goal) = goal else {
+                // Degree-1 target (line end): plain routing, and let
+                // the next attempt repair whatever it displaced.
+                self.route_pair(m, c1, t, false)?;
+                continue;
+            };
+            // Walk cached next hops toward the goal while the path is
+            // clean; each hop strictly shrinks the table distance, so
+            // the walk terminates. Detouring *around* a blocked cell
+            // hop by hop loses badly on low-degree fabrics (it circles
+            // hexagon faces), so the moment the path runs into t/c0 we
+            // hand the remainder to the greedy bounded BFS instead.
+            let mut cur = p1;
+            while cur != goal {
+                let hop = m.topo().next_hop(cur, goal).expect("connected fabric");
+                if hop == pt || hop == p0 {
+                    break;
+                }
+                m.swap_cells(cur, hop);
+                cur = hop;
+            }
+            if cur != goal {
+                let blocked = [pt, p0];
+                let bfs_goal = |cell: PhysId| m.topo().are_coupled(cell, pt) && cell != p0;
+                if let Some(path) = bfs_to(m, cur, bfs_goal, &blocked, 4096) {
+                    for i in 0..path.len().saturating_sub(1) {
+                        m.swap_cells(path[i], path[i + 1]);
+                    }
+                } else {
+                    route_adjacent(m, c1, t)?;
+                }
+            }
+        }
+        m.note_gather_failure();
+        Ok(())
+    }
+}
+
+impl Router for LookaheadRouter {
+    fn kind(&self) -> RouterKind {
+        RouterKind::Lookahead
+    }
+
+    fn route_gate(
+        &mut self,
+        m: &mut Machine,
+        gate: &Gate<VirtId>,
+        window: &[Gate<VirtId>],
+    ) -> Result<(), RouteError> {
+        if gate.arity() < 2 {
+            return Ok(()); // nothing to route; don't touch the window
+        }
+        self.collect_pairs(window);
+        match gate {
+            Gate::X { .. } => Ok(()),
+            Gate::Cx { control, target } => self.route_pair(m, *control, *target, true),
+            Gate::Swap { a, b } => self.route_pair(m, *a, *b, true),
+            Gate::Ccx { c0, c1, target } => self.gather(m, *c0, *c1, *target),
+            Gate::Mcx { controls, target } => match controls.len() {
+                0 => Ok(()),
+                1 => self.route_pair(m, controls[0], *target, true),
+                _ => {
+                    self.gather(m, controls[0], controls[1], *target)?;
+                    for c in &controls[2..] {
+                        self.route_pair(m, *c, *target, false)?;
+                    }
+                    Ok(())
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use square_arch::{GridTopology, LineTopology, RingTopology};
+
+    fn machine(topo: Box<dyn square_arch::Topology>, router: RouterKind) -> Machine {
+        Machine::new(topo, MachineConfig::nisq().with_router(router))
+    }
+
+    #[test]
+    fn router_kind_parses_and_round_trips() {
+        for kind in RouterKind::ALL {
+            assert_eq!(RouterKind::parse(kind.cli_name()), Some(kind));
+            assert_eq!(
+                RouterKind::parse(&kind.cli_name().to_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(RouterKind::parse("sabre"), Some(RouterKind::Lookahead));
+        assert_eq!(RouterKind::parse("nope"), None);
+        assert!(RouterKind::Lookahead.wants_lookahead());
+        assert!(!RouterKind::Greedy.wants_lookahead());
+    }
+
+    #[test]
+    fn both_routers_make_distant_cnot_operands_adjacent() {
+        for kind in RouterKind::ALL {
+            let mut m = machine(Box::new(GridTopology::new(6, 6)), kind);
+            m.place_at(VirtId(0), PhysId(0)).unwrap();
+            m.place_at(VirtId(1), PhysId(35)).unwrap();
+            m.apply(&Gate::Cx {
+                control: VirtId(0),
+                target: VirtId(1),
+            })
+            .unwrap();
+            let p0 = m.phys_of(VirtId(0)).unwrap();
+            let p1 = m.phys_of(VirtId(1)).unwrap();
+            assert!(m.topo().are_coupled(p0, p1), "{kind}: not adjacent");
+            assert!(m.stats().swaps > 0, "{kind}: distance 10 needs swaps");
+        }
+    }
+
+    #[test]
+    fn both_routers_gather_toffolis_on_a_ring() {
+        for kind in RouterKind::ALL {
+            let mut m = machine(Box::new(RingTopology::new(12)), kind);
+            m.place_at(VirtId(0), PhysId(0)).unwrap();
+            m.place_at(VirtId(1), PhysId(6)).unwrap();
+            m.place_at(VirtId(2), PhysId(3)).unwrap();
+            m.apply(&Gate::Ccx {
+                c0: VirtId(0),
+                c1: VirtId(1),
+                target: VirtId(2),
+            })
+            .unwrap();
+            let pt = m.phys_of(VirtId(2)).unwrap();
+            for v in [VirtId(0), VirtId(1)] {
+                let p = m.phys_of(v).unwrap();
+                assert!(m.topo().are_coupled(p, pt), "{kind}: {v} not gathered");
+            }
+            assert_eq!(m.stats().gather_failures, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn lookahead_window_steers_toward_upcoming_gates() {
+        // Front: (0 ↔ 2) on a line, with 1 sitting between them at
+        // cell 2. Upcoming window says qubit 0 next talks to qubit 3
+        // at cell 4 — the scored route moves 0 rightward (toward both
+        // goals) rather than dragging 2 leftward.
+        let mut m = machine(Box::new(LineTopology::new(6)), RouterKind::Lookahead);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        m.place_at(VirtId(1), PhysId(2)).unwrap();
+        m.place_at(VirtId(2), PhysId(3)).unwrap();
+        m.place_at(VirtId(3), PhysId(5)).unwrap();
+        m.lookahead_mut().push(Gate::Cx {
+            control: VirtId(0),
+            target: VirtId(3),
+        });
+        m.apply(&Gate::Cx {
+            control: VirtId(0),
+            target: VirtId(2),
+        })
+        .unwrap();
+        let p0 = m.phys_of(VirtId(0)).unwrap();
+        let p2 = m.phys_of(VirtId(2)).unwrap();
+        assert!(m.topo().are_coupled(p0, p2));
+        assert!(
+            p0 > PhysId(0),
+            "qubit 0 moved toward the window's future partner"
+        );
+    }
+
+    #[test]
+    fn greedy_router_swap_chain_matches_historical_behaviour() {
+        // The exact scenario of the historical machine test: distance
+        // 4 on a 5×1 line → 3 swaps, control parked next to target.
+        let mut m = machine(Box::new(GridTopology::new(5, 1)), RouterKind::Greedy);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        m.place_at(VirtId(1), PhysId(4)).unwrap();
+        m.apply(&Gate::Cx {
+            control: VirtId(0),
+            target: VirtId(1),
+        })
+        .unwrap();
+        assert_eq!(m.stats().swaps, 3);
+        assert_eq!(m.phys_of(VirtId(0)), Some(PhysId(3)));
+    }
+}

@@ -15,7 +15,7 @@ use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use square_core::Policy;
+use square_core::{Policy, RouterKind};
 use square_qir::Program;
 use square_workloads::synthetic::{synthesize, synthesize_disciplined, SynthParams};
 
@@ -141,6 +141,8 @@ pub struct FuzzFailure {
     pub policy: Policy,
     /// Machine target of the failing cell.
     pub machine: MachineKind,
+    /// Swap-chain router of the failing cell.
+    pub router: RouterKind,
     /// True if the failing program came from the disciplined
     /// generator (the cross-policy differential half of the case).
     pub disciplined: bool,
@@ -152,18 +154,21 @@ impl fmt::Display for FuzzFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed {} [{}] {}/{} ({}): {}",
+            "seed {} [{}] {}/{}/{} ({}): {}",
             self.case.seed,
             self.case.spec(),
             self.policy.cli_name(),
             self.machine,
+            self.router.cli_name(),
             if self.disciplined { "clean" } else { "free" },
             self.error
         )
     }
 }
 
-/// Validates one program over the full `policy × machine` product.
+/// Validates one program over the full `policy × machine × router`
+/// product — every machine target ([`MachineKind::ALL`], heavy-hex
+/// and ring included) under every router the target routes with.
 /// With `cross_check`, the observable register (echoed inputs + the
 /// store-protected result; the scratch cell between them is
 /// legitimately policy-dependent) must also agree across every cell —
@@ -173,42 +178,50 @@ fn run_program(
     inputs: &[bool],
     cross_check: bool,
     stats: &mut CaseStats,
-) -> Result<(), (Policy, MachineKind, ValidationError)> {
+) -> Result<(), (Policy, MachineKind, RouterKind, ValidationError)> {
     let mut reference: Option<(Vec<bool>, bool)> = None;
-    for machine in MachineKind::BOTH {
+    for machine in MachineKind::ALL {
         for policy in Policy::ALL {
-            let v = validate(program, inputs, &machine.config(policy))
-                .map_err(|e| (policy, machine, e))?;
-            stats.cells += 1;
-            stats.gates += v.report.gates;
-            stats.swaps += v.report.swaps;
-            if !cross_check {
-                continue;
-            }
-            let echoed = v.outputs[..inputs.len()].to_vec();
-            let result = *v.outputs.last().expect("entry register is non-empty");
-            match &reference {
-                None => reference = Some((echoed, result)),
-                Some((ref_echo, ref_result)) => {
-                    if *ref_echo != echoed || *ref_result != result {
-                        // Name the first diverging bit and report *its*
-                        // two values (an echoed input, or the result).
-                        let (index, reference_value, cell_value) = ref_echo
-                            .iter()
-                            .zip(&echoed)
-                            .position(|(a, b)| a != b)
-                            .map(|i| (i, ref_echo[i], echoed[i]))
-                            .unwrap_or((v.outputs.len() - 1, *ref_result, result));
-                        let m = Mismatch::OutputDiff {
-                            stage: Stage::ReferenceSemantics,
-                            index,
-                            virtual_value: reference_value,
-                            other_value: cell_value,
-                            virt: v.report.entry_register[index],
-                            phys: None,
-                            journey: vec![],
-                        };
-                        return Err((policy, machine, ValidationError::Mismatch(Box::new(m))));
+            for &router in machine.routers() {
+                let v = validate(program, inputs, &machine.config_with(policy, router))
+                    .map_err(|e| (policy, machine, router, e))?;
+                stats.cells += 1;
+                stats.gates += v.report.gates;
+                stats.swaps += v.report.swaps;
+                if !cross_check {
+                    continue;
+                }
+                let echoed = v.outputs[..inputs.len()].to_vec();
+                let result = *v.outputs.last().expect("entry register is non-empty");
+                match &reference {
+                    None => reference = Some((echoed, result)),
+                    Some((ref_echo, ref_result)) => {
+                        if *ref_echo != echoed || *ref_result != result {
+                            // Name the first diverging bit and report
+                            // *its* two values (an echoed input, or
+                            // the result).
+                            let (index, reference_value, cell_value) = ref_echo
+                                .iter()
+                                .zip(&echoed)
+                                .position(|(a, b)| a != b)
+                                .map(|i| (i, ref_echo[i], echoed[i]))
+                                .unwrap_or((v.outputs.len() - 1, *ref_result, result));
+                            let m = Mismatch::OutputDiff {
+                                stage: Stage::ReferenceSemantics,
+                                index,
+                                virtual_value: reference_value,
+                                other_value: cell_value,
+                                virt: v.report.entry_register[index],
+                                phys: None,
+                                journey: vec![],
+                            };
+                            return Err((
+                                policy,
+                                machine,
+                                router,
+                                ValidationError::Mismatch(Box::new(m)),
+                            ));
+                        }
                     }
                 }
             }
@@ -232,11 +245,12 @@ fn run_program(
 pub fn run_case(case: &FuzzCase) -> Result<CaseStats, Box<FuzzFailure>> {
     let mut stats = CaseStats::default();
     for disciplined in [false, true] {
-        let fail = |policy, machine, error| {
+        let fail = |policy, machine, router, error| {
             Box::new(FuzzFailure {
                 case: case.clone(),
                 policy,
                 machine,
+                router,
                 disciplined,
                 error,
             })
@@ -252,6 +266,7 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseStats, Box<FuzzFailure>> {
                 return Err(fail(
                     Policy::Lazy,
                     MachineKind::Nisq,
+                    RouterKind::Greedy,
                     ValidationError::Compile(e.into()),
                 ))
             }
@@ -263,13 +278,14 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseStats, Box<FuzzFailure>> {
             return Err(fail(
                 Policy::Lazy,
                 MachineKind::Nisq,
+                RouterKind::Greedy,
                 ValidationError::RoundTrip(e.to_string()),
             ));
         }
-        if let Err((policy, machine, error)) =
+        if let Err((policy, machine, router, error)) =
             run_program(&program, &case.inputs, disciplined, &mut stats)
         {
-            return Err(fail(policy, machine, error));
+            return Err(fail(policy, machine, router, error));
         }
     }
     Ok(stats)
@@ -385,7 +401,9 @@ mod tests {
         for seed in 0..4u64 {
             let case = FuzzCase::from_seed(seed);
             let stats = run_case(&case).unwrap_or_else(|f| panic!("{f}"));
-            assert_eq!(stats.cells, 16, "4 policies × 2 machines × 2 modes");
+            // 4 policies × (3 swap-chain machines × 2 routers + ft) ×
+            // 2 generation modes.
+            assert_eq!(stats.cells, 56, "full machine × router product");
             assert!(stats.gates > 0);
         }
     }

@@ -17,8 +17,9 @@
 //!
 //! On top sits the seeded **pipeline fuzzer** ([`fuzz`]): one
 //! meta-seed derives a random modular program and input pattern;
-//! every `policy × {nisq, ft}` cell must validate and agree on the
-//! observable output. Failing cases shrink greedily to a one-line
+//! every `policy × machine × router` cell — lattice, FT, heavy-hex,
+//! and ring targets, greedy and lookahead routers — must validate and
+//! agree on the observable output. Failing cases shrink greedily to a one-line
 //! reproducer (driven by the `fuzz_pipeline` binary in
 //! `square-bench`).
 
@@ -31,5 +32,5 @@ pub mod validate;
 pub use fuzz::{run_case, shrink, CaseStats, FuzzCase, FuzzFailure};
 pub use validate::{
     check_physical, check_reference, default_inputs, replay_virtual, validate, validate_benchmark,
-    MachineKind, Mismatch, Stage, Validated, ValidationError,
+    validate_benchmark_with, MachineKind, Mismatch, Stage, Validated, ValidationError,
 };

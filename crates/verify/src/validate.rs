@@ -30,7 +30,8 @@ use std::fmt;
 
 use square_arch::{CommModel, PhysId};
 use square_core::{
-    compile_with_inputs, CompileError, CompileReport, CompilerConfig, Policy, ReclaimDecision,
+    compile_with_inputs, ArchSpec, CompileError, CompileReport, CompilerConfig, Policy,
+    ReclaimDecision, RouterKind,
 };
 use square_qir::sem::{RecordedDecisions, SemError};
 use square_qir::{lower_mcx, Gate, Program, TraceOp, VirtId};
@@ -412,24 +413,53 @@ pub fn validate(
     })
 }
 
-/// The two auto-sized machine targets of the sweep matrix.
+/// The auto-sized machine targets of the validation matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MachineKind {
     /// Auto-sized NISQ lattice, swap chains.
     Nisq,
     /// Auto-sized FT tile grid, braiding.
     Ft,
+    /// Auto-sized IBM-style heavy-hex lattice, swap chains.
+    HeavyHex,
+    /// Auto-sized ring, swap chains.
+    Ring,
 }
 
 impl MachineKind {
-    /// Both targets.
+    /// The historical pair of targets (PR 3's matrix).
     pub const BOTH: [MachineKind; 2] = [MachineKind::Nisq, MachineKind::Ft];
+
+    /// Every target, including the graph-backed topologies.
+    pub const ALL: [MachineKind; 4] = [
+        MachineKind::Nisq,
+        MachineKind::Ft,
+        MachineKind::HeavyHex,
+        MachineKind::Ring,
+    ];
 
     /// The compiler configuration for `policy` on this target.
     pub fn config(&self, policy: Policy) -> CompilerConfig {
         match self {
             MachineKind::Nisq => CompilerConfig::nisq(policy),
             MachineKind::Ft => CompilerConfig::ft(policy),
+            MachineKind::HeavyHex => CompilerConfig::nisq(policy).with_arch(ArchSpec::AutoHeavyHex),
+            MachineKind::Ring => CompilerConfig::nisq(policy).with_arch(ArchSpec::AutoRing),
+        }
+    }
+
+    /// [`MachineKind::config`] with an explicit swap-chain router.
+    pub fn config_with(&self, policy: Policy, router: RouterKind) -> CompilerConfig {
+        self.config(policy).with_router(router)
+    }
+
+    /// The routers worth validating on this target: both on
+    /// swap-chain machines, greedy alone under braiding (the router
+    /// never runs there, so the cells would be identical).
+    pub fn routers(&self) -> &'static [RouterKind] {
+        match self {
+            MachineKind::Ft => &[RouterKind::Greedy],
+            _ => &RouterKind::ALL,
         }
     }
 }
@@ -439,6 +469,8 @@ impl fmt::Display for MachineKind {
         f.write_str(match self {
             MachineKind::Nisq => "nisq",
             MachineKind::Ft => "ft",
+            MachineKind::HeavyHex => "heavyhex",
+            MachineKind::Ring => "ring",
         })
     }
 }
@@ -460,8 +492,26 @@ pub fn validate_benchmark(
     policy: Policy,
     machine: MachineKind,
 ) -> Result<Validated, ValidationError> {
+    validate_benchmark_with(bench, policy, machine, RouterKind::Greedy)
+}
+
+/// [`validate_benchmark`] with an explicit swap-chain router.
+///
+/// # Errors
+///
+/// See [`ValidationError`].
+pub fn validate_benchmark_with(
+    bench: Benchmark,
+    policy: Policy,
+    machine: MachineKind,
+    router: RouterKind,
+) -> Result<Validated, ValidationError> {
     let program = build(bench).map_err(CompileError::from)?;
-    validate(&program, &default_inputs(bench), &machine.config(policy))
+    validate(
+        &program,
+        &default_inputs(bench),
+        &machine.config_with(policy, router),
+    )
 }
 
 /// A decision summary useful in logs: how many frames reclaimed.

@@ -1,0 +1,85 @@
+//! Swap-count quality gates for the lookahead router.
+//!
+//! The lookahead router's reason to exist is fewer routing swaps than
+//! the greedy per-gate swapper. This suite pins that claim on the
+//! catalog NISQ subset (auto-sized lattice, SQUARE policy — the
+//! paper's headline configuration):
+//!
+//! * per benchmark, lookahead inserts at most [`PER_BENCH_TOLERANCE`]
+//!   more swaps than greedy (measured slack: the worst benchmark is
+//!   RD53 at exactly 1.0× — the tolerance absorbs future parameter
+//!   tuning, not a real regression);
+//! * across the subset the geometric-mean swap ratio must show a
+//!   strict improvement;
+//! * a fixed golden for MUL32 (the `#[ignore]`d release-mode test)
+//!   pins both routers' exact swap counts, so any routing change —
+//!   either router, any layer below — is caught as a hard diff.
+
+use square_repro::bench::ablation::{router_compare, swap_ratio_geomean};
+use square_repro::bench::SweepArch;
+use square_repro::core::RouterKind;
+use square_repro::workloads::Benchmark;
+
+/// Per-benchmark slack on `lookahead / greedy` swap counts. The
+/// measured worst case on the NISQ subset is 1.000 (RD53); 5% of
+/// headroom keeps the gate meaningful while tolerating future window
+/// or weight tuning.
+const PER_BENCH_TOLERANCE: f64 = 1.05;
+
+#[test]
+fn lookahead_swaps_at_most_tolerance_over_greedy_per_nisq_benchmark() {
+    let cells = router_compare(&Benchmark::NISQ, &[SweepArch::NisqAuto]);
+    let mut checked = 0usize;
+    for greedy in cells.iter().filter(|c| c.router == RouterKind::Greedy) {
+        let look = cells
+            .iter()
+            .find(|c| c.router == RouterKind::Lookahead && c.benchmark == greedy.benchmark)
+            .unwrap_or_else(|| panic!("{}: no lookahead cell", greedy.benchmark));
+        assert_eq!(
+            greedy.gates, look.gates,
+            "{}: routers must not change program gates",
+            greedy.benchmark
+        );
+        assert!(
+            (look.swaps as f64) <= (greedy.swaps as f64) * PER_BENCH_TOLERANCE,
+            "{}: lookahead {} swaps vs greedy {} (tolerance {PER_BENCH_TOLERANCE})",
+            greedy.benchmark,
+            look.swaps,
+            greedy.swaps
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, Benchmark::NISQ.len());
+}
+
+#[test]
+fn lookahead_reduces_nisq_catalog_swap_geomean() {
+    let cells = router_compare(&Benchmark::NISQ, &[SweepArch::NisqAuto]);
+    let geo = swap_ratio_geomean(&cells).expect("nonzero greedy swaps on the lattice");
+    // Measured ≈ 0.78 (a 22% reduction); gate at a strict improvement
+    // with margin for parameter drift.
+    assert!(
+        geo < 0.95,
+        "lookahead no longer reduces swaps: geomean ratio {geo:.3}"
+    );
+}
+
+/// Fixed-seed golden for one MUL benchmark: the exact swap counts of
+/// both routers on MUL32 (SQUARE policy, auto lattice). MUL32's
+/// builder is fully deterministic, so these are stable constants —
+/// refresh them only after an *intentional* router change, together
+/// with `BENCH_square.json`.
+#[test]
+#[ignore = "MUL32 compile is release-speed; run in release (CI routing job)"]
+fn mul32_router_swap_golden() {
+    let cells = router_compare(&[Benchmark::Mul32], &[SweepArch::NisqAuto]);
+    let swaps = |kind: RouterKind| {
+        cells
+            .iter()
+            .find(|c| c.router == kind)
+            .map(|c| c.swaps)
+            .expect("cell compiled")
+    };
+    assert_eq!(swaps(RouterKind::Greedy), 91_753, "greedy drifted");
+    assert_eq!(swaps(RouterKind::Lookahead), 63_519, "lookahead drifted");
+}

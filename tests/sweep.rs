@@ -5,7 +5,7 @@
 //! reserves garbage, SQUARE reclaims).
 
 use square_repro::bench::{run_sweep, SweepArch, SweepSpec};
-use square_repro::core::Policy;
+use square_repro::core::{Policy, RouterKind};
 use square_repro::workloads::Benchmark;
 
 fn small_spec() -> SweepSpec {
@@ -13,6 +13,7 @@ fn small_spec() -> SweepSpec {
         benchmarks: vec![Benchmark::Rd53, Benchmark::Adder4],
         policies: vec![Policy::Lazy, Policy::Square],
         archs: vec![SweepArch::NisqAuto],
+        routers: vec![RouterKind::Greedy],
     }
 }
 
@@ -21,7 +22,7 @@ fn small_sweep_returns_a_full_matrix_with_positive_aqv() {
     let spec = small_spec();
     let matrix = run_sweep(&spec);
     assert_eq!(matrix.cells.len(), 4, "2 benchmarks × 2 policies");
-    for (bench, policy, arch) in spec.cells() {
+    for (bench, policy, arch, _router) in spec.cells() {
         let cell = matrix
             .get(bench, policy, arch)
             .unwrap_or_else(|| panic!("missing cell {bench}/{policy}/{arch}"));

@@ -5,7 +5,8 @@
 //!
 //! The quick test covers the NISQ set on both machine targets in
 //! debug builds. The full 17-benchmark × 4-policy × {nisq, ft} matrix
-//! (136 cells, some with multi-million-gate schedules) is `#[ignore]`d
+//! per router (204 cells — greedy + lookahead on swap-chain targets,
+//! some with multi-million-gate schedules) is `#[ignore]`d
 //! here and run in release by CI's translation-validation job:
 //!
 //! ```sh
@@ -13,29 +14,42 @@
 //! ```
 
 use rayon::prelude::*;
-use square_repro::core::Policy;
-use square_repro::verify::{validate_benchmark, MachineKind, Mismatch, ValidationError};
+use square_repro::core::{Policy, RouterKind};
+use square_repro::verify::{
+    validate_benchmark, validate_benchmark_with, MachineKind, Mismatch, ValidationError,
+};
 use square_repro::workloads::Benchmark;
 
-fn cells(benchmarks: &[Benchmark]) -> Vec<(Benchmark, Policy, MachineKind)> {
+fn cells(
+    benchmarks: &[Benchmark],
+    machines: &[MachineKind],
+) -> Vec<(Benchmark, Policy, MachineKind, RouterKind)> {
     let mut out = Vec::new();
     for &bench in benchmarks {
-        for machine in MachineKind::BOTH {
+        for &machine in machines {
             for policy in Policy::ALL {
-                out.push((bench, policy, machine));
+                for &router in machine.routers() {
+                    out.push((bench, policy, machine, router));
+                }
             }
         }
     }
     out
 }
 
-fn validate_cells(benchmarks: &[Benchmark]) {
-    let failures: Vec<String> = cells(benchmarks)
+fn validate_cells(benchmarks: &[Benchmark], machines: &[MachineKind]) {
+    let failures: Vec<String> = cells(benchmarks, machines)
         .into_par_iter()
-        .map(|(bench, policy, machine)| {
-            validate_benchmark(bench, policy, machine)
+        .map(|(bench, policy, machine, router)| {
+            validate_benchmark_with(bench, policy, machine, router)
                 .err()
-                .map(|e| format!("{bench}/{}/{machine}: {e}", policy.cli_name()))
+                .map(|e| {
+                    format!(
+                        "{bench}/{}/{machine}/{}: {e}",
+                        policy.cli_name(),
+                        router.cli_name()
+                    )
+                })
         })
         .collect::<Vec<Option<String>>>()
         .into_iter()
@@ -51,13 +65,36 @@ fn validate_cells(benchmarks: &[Benchmark]) {
 
 #[test]
 fn nisq_benchmark_cells_validate() {
-    validate_cells(&Benchmark::NISQ);
+    // The historical PR 3 matrix: both auto targets, greedy-routed
+    // cells plus the lookahead cells the router axis added.
+    validate_cells(&Benchmark::NISQ, &MachineKind::BOTH);
 }
 
 #[test]
-#[ignore = "full 136-cell matrix; run in release (CI translation-validation job)"]
+fn new_topology_cells_validate_quick() {
+    // Heavy-hex and ring through the full three-layer oracle stack,
+    // both routers, on a fast benchmark subset (kept small so the
+    // debug-mode tier-1 run stays quick; the full NISQ set runs in
+    // release below).
+    validate_cells(
+        &[Benchmark::Rd53, Benchmark::Adder4, Benchmark::BelleS],
+        &[MachineKind::HeavyHex, MachineKind::Ring],
+    );
+}
+
+#[test]
+#[ignore = "full NISQ set × {heavyhex, ring} × routers; run in release (CI routing job)"]
+fn new_topology_nisq_set_validates() {
+    validate_cells(
+        &Benchmark::NISQ,
+        &[MachineKind::HeavyHex, MachineKind::Ring],
+    );
+}
+
+#[test]
+#[ignore = "full 204-cell matrix; run in release (CI translation-validation job)"]
 fn full_sweep_matrix_validates() {
-    validate_cells(&Benchmark::ALL);
+    validate_cells(&Benchmark::ALL, &MachineKind::BOTH);
 }
 
 #[test]
