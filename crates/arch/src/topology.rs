@@ -30,7 +30,13 @@ impl fmt::Display for PhysId {
 ///
 /// Distances are hop counts on the coupling graph; coordinates give
 /// the geometric embedding used by locality scores and braid routing.
-pub trait Topology {
+///
+/// `Send + Sync` is a supertrait so built topologies — including the
+/// graph-backed layouts whose BFS distance/next-hop tables build
+/// lazily behind `OnceLock` — can be shared across threads via
+/// `Arc<dyn Topology>`: a compile server builds each machine's tables
+/// once and every concurrent request reuses them.
+pub trait Topology: Send + Sync {
     /// Short name for reports ("lattice", "full", "line").
     fn name(&self) -> &str;
 

@@ -10,7 +10,9 @@
 //! and garbage sweeping (for lazy children) without any special
 //! casing.
 
-use square_arch::CommModel;
+use std::sync::Arc;
+
+use square_arch::{CommModel, Topology};
 use square_qir::{
     analysis::ProgramStats, lower_mcx, trace::invert_slice_into, Gate, ModuleId, Operand, Program,
     Stmt, TraceOp, VirtId,
@@ -53,17 +55,99 @@ pub fn compile_with_inputs(
     inputs: &[bool],
     config: &CompilerConfig,
 ) -> Result<CompileReport, CompileError> {
-    square_qir::validate::validate_program(program)?;
-    let lowered = lower_mcx(program);
-    let pstats = ProgramStats::analyze(&lowered);
-    // Per-module cost terms (custom-uncompute totals, block suffix
-    // sums) memoized up front — the per-frame hot path below never
-    // re-walks statement lists. Modules are mutually independent, so
-    // the table is built in parallel.
-    let costs = ModuleCostTable::build(&lowered, &pstats);
-    let entry_stats = pstats.module(lowered.entry());
-    let capacity_hint = entry_stats.ancilla_transitive as usize;
-    let topo = config.arch.build(capacity_hint);
+    let prepared = PreparedProgram::new(program)?;
+    compile_prepared(&prepared, inputs, config)
+}
+
+/// The reusable compile prefix of one program: validated, MCX-lowered,
+/// analyzed, and cost-tabled.
+///
+/// Every field is a pure, deterministic function of the input program,
+/// so the artifacts can be computed once and shared across any number
+/// of compiles — this is what a long-running compile service lifts
+/// into a content-hash-keyed cross-request cache (the
+/// [`ModuleCostTable`] build in particular kills the dominant
+/// per-request analysis cost on repeated programs).
+#[derive(Debug, Clone)]
+pub struct PreparedProgram {
+    lowered: Program,
+    pstats: ProgramStats,
+    costs: ModuleCostTable,
+    capacity_hint: usize,
+}
+
+impl PreparedProgram {
+    /// Validates `program` and builds every compile-prefix artifact.
+    ///
+    /// # Errors
+    ///
+    /// Program validation errors ([`CompileError::Qir`]).
+    pub fn new(program: &Program) -> Result<Self, CompileError> {
+        square_qir::validate::validate_program(program)?;
+        let lowered = lower_mcx(program);
+        let pstats = ProgramStats::analyze(&lowered);
+        // Per-module cost terms (custom-uncompute totals, block suffix
+        // sums) memoized up front — the per-frame hot path never
+        // re-walks statement lists. Modules are mutually independent,
+        // so the table is built in parallel.
+        let costs = ModuleCostTable::build(&lowered, &pstats);
+        let capacity_hint = pstats.module(lowered.entry()).ancilla_transitive as usize;
+        Ok(PreparedProgram {
+            lowered,
+            pstats,
+            costs,
+            capacity_hint,
+        })
+    }
+
+    /// The MCX-lowered program the executor runs.
+    pub fn lowered(&self) -> &Program {
+        &self.lowered
+    }
+
+    /// Worst-case simultaneous ancilla footprint of the entry module —
+    /// the hint `Auto*` architectures size machines from.
+    pub fn capacity_hint(&self) -> usize {
+        self.capacity_hint
+    }
+
+    /// Per-module static analysis of the lowered program.
+    pub fn stats(&self) -> &ProgramStats {
+        &self.pstats
+    }
+}
+
+/// Compiles from pre-built prefix artifacts, constructing a fresh
+/// topology from `config.arch`.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_prepared(
+    prepared: &PreparedProgram,
+    inputs: &[bool],
+    config: &CompilerConfig,
+) -> Result<CompileReport, CompileError> {
+    let topo: Arc<dyn Topology> = Arc::from(config.arch.build(prepared.capacity_hint));
+    compile_prepared_on(prepared, inputs, config, topo)
+}
+
+/// Compiles from pre-built prefix artifacts onto a *shared* topology.
+/// The topology must match `config.arch` (callers that cache
+/// topologies key them by the arch spec plus the capacity hint); it is
+/// never mutated, so any number of concurrent compiles may hold the
+/// same `Arc` and reuse its lazily-built distance/next-hop tables.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_prepared_on(
+    prepared: &PreparedProgram,
+    inputs: &[bool],
+    config: &CompilerConfig,
+    topo: Arc<dyn Topology>,
+) -> Result<CompileReport, CompileError> {
+    let lowered = &prepared.lowered;
     // Braiding never consults the swap-chain router: normalize the
     // recorded selection to greedy so reports cannot claim a lookahead
     // router that never ran.
@@ -71,7 +155,7 @@ pub fn compile_with_inputs(
         CommModel::SwapChains => config.router,
         CommModel::Braiding => RouterKind::Greedy,
     };
-    let machine = Machine::new(
+    let machine = Machine::with_shared(
         topo,
         MachineConfig {
             comm: config.comm,
@@ -81,9 +165,9 @@ pub fn compile_with_inputs(
     );
     let heap = AncillaHeap::with_capacity(machine.qubit_count());
     let mut exec = Exec {
-        program: &lowered,
-        pstats,
-        costs,
+        program: lowered,
+        pstats: &prepared.pstats,
+        costs: &prepared.costs,
         cer: CerEngine::new(config.cer),
         config,
         machine,
@@ -145,9 +229,10 @@ enum BlockKind {
 
 struct Exec<'p> {
     program: &'p Program,
-    pstats: ProgramStats,
-    /// Memoized per-module static cost terms (see [`ModuleCostTable`]).
-    costs: ModuleCostTable,
+    pstats: &'p ProgramStats,
+    /// Memoized per-module static cost terms (see [`ModuleCostTable`]),
+    /// borrowed so a service can share one table across requests.
+    costs: &'p ModuleCostTable,
     /// Incremental CER evaluator (decision memo, invalidated only at
     /// allocation events).
     cer: CerEngine,

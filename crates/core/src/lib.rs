@@ -47,7 +47,9 @@ mod error;
 pub use cer::{CerCacheStats, CerEngine, ModuleCostTable};
 pub use config::{ArchSpec, CerParams, CompilerConfig, LaaWeights};
 pub use error::CompileError;
-pub use executor::{compile, compile_with_inputs};
+pub use executor::{
+    compile, compile_prepared, compile_prepared_on, compile_with_inputs, PreparedProgram,
+};
 pub use heap::{AncillaHeap, HeapError, HeapHandle};
 pub use policy::Policy;
 pub use report::{CompileReport, ReclaimDecision};

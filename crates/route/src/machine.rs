@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use square_arch::{CommModel, PhysId, Topology};
 use square_qir::{Gate, VirtId};
@@ -190,7 +191,10 @@ pub struct RouteReport {
 
 /// A machine being scheduled onto: topology + placement + timeline.
 pub struct Machine {
-    topo: Box<dyn Topology>,
+    /// Shared so a long-running compile service can hand many
+    /// concurrent machines the same topology (and its lazily-built
+    /// distance/next-hop tables) without rebuilding per compile.
+    topo: Arc<dyn Topology>,
     comm: CommModel,
     /// Swap-chain router; parked in an `Option` so it can be taken
     /// out while routing borrows the machine mutably.
@@ -231,6 +235,14 @@ impl fmt::Debug for Machine {
 impl Machine {
     /// Creates a machine over `topo` with the given configuration.
     pub fn new(topo: Box<dyn Topology>, config: MachineConfig) -> Self {
+        Self::with_shared(Arc::from(topo), config)
+    }
+
+    /// Creates a machine over a *shared* topology: several machines
+    /// (concurrent compiles) may hold the same `Arc`, reusing its
+    /// cached distance/next-hop tables. The machine never mutates the
+    /// topology.
+    pub fn with_shared(topo: Arc<dyn Topology>, config: MachineConfig) -> Self {
         let n = topo.qubit_count();
         Machine {
             timeline: Timeline::new(n),

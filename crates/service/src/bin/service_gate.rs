@@ -1,0 +1,135 @@
+//! `service_gate` — record and check the service latency baseline.
+//!
+//! ```text
+//! service_gate record --out BENCH_squared.json [--samples N] [--corpus DIR]
+//! service_gate check --baseline BENCH_squared.json [--samples N]
+//!                    [--tolerance 0.15] [--corpus DIR]
+//! ```
+//!
+//! `record` measures per-program request latency through an
+//! in-process [`CompileService`](square_service::CompileService)
+//! (report cache flushed per sample, prefix caches warm — see
+//! `square_service::gate`) and writes the calibration-normalized
+//! baseline JSON. `check` re-measures and gates: fingerprint drift or
+//! a normalized geomean latency regression beyond the tolerance fails
+//! with exit code 1. Progress and the gate table go to stderr; only
+//! `record --out -` writes (the baseline JSON) to stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use square_service::gate;
+
+const USAGE: &str = "usage: service_gate record --out FILE [--samples N] [--corpus DIR]\n\
+       service_gate check --baseline FILE [--samples N] [--tolerance 0.15] [--corpus DIR]";
+
+const DEFAULT_SAMPLES: usize = 5;
+const DEFAULT_TOLERANCE: f64 = 0.15;
+
+struct Options {
+    out: Option<String>,
+    baseline: Option<PathBuf>,
+    samples: usize,
+    tolerance: f64,
+    corpus: PathBuf,
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    let mut it = args.iter();
+    let mode = it
+        .next()
+        .cloned()
+        .ok_or_else(|| "missing mode: record or check".to_string())?;
+    if mode != "record" && mode != "check" {
+        return Err(format!("unknown mode `{mode}` (expected record or check)"));
+    }
+    let mut opts = Options {
+        out: None,
+        baseline: None,
+        samples: DEFAULT_SAMPLES,
+        tolerance: DEFAULT_TOLERANCE,
+        corpus: default_corpus_dir(),
+    };
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = Some(value(arg)?),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value(arg)?)),
+            "--samples" => {
+                opts.samples = value(arg)?
+                    .parse()
+                    .map_err(|_| "--samples: not a number".to_string())?;
+            }
+            "--tolerance" => {
+                opts.tolerance = value(arg)?
+                    .parse()
+                    .map_err(|_| "--tolerance: not a number".to_string())?;
+            }
+            "--corpus" => opts.corpus = PathBuf::from(value(arg)?),
+            flag => return Err(format!("unknown flag `{flag}`")),
+        }
+    }
+    match mode.as_str() {
+        "record" if opts.out.is_none() => Err("record needs --out FILE".to_string()),
+        "check" if opts.baseline.is_none() => Err("check needs --baseline FILE".to_string()),
+        _ => Ok((mode, opts)),
+    }
+}
+
+/// `examples/sq` next to the workspace root, resolved from the binary's
+/// manifest so CI and local runs agree.
+fn default_corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/sq")
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, opts) = parse_args(&args).map_err(|e| format!("{e}\n{USAGE}"))?;
+    let corpus = gate::default_corpus(&opts.corpus)?;
+    eprintln!(
+        "service_gate: {} programs, {} samples each",
+        corpus.len(),
+        opts.samples
+    );
+    let current = gate::measure(&corpus, opts.samples, |line| {
+        eprintln!("service_gate: {line}")
+    })?;
+    match mode.as_str() {
+        "record" => {
+            let text =
+                serde_json::to_string_pretty(&current).map_err(|e| format!("serialize: {e}"))?;
+            let out = opts.out.expect("validated by parse_args");
+            if out == "-" {
+                println!("{text}");
+            } else {
+                std::fs::write(&out, format!("{text}\n")).map_err(|e| format!("{out}: {e}"))?;
+                eprintln!("service_gate: wrote {out}");
+            }
+            Ok(true)
+        }
+        _ => {
+            let path = opts.baseline.expect("validated by parse_args");
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let baseline = gate::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            let report = gate::gate(&baseline, &current, opts.tolerance);
+            eprint!("{}", report.render());
+            Ok(report.ok())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("service_gate: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

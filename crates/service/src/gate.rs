@@ -1,0 +1,571 @@
+//! The service latency baseline and regression gate.
+//!
+//! Mirrors `square_bench::baseline` for the service path: per-program
+//! **request latency** through a live [`CompileService`] (p50/p99/min
+//! nanoseconds), normalized by the same fixed calibration workload so
+//! baselines recorded on one machine gate runs on another. Each cell
+//! also pins the deterministic circuit fingerprint (gates, swaps,
+//! depth, qubits, aqv) pulled from the served report — fingerprint
+//! drift through the service path is always a failure, exactly like
+//! the compile-time gate.
+//!
+//! Latency samples are taken with the finished-report cache flushed
+//! before every request (each sample pays a real compile) while the
+//! program / prepared / topology caches stay warm — the steady state
+//! of a long-running server under novel cells. An informational
+//! warm-cache throughput figure is also recorded but never gated: it
+//! is dominated by scheduler noise on shared CI runners.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+use square_bench::SweepArch;
+use square_core::{Policy, RouterKind};
+use square_workloads::{sq_source, Benchmark};
+
+use crate::service::{CompileRequest, CompileService, ServiceConfig};
+
+/// Bump when the baseline JSON shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Catalog programs included in the default gate corpus alongside the
+/// checked-in `.sq` examples: small, fast benchmarks spanning the
+/// arithmetic / oracle / modular-exponentiation families.
+pub const CATALOG_PROGRAMS: [Benchmark; 3] =
+    [Benchmark::Rd53, Benchmark::Adder4, Benchmark::Modexp];
+
+/// One measured program: latency distribution + circuit fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceCell {
+    /// Corpus name (`adder` for `adder.sq`, `catalog:RD53` for
+    /// catalog programs).
+    pub program: String,
+    /// Median request latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Fastest observed request, nanoseconds.
+    pub min_ns: u64,
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Fingerprint: program gates.
+    pub gates: u64,
+    /// Fingerprint: routing swaps.
+    pub swaps: u64,
+    /// Fingerprint: schedule depth.
+    pub depth: u64,
+    /// Fingerprint: physical qubits touched.
+    pub qubits: u64,
+    /// Fingerprint: active quantum volume.
+    pub aqv: u64,
+}
+
+impl ServiceCell {
+    fn fingerprint(&self) -> (u64, u64, u64, u64, u64) {
+        (self.gates, self.swaps, self.depth, self.qubits, self.aqv)
+    }
+}
+
+impl Serialize for ServiceCell {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("program", Value::String(self.program.clone())),
+            ("p50_ns", Value::UInt(self.p50_ns)),
+            ("p99_ns", Value::UInt(self.p99_ns)),
+            ("min_ns", Value::UInt(self.min_ns)),
+            ("samples", Value::UInt(self.samples as u64)),
+            ("gates", Value::UInt(self.gates)),
+            ("swaps", Value::UInt(self.swaps)),
+            ("depth", Value::UInt(self.depth)),
+            ("qubits", Value::UInt(self.qubits)),
+            ("aqv", Value::UInt(self.aqv)),
+        ])
+    }
+}
+
+/// A recorded service baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBaseline {
+    /// Schema marker ([`SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Median calibration-workload runtime on the recording machine,
+    /// nanoseconds (`square_bench::baseline::calibrate`).
+    pub calibration_ns: u64,
+    /// Informational warm-cache throughput (requests/second over the
+    /// whole corpus from 8 in-process clients). Recorded, rendered,
+    /// never gated.
+    pub throughput_rps: f64,
+    /// Per-program latency cells.
+    pub cells: Vec<ServiceCell>,
+}
+
+impl ServiceBaseline {
+    /// Looks up one program's cell.
+    pub fn get(&self, program: &str) -> Option<&ServiceCell> {
+        self.cells.iter().find(|c| c.program == program)
+    }
+}
+
+impl Serialize for ServiceBaseline {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("schema", Value::UInt(self.schema)),
+            ("calibration_ns", Value::UInt(self.calibration_ns)),
+            ("throughput_rps", Value::Float(self.throughput_rps)),
+            ("cells", Value::seq(&self.cells)),
+        ])
+    }
+}
+
+fn field_u64(value: &Value, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field `{key}`"))
+}
+
+/// Parses a baseline JSON document.
+///
+/// # Errors
+///
+/// A message naming the missing/mistyped field, or a schema mismatch
+/// (refresh the baseline with `service_gate record`).
+pub fn parse(text: &str) -> Result<ServiceBaseline, String> {
+    let root = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = field_u64(&root, "schema")?;
+    if schema != SCHEMA_VERSION {
+        return Err(format!(
+            "schema {schema} != supported {SCHEMA_VERSION}; refresh the baseline"
+        ));
+    }
+    let calibration_ns = field_u64(&root, "calibration_ns")?;
+    let throughput_rps = root
+        .get("throughput_rps")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| "missing numeric field `throughput_rps`".to_string())?;
+    let cells = root
+        .get("cells")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| "missing array field `cells`".to_string())?
+        .iter()
+        .map(|cell| {
+            Ok(ServiceCell {
+                program: cell
+                    .get("program")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| "missing string field `program`".to_string())?
+                    .to_string(),
+                p50_ns: field_u64(cell, "p50_ns")?,
+                p99_ns: field_u64(cell, "p99_ns")?,
+                min_ns: field_u64(cell, "min_ns")?,
+                samples: field_u64(cell, "samples")? as usize,
+                gates: field_u64(cell, "gates")?,
+                swaps: field_u64(cell, "swaps")?,
+                depth: field_u64(cell, "depth")?,
+                qubits: field_u64(cell, "qubits")?,
+                aqv: field_u64(cell, "aqv")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ServiceBaseline {
+        schema,
+        calibration_ns,
+        throughput_rps,
+        cells,
+    })
+}
+
+/// The default gate corpus: every `.sq` file in `corpus_dir` (sorted
+/// by name) plus [`CATALOG_PROGRAMS`] rendered from the workload
+/// catalog. Returns `(name, source)` pairs.
+///
+/// # Errors
+///
+/// I/O failures reading the corpus directory or a catalog program
+/// that fails to render.
+pub fn default_corpus(corpus_dir: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut entries = Vec::new();
+    let mut files: Vec<_> = std::fs::read_dir(corpus_dir)
+        .map_err(|e| format!("{}: {e}", corpus_dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sq"))
+        .collect();
+    files.sort();
+    for path in files {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        entries.push((name, source));
+    }
+    for bench in CATALOG_PROGRAMS {
+        let source = sq_source(bench).map_err(|e| format!("{}: {e}", bench.name()))?;
+        entries.push((format!("catalog:{}", bench.name()), source));
+    }
+    Ok(entries)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn report_field(report: &Value, key: &str) -> Result<u64, String> {
+    report
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("served report missing `{key}`"))
+}
+
+/// Measures the corpus through a fresh [`CompileService`]: per
+/// program, one warm-up request (fills the prefix caches and pins the
+/// fingerprint), then `samples` timed requests with the report cache
+/// flushed before each — every sample pays a real compile over warm
+/// prefix caches. A warm-cache throughput phase (8 in-process client
+/// threads × the whole corpus) follows, recorded informally.
+///
+/// # Errors
+///
+/// Any request that fails to parse or compile, or a served report
+/// missing a fingerprint field.
+pub fn measure(
+    corpus: &[(String, String)],
+    samples: usize,
+    mut progress: impl FnMut(&str),
+) -> Result<ServiceBaseline, String> {
+    let samples = samples.max(1);
+    let calibration_ns = square_bench::baseline::calibrate();
+    let service = Arc::new(CompileService::new(ServiceConfig::default()));
+    let mut cells = Vec::new();
+    for (name, source) in corpus {
+        let req = CompileRequest {
+            source: source.clone(),
+            policy: Policy::Square,
+            arch: SweepArch::NisqAuto,
+            router: RouterKind::Greedy,
+        };
+        let warm = service
+            .compile_source(&req)
+            .map_err(|e| format!("{name}: {e}"))?;
+        // Small programs compile in microseconds — far below scheduler
+        // noise. Batch enough iterations per timed window (criterion
+        // style) that every sample spans ≥ 1ms, and report the
+        // per-iteration average; `flush_reports` inside the loop keeps
+        // each iteration an honest compile and is itself part of the
+        // measured request path.
+        service.flush_reports();
+        let est_start = Instant::now();
+        let est = service
+            .compile_source(&req)
+            .map_err(|e| format!("{name}: {e}"))?;
+        std::hint::black_box(est);
+        let est_ns = (est_start.elapsed().as_nanos() as u64).max(1);
+        let iters = (1_000_000 / est_ns).clamp(1, 256) as u32;
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                service.flush_reports();
+                let out = service
+                    .compile_source(&req)
+                    .map_err(|e| format!("{name}: {e}"))?;
+                std::hint::black_box(out);
+            }
+            times.push(start.elapsed().as_nanos() as u64 / u64::from(iters));
+        }
+        times.sort_unstable();
+        let cell = ServiceCell {
+            program: name.clone(),
+            p50_ns: times[times.len() / 2],
+            p99_ns: percentile(&times, 0.99),
+            min_ns: times[0],
+            samples,
+            gates: report_field(&warm.report, "gates").map_err(|e| format!("{name}: {e}"))?,
+            swaps: report_field(&warm.report, "swaps").map_err(|e| format!("{name}: {e}"))?,
+            depth: report_field(&warm.report, "depth").map_err(|e| format!("{name}: {e}"))?,
+            qubits: report_field(&warm.report, "qubits").map_err(|e| format!("{name}: {e}"))?,
+            aqv: report_field(&warm.report, "aqv").map_err(|e| format!("{name}: {e}"))?,
+        };
+        progress(&format!(
+            "measured {name}: p50 {:.3}ms over {samples} samples",
+            cell.p50_ns as f64 / 1e6
+        ));
+        cells.push(cell);
+    }
+
+    // Informational throughput: warm everything, then hammer.
+    for (_, source) in corpus {
+        let req = CompileRequest {
+            source: source.clone(),
+            policy: Policy::Square,
+            arch: SweepArch::NisqAuto,
+            router: RouterKind::Greedy,
+        };
+        service.compile_source(&req).map_err(|e| e.to_string())?;
+    }
+    const CLIENTS: usize = 8;
+    let start = Instant::now();
+    let total: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    let mut done = 0usize;
+                    for (_, source) in corpus {
+                        let req = CompileRequest {
+                            source: source.clone(),
+                            policy: Policy::Square,
+                            arch: SweepArch::NisqAuto,
+                            router: RouterKind::Greedy,
+                        };
+                        if service.compile_source(&req).is_ok() {
+                            done += 1;
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let throughput_rps = total as f64 / elapsed;
+    progress(&format!(
+        "throughput (warm cache, {CLIENTS} clients): {throughput_rps:.0} req/s"
+    ));
+
+    Ok(ServiceBaseline {
+        schema: SCHEMA_VERSION,
+        calibration_ns,
+        throughput_rps,
+        cells,
+    })
+}
+
+/// One program's latency comparison.
+#[derive(Debug, Clone)]
+pub struct CellComparison {
+    /// Program name.
+    pub program: String,
+    /// Calibration-normalized p50 in the baseline.
+    pub baseline_norm: f64,
+    /// Calibration-normalized p50 in the current run.
+    pub current_norm: f64,
+    /// The smaller of the p50-based and min-based normalized ratios
+    /// (> 1 means slower); min-vs-min shrugs off one-sided scheduler
+    /// noise the same way the compile-time gate does.
+    pub ratio: f64,
+}
+
+/// Outcome of gating a current run against a service baseline.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Programs whose served fingerprint drifted — always a failure.
+    pub fingerprint_mismatches: Vec<String>,
+    /// Programs measured now but absent from the baseline — always a
+    /// failure (stale baseline).
+    pub missing_cells: Vec<String>,
+    /// Per-program comparisons.
+    pub timings: Vec<CellComparison>,
+    /// Geometric mean of latency ratios.
+    pub geomean_ratio: f64,
+    /// Configured tolerance (0.15 = fail above +15%).
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// True when the gate passes.
+    pub fn ok(&self) -> bool {
+        self.fingerprint_mismatches.is_empty()
+            && self.missing_cells.is_empty()
+            && self.geomean_ratio <= 1.0 + self.tolerance
+    }
+
+    /// Renders the human-readable gate summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.fingerprint_mismatches {
+            out.push_str(&format!("FINGERPRINT DRIFT: {m}\n"));
+        }
+        for m in &self.missing_cells {
+            out.push_str(&format!("MISSING FROM BASELINE: {m}\n"));
+        }
+        out.push_str(&format!(
+            "{:<24} {:>14} {:>14} {:>8}\n",
+            "program", "base(norm)", "now(norm)", "ratio"
+        ));
+        for t in &self.timings {
+            out.push_str(&format!(
+                "{:<24} {:>14.4} {:>14.4} {:>8.3}\n",
+                t.program, t.baseline_norm, t.current_norm, t.ratio
+            ));
+        }
+        out.push_str(&format!(
+            "geomean ratio {:.3} (tolerance +{:.0}%): {}\n",
+            self.geomean_ratio,
+            self.tolerance * 100.0,
+            if self.ok() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+/// Gates `current` against `baseline`: fingerprint equality per
+/// program plus a geomean latency-regression bound. Programs only in
+/// the baseline are ignored; programs only in `current` fail the gate.
+pub fn gate(baseline: &ServiceBaseline, current: &ServiceBaseline, tolerance: f64) -> GateReport {
+    let mut fingerprint_mismatches = Vec::new();
+    let mut missing_cells = Vec::new();
+    let mut timings = Vec::new();
+    let mut log_sum = 0.0f64;
+    for cell in &current.cells {
+        let Some(base) = baseline.get(&cell.program) else {
+            missing_cells.push(cell.program.clone());
+            continue;
+        };
+        if base.fingerprint() != cell.fingerprint() {
+            fingerprint_mismatches.push(format!(
+                "{}: baseline (gates {}, swaps {}, depth {}, qubits {}, aqv {}) vs current (gates {}, swaps {}, depth {}, qubits {}, aqv {})",
+                cell.program,
+                base.gates, base.swaps, base.depth, base.qubits, base.aqv,
+                cell.gates, cell.swaps, cell.depth, cell.qubits, cell.aqv,
+            ));
+        }
+        let base_cal = baseline.calibration_ns.max(1) as f64;
+        let cur_cal = current.calibration_ns.max(1) as f64;
+        let norm_ratio = |b: u64, c: u64| {
+            let b = b as f64 / base_cal;
+            if b > 0.0 {
+                (c as f64 / cur_cal) / b
+            } else {
+                1.0
+            }
+        };
+        let ratio = norm_ratio(base.p50_ns, cell.p50_ns).min(norm_ratio(base.min_ns, cell.min_ns));
+        log_sum += ratio.max(f64::MIN_POSITIVE).ln();
+        timings.push(CellComparison {
+            program: cell.program.clone(),
+            baseline_norm: base.p50_ns as f64 / base_cal,
+            current_norm: cell.p50_ns as f64 / cur_cal,
+            ratio,
+        });
+    }
+    let geomean_ratio = if timings.is_empty() {
+        1.0
+    } else {
+        (log_sum / timings.len() as f64).exp()
+    };
+    GateReport {
+        fingerprint_mismatches,
+        missing_cells,
+        timings,
+        geomean_ratio,
+        tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(program: &str, p50_ns: u64, gates: u64) -> ServiceCell {
+        ServiceCell {
+            program: program.to_string(),
+            p50_ns,
+            p99_ns: p50_ns * 2,
+            min_ns: p50_ns,
+            samples: 3,
+            gates,
+            swaps: 1,
+            depth: 2,
+            qubits: 3,
+            aqv: 4,
+        }
+    }
+
+    fn baseline_of(cells: Vec<ServiceCell>, calibration_ns: u64) -> ServiceBaseline {
+        ServiceBaseline {
+            schema: SCHEMA_VERSION,
+            calibration_ns,
+            throughput_rps: 100.0,
+            cells,
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let baseline = baseline_of(vec![cell("adder", 1_000_000, 42)], 50_000_000);
+        let text = serde_json::to_string_pretty(&baseline).unwrap();
+        assert_eq!(parse(&text).unwrap(), baseline);
+    }
+
+    #[test]
+    fn schema_drift_is_rejected() {
+        let baseline = baseline_of(vec![], 1);
+        let text = serde_json::to_string(&baseline)
+            .unwrap()
+            .replace("\"schema\":1", "\"schema\":999");
+        assert!(parse(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn identical_runs_pass_and_regressions_fail() {
+        let base = baseline_of(vec![cell("adder", 1_000_000, 42)], 50_000_000);
+        assert!(gate(&base, &base, 0.15).ok());
+        let mut slow = base.clone();
+        slow.cells[0].p50_ns = 2_000_000;
+        slow.cells[0].min_ns = 2_000_000;
+        let report = gate(&base, &slow, 0.15);
+        assert!(!report.ok());
+        assert!(report.geomean_ratio > 1.9);
+    }
+
+    #[test]
+    fn calibration_normalizes_machine_speed() {
+        let base = baseline_of(vec![cell("adder", 1_000_000, 42)], 50_000_000);
+        // Twice as slow a machine, twice the latency: ratio 1.
+        let mut current = base.clone();
+        current.calibration_ns = 100_000_000;
+        current.cells[0].p50_ns = 2_000_000;
+        current.cells[0].min_ns = 2_000_000;
+        assert!(gate(&base, &current, 0.01).ok());
+    }
+
+    #[test]
+    fn fingerprint_drift_always_fails() {
+        let base = baseline_of(vec![cell("adder", 1_000_000, 42)], 50_000_000);
+        let mut drift = base.clone();
+        drift.cells[0].gates = 43;
+        let report = gate(&base, &drift, 0.15);
+        assert!(!report.ok());
+        assert_eq!(report.fingerprint_mismatches.len(), 1);
+    }
+
+    #[test]
+    fn stale_baseline_fails_and_extra_baseline_cells_are_ignored() {
+        let base = baseline_of(
+            vec![cell("adder", 1_000_000, 42), cell("extra", 1_000_000, 7)],
+            50_000_000,
+        );
+        let current = baseline_of(
+            vec![cell("adder", 1_000_000, 42), cell("new", 1_000_000, 9)],
+            50_000_000,
+        );
+        let report = gate(&base, &current, 0.15);
+        assert!(!report.ok());
+        assert_eq!(report.missing_cells, vec!["new".to_string()]);
+    }
+
+    #[test]
+    fn percentile_picks_sane_indices() {
+        let xs = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&xs, 0.5), 30);
+        assert_eq!(percentile(&xs, 0.99), 50);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+}

@@ -1,0 +1,244 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order.
+//! A compile request names the source plus an optional cell:
+//!
+//! ```text
+//! {"id": 1, "source": "entry module main(...) { ... }",
+//!  "policy": "square", "arch": "nisq", "router": "greedy"}
+//! ```
+//!
+//! `policy`/`arch`/`router` default to `square`/`nisq`/`greedy`. The
+//! optional `id` is echoed verbatim in the response so clients can
+//! pipeline. Control requests use `cmd`: `{"cmd":"ping"}`,
+//! `{"cmd":"stats"}` and `{"cmd":"shutdown"}`.
+//!
+//! Responses are `{"id", "ok": true, …}` or
+//! `{"id", "ok": false, "error": "…"}`; a successful compile carries
+//! the cell echo, `program_hash`, `cached`/`coalesced` flags,
+//! `compile_ms`, the `report` object (byte-identical to
+//! `squarec --json`'s `report` field for the same cell) and a `cache`
+//! block with the live [`ServiceStats`].
+
+use serde::{Serialize, Value};
+use square_bench::SweepArch;
+use square_core::{Policy, RouterKind};
+
+use crate::service::{CompileOutcome, CompileRequest, ServiceStats};
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile a source under a cell.
+    Compile {
+        /// Client-chosen id, echoed in the response (`Null` if absent).
+        id: Value,
+        /// The compile to run.
+        req: CompileRequest,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed id.
+        id: Value,
+    },
+    /// Cache/counter snapshot.
+    Stats {
+        /// Echoed id.
+        id: Value,
+    },
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown {
+        /// Echoed id.
+        id: Value,
+    },
+}
+
+impl Request {
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the line is not valid JSON, is
+    /// not an object, or names an unknown command / policy / arch /
+    /// router. The caller wraps it in an error response carrying the
+    /// request id when one could be extracted.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        if !matches!(value, Value::Map(_)) {
+            return Err("request must be a JSON object".to_string());
+        }
+        let id = value.get("id").cloned().unwrap_or(Value::Null);
+        if let Some(cmd) = value.get("cmd") {
+            let cmd = cmd
+                .as_str()
+                .ok_or_else(|| "`cmd` must be a string".to_string())?;
+            return match cmd {
+                "ping" => Ok(Request::Ping { id }),
+                "stats" => Ok(Request::Stats { id }),
+                "shutdown" => Ok(Request::Shutdown { id }),
+                other => Err(format!(
+                    "unknown cmd `{other}` (expected ping, stats or shutdown)"
+                )),
+            };
+        }
+        let source = value
+            .get("source")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing string field `source`".to_string())?
+            .to_string();
+        let policy = match value.get("policy").and_then(Value::as_str) {
+            None => Policy::Square,
+            Some(name) => Policy::parse(name).ok_or_else(|| format!("unknown policy `{name}`"))?,
+        };
+        let arch = match value.get("arch").and_then(Value::as_str) {
+            None => SweepArch::NisqAuto,
+            Some(spec) => SweepArch::parse(spec).ok_or_else(|| format!("unknown arch `{spec}`"))?,
+        };
+        let router = match value.get("router").and_then(Value::as_str) {
+            None => RouterKind::Greedy,
+            Some(name) => {
+                RouterKind::parse(name).ok_or_else(|| format!("unknown router `{name}`"))?
+            }
+        };
+        Ok(Request::Compile {
+            id,
+            req: CompileRequest {
+                source,
+                policy,
+                arch,
+                router,
+            },
+        })
+    }
+
+    /// The id to echo, whatever the request kind.
+    pub fn id(&self) -> &Value {
+        match self {
+            Request::Compile { id, .. }
+            | Request::Ping { id }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => id,
+        }
+    }
+}
+
+/// A successful compile response.
+pub fn compile_response(
+    id: &Value,
+    req: &CompileRequest,
+    outcome: &CompileOutcome,
+    stats: &ServiceStats,
+) -> Value {
+    Value::map([
+        ("id", id.clone()),
+        ("ok", Value::Bool(true)),
+        ("program_hash", Value::String(outcome.program_hash.clone())),
+        ("policy", Value::String(req.policy.cli_name().to_string())),
+        ("arch", Value::String(req.arch.to_string())),
+        ("router", Value::String(req.router.cli_name().to_string())),
+        ("cached", Value::Bool(outcome.cached)),
+        ("coalesced", Value::Bool(outcome.coalesced)),
+        ("compile_ms", Value::Float(outcome.compile_ms)),
+        ("report", (*outcome.report).clone()),
+        ("cache", stats.serialize()),
+    ])
+}
+
+/// An error response (parse failures, compile failures, bad requests).
+pub fn error_response(id: &Value, error: &str) -> Value {
+    Value::map([
+        ("id", id.clone()),
+        ("ok", Value::Bool(false)),
+        ("error", Value::String(error.to_string())),
+    ])
+}
+
+/// The `ping` response.
+pub fn pong_response(id: &Value) -> Value {
+    Value::map([
+        ("id", id.clone()),
+        ("ok", Value::Bool(true)),
+        ("pong", Value::Bool(true)),
+    ])
+}
+
+/// The `stats` response.
+pub fn stats_response(id: &Value, stats: &ServiceStats) -> Value {
+    Value::map([
+        ("id", id.clone()),
+        ("ok", Value::Bool(true)),
+        ("cache", stats.serialize()),
+    ])
+}
+
+/// The `shutdown` acknowledgement (sent before the listener stops).
+pub fn shutdown_response(id: &Value) -> Value {
+    Value::map([
+        ("id", id.clone()),
+        ("ok", Value::Bool(true)),
+        ("shutdown", Value::Bool(true)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_request_defaults_fill_in() {
+        let req = Request::parse(r#"{"source": "x"}"#).unwrap();
+        match req {
+            Request::Compile { id, req } => {
+                assert!(id.is_null());
+                assert_eq!(req.policy, Policy::Square);
+                assert_eq!(req.arch, SweepArch::NisqAuto);
+                assert_eq!(req.router, RouterKind::Greedy);
+            }
+            other => panic!("expected compile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_cell_and_id_parse() {
+        let line = r#"{"id": 7, "source": "x", "policy": "lazy",
+                       "arch": "grid:4x4", "router": "lookahead"}"#;
+        match Request::parse(line).unwrap() {
+            Request::Compile { id, req } => {
+                assert_eq!(id.as_u64(), Some(7));
+                assert_eq!(req.policy, Policy::Lazy);
+                assert_eq!(
+                    req.arch,
+                    SweepArch::Grid {
+                        width: 4,
+                        height: 4
+                    }
+                );
+                assert_eq!(req.router, RouterKind::Lookahead);
+            }
+            other => panic!("expected compile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commands_and_errors() {
+        assert!(matches!(
+            Request::parse(r#"{"cmd": "ping"}"#).unwrap(),
+            Request::Ping { .. }
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd": "stats", "id": "s"}"#).unwrap(),
+            Request::Stats { .. }
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd": "shutdown"}"#).unwrap(),
+            Request::Shutdown { .. }
+        ));
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("[1, 2]").is_err());
+        assert!(Request::parse(r#"{"cmd": "dance"}"#).is_err());
+        assert!(Request::parse(r#"{"source": "x", "policy": "yolo"}"#).is_err());
+        assert!(Request::parse(r#"{"source": "x", "arch": "torus:3"}"#).is_err());
+        assert!(Request::parse(r#"{"source": "x", "router": "bgp"}"#).is_err());
+        assert!(Request::parse(r#"{}"#).is_err(), "no source, no cmd");
+    }
+}

@@ -1,0 +1,211 @@
+//! The TCP front end: sessions, the bounded worker pool, shutdown.
+//!
+//! Each accepted connection gets a session thread that reads protocol
+//! lines and writes one response line per request, in order. Compile
+//! work never runs on session threads — it is dispatched to a bounded
+//! worker pool, so total concurrent compiles are capped at the worker
+//! count no matter how many clients connect, and a full queue applies
+//! backpressure to the submitting sessions.
+//!
+//! All logging goes to **stderr**; stdout is never written, so
+//! `squared`'s own output (and anything piping the protocol) stays
+//! clean for `jq`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use serde::Value;
+
+use crate::proto::{
+    compile_response, error_response, pong_response, shutdown_response, stats_response, Request,
+};
+use crate::service::CompileService;
+
+/// Worker-pool sizing for a server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Concurrent compile workers (0 ⇒ available parallelism).
+    pub workers: usize,
+    /// Bounded job-queue depth (0 ⇒ 4 × workers).
+    pub queue_depth: usize,
+}
+
+impl ServerConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism().map_or(4, |n| n.get())
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of compile workers fed from one bounded queue.
+/// Submission blocks when the queue is full — that is the service's
+/// backpressure.
+struct WorkerPool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize, queue_depth: usize) -> Self {
+        let (sender, receiver) = sync_channel::<Job>(queue_depth.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                thread::spawn(move || loop {
+                    // Hold the lock only to dequeue, never while
+                    // running the job.
+                    let job = match receiver.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => break,
+                    };
+                    job();
+                })
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Runs `job` on the pool, blocking the caller and returning its
+    /// result once a worker has finished it.
+    fn run<T: Send + 'static>(&self, job: impl FnOnce() -> T + Send + 'static) -> T {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(move || {
+                let _ = tx.send(job());
+            }))
+            .expect("worker pool hung up");
+        rx.recv().expect("worker died mid-job")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs the accept loop until a client sends `{"cmd":"shutdown"}`.
+/// Session threads are detached; when `serve` returns, in-flight
+/// sessions finish their current response and die with the process.
+///
+/// # Errors
+///
+/// Propagates listener I/O errors (a failed `accept` on a live
+/// listener); per-connection errors only end that session.
+pub fn serve(
+    listener: TcpListener,
+    service: Arc<CompileService>,
+    config: ServerConfig,
+) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    let pool = Arc::new(WorkerPool::new(
+        config.resolved_workers(),
+        if config.queue_depth > 0 {
+            config.queue_depth
+        } else {
+            config.resolved_workers() * 4
+        },
+    ));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    eprintln!(
+        "squared: listening on {addr} ({} workers)",
+        config.resolved_workers()
+    );
+
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("squared: accept failed: {e}");
+                continue;
+            }
+        };
+        // Responses are single small lines; Nagle + delayed ACK would
+        // add ~40ms to every request on loopback.
+        let _ = stream.set_nodelay(true);
+        let service = Arc::clone(&service);
+        let pool = Arc::clone(&pool);
+        let shutdown = Arc::clone(&shutdown);
+        thread::spawn(move || {
+            if let Err(e) = session(&stream, &service, &pool, &shutdown, addr) {
+                eprintln!("squared: session ended: {e}");
+            }
+        });
+    }
+    eprintln!("squared: shutting down");
+    Ok(())
+}
+
+/// One connection: read a line, answer a line, repeat until EOF.
+fn session(
+    stream: &TcpStream,
+    service: &Arc<CompileService>,
+    pool: &WorkerPool,
+    shutdown: &AtomicBool,
+    listen_addr: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream.try_clone()?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(&line) {
+            Err(msg) => error_response(&Value::Null, &msg),
+            Ok(Request::Ping { id }) => pong_response(&id),
+            Ok(Request::Stats { id }) => stats_response(&id, &service.stats()),
+            Ok(Request::Shutdown { id }) => {
+                let ack = shutdown_response(&id);
+                write_line(&mut writer, &ack)?;
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(listen_addr);
+                return Ok(());
+            }
+            Ok(Request::Compile { id, req }) => {
+                let job_service = Arc::clone(service);
+                let job_req = req.clone();
+                let outcome = pool.run(move || job_service.compile_source(&job_req));
+                match outcome {
+                    Ok(outcome) => compile_response(&id, &req, &outcome, &service.stats()),
+                    Err(e) => error_response(&id, &e.to_string()),
+                }
+            }
+        };
+        write_line(&mut writer, &response)?;
+    }
+}
+
+fn write_line(writer: &mut TcpStream, value: &Value) -> std::io::Result<()> {
+    let text = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}

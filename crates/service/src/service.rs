@@ -1,0 +1,459 @@
+//! The shared compile path behind every front end.
+//!
+//! [`CompileService`] owns the four cross-request caches and the
+//! in-flight dedupe table. `squared` sessions, `squarec --serve`, the
+//! load generator's in-process mode and the service latency gate all
+//! call [`CompileService::compile_source`]; the report `Value` it
+//! returns is produced by the same [`report_json`] encoder the CLI
+//! uses, so a served response serializes byte-identically to a
+//! one-shot `squarec --json` compile of the same cell.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+use square_arch::Topology;
+use square_bench::{report_json, SweepArch};
+use square_core::{compile_prepared_on, Policy, PreparedProgram, RouterKind};
+use square_qir::Program;
+
+use crate::cache::{content_hash, CacheStats, LruCache};
+
+/// Cache capacities for a [`CompileService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Parsed-program cache entries (keyed by source hash).
+    pub programs_cap: usize,
+    /// Prepared-program (lowered QIR + cost table) cache entries.
+    pub prepared_cap: usize,
+    /// Shared-topology cache entries (keyed by arch + capacity).
+    pub topologies_cap: usize,
+    /// Finished-report cache entries (keyed by full request cell).
+    pub reports_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            programs_cap: 256,
+            prepared_cap: 128,
+            topologies_cap: 64,
+            reports_cap: 512,
+        }
+    }
+}
+
+/// One compile request: a source program plus the cell to compile it
+/// under.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// `.sq` source text.
+    pub source: String,
+    /// Reclamation policy.
+    pub policy: Policy,
+    /// Target architecture.
+    pub arch: SweepArch,
+    /// Swap-chain router (normalized to greedy on braided archs,
+    /// matching the compiler itself).
+    pub router: RouterKind,
+}
+
+/// A served compile result.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// The report, already lowered to the shared JSON data model.
+    pub report: Arc<Value>,
+    /// Wall-clock milliseconds this cell took to produce when it was
+    /// actually compiled (a cache hit reports the original cost).
+    pub compile_ms: f64,
+    /// FNV-1a content hash of the request source.
+    pub program_hash: String,
+    /// True when the report came straight from the finished-report
+    /// cache.
+    pub cached: bool,
+    /// True when this request piggybacked on an identical request
+    /// already in flight.
+    pub coalesced: bool,
+}
+
+/// Why a request failed. Errors are never cached: a follower of a
+/// failed in-flight leader sees the error once, and the next request
+/// for the cell retries from scratch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The source did not parse; carries the fully rendered
+    /// multi-error diagnostic listing.
+    Parse(String),
+    /// The compiler rejected or failed the program.
+    Compile(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ServiceError::Compile(msg) => write!(f, "compile error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A snapshot of every cache plus the service-level counters,
+/// embedded in each response and served by the `stats` command.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Parsed-program cache.
+    pub programs: CacheStats,
+    /// Prepared-program cache.
+    pub prepared: CacheStats,
+    /// Shared-topology cache.
+    pub topologies: CacheStats,
+    /// Finished-report cache.
+    pub reports: CacheStats,
+    /// Total compile requests accepted.
+    pub requests: u64,
+    /// Requests that ran the compiler (neither cached nor coalesced).
+    pub compiles: u64,
+    /// Requests coalesced onto an identical in-flight compile.
+    pub coalesced: u64,
+}
+
+impl Serialize for ServiceStats {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("programs", self.programs.serialize()),
+            ("prepared", self.prepared.serialize()),
+            ("topologies", self.topologies.serialize()),
+            ("reports", self.reports.serialize()),
+            ("requests", Value::UInt(self.requests)),
+            ("compiles", Value::UInt(self.compiles)),
+            ("coalesced", Value::UInt(self.coalesced)),
+        ])
+    }
+}
+
+/// The full identity of a compile: same key ⇒ byte-identical report.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CellKey {
+    hash: String,
+    policy: Policy,
+    arch: SweepArch,
+    router: RouterKind,
+}
+
+/// A finished compile: the shared report plus the leader's compile time.
+type CellResult = Result<(Arc<Value>, f64), ServiceError>;
+
+/// A compile in progress. Followers block on the condvar until the
+/// leader publishes into `done`.
+struct Inflight {
+    done: Mutex<Option<CellResult>>,
+    cv: Condvar,
+}
+
+/// The concurrent compile service: shared caches + in-flight dedupe
+/// around the square-core compile pipeline. Cheap to share as
+/// `Arc<CompileService>`; every method takes `&self`.
+pub struct CompileService {
+    programs: Mutex<LruCache<String, Arc<Program>>>,
+    prepared: Mutex<LruCache<String, Arc<PreparedProgram>>>,
+    topologies: Mutex<LruCache<(SweepArch, usize), Arc<dyn Topology>>>,
+    reports: Mutex<LruCache<CellKey, (Arc<Value>, f64)>>,
+    inflight: Mutex<HashMap<CellKey, Arc<Inflight>>>,
+    requests: AtomicU64,
+    compiles: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl CompileService {
+    /// Creates a service with the given cache capacities.
+    pub fn new(config: ServiceConfig) -> Self {
+        CompileService {
+            programs: Mutex::new(LruCache::new(config.programs_cap)),
+            prepared: Mutex::new(LruCache::new(config.prepared_cap)),
+            topologies: Mutex::new(LruCache::new(config.topologies_cap)),
+            reports: Mutex::new(LruCache::new(config.reports_cap)),
+            inflight: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Compiles one request, going through the caches:
+    ///
+    /// 1. finished-report cache — hit returns immediately;
+    /// 2. in-flight table — an identical compile already running makes
+    ///    this request a follower that waits for the leader's result;
+    /// 3. otherwise this request leads: parse, prepare and compile
+    ///    (each prefix stage itself cache-assisted), publish to any
+    ///    followers and the report cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Parse`] with rendered diagnostics when the
+    /// source does not parse; [`ServiceError::Compile`] when the
+    /// compiler rejects the program. Errors are not cached.
+    pub fn compile_source(&self, req: &CompileRequest) -> Result<CompileOutcome, ServiceError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        // The compiler never runs the swap-chain router on braided
+        // archs; fold that into the key so `ft`+lookahead and
+        // `ft`+greedy share one cell instead of compiling twice.
+        let router = if req.arch.is_braided() {
+            RouterKind::Greedy
+        } else {
+            req.router
+        };
+        let program_hash = content_hash(req.source.as_bytes());
+        let key = CellKey {
+            hash: program_hash.clone(),
+            policy: req.policy,
+            arch: req.arch,
+            router,
+        };
+
+        if let Some((report, compile_ms)) = self.reports.lock().unwrap().get(&key) {
+            return Ok(CompileOutcome {
+                report,
+                compile_ms,
+                program_hash,
+                cached: true,
+                coalesced: false,
+            });
+        }
+
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(&key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Inflight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    inflight.insert(key.clone(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+
+        if !leader {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut done = flight.done.lock().unwrap();
+            while done.is_none() {
+                done = flight.cv.wait(done).unwrap();
+            }
+            return match done.as_ref().unwrap() {
+                Ok((report, compile_ms)) => Ok(CompileOutcome {
+                    report: Arc::clone(report),
+                    compile_ms: *compile_ms,
+                    program_hash,
+                    cached: false,
+                    coalesced: true,
+                }),
+                Err(e) => Err(e.clone()),
+            };
+        }
+
+        let result = self.compile_cell(req, &key);
+        if let Ok((report, compile_ms)) = &result {
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            self.reports
+                .lock()
+                .unwrap()
+                .insert(key.clone(), (Arc::clone(report), *compile_ms));
+        }
+        // Publish before unregistering so a follower that grabbed the
+        // flight entry just before removal still wakes with a result.
+        *flight.done.lock().unwrap() = Some(result.clone());
+        flight.cv.notify_all();
+        self.inflight.lock().unwrap().remove(&key);
+
+        result.map(|(report, compile_ms)| CompileOutcome {
+            report,
+            compile_ms,
+            program_hash,
+            cached: false,
+            coalesced: false,
+        })
+    }
+
+    /// The leader's actual compile: every prefix stage consults its
+    /// shared cache before doing work.
+    fn compile_cell(
+        &self,
+        req: &CompileRequest,
+        key: &CellKey,
+    ) -> Result<(Arc<Value>, f64), ServiceError> {
+        let start = Instant::now();
+
+        // Each lookup binds through a `let` so the guard drops before
+        // the miss path re-locks the same cache to insert.
+        let cached_program = self.programs.lock().unwrap().get(&key.hash);
+        let program = match cached_program {
+            Some(p) => p,
+            None => {
+                let display = format!("sq:{}", key.hash);
+                let parsed = square_lang::parse_program(&req.source).map_err(|diags| {
+                    ServiceError::Parse(square_lang::render(&req.source, &display, &diags))
+                })?;
+                let parsed = Arc::new(parsed);
+                self.programs
+                    .lock()
+                    .unwrap()
+                    .insert(key.hash.clone(), Arc::clone(&parsed));
+                parsed
+            }
+        };
+
+        let cached_prepared = self.prepared.lock().unwrap().get(&key.hash);
+        let prepared = match cached_prepared {
+            Some(p) => p,
+            None => {
+                let built = PreparedProgram::new(&program)
+                    .map_err(|e| ServiceError::Compile(e.to_string()))?;
+                let built = Arc::new(built);
+                self.prepared
+                    .lock()
+                    .unwrap()
+                    .insert(key.hash.clone(), Arc::clone(&built));
+                built
+            }
+        };
+
+        let config = key.arch.config(key.policy).with_router(key.router);
+        // Fixed-size archs build the same machine for every program;
+        // auto-sized ones depend on the program's ancilla footprint.
+        // Key accordingly so a fixed arch is one shared entry.
+        let capacity = if arch_is_auto_sized(key.arch) {
+            prepared.capacity_hint()
+        } else {
+            0
+        };
+        let topo_key = (key.arch, capacity);
+        let cached_topo = self.topologies.lock().unwrap().get(&topo_key);
+        let topo = match cached_topo {
+            Some(t) => t,
+            None => {
+                let built: Arc<dyn Topology> =
+                    Arc::from(config.arch.build(prepared.capacity_hint()));
+                self.topologies
+                    .lock()
+                    .unwrap()
+                    .insert(topo_key, Arc::clone(&built));
+                built
+            }
+        };
+
+        let report = compile_prepared_on(&prepared, &[], &config, topo)
+            .map_err(|e| ServiceError::Compile(e.to_string()))?;
+        let compile_ms = start.elapsed().as_secs_f64() * 1e3;
+        Ok((Arc::new(report_json(&report)), compile_ms))
+    }
+
+    /// Drops every finished report (counters survive) while leaving
+    /// the program/prepared/topology caches warm. The latency gate
+    /// uses this to re-measure real compiles under steady-state
+    /// prefix caches.
+    pub fn flush_reports(&self) {
+        self.reports.lock().unwrap().flush();
+    }
+
+    /// A snapshot of all cache and service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            programs: self.programs.lock().unwrap().stats(),
+            prepared: self.prepared.lock().unwrap().stats(),
+            topologies: self.topologies.lock().unwrap().stats(),
+            reports: self.reports.lock().unwrap().stats(),
+            requests: self.requests.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// True for the `Auto*` arch variants whose machine size depends on
+/// the program being compiled.
+fn arch_is_auto_sized(arch: SweepArch) -> bool {
+    matches!(
+        arch,
+        SweepArch::NisqAuto | SweepArch::FtAuto | SweepArch::HeavyHexAuto | SweepArch::RingAuto
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "entry module main(0 params, 3 ancilla) {\n  \
+         compute { x a0; cx a0 a1; }\n  store { cx a1 a2; }\n}\n";
+
+    fn request(source: &str) -> CompileRequest {
+        CompileRequest {
+            source: source.to_string(),
+            policy: Policy::Square,
+            arch: SweepArch::NisqAuto,
+            router: RouterKind::Greedy,
+        }
+    }
+
+    #[test]
+    fn second_identical_request_hits_the_report_cache() {
+        let svc = CompileService::new(ServiceConfig::default());
+        let first = svc.compile_source(&request(SRC)).unwrap();
+        assert!(!first.cached && !first.coalesced);
+        let second = svc.compile_source(&request(SRC)).unwrap();
+        assert!(second.cached);
+        assert_eq!(first.report, second.report);
+        assert_eq!(first.program_hash, second.program_hash);
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.reports.hits, 1);
+    }
+
+    #[test]
+    fn flush_reports_keeps_prefix_caches_warm() {
+        let svc = CompileService::new(ServiceConfig::default());
+        svc.compile_source(&request(SRC)).unwrap();
+        svc.flush_reports();
+        let again = svc.compile_source(&request(SRC)).unwrap();
+        assert!(!again.cached, "flushed report must recompile");
+        let stats = svc.stats();
+        assert_eq!(stats.compiles, 2);
+        assert!(stats.prepared.hits >= 1, "prepared cache stayed warm");
+        assert!(stats.topologies.hits >= 1, "topology cache stayed warm");
+    }
+
+    #[test]
+    fn braided_arch_router_variants_share_one_cell() {
+        let svc = CompileService::new(ServiceConfig::default());
+        let mut req = request(SRC);
+        req.arch = SweepArch::FtAuto;
+        req.router = RouterKind::Lookahead;
+        let first = svc.compile_source(&req).unwrap();
+        req.router = RouterKind::Greedy;
+        let second = svc.compile_source(&req).unwrap();
+        assert!(second.cached, "ft+lookahead and ft+greedy are one cell");
+        assert_eq!(first.report, second.report);
+    }
+
+    #[test]
+    fn parse_errors_are_rendered_and_not_cached() {
+        let svc = CompileService::new(ServiceConfig::default());
+        let bad = request("entry module main(0 params, 1 ancilla) { compute { nope; } }");
+        let err = svc.compile_source(&bad).unwrap_err();
+        match &err {
+            ServiceError::Parse(msg) => assert!(!msg.is_empty()),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert_eq!(svc.stats().compiles, 0);
+        // Retrying reruns the parse (errors are never cached) and
+        // fails the same way.
+        assert_eq!(svc.compile_source(&bad).unwrap_err(), err);
+    }
+}
