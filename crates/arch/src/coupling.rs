@@ -13,7 +13,7 @@
 //! re-running a search — which is what lets the lookahead router score
 //! thousands of candidate swaps per gate without allocating.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use rayon::prelude::*;
 
@@ -22,16 +22,47 @@ use crate::topology::PhysId;
 /// Sentinel in the next-hop table: no hop (self or unreachable).
 const NO_HOP: u32 = u32::MAX;
 
+/// Shared views of a graph's flat all-pairs tables: `n × n` row-major
+/// hop counts and first hops. `Arc`-backed so routing scratch state
+/// can hold the tables without borrowing the topology — the cheap,
+/// clonable handle a `RoutingCtx` keeps for incremental distance
+/// maintenance across swaps.
+#[derive(Debug, Clone)]
+pub struct FlatTables {
+    n: usize,
+    dist: Arc<[u32]>,
+    next: Arc<[u32]>,
+}
+
+impl FlatTables {
+    /// Hop-count distance via one flat-array read.
+    #[inline]
+    pub fn distance(&self, a: PhysId, b: PhysId) -> u32 {
+        self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// First hop of a shortest `a → b` path via one flat-array read
+    /// (`None` when `a == b` or unreachable).
+    #[inline]
+    pub fn next_hop(&self, a: PhysId, b: PhysId) -> Option<PhysId> {
+        match self.next[a.index() * self.n + b.index()] {
+            NO_HOP => None,
+            hop => Some(PhysId(hop)),
+        }
+    }
+}
+
 /// An undirected coupling graph with a 2-D geometric embedding and
 /// cached all-pairs shortest-path tables.
 #[derive(Debug)]
 pub struct CouplingGraph {
     coords: Vec<(i32, i32)>,
     adj: Vec<Vec<PhysId>>,
-    /// Flattened `n × n` hop-count matrix, built on first use.
-    dist: OnceLock<Vec<u32>>,
+    /// Flattened `n × n` hop-count matrix, built on first use
+    /// (`Arc` so [`FlatTables`] handles share it without copying).
+    dist: OnceLock<Arc<[u32]>>,
     /// Flattened `n × n` next-hop matrix (same build).
-    next: OnceLock<Vec<u32>>,
+    next: OnceLock<Arc<[u32]>>,
 }
 
 impl CouplingGraph {
@@ -110,11 +141,21 @@ impl CouplingGraph {
             }
             // Publish the next-hop half through its own cell; both
             // halves come from the same build so they stay consistent.
-            let _ = self.next.set(next);
-            dist
+            let _ = self.next.set(next.into());
+            dist.into()
         });
         let next = self.next.get().expect("set together with dist");
         (dist, next)
+    }
+
+    /// Shared handles to the flat tables (building them on first use).
+    pub fn shared_tables(&self) -> FlatTables {
+        let _ = self.tables();
+        FlatTables {
+            n: self.len(),
+            dist: Arc::clone(self.dist.get().expect("built above")),
+            next: Arc::clone(self.next.get().expect("built above")),
+        }
     }
 
     /// One BFS row: distances and first hops from source `s`.

@@ -5,7 +5,7 @@
 //! geometry from a [`CouplingGraph`]: BFS all-pairs distances, cached
 //! next-hop tables, and graph-distance ring ordering.
 
-use crate::coupling::CouplingGraph;
+use crate::coupling::{CouplingGraph, FlatTables};
 use crate::topology::{PhysId, Topology};
 
 /// IBM-style heavy-hex lattice of distance `d`.
@@ -117,6 +117,16 @@ impl Topology for HeavyHexTopology {
         self.graph.neighbors(q).to_vec()
     }
 
+    fn for_each_neighbor(&self, q: PhysId, f: &mut dyn FnMut(PhysId)) {
+        for &nb in self.graph.neighbors(q) {
+            f(nb);
+        }
+    }
+
+    fn flat_tables(&self) -> Option<FlatTables> {
+        Some(self.graph.shared_tables())
+    }
+
     fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId> {
         self.graph.shortest_path(a, b)
     }
@@ -226,6 +236,12 @@ impl Topology for RingTopology {
 
     fn neighbors(&self, q: PhysId) -> Vec<PhysId> {
         self.graph.neighbors(q).to_vec()
+    }
+
+    fn for_each_neighbor(&self, q: PhysId, f: &mut dyn FnMut(PhysId)) {
+        for &nb in self.graph.neighbors(q) {
+            f(nb);
+        }
     }
 
     fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId> {

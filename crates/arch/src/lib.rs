@@ -23,7 +23,7 @@ pub mod device;
 pub mod layouts;
 pub mod topology;
 
-pub use coupling::CouplingGraph;
+pub use coupling::{CouplingGraph, FlatTables};
 pub use device::{CommModel, Device, NoiseParams};
 pub use layouts::{HeavyHexTopology, RingTopology};
 pub use topology::{FullTopology, GridTopology, LineTopology, PhysId, Topology};

@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use crate::coupling::FlatTables;
+
 /// A physical qubit slot on a machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PhysId(pub u32);
@@ -59,6 +61,33 @@ pub trait Topology: Send + Sync {
     /// Qubits directly coupled to `q`.
     fn neighbors(&self, q: PhysId) -> Vec<PhysId>;
 
+    /// Calls `f` for every neighbour of `q`, in exactly the order
+    /// [`Topology::neighbors`] lists them — the allocation-free form
+    /// the routing hot path iterates with. The default delegates to
+    /// `neighbors`; every shipped layout overrides it to avoid the
+    /// per-call `Vec`.
+    fn for_each_neighbor(&self, q: PhysId, f: &mut dyn FnMut(PhysId)) {
+        for nb in self.neighbors(q) {
+            f(nb);
+        }
+    }
+
+    /// True when [`Topology::distance`] equals the Manhattan distance
+    /// between [`Topology::coord`] embeddings (grid, line). Routing
+    /// caches the coordinate array and answers such distances with
+    /// two array reads instead of a virtual call.
+    fn manhattan_distance(&self) -> bool {
+        false
+    }
+
+    /// Shared flat all-pairs distance/next-hop tables, when the
+    /// layout is graph-backed and bounded enough to afford them
+    /// (heavy-hex). `None` for closed-form layouts — including rings,
+    /// whose O(n²) tables would dwarf the machine itself.
+    fn flat_tables(&self) -> Option<FlatTables> {
+        None
+    }
+
     /// A shortest path from `a` to `b`, inclusive of both endpoints.
     fn shortest_path(&self, a: PhysId, b: PhysId) -> Vec<PhysId>;
 
@@ -82,6 +111,20 @@ pub trait Topology: Send + Sync {
     /// distance coincide; graph-backed layouts (heavy-hex, ring)
     /// order by hop count, which can diverge from the embedding.
     fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_>;
+
+    /// The first qubit in [`Topology::ring_iter`] order accepted by
+    /// `pred` — the allocator's "nearest matching cell" query. The
+    /// default walks `ring_iter`; layouts on the allocation hot path
+    /// (grid) override it with a direct loop, since the boxed
+    /// iterator's per-cell overhead dominates late-compile scans that
+    /// cross the whole used region before finding a match.
+    fn ring_find(
+        &self,
+        center: (i32, i32),
+        pred: &mut dyn FnMut(PhysId) -> bool,
+    ) -> Option<PhysId> {
+        self.ring_iter(center).find(|&p| pred(p))
+    }
 }
 
 /// 2-D lattice with nearest-neighbour coupling (row-major indexing),
@@ -157,6 +200,20 @@ impl Topology for GridTopology {
             .collect()
     }
 
+    fn for_each_neighbor(&self, q: PhysId, f: &mut dyn FnMut(PhysId)) {
+        // Same order as `neighbors`: +x, −x, +y, −y.
+        let (x, y) = self.xy(q);
+        for (nx, ny) in [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)] {
+            if let Some(nb) = self.id_at(nx, ny) {
+                f(nb);
+            }
+        }
+    }
+
+    fn manhattan_distance(&self) -> bool {
+        true
+    }
+
     fn distance(&self, a: PhysId, b: PhysId) -> u32 {
         let (ax, ay) = self.xy(a);
         let (bx, by) = self.xy(b);
@@ -201,22 +258,51 @@ impl Topology for GridTopology {
         let max_radius = (self.width + self.height) as i32;
         let iter = (0..=max_radius).flat_map(move |r| {
             // All lattice points at Manhattan radius r from center.
+            // Fixed-size option pairs, not `Vec`s: this iterator runs
+            // once per allocation decision, so a heap allocation per
+            // lattice point would dominate the allocator's cost.
             let (cx, cy) = center;
             (-r..=r).flat_map(move |dx| {
                 let dy = r - dx.abs();
-                let mut pts = Vec::with_capacity(2);
-                if let Some(q) = grid.id_at(cx + dx, cy + dy) {
-                    pts.push(q);
-                }
-                if dy != 0 {
-                    if let Some(q) = grid.id_at(cx + dx, cy - dy) {
-                        pts.push(q);
-                    }
-                }
-                pts
+                let above = grid.id_at(cx + dx, cy + dy);
+                let below = if dy != 0 {
+                    grid.id_at(cx + dx, cy - dy)
+                } else {
+                    None
+                };
+                [above, below].into_iter().flatten()
             })
         });
         Box::new(iter)
+    }
+
+    fn ring_find(
+        &self,
+        center: (i32, i32),
+        pred: &mut dyn FnMut(PhysId) -> bool,
+    ) -> Option<PhysId> {
+        // Direct-loop twin of `ring_iter` (same enumeration order,
+        // cell for cell) without the boxed-iterator machinery.
+        let (cx, cy) = center;
+        let max_radius = (self.width + self.height) as i32;
+        for r in 0..=max_radius {
+            for dx in -r..=r {
+                let dy = r - dx.abs();
+                if let Some(q) = self.id_at(cx + dx, cy + dy) {
+                    if pred(q) {
+                        return Some(q);
+                    }
+                }
+                if dy != 0 {
+                    if let Some(q) = self.id_at(cx + dx, cy - dy) {
+                        if pred(q) {
+                            return Some(q);
+                        }
+                    }
+                }
+            }
+        }
+        None
     }
 }
 
@@ -257,6 +343,14 @@ impl Topology for FullTopology {
 
     fn neighbors(&self, q: PhysId) -> Vec<PhysId> {
         (0..self.n).map(PhysId).filter(|&p| p != q).collect()
+    }
+
+    fn for_each_neighbor(&self, q: PhysId, f: &mut dyn FnMut(PhysId)) {
+        for p in (0..self.n).map(PhysId) {
+            if p != q {
+                f(p);
+            }
+        }
     }
 
     fn distance(&self, a: PhysId, b: PhysId) -> u32 {
@@ -327,6 +421,20 @@ impl Topology for LineTopology {
         v
     }
 
+    fn for_each_neighbor(&self, q: PhysId, f: &mut dyn FnMut(PhysId)) {
+        // Same order as `neighbors`: +1 then −1.
+        if q.0 + 1 < self.n {
+            f(PhysId(q.0 + 1));
+        }
+        if q.0 > 0 {
+            f(PhysId(q.0 - 1));
+        }
+    }
+
+    fn manhattan_distance(&self) -> bool {
+        true
+    }
+
     fn distance(&self, a: PhysId, b: PhysId) -> u32 {
         a.0.abs_diff(b.0)
     }
@@ -354,24 +462,18 @@ impl Topology for LineTopology {
     fn ring_iter(&self, center: (i32, i32)) -> Box<dyn Iterator<Item = PhysId> + '_> {
         let n = self.n as i32;
         let c = center.0.clamp(0, n - 1);
-        let iter = (0..n).filter_map(move |r| {
-            if r == 0 {
-                return Some(vec![PhysId(c as u32)]);
-            }
-            let mut v = Vec::with_capacity(2);
-            if c + r < n {
-                v.push(PhysId((c + r) as u32));
-            }
-            if c - r >= 0 {
-                v.push(PhysId((c - r) as u32));
-            }
-            if v.is_empty() {
-                None
+        let iter = (0..n).flat_map(move |r| {
+            let pair = if r == 0 {
+                [Some(PhysId(c as u32)), None]
             } else {
-                Some(v)
-            }
+                [
+                    (c + r < n).then(|| PhysId((c + r) as u32)),
+                    (c - r >= 0).then(|| PhysId((c - r) as u32)),
+                ]
+            };
+            pair.into_iter().flatten()
         });
-        Box::new(iter.flatten())
+        Box::new(iter)
     }
 }
 

@@ -44,7 +44,16 @@ pub enum BenchSet {
     /// The full 17-benchmark catalog (what the committed baseline
     /// records).
     Full,
+    /// The routing hot path: MUL32/MUL64 under the SQUARE policy,
+    /// with route-phase wall-clock recorded as dedicated
+    /// `phase: "route"` cells. This is what the `routing-perf` CI
+    /// step gates.
+    Routing,
 }
+
+/// The benchmarks whose route phase the `Routing` set (and the full
+/// baseline) records as dedicated cells.
+const ROUTING_BENCHMARKS: [Benchmark; 2] = [Benchmark::Mul32, Benchmark::Mul64];
 
 impl BenchSet {
     /// The benchmarks in this set.
@@ -52,14 +61,33 @@ impl BenchSet {
         match self {
             BenchSet::Smoke => &Benchmark::NISQ,
             BenchSet::Full => &Benchmark::ALL,
+            BenchSet::Routing => &ROUTING_BENCHMARKS,
         }
     }
 
-    /// Parses `smoke` / `full`.
+    /// The policies this set measures each benchmark under.
+    pub fn policies(&self) -> &'static [Policy] {
+        match self {
+            BenchSet::Smoke | BenchSet::Full => &Policy::ALL,
+            BenchSet::Routing => &[Policy::Square],
+        }
+    }
+
+    /// Whether this set records route-phase cells (for the
+    /// [`ROUTING_BENCHMARKS`] under [`Policy::Square`]). The smoke set
+    /// deliberately does not: it guards whole-compile timing and must
+    /// stay comparable against baselines recorded before route cells
+    /// existed.
+    fn records_route_cells(&self) -> bool {
+        matches!(self, BenchSet::Full | BenchSet::Routing)
+    }
+
+    /// Parses `smoke` / `full` / `routing`.
     pub fn parse(name: &str) -> Option<BenchSet> {
         match name.to_ascii_lowercase().as_str() {
             "smoke" | "nisq" => Some(BenchSet::Smoke),
             "full" | "all" => Some(BenchSet::Full),
+            "routing" | "route" => Some(BenchSet::Routing),
             _ => None,
         }
     }
@@ -72,6 +100,10 @@ pub struct MeasuredCell {
     pub benchmark: Benchmark,
     /// Policy used.
     pub policy: Policy,
+    /// True for a route-phase cell: the timing columns measure the
+    /// executor's route/schedule phase only (serialized as
+    /// `"phase": "route"`). False for a whole-compile cell.
+    pub route: bool,
     /// Median wall time of one compile, nanoseconds.
     pub median_ns: u64,
     /// Fastest observed compile, nanoseconds.
@@ -109,22 +141,30 @@ pub struct Baseline {
 }
 
 impl Baseline {
-    /// Looks up one cell.
-    pub fn get(&self, benchmark: Benchmark, policy: Policy) -> Option<&MeasuredCell> {
+    /// Looks up one cell (`route` selects between the whole-compile
+    /// and route-phase cell of the same `(benchmark, policy)`).
+    pub fn get(&self, benchmark: Benchmark, policy: Policy, route: bool) -> Option<&MeasuredCell> {
         self.cells
             .iter()
-            .find(|c| c.benchmark == benchmark && c.policy == policy)
+            .find(|c| c.benchmark == benchmark && c.policy == policy && c.route == route)
     }
 }
 
 impl Serialize for MeasuredCell {
     fn serialize(&self) -> Value {
-        Value::map([
+        let mut pairs = vec![
             (
                 "benchmark",
                 Value::String(self.benchmark.name().to_string()),
             ),
             ("policy", Value::String(self.policy.cli_name().to_string())),
+        ];
+        // Additive, optional field: absent means a whole-compile cell,
+        // so baselines without route cells parse unchanged.
+        if self.route {
+            pairs.push(("phase", Value::String("route".to_string())));
+        }
+        pairs.extend([
             ("median_ns", Value::UInt(self.median_ns)),
             ("min_ns", Value::UInt(self.min_ns)),
             ("samples", Value::UInt(self.samples as u64)),
@@ -133,7 +173,8 @@ impl Serialize for MeasuredCell {
             ("depth", Value::UInt(self.depth)),
             ("qubits", Value::UInt(self.qubits as u64)),
             ("aqv", Value::UInt(self.aqv)),
-        ])
+        ]);
+        Value::map(pairs)
     }
 }
 
@@ -195,11 +236,19 @@ pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
                 .get("policy")
                 .and_then(Value::as_str)
                 .ok_or_else(|| BaselineError("cell missing `policy`".into()))?;
+            let route = match cell.get("phase").and_then(Value::as_str) {
+                None => false,
+                Some("route") => true,
+                Some(other) => {
+                    return Err(BaselineError(format!("unknown cell phase `{other}`")));
+                }
+            };
             Ok(MeasuredCell {
                 benchmark: Benchmark::from_name(bench_name)
                     .ok_or_else(|| BaselineError(format!("unknown benchmark `{bench_name}`")))?,
                 policy: Policy::parse(policy_name)
                     .ok_or_else(|| BaselineError(format!("unknown policy `{policy_name}`")))?,
+                route,
                 median_ns: field_u64(cell, "median_ns")?,
                 min_ns: field_u64(cell, "min_ns")?,
                 samples: field_u64(cell, "samples")? as usize,
@@ -261,22 +310,25 @@ pub fn measure(
     let mut cells = Vec::new();
     for &benchmark in set.benchmarks() {
         let program = build(benchmark).map_err(|e| format!("{benchmark}: {e}"))?;
-        for policy in Policy::ALL {
+        for &policy in set.policies() {
             let config = CompilerConfig::nisq(policy);
             let compile_once = || -> Result<CompileReport, String> {
                 compile(&program, &config).map_err(|e| format!("{benchmark}/{policy}: {e}"))
             };
             let report = compile_once()?; // warm-up, keeps the fingerprint
             let mut times = Vec::with_capacity(samples);
+            let mut route_times = Vec::with_capacity(samples);
             for _ in 0..samples {
                 let start = Instant::now();
                 let r = compile_once()?;
                 times.push(start.elapsed().as_nanos() as u64);
+                route_times.push(r.route_ns);
                 std::hint::black_box(r);
             }
             let cell = MeasuredCell {
                 benchmark,
                 policy,
+                route: false,
                 median_ns: median(times.clone()),
                 min_ns: times.iter().copied().min().expect("samples >= 1"),
                 samples,
@@ -290,7 +342,23 @@ pub fn measure(
                 "measured {benchmark}/{policy}: median {:.3}ms over {samples} samples",
                 cell.median_ns as f64 / 1e6
             ));
+            let route_cell = (set.records_route_cells()
+                && policy == Policy::Square
+                && ROUTING_BENCHMARKS.contains(&benchmark))
+            .then(|| MeasuredCell {
+                route: true,
+                median_ns: median(route_times.clone()),
+                min_ns: route_times.iter().copied().min().expect("samples >= 1"),
+                ..cell.clone()
+            });
             cells.push(cell);
+            if let Some(route_cell) = route_cell {
+                progress(&format!(
+                    "measured {benchmark}/{policy} route phase: median {:.3}ms",
+                    route_cell.median_ns as f64 / 1e6
+                ));
+                cells.push(route_cell);
+            }
         }
     }
     Ok(Baseline {
@@ -307,6 +375,8 @@ pub struct CellComparison {
     pub benchmark: Benchmark,
     /// Policy.
     pub policy: Policy,
+    /// True when comparing route-phase cells.
+    pub route: bool,
     /// Calibration-normalized median in the baseline.
     pub baseline_norm: f64,
     /// Calibration-normalized median in the current run.
@@ -359,8 +429,9 @@ impl GateReport {
             "benchmark", "policy", "base(norm)", "now(norm)", "ratio"
         ));
         for t in &self.timings {
+            let phase = if t.route { " route" } else { "" };
             out.push_str(&format!(
-                "{:<12} {:<8} {:>14.4} {:>14.4} {:>8.3}\n",
+                "{:<12} {:<8} {:>14.4} {:>14.4} {:>8.3}{phase}\n",
                 t.benchmark.name(),
                 t.policy.cli_name(),
                 t.baseline_norm,
@@ -390,8 +461,13 @@ pub fn gate(baseline: &Baseline, current: &Baseline, tolerance: f64) -> GateRepo
     let mut timings = Vec::new();
     let mut log_sum = 0.0f64;
     for cell in &current.cells {
-        let Some(base) = baseline.get(cell.benchmark, cell.policy) else {
-            missing_cells.push(format!("{}/{}", cell.benchmark, cell.policy.cli_name()));
+        let Some(base) = baseline.get(cell.benchmark, cell.policy, cell.route) else {
+            let phase = if cell.route { " (route)" } else { "" };
+            missing_cells.push(format!(
+                "{}/{}{phase}",
+                cell.benchmark,
+                cell.policy.cli_name()
+            ));
             continue;
         };
         if base.fingerprint() != cell.fingerprint() {
@@ -423,6 +499,7 @@ pub fn gate(baseline: &Baseline, current: &Baseline, tolerance: f64) -> GateRepo
         timings.push(CellComparison {
             benchmark: cell.benchmark,
             policy: cell.policy,
+            route: cell.route,
             baseline_norm,
             current_norm,
             ratio,
@@ -450,6 +527,7 @@ mod tests {
         MeasuredCell {
             benchmark,
             policy,
+            route: false,
             median_ns,
             min_ns: median_ns,
             samples: 3,

@@ -1,8 +1,8 @@
 //! The benchmark baseline recorder and CI regression gate.
 //!
 //! ```text
-//! bench_gate record [--out BENCH_square.json] [--set full|smoke] [--samples N]
-//! bench_gate check --baseline BENCH_square.json [--set smoke|full] [--samples N] [--tolerance 0.15]
+//! bench_gate record [--out BENCH_square.json] [--set full|smoke|routing] [--samples N]
+//! bench_gate check --baseline BENCH_square.json [--set smoke|full|routing] [--samples N] [--tolerance 0.15]
 //! ```
 //!
 //! `record` measures the executor across `benchmarks × policies` and
@@ -114,8 +114,8 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("{message}");
             eprintln!(
-                "usage: bench_gate record [--out PATH|-] [--set full|smoke] [--samples N]\n\
-                 \x20      bench_gate check --baseline PATH [--set smoke|full] [--samples N] [--tolerance F]"
+                "usage: bench_gate record [--out PATH|-] [--set full|smoke|routing] [--samples N]\n\
+                 \x20      bench_gate check --baseline PATH [--set smoke|full|routing] [--samples N] [--tolerance F]"
             );
             ExitCode::from(2)
         }

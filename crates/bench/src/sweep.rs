@@ -102,39 +102,38 @@ impl SweepArch {
         matches!(self, SweepArch::FtAuto)
     }
 
-    /// Parses a CLI-style spec: `nisq`, `ft`, `grid:WxH`, `full:N`,
-    /// `line:N`, `heavyhex:D` (or bare `heavyhex` for auto-sizing),
-    /// `ring:N` (or bare `ring`), case-insensitive. Dimensions must be
-    /// nonzero and a grid's total qubit count must fit `u32` — invalid
-    /// sizes are a parse error here so they surface as a usage
-    /// message, not a panic inside a sweep worker.
+    /// Parses a CLI-style spec: `nisq`, `ft`, or any [`ArchSpec`]
+    /// spelling (`grid:WxH`, `full:N`, `line:N`, `heavyhex:D` or bare
+    /// `heavyhex`, `ring:N` or bare `ring`), case-insensitive.
+    ///
+    /// This is a compatibility shim kept for the sweep CLI's sake: the
+    /// grammar itself lives in [`ArchSpec`]'s `FromStr` impl, which is
+    /// what new call sites should use — only the `nisq`/`ft`
+    /// communication-model aliases are interpreted here.
     pub fn parse(spec: &str) -> Option<SweepArch> {
-        let lower = spec.to_ascii_lowercase();
-        match lower.as_str() {
+        match spec.to_ascii_lowercase().as_str() {
             "nisq" => return Some(SweepArch::NisqAuto),
             "ft" => return Some(SweepArch::FtAuto),
-            "heavyhex" => return Some(SweepArch::HeavyHexAuto),
-            "ring" => return Some(SweepArch::RingAuto),
             _ => {}
         }
-        let dim = |s: &str| s.parse::<u32>().ok().filter(|&n| n > 0);
-        let (kind, arg) = lower.split_once(':')?;
-        match kind {
-            "grid" => {
-                let (w, h) = arg.split_once('x')?;
-                let (width, height) = (dim(w)?, dim(h)?);
-                width.checked_mul(height)?;
-                Some(SweepArch::Grid { width, height })
-            }
-            "full" => Some(SweepArch::Full { n: dim(arg)? }),
-            "line" => Some(SweepArch::Line { n: dim(arg)? }),
-            // Heavy-hex qubit count grows ~5d²/2: keep d small enough
-            // that the n×n BFS tables stay sane.
-            "heavyhex" => Some(SweepArch::HeavyHex {
-                d: dim(arg).filter(|&d| d <= 63)?,
-            }),
-            "ring" => Some(SweepArch::Ring { n: dim(arg)? }),
-            _ => None,
+        spec.parse::<ArchSpec>().ok().map(SweepArch::from)
+    }
+}
+
+impl From<ArchSpec> for SweepArch {
+    /// Embeds a machine layout as a swap-chain sweep cell (`AutoGrid`
+    /// maps to the NISQ auto cell; `ft` has no `ArchSpec` spelling —
+    /// braiding is a communication model, not a layout).
+    fn from(arch: ArchSpec) -> SweepArch {
+        match arch {
+            ArchSpec::AutoGrid => SweepArch::NisqAuto,
+            ArchSpec::Grid { width, height } => SweepArch::Grid { width, height },
+            ArchSpec::Full { n } => SweepArch::Full { n },
+            ArchSpec::Line { n } => SweepArch::Line { n },
+            ArchSpec::HeavyHex { d } => SweepArch::HeavyHex { d },
+            ArchSpec::AutoHeavyHex => SweepArch::HeavyHexAuto,
+            ArchSpec::Ring { n } => SweepArch::Ring { n },
+            ArchSpec::AutoRing => SweepArch::RingAuto,
         }
     }
 }

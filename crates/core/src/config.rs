@@ -3,7 +3,7 @@
 use square_arch::{
     CommModel, FullTopology, GridTopology, HeavyHexTopology, LineTopology, RingTopology, Topology,
 };
-use square_route::RouterKind;
+use square_route::RouterConfig;
 
 use crate::policy::Policy;
 
@@ -46,6 +46,76 @@ pub enum ArchSpec {
     AutoHeavyHex,
     /// A ring auto-sized the same way.
     AutoRing,
+}
+
+/// Why an architecture spec string failed to parse.
+///
+/// Carries the offending spec so front ends can surface it verbatim
+/// in a usage message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchSpecParseError {
+    spec: String,
+}
+
+impl std::fmt::Display for ArchSpecParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown arch `{}` (expected grid[:WxH], full:N, line:N, heavyhex[:D] or ring[:N])",
+            self.spec
+        )
+    }
+}
+
+impl std::error::Error for ArchSpecParseError {}
+
+/// The one arch-spec grammar, shared by every front end (`squarec
+/// --arch`, the sweep CLI, the compile-service wire protocol):
+/// `grid:WxH`, `full:N`, `line:N`, `heavyhex:D`, `ring:N`, with bare
+/// `grid`, `heavyhex` and `ring` selecting the auto-sized variants.
+/// Case-insensitive. Dimensions must be nonzero, a grid's total qubit
+/// count must fit `u32`, and heavy-hex distance is capped at 63 (its
+/// qubit count grows ~5d²/2 and the all-pairs tables are O(n²)) — all
+/// enforced here so invalid sizes surface as a parse error, not a
+/// panic inside a worker.
+impl std::str::FromStr for ArchSpec {
+    type Err = ArchSpecParseError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let err = || ArchSpecParseError {
+            spec: spec.to_string(),
+        };
+        let lower = spec.to_ascii_lowercase();
+        match lower.as_str() {
+            "grid" => return Ok(ArchSpec::AutoGrid),
+            "heavyhex" => return Ok(ArchSpec::AutoHeavyHex),
+            "ring" => return Ok(ArchSpec::AutoRing),
+            _ => {}
+        }
+        let dim = |s: &str| s.parse::<u32>().ok().filter(|&n| n > 0);
+        let (kind, arg) = lower.split_once(':').ok_or_else(err)?;
+        match kind {
+            "grid" => {
+                let (w, h) = arg.split_once('x').ok_or_else(err)?;
+                let (width, height) = (dim(w).ok_or_else(err)?, dim(h).ok_or_else(err)?);
+                width.checked_mul(height).ok_or_else(err)?;
+                Ok(ArchSpec::Grid { width, height })
+            }
+            "full" => Ok(ArchSpec::Full {
+                n: dim(arg).ok_or_else(err)?,
+            }),
+            "line" => Ok(ArchSpec::Line {
+                n: dim(arg).ok_or_else(err)?,
+            }),
+            "heavyhex" => Ok(ArchSpec::HeavyHex {
+                d: dim(arg).filter(|&d| d <= 63).ok_or_else(err)?,
+            }),
+            "ring" => Ok(ArchSpec::Ring {
+                n: dim(arg).ok_or_else(err)?,
+            }),
+            _ => Err(err()),
+        }
+    }
 }
 
 impl ArchSpec {
@@ -166,9 +236,11 @@ pub struct CompilerConfig {
     /// Record the scheduled physical circuit (needed for noise
     /// simulation; memory-heavy on large programs).
     pub record_schedule: bool,
-    /// Swap-chain router. Braiding never consults it; the compiler
-    /// normalizes the recorded selection to greedy on FT targets.
-    pub router: RouterKind,
+    /// Swap-chain routing engine options (strategy, lookahead window
+    /// depth, parallel-planning threshold). Braiding never consults
+    /// it; the compiler normalizes the recorded selection to greedy on
+    /// FT targets.
+    pub router: RouterConfig,
     /// LAA score weights.
     pub laa: LaaWeights,
     /// CER cost-model parameters.
@@ -183,7 +255,7 @@ impl CompilerConfig {
             arch: ArchSpec::AutoGrid,
             comm: CommModel::SwapChains,
             record_schedule: false,
-            router: RouterKind::Greedy,
+            router: RouterConfig::default(),
             laa: LaaWeights::default(),
             cer: CerParams::default(),
         }
@@ -196,7 +268,7 @@ impl CompilerConfig {
             arch: ArchSpec::AutoGrid,
             comm: CommModel::Braiding,
             record_schedule: false,
-            router: RouterKind::Greedy,
+            router: RouterConfig::default(),
             laa: LaaWeights::default(),
             cer: CerParams::default(),
         }
@@ -214,9 +286,11 @@ impl CompilerConfig {
         self
     }
 
-    /// Selects the swap-chain router.
-    pub fn with_router(mut self, router: RouterKind) -> Self {
-        self.router = router;
+    /// Selects the swap-chain routing options (a bare
+    /// [`RouterKind`](square_route::RouterKind) converts, keeping the
+    /// other knobs default).
+    pub fn with_router(mut self, router: impl Into<RouterConfig>) -> Self {
+        self.router = router.into();
         self
     }
 }
@@ -247,6 +321,42 @@ mod tests {
         );
         assert_eq!(ArchSpec::Full { n: 7 }.build(0).qubit_count(), 7);
         assert_eq!(ArchSpec::Line { n: 9 }.build(0).qubit_count(), 9);
+    }
+
+    #[test]
+    fn arch_specs_parse_from_str() {
+        for (text, arch) in [
+            ("grid", ArchSpec::AutoGrid),
+            (
+                "grid:8x4",
+                ArchSpec::Grid {
+                    width: 8,
+                    height: 4,
+                },
+            ),
+            ("full:64", ArchSpec::Full { n: 64 }),
+            ("line:100", ArchSpec::Line { n: 100 }),
+            ("HeavyHex:5", ArchSpec::HeavyHex { d: 5 }),
+            ("heavyhex", ArchSpec::AutoHeavyHex),
+            ("ring:24", ArchSpec::Ring { n: 24 }),
+            ("ring", ArchSpec::AutoRing),
+        ] {
+            assert_eq!(text.parse::<ArchSpec>(), Ok(arch), "{text}");
+        }
+        for bad in [
+            "nisq",
+            "grid:8",
+            "hex:3",
+            "heavyhex:0",
+            "heavyhex:99",
+            "ring:0",
+            "grid:0x4",
+            "full:0",
+            "grid:70000x70000",
+        ] {
+            let err = bad.parse::<ArchSpec>().unwrap_err();
+            assert!(err.to_string().contains(bad), "{bad}: {err}");
+        }
     }
 
     #[test]

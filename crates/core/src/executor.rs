@@ -17,13 +17,7 @@ use square_qir::{
     analysis::ProgramStats, lower_mcx, trace::invert_slice_into, Gate, ModuleId, Operand, Program,
     Stmt, TraceOp, VirtId,
 };
-use square_route::{Machine, MachineConfig, RouterKind};
-
-/// How many upcoming multi-qubit gates the executor shows a
-/// lookahead router per routed gate (SABRE's extended set). The
-/// window ends at the first call statement — callee gate streams are
-/// not statically visible at this altitude.
-const LOOKAHEAD_WINDOW: usize = 16;
+use square_route::{Machine, MachineConfig, RouterConfig, RouterKind};
 
 use crate::cer::{CerEngine, CerInputs, ModuleCostTable};
 use crate::config::CompilerConfig;
@@ -153,7 +147,10 @@ pub fn compile_prepared_on(
     // router that never ran.
     let router = match config.comm {
         CommModel::SwapChains => config.router,
-        CommModel::Braiding => RouterKind::Greedy,
+        CommModel::Braiding => RouterConfig {
+            kind: RouterKind::Greedy,
+            ..config.router
+        },
     };
     let machine = Machine::with_shared(
         topo,
@@ -179,10 +176,13 @@ pub fn compile_prepared_on(
         decisions: DecisionStats::default(),
         decision_log: Vec::new(),
         lookahead: false,
+        layer_scratch: Vec::new(),
     };
     let lookahead = exec.machine.wants_lookahead();
     exec.lookahead = lookahead;
+    let route_start = std::time::Instant::now();
     let entry_register = exec.run_entry(inputs)?;
+    let route_ns = route_start.elapsed().as_nanos() as u64;
     let decisions = exec.decisions;
     let decision_log = std::mem::take(&mut exec.decision_log);
     let cer_cache = exec.cer.stats();
@@ -192,6 +192,7 @@ pub fn compile_prepared_on(
     let machine_qubits = exec.machine.qubit_count();
     let trace = exec.trace;
     let route_report = exec.machine.finish();
+    let router = router.kind;
     let aqv_value = square_metrics::aqv(route_report.segments.iter().map(|s| (s.start, s.end)));
     Ok(CompileReport {
         policy,
@@ -214,6 +215,7 @@ pub fn compile_prepared_on(
         placement_history: route_report.placement_history,
         cer_cache,
         machine_qubits,
+        route_ns,
         trace,
     })
 }
@@ -255,6 +257,9 @@ struct Exec<'p> {
     /// (gates the per-gate window construction off the hot path
     /// otherwise).
     lookahead: bool,
+    /// Reused buffer for batching runs of consecutive gate statements
+    /// into one [`Machine::apply_layer`] call.
+    layer_scratch: Vec<Gate<VirtId>>,
 }
 
 impl Exec<'_> {
@@ -262,6 +267,25 @@ impl Exec<'_> {
         let v = VirtId(self.next_virt);
         self.next_virt += 1;
         v
+    }
+
+    /// Routes and schedules a batched run of consecutive gates through
+    /// [`Machine::apply_layer`] (which plans wide layers' swap chains
+    /// in parallel, bit-identically to serial routing), then performs
+    /// the same per-gate bookkeeping as [`Exec::emit`]: the layer's
+    /// relocations are drained once — they accumulate in machine
+    /// order, and no `Alloc`/`Free` can interleave within a gate run —
+    /// and the gates are appended to the virtual trace. Drains `gates`.
+    fn emit_gate_layer(&mut self, gates: &mut Vec<Gate<VirtId>>) -> Result<(), CompileError> {
+        self.machine.apply_layer(gates)?;
+        self.gates_emitted += gates.len() as u64;
+        for (from, to) in self.machine.drain_relocations() {
+            self.heap.relocate(from, to);
+        }
+        for g in gates.drain(..) {
+            self.trace.push(TraceOp::Gate(g));
+        }
+        Ok(())
     }
 
     /// Applies one trace op to the machine and appends it to the
@@ -277,7 +301,7 @@ impl Exec<'_> {
                 let choice = choice.ok_or(CompileError::OutOfQubits {
                     requested: 1,
                     capacity: self.machine.qubit_count(),
-                    live: self.machine.active_count(),
+                    live: self.machine.placement().active_count(),
                 })?;
                 self.machine.place_at(*v, choice.phys)?;
                 self.cer.note_allocation_event();
@@ -374,15 +398,32 @@ impl Exec<'_> {
                     },
                 );
                 self.next_virt = next;
-                for j in 0..scratch.len() {
+                let mut j = 0;
+                while j < scratch.len() {
+                    // Same layer batching as run_block: uncompute
+                    // replays are gate-dense, so whole inverse slices
+                    // usually route as a single layer.
+                    if !self.lookahead && matches!(&scratch[j], TraceOp::Gate(_)) {
+                        let mut layer = std::mem::take(&mut self.layer_scratch);
+                        layer.clear();
+                        while let Some(TraceOp::Gate(g)) = scratch.get(j) {
+                            layer.push(g.clone());
+                            j += 1;
+                        }
+                        let routed = self.emit_gate_layer(&mut layer);
+                        self.layer_scratch = layer;
+                        routed?;
+                        continue;
+                    }
                     if self.lookahead && matches!(&scratch[j], TraceOp::Gate(g) if g.arity() >= 2) {
+                        let depth = self.config.router.lookahead_window;
                         let window = self.machine.lookahead_mut();
                         window.clear();
                         for op in &scratch[j + 1..] {
                             if let TraceOp::Gate(g) = op {
                                 if g.arity() >= 2 {
                                     window.push(g.clone());
-                                    if window.len() >= LOOKAHEAD_WINDOW {
+                                    if window.len() >= depth {
                                         break;
                                     }
                                 }
@@ -390,6 +431,7 @@ impl Exec<'_> {
                         }
                     }
                     self.emit(scratch[j].clone(), &[])?;
+                    j += 1;
                 }
                 self.inverse_scratch = scratch;
             }
@@ -426,7 +468,31 @@ impl Exec<'_> {
                 .custom_uncompute()
                 .expect("caller checked the block exists"),
         };
-        for (i, stmt) in stmts.iter().enumerate() {
+        let resolve = |op: &Operand| -> VirtId {
+            match op {
+                Operand::Param(i) => args[*i],
+                Operand::Ancilla(i) => anc[*i],
+            }
+        };
+        let mut i = 0;
+        while i < stmts.len() {
+            // Without a lookahead window to refill per gate, a maximal
+            // run of consecutive gate statements routes as one layer —
+            // the batched path that lets wide layers plan their swap
+            // chains in parallel.
+            if !self.lookahead && matches!(&stmts[i], Stmt::Gate(_)) {
+                let mut layer = std::mem::take(&mut self.layer_scratch);
+                layer.clear();
+                while let Some(Stmt::Gate(g)) = stmts.get(i) {
+                    layer.push(g.map(resolve));
+                    i += 1;
+                }
+                let routed = self.emit_gate_layer(&mut layer);
+                self.layer_scratch = layer;
+                routed?;
+                continue;
+            }
+            let stmt = &stmts[i];
             // O(1) memoized look-ahead: gates left in this block after
             // the current statement.
             let rest = match block {
@@ -440,14 +506,17 @@ impl Exec<'_> {
                 self.fill_window(&stmts[i + 1..], args, anc);
             }
             self.exec_stmt(stmt, id, args, anc, depth, rest, frame_g_p)?;
+            i += 1;
         }
         Ok(())
     }
 
     /// Refills the machine's lookahead window with the next
-    /// [`LOOKAHEAD_WINDOW`] multi-qubit gates of the current block,
-    /// resolved to virtual qubits — the front/extended set a
-    /// SABRE-style router scores swaps against.
+    /// [`RouterConfig::lookahead_window`] multi-qubit gates of the
+    /// current block, resolved to virtual qubits — the front/extended
+    /// set a SABRE-style router scores swaps against. The window ends
+    /// at the first call statement: callee gate streams are not
+    /// statically visible at this altitude.
     fn fill_window(&mut self, upcoming: &[Stmt], args: &[VirtId], anc: &[VirtId]) {
         let resolve = |op: &Operand| -> VirtId {
             match op {
@@ -455,13 +524,14 @@ impl Exec<'_> {
                 Operand::Ancilla(i) => anc[*i],
             }
         };
+        let depth = self.config.router.lookahead_window;
         let window = self.machine.lookahead_mut();
         window.clear();
         for stmt in upcoming {
             match stmt {
                 Stmt::Gate(g) if g.arity() >= 2 => {
                     window.push(g.map(resolve));
-                    if window.len() >= LOOKAHEAD_WINDOW {
+                    if window.len() >= depth {
                         break;
                     }
                 }
@@ -535,13 +605,13 @@ impl Exec<'_> {
             Policy::Square => {
                 let total = self.decisions.reclaimed + self.decisions.garbage;
                 let inputs = CerInputs {
-                    n_active: self.machine.active_count(),
+                    n_active: self.machine.placement().active_count(),
                     n_anc,
                     g_uncomp,
                     g_p,
                     level: depth,
                     comm_factor: self.machine.comm_factor(),
-                    free_qubits: self.machine.free_count(),
+                    free_qubits: self.machine.placement().free_count(),
                     capacity: self.machine.qubit_count(),
                     // Laplace-smoothed running reclaim rate.
                     reclaim_rate: (self.decisions.reclaimed as f64 + 1.0) / (total as f64 + 2.0),

@@ -45,8 +45,9 @@ pub fn choose_slot(
     weights: &LaaWeights,
 ) -> Option<AllocChoice> {
     let center = machine
+        .placement()
         .centroid_of(interact)
-        .or_else(|| machine.active_centroid())
+        .or_else(|| machine.placement().active_centroid())
         .unwrap_or_else(|| {
             // Empty machine: start in the middle of the fabric.
             let mid = PhysId((machine.qubit_count() / 2) as u32);
@@ -58,7 +59,7 @@ pub fn choose_slot(
     // penalty for availability *beyond* what the schedule already
     // imposes.
     let ready_ref = if interact.is_empty() {
-        machine.depth()
+        machine.clock().depth()
     } else {
         machine.ready_time(interact).max(1) - 1
     };
@@ -66,14 +67,14 @@ pub fn choose_slot(
     // Candidate 1: best heap qubit (communication + serialization).
     let heap_candidate = heap.peek_best(|p| {
         let dist = dist_to(machine, p, center);
-        let wait = machine.avail_of(p).saturating_sub(ready_ref) as f64;
+        let wait = machine.clock().avail(p).saturating_sub(ready_ref) as f64;
         weights.w_comm * dist + weights.w_serial * wait
     });
 
     // Candidate 2: nearest never-used qubit (communication + area).
     let fresh_candidate = machine.nearest_free(center, true).map(|p| {
         let dist = dist_to(machine, p, center);
-        let n_active = machine.active_count().max(1) as f64;
+        let n_active = machine.placement().active_count().max(1) as f64;
         let expansion = ((n_active + 1.0) / n_active).sqrt();
         let score = weights.w_comm * dist + weights.w_area * expansion;
         (p, score)
@@ -147,7 +148,7 @@ pub fn choose_slot_naive(
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
         let candidate = PhysId(((state >> 33) % n) as u32);
-        if machine.is_free(candidate) {
+        if machine.placement().is_free(candidate) {
             return Some(AllocChoice {
                 phys: candidate,
                 reused: false,
@@ -158,7 +159,7 @@ pub fn choose_slot_naive(
     // Dense machine: rejection sampling gave up; linear fallback.
     (0..machine.qubit_count() as u32)
         .map(PhysId)
-        .find(|&p| machine.is_free(p))
+        .find(|&p| machine.placement().is_free(p))
         .map(|p| AllocChoice {
             phys: p,
             reused: false,
@@ -233,7 +234,7 @@ mod tests {
         let mut m = machine_5x5();
         let mut heap = AncillaHeap::new();
         let c = choose_slot_naive(&m, &mut heap, 1).unwrap();
-        assert!(m.is_free(c.phys));
+        assert!(m.placement().is_free(c.phys));
         m.place_at(VirtId(0), c.phys).unwrap();
         heap.push(PhysId(20));
         let c2 = choose_slot_naive(&m, &mut heap, 2).unwrap();

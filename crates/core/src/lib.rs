@@ -45,7 +45,7 @@ pub mod report;
 mod error;
 
 pub use cer::{CerCacheStats, CerEngine, ModuleCostTable};
-pub use config::{ArchSpec, CerParams, CompilerConfig, LaaWeights};
+pub use config::{ArchSpec, ArchSpecParseError, CerParams, CompilerConfig, LaaWeights};
 pub use error::CompileError;
 pub use executor::{
     compile, compile_prepared, compile_prepared_on, compile_with_inputs, PreparedProgram,

@@ -85,6 +85,11 @@ pub struct CompileReport {
     pub cer_cache: CerCacheStats,
     /// Machine capacity used for this run.
     pub machine_qubits: usize,
+    /// Wall-clock nanoseconds spent in the route/schedule phase (the
+    /// executor run: allocation, routing, scheduling). Diagnostic
+    /// only — never serialized, so cached service reports stay
+    /// byte-identical to fresh compiles.
+    pub route_ns: u64,
     /// The executed virtual trace (alloc/gate/free events).
     pub trace: Vec<TraceOp>,
 }
@@ -157,6 +162,7 @@ mod tests {
             placement_history: None,
             cer_cache: CerCacheStats::default(),
             machine_qubits: 20,
+            route_ns: 0,
             trace: vec![],
         };
         let row = report.table_row();

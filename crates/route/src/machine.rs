@@ -1,24 +1,46 @@
 //! The machine model: placement, routing, scheduling, liveness.
 //!
-//! [`Machine`] is the stateful target the compile-time executor drives.
-//! Placing a virtual qubit binds it to a physical slot; applying a gate
-//! resolves connectivity (swap chains on NISQ, braids on FT), schedules
-//! it ASAP, and updates the communication statistics that feed the
-//! CER heuristic's `S` factor. Releasing a qubit closes its liveness
-//! segment, from which active quantum volume is computed.
+//! [`Machine`] is the stateful target the compile-time executor
+//! drives, split into three cohesive parts it orchestrates:
+//!
+//! * [`Placement`] — who sits where: flat occupancy arrays and
+//!   free / ever-used cell bitsets (read via [`Machine::placement`]);
+//! * [`Clock`] — when: per-qubit ASAP availability and the makespan
+//!   (read via [`Machine::clock`]);
+//! * [`ScheduleSink`] — what came out: statistics, liveness segments,
+//!   and the optional recorded circuit and placement history.
+//!
+//! Placing a virtual qubit binds it to a physical slot; applying a
+//! gate resolves connectivity (swap chains on NISQ, braids on FT),
+//! schedules it ASAP, and updates the communication statistics that
+//! feed the CER heuristic's `S` factor. Releasing a qubit closes its
+//! liveness segment, from which active quantum volume is computed.
+//!
+//! Routing strategy lives behind the stateless [`Router`] trait; the
+//! machine lends each `route()` call a [`RoutingCtx`](crate::RoutingCtx)
+//! carrying its scratch arenas, so the hot path allocates nothing.
+//! Wide front layers of independent gates can be routed in parallel
+//! with [`Machine::apply_layer`], which plans greedy swap chains on a
+//! snapshot across threads and merges them deterministically.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use square_arch::{CommModel, PhysId, Topology};
+use rayon::prelude::*;
+
+use square_arch::{CommModel, FlatTables, PhysId, Topology};
 use square_qir::{Gate, VirtId};
 
 use crate::braid::BraidField;
+use crate::config::RouterConfig;
+use crate::ctx::{RouterScratch, RoutingCtx};
 use crate::error::RouteError;
-use crate::router::{Router, RouterKind};
+use crate::placement::Placement;
+use crate::router::{self, RouterKind};
 use crate::schedule::{gate_duration, ScheduledGate};
-use crate::timeline::Timeline;
+use crate::sink::ScheduleSink;
+use crate::timeline::Clock;
 
 /// Construction options for [`Machine`].
 #[derive(Debug, Clone, Copy)]
@@ -28,8 +50,8 @@ pub struct MachineConfig {
     /// Record the full scheduled physical circuit (needed for noise
     /// simulation; costs memory on large programs).
     pub record_schedule: bool,
-    /// Swap-chain router (ignored under braiding).
-    pub router: RouterKind,
+    /// Swap-chain routing engine options (ignored under braiding).
+    pub router: RouterConfig,
 }
 
 impl MachineConfig {
@@ -39,7 +61,7 @@ impl MachineConfig {
         MachineConfig {
             comm: CommModel::SwapChains,
             record_schedule: false,
-            router: RouterKind::Greedy,
+            router: RouterConfig::default(),
         }
     }
 
@@ -48,7 +70,7 @@ impl MachineConfig {
         MachineConfig {
             comm: CommModel::Braiding,
             record_schedule: false,
-            router: RouterKind::Greedy,
+            router: RouterConfig::default(),
         }
     }
 
@@ -58,9 +80,10 @@ impl MachineConfig {
         self
     }
 
-    /// Selects the swap-chain router.
-    pub fn with_router(mut self, router: RouterKind) -> Self {
-        self.router = router;
+    /// Selects the swap-chain routing options (a bare
+    /// [`RouterKind`] converts, keeping the other knobs default).
+    pub fn with_router(mut self, router: impl Into<RouterConfig>) -> Self {
+        self.router = router.into();
         self
     }
 }
@@ -189,35 +212,42 @@ pub struct RouteReport {
     pub router: RouterKind,
 }
 
-/// A machine being scheduled onto: topology + placement + timeline.
+/// Distance acceleration mode, resolved once at construction: the
+/// routing hot path answers distance/adjacency queries from cached
+/// coordinates or flat tables instead of virtual calls where it can.
+#[derive(Debug, Clone)]
+enum DistAccel {
+    /// Hop distance equals Manhattan distance on the cached embedding
+    /// (grid, line).
+    Manhattan,
+    /// Graph-backed layout with shared flat all-pairs tables
+    /// (heavy-hex).
+    Tables(FlatTables),
+    /// Fall through to the topology's own (closed-form) answers.
+    Virtual,
+}
+
+/// A machine being scheduled onto: topology + placement + clock.
 pub struct Machine {
     /// Shared so a long-running compile service can hand many
     /// concurrent machines the same topology (and its lazily-built
     /// distance/next-hop tables) without rebuilding per compile.
     topo: Arc<dyn Topology>,
     comm: CommModel,
-    /// Swap-chain router; parked in an `Option` so it can be taken
-    /// out while routing borrows the machine mutably.
-    router: Option<Box<dyn Router>>,
-    router_kind: RouterKind,
+    config: RouterConfig,
+    accel: DistAccel,
     /// Upcoming-gate hint window for lookahead routers, filled by the
     /// executor before each gate.
     lookahead: Vec<Gate<VirtId>>,
-    timeline: Timeline,
-    occupant: Vec<Option<VirtId>>,
-    ever_used: Vec<bool>,
-    ever_placed: Vec<bool>,
-    place: HashMap<VirtId, PhysId>,
-    usage: HashMap<VirtId, (u64, u64)>,
-    segments: Vec<LivenessSegment>,
+    clock: Clock,
+    placement: Placement,
+    sink: ScheduleSink,
     braid_field: BraidField,
-    stats: CommStats,
-    schedule: Option<Vec<ScheduledGate>>,
-    history: Option<Vec<PlacementEvent>>,
-    active: usize,
-    peak_active: usize,
-    coord_sum: (i64, i64),
-    relocations: Vec<(PhysId, PhysId)>,
+    /// Router scratch arenas; parked in an `Option` so they can be
+    /// taken out while routing borrows the machine mutably.
+    scratch: Option<RouterScratch>,
+    /// Reusable physical-operand buffer for gate scheduling.
+    phys_buf: Vec<PhysId>,
 }
 
 impl fmt::Debug for Machine {
@@ -226,8 +256,8 @@ impl fmt::Debug for Machine {
             .field("topology", &self.topo.name())
             .field("comm", &self.comm)
             .field("qubits", &self.topo.qubit_count())
-            .field("active", &self.active)
-            .field("depth", &self.timeline.depth())
+            .field("active", &self.placement.active_count())
+            .field("depth", &self.clock.depth())
             .finish()
     }
 }
@@ -243,27 +273,24 @@ impl Machine {
     /// cached distance/next-hop tables. The machine never mutates the
     /// topology.
     pub fn with_shared(topo: Arc<dyn Topology>, config: MachineConfig) -> Self {
-        let n = topo.qubit_count();
+        let accel = if topo.manhattan_distance() {
+            DistAccel::Manhattan
+        } else if let Some(tables) = topo.flat_tables() {
+            DistAccel::Tables(tables)
+        } else {
+            DistAccel::Virtual
+        };
         Machine {
-            timeline: Timeline::new(n),
-            occupant: vec![None; n],
-            ever_used: vec![false; n],
-            ever_placed: vec![false; n],
-            place: HashMap::new(),
-            usage: HashMap::new(),
-            segments: Vec::new(),
+            clock: Clock::new(topo.qubit_count()),
+            placement: Placement::new(topo.as_ref()),
+            sink: ScheduleSink::new(config.record_schedule),
             braid_field: BraidField::new(),
-            stats: CommStats::default(),
-            schedule: config.record_schedule.then(Vec::new),
-            history: config.record_schedule.then(Vec::new),
-            active: 0,
-            peak_active: 0,
-            coord_sum: (0, 0),
-            relocations: Vec::new(),
             comm: config.comm,
-            router: Some(config.router.build()),
-            router_kind: config.router,
+            config: config.router,
+            accel,
             lookahead: Vec::new(),
+            scratch: Some(RouterScratch::default()),
+            phys_buf: Vec::new(),
             topo,
         }
     }
@@ -280,67 +307,62 @@ impl Machine {
 
     /// Total physical qubits.
     pub fn qubit_count(&self) -> usize {
-        self.occupant.len()
+        self.placement.qubit_count()
     }
 
-    /// Currently placed virtual qubits.
-    pub fn active_count(&self) -> usize {
-        self.active
+    /// The placement state: occupancy, free cells, centroids.
+    #[inline]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
     }
 
-    /// Free physical slots.
-    pub fn free_count(&self) -> usize {
-        self.qubit_count() - self.active
+    /// The scheduling clock: per-qubit availability and the makespan.
+    #[inline]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
-    /// True if the slot holds no virtual qubit.
-    pub fn is_free(&self, p: PhysId) -> bool {
-        self.occupant[p.index()].is_none()
+    /// Coupling-graph distance, answered from the acceleration mode
+    /// resolved at construction (cached coordinates, flat tables, or
+    /// the topology's closed form) — same values as `topo().distance`.
+    #[inline]
+    pub fn distance(&self, a: PhysId, b: PhysId) -> u32 {
+        match &self.accel {
+            DistAccel::Manhattan => {
+                let (ax, ay) = self.placement.coord(a);
+                let (bx, by) = self.placement.coord(b);
+                ax.abs_diff(bx) + ay.abs_diff(by)
+            }
+            DistAccel::Tables(t) => t.distance(a, b),
+            DistAccel::Virtual => self.topo.distance(a, b),
+        }
     }
 
-    /// True if the slot has ever held a qubit (so it is "reused"
-    /// rather than "fresh" from the allocator's perspective).
-    pub fn was_ever_used(&self, p: PhysId) -> bool {
-        self.ever_used[p.index()]
+    /// True if a two-qubit gate can act directly on `a` and `b`
+    /// (equivalent to `topo().are_coupled`, via [`Machine::distance`]).
+    #[inline]
+    pub fn coupled(&self, a: PhysId, b: PhysId) -> bool {
+        self.distance(a, b) == 1
     }
 
-    /// Current placement of a virtual qubit.
-    pub fn phys_of(&self, v: VirtId) -> Option<PhysId> {
-        self.place.get(&v).copied()
-    }
-
-    /// Availability time of a physical slot (for serialization
-    /// penalties in the LAA score).
-    pub fn avail_of(&self, p: PhysId) -> u64 {
-        self.timeline.avail(p)
+    /// First hop of a shortest `a → b` path (equivalent to
+    /// `topo().next_hop`, table-accelerated where available).
+    #[inline]
+    pub fn hop(&self, a: PhysId, b: PhysId) -> Option<PhysId> {
+        match &self.accel {
+            DistAccel::Tables(t) => t.next_hop(a, b),
+            _ => self.topo.next_hop(a, b),
+        }
     }
 
     /// Earliest start for a gate over the given virtual qubits.
     pub fn ready_time(&self, virts: &[VirtId]) -> u64 {
         virts
             .iter()
-            .filter_map(|v| self.phys_of(*v))
-            .map(|p| self.timeline.avail(p))
+            .filter_map(|v| self.placement.phys_of(*v))
+            .map(|p| self.clock.avail(p))
             .max()
             .unwrap_or(0)
-    }
-
-    /// Geometric centroid of the given (placed) virtual qubits; `None`
-    /// if none are placed yet.
-    pub fn centroid_of(&self, virts: &[VirtId]) -> Option<(i32, i32)> {
-        let coords: Vec<(i32, i32)> = virts
-            .iter()
-            .filter_map(|v| self.phys_of(*v))
-            .map(|p| self.topo.coord(p))
-            .collect();
-        if coords.is_empty() {
-            return None;
-        }
-        let (sx, sy) = coords.iter().fold((0i64, 0i64), |(sx, sy), (x, y)| {
-            (sx + *x as i64, sy + *y as i64)
-        });
-        let n = coords.len() as i64;
-        Some(((sx / n) as i32, (sy / n) as i32))
     }
 
     /// Drains the free-slot relocations caused by routing swaps since
@@ -348,26 +370,27 @@ impl Machine {
     /// to the cell the data qubit vacated. Callers holding pools of
     /// free slots (the ancilla heap) must apply these renames.
     pub fn drain_relocations(&mut self) -> Vec<(PhysId, PhysId)> {
-        std::mem::take(&mut self.relocations)
-    }
-
-    /// Centroid of all currently placed qubits (maintained
-    /// incrementally; O(1)). `None` when nothing is placed.
-    pub fn active_centroid(&self) -> Option<(i32, i32)> {
-        if self.active == 0 {
-            return None;
-        }
-        let n = self.active as i64;
-        Some(((self.coord_sum.0 / n) as i32, (self.coord_sum.1 / n) as i32))
+        self.placement.drain_relocations()
     }
 
     /// The free slot nearest `center`. With `require_fresh`, only
     /// never-used slots qualify (a "brand new" qubit in the paper's
     /// allocation algorithm).
     pub fn nearest_free(&self, center: (i32, i32), require_fresh: bool) -> Option<PhysId> {
+        if require_fresh {
+            // Once every cell has been touched, a fresh-only scan can
+            // only fail — skip the ring walk outright.
+            if self.placement.fresh_count() == 0 {
+                return None;
+            }
+            // Never-used cells are necessarily free, so the occupancy
+            // check can be dropped from the fresh predicate.
+            return self
+                .topo
+                .ring_find(center, &mut |p| !self.placement.was_ever_used(p));
+        }
         self.topo
-            .ring_iter(center)
-            .find(|&p| self.is_free(p) && (!require_fresh || !self.ever_used[p.index()]))
+            .ring_find(center, &mut |p| self.placement.is_free(p))
     }
 
     /// Places virtual qubit `v` on slot `p`.
@@ -376,24 +399,8 @@ impl Machine {
     ///
     /// [`RouteError::SlotOccupied`] / [`RouteError::AlreadyPlaced`].
     pub fn place_at(&mut self, v: VirtId, p: PhysId) -> Result<(), RouteError> {
-        if self.place.contains_key(&v) {
-            return Err(RouteError::AlreadyPlaced { virt: v });
-        }
-        if !self.is_free(p) {
-            return Err(RouteError::SlotOccupied { phys: p });
-        }
-        self.occupant[p.index()] = Some(v);
-        self.ever_used[p.index()] = true;
-        self.ever_placed[p.index()] = true;
-        self.place.insert(v, p);
-        if let Some(h) = &mut self.history {
-            h.push(PlacementEvent::Place { virt: v, phys: p });
-        }
-        self.active += 1;
-        self.peak_active = self.peak_active.max(self.active);
-        let (x, y) = self.topo.coord(p);
-        self.coord_sum.0 += x as i64;
-        self.coord_sum.1 += y as i64;
+        self.placement.bind(v, p)?;
+        self.sink.event(PlacementEvent::Place { virt: v, phys: p });
         Ok(())
     }
 
@@ -404,20 +411,11 @@ impl Machine {
     ///
     /// [`RouteError::UnplacedQubit`] if `v` is not placed.
     pub fn release(&mut self, v: VirtId) -> Result<PhysId, RouteError> {
-        let p = self
-            .place
-            .remove(&v)
-            .ok_or(RouteError::UnplacedQubit { virt: v })?;
-        self.occupant[p.index()] = None;
-        self.active -= 1;
-        if let Some(h) = &mut self.history {
-            h.push(PlacementEvent::Release { virt: v, phys: p });
-        }
-        let (x, y) = self.topo.coord(p);
-        self.coord_sum.0 -= x as i64;
-        self.coord_sum.1 -= y as i64;
-        if let Some((first, last)) = self.usage.remove(&v) {
-            self.segments.push(LivenessSegment {
+        let p = self.placement.unbind(v)?;
+        self.sink
+            .event(PlacementEvent::Release { virt: v, phys: p });
+        if let Some((first, last)) = self.sink.take_usage(v) {
+            self.sink.push_segment(LivenessSegment {
                 virt: v,
                 phys: p,
                 start: first,
@@ -433,10 +431,11 @@ impl Machine {
     pub fn comm_factor(&self) -> f64 {
         match self.comm {
             CommModel::SwapChains => {
-                if self.stats.multi_qubit_gates == 0 {
+                let stats = self.sink.stats();
+                if stats.multi_qubit_gates == 0 {
                     0.0
                 } else {
-                    self.stats.swaps as f64 / self.stats.multi_qubit_gates as f64
+                    stats.swaps as f64 / stats.multi_qubit_gates as f64
                 }
             }
             CommModel::Braiding => self.braid_field.avg_conflicts(),
@@ -445,40 +444,23 @@ impl Machine {
 
     /// Statistics so far.
     pub fn stats(&self) -> &CommStats {
-        &self.stats
+        self.sink.stats()
     }
 
-    /// Current makespan.
-    pub fn depth(&self) -> u64 {
-        self.timeline.depth()
+    /// The routing engine configuration.
+    pub fn router_config(&self) -> RouterConfig {
+        self.config
     }
 
-    fn note_usage(&mut self, v: VirtId, start: u64, end: u64) {
-        let e = self.usage.entry(v).or_insert((start, end));
-        e.0 = e.0.min(start);
-        e.1 = e.1.max(end);
-    }
-
-    fn record(&mut self, gate: Gate<PhysId>, start: u64, dur: u64, is_comm: bool) {
-        if let Some(s) = &mut self.schedule {
-            s.push(ScheduledGate {
-                gate,
-                start,
-                dur,
-                is_comm,
-            });
-        }
-    }
-
-    /// The communication model's router selection.
+    /// The routing strategy in effect.
     pub fn router_kind(&self) -> RouterKind {
-        self.router_kind
+        self.config.kind
     }
 
     /// True when the active router consumes the lookahead window —
     /// callers skip building the window otherwise.
     pub fn wants_lookahead(&self) -> bool {
-        self.comm == CommModel::SwapChains && self.router_kind.wants_lookahead()
+        self.comm == CommModel::SwapChains && self.config.kind.wants_lookahead()
     }
 
     /// The upcoming-gate hint window the router sees on the next
@@ -490,66 +472,49 @@ impl Machine {
 
     /// Records a Toffoli operand-gathering retry (router bookkeeping).
     pub(crate) fn note_gather_retry(&mut self) {
-        self.stats.gather_retries += 1;
+        self.sink.stats.gather_retries += 1;
     }
 
     /// Records a Toffoli gather that gave up before full adjacency.
     pub(crate) fn note_gather_failure(&mut self) {
-        self.stats.gather_failures += 1;
+        self.sink.stats.gather_failures += 1;
+    }
+
+    /// Folds a planned gather's bookkeeping into the statistics.
+    pub(crate) fn bump_gather(&mut self, retries: u64, failed: bool) {
+        self.sink.stats.gather_retries += retries;
+        if failed {
+            self.sink.stats.gather_failures += 1;
+        }
     }
 
     /// Swaps the contents of two adjacent physical cells (a routing
     /// SWAP: three CNOT cycles), updating placements, liveness,
     /// free-cell relocations, and the placement history. This is the
-    /// only mutation [`Router`] implementations perform.
+    /// only mutation [`Router`](crate::Router) implementations
+    /// perform.
     pub fn swap_cells(&mut self, p: PhysId, q: PhysId) {
         debug_assert!(self.topo.are_coupled(p, q), "swap of non-coupled cells");
-        let start = self.timeline.occupy_asap(&[p, q], 3);
-        let vp = self.occupant[p.index()];
-        let vq = self.occupant[q.index()];
-        self.occupant[p.index()] = vq;
-        self.occupant[q.index()] = vp;
-        let (px, py) = self.topo.coord(p);
-        let (qx, qy) = self.topo.coord(q);
-        if vp.is_some() != vq.is_some() {
-            // one occupant moved between the cells: shift the centroid sum
-            let sign = if vp.is_some() { 1 } else { -1 };
-            self.coord_sum.0 += sign * (qx as i64 - px as i64);
-            self.coord_sum.1 += sign * (qy as i64 - py as i64);
-            // The |0⟩ of the free cell relocated to the other cell:
-            // report it so pooled-qubit bookkeeping can follow.
-            if vp.is_some() {
-                self.relocations.push((q, p));
-            } else {
-                self.relocations.push((p, q));
-            }
-        }
+        let start = self.clock.occupy_pair_asap(p, q, 3);
+        let (vp, vq) = self.placement.swap_occupants(p, q);
         if let Some(v) = vp {
-            self.place.insert(v, q);
-            self.note_usage(v, start, start + 3);
-            if let Some(h) = &mut self.history {
-                h.push(PlacementEvent::Move {
-                    virt: v,
-                    from: p,
-                    to: q,
-                });
-            }
+            self.sink.note_usage(v, start, start + 3);
+            self.sink.event(PlacementEvent::Move {
+                virt: v,
+                from: p,
+                to: q,
+            });
         }
         if let Some(v) = vq {
-            self.place.insert(v, p);
-            self.note_usage(v, start, start + 3);
-            if let Some(h) = &mut self.history {
-                h.push(PlacementEvent::Move {
-                    virt: v,
-                    from: q,
-                    to: p,
-                });
-            }
+            self.sink.note_usage(v, start, start + 3);
+            self.sink.event(PlacementEvent::Move {
+                virt: v,
+                from: q,
+                to: p,
+            });
         }
-        self.ever_used[p.index()] = true;
-        self.ever_used[q.index()] = true;
-        self.stats.swaps += 1;
-        self.record(Gate::Swap { a: p, b: q }, start, 3, true);
+        self.sink.stats.swaps += 1;
+        self.sink.record(Gate::Swap { a: p, b: q }, start, 3, true);
     }
 
     /// Applies a program gate: resolves connectivity, schedules ASAP,
@@ -565,10 +530,100 @@ impl Machine {
         }
     }
 
+    /// Applies a *front layer* of program gates, in order. Under the
+    /// greedy swap-chain router, layers at least
+    /// [`RouterConfig::parallel_min_layer`] multi-qubit gates wide
+    /// have their swap chains planned in parallel (rayon) from a
+    /// placement snapshot, then merged deterministically: each plan is
+    /// replayed in program order if its operands still sit where the
+    /// snapshot saw them, and re-planned serially otherwise — so the
+    /// schedule is bit-identical to gate-at-a-time routing.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnplacedQubit`] if an operand has no placement.
+    pub fn apply_layer(&mut self, gates: &[Gate<VirtId>]) -> Result<(), RouteError> {
+        let threshold = self.config.parallel_min_layer;
+        let eligible = self.comm == CommModel::SwapChains
+            && self.config.kind == RouterKind::Greedy
+            && threshold != usize::MAX
+            && gates.iter().filter(|g| g.arity() >= 2).count() >= threshold;
+        if !eligible {
+            for gate in gates {
+                self.apply(gate)?;
+            }
+            return Ok(());
+        }
+        // Partition the batch into contiguous *waves* of
+        // operand-disjoint gates. Gates that share a qubit are routed
+        // one after another anyway (the second plan would be stale the
+        // moment the first one moves the shared operand), so planning
+        // them on one snapshot wastes the fork-join; only genuinely
+        // independent runs are worth threads. Dependent arithmetic
+        // chains therefore degenerate to the serial path with nothing
+        // but this O(batch) partition as overhead.
+        let mut seen: Vec<VirtId> = Vec::new();
+        let mut start = 0;
+        while start < gates.len() {
+            seen.clear();
+            let mut end = start;
+            let mut wide = 0usize;
+            'grow: while end < gates.len() {
+                let gate = &gates[end];
+                let mut overlaps = false;
+                gate.for_each_qubit(|q| overlaps |= seen.contains(q));
+                if overlaps {
+                    break 'grow;
+                }
+                gate.for_each_qubit(|q| seen.push(*q));
+                wide += usize::from(gate.arity() >= 2);
+                end += 1;
+            }
+            let wave = &gates[start..end];
+            if wide >= threshold {
+                self.apply_wave(wave)?;
+            } else {
+                for gate in wave {
+                    self.apply(gate)?;
+                }
+            }
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// Routes one operand-disjoint wave: greedy plans are computed on
+    /// a placement snapshot across threads, then merged in order.
+    fn apply_wave(&mut self, wave: &[Gate<VirtId>]) -> Result<(), RouteError> {
+        let snapshot: &Machine = self;
+        let plans: Vec<_> = wave
+            .par_iter()
+            .map(|gate| router::plan_layer_gate(snapshot, gate))
+            .collect();
+        for (gate, plan) in wave.iter().zip(plans) {
+            match plan {
+                Some(plan) if plan.still_valid(self) => {
+                    for &(u, v) in &plan.swaps {
+                        self.swap_cells(u, v);
+                    }
+                    self.bump_gather(plan.retries, plan.failed);
+                    self.schedule_program_gate(gate)?;
+                }
+                // Stale plan (an earlier chain in the wave crossed an
+                // operand), unplanned gate (1-qubit), or a planning
+                // error: fall back to the serial path.
+                _ => {
+                    self.apply(gate)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn phys_operands(&self, gate: &Gate<VirtId>) -> Result<Vec<PhysId>, RouteError> {
         let mut out = Vec::with_capacity(gate.arity());
         let mut missing = None;
-        gate.for_each_qubit(|v| match self.phys_of(*v) {
+        gate.for_each_qubit(|v| match self.placement.phys_of(*v) {
             Some(p) => out.push(p),
             None => missing = Some(*v),
         });
@@ -578,48 +633,67 @@ impl Machine {
         }
     }
 
-    fn note_gate(&mut self, gate: &Gate<VirtId>, start: u64, dur: u64) {
-        gate.for_each_qubit(|v| {
-            // borrow: collect first
-            let _ = v;
+    /// Placement of an operand that routing already verified.
+    fn phys_must(&self, v: VirtId) -> PhysId {
+        self.placement.phys_of(v).expect("operand placed")
+    }
+
+    /// Schedules an already-routed program gate ASAP and updates
+    /// statistics, liveness, and the recorded circuit.
+    fn schedule_program_gate(&mut self, gate: &Gate<VirtId>) -> Result<u64, RouteError> {
+        let mut buf = std::mem::take(&mut self.phys_buf);
+        buf.clear();
+        let mut missing = None;
+        gate.for_each_qubit(|v| match self.placement.phys_of(*v) {
+            Some(p) => buf.push(p),
+            None => missing = Some(*v),
         });
-        let mut virts = Vec::with_capacity(gate.arity());
-        gate.for_each_qubit(|v| virts.push(*v));
-        for v in virts {
-            self.note_usage(v, start, start + dur);
+        if let Some(v) = missing {
+            self.phys_buf = buf;
+            return Err(RouteError::UnplacedQubit { virt: v });
         }
-        self.stats.program_gates += 1;
+        let dur = gate_duration(gate);
+        let start = self.clock.occupy_asap(&buf, dur);
+        self.phys_buf = buf;
+        let sink = &mut self.sink;
+        gate.for_each_qubit(|v| sink.note_usage(*v, start, start + dur));
+        sink.stats.program_gates += 1;
         if gate.arity() >= 2 {
-            self.stats.multi_qubit_gates += 1;
+            sink.stats.multi_qubit_gates += 1;
         }
+        if self.sink.records_schedule() {
+            let phys_gate = gate.map(|v| self.phys_must(*v));
+            self.sink.record(phys_gate, start, dur, false);
+        }
+        Ok(start)
     }
 
     fn apply_swapchain(&mut self, gate: &Gate<VirtId>) -> Result<u64, RouteError> {
-        // The router is parked in an Option so it can borrow the
-        // machine mutably while routing; the window rides along the
-        // same way (it is read-only to the router).
-        let mut router = self.router.take().expect("router parked in place");
+        // The scratch arenas and window are parked in the machine so
+        // the stateless router can borrow all three disjointly.
+        let router = self.config.kind.instance();
         let window = std::mem::take(&mut self.lookahead);
-        let routed = router.route_gate(self, gate, &window);
+        let mut scratch = self.scratch.take().expect("scratch parked in place");
+        let routed = {
+            let mut ctx = RoutingCtx {
+                machine: self,
+                scratch: &mut scratch,
+                window: &window,
+            };
+            router.route(&mut ctx, gate)
+        };
+        self.scratch = Some(scratch);
         self.lookahead = window;
-        self.router = Some(router);
         routed?;
-        let phys = self.phys_operands(gate)?;
-        let phys_gate = gate.map(|v| self.place[v]);
-        let dur = gate_duration(&phys_gate);
-        let start = self.timeline.occupy_asap(&phys, dur);
-        self.note_gate(gate, start, dur);
-        self.record(phys_gate, start, dur, false);
-        Ok(start)
+        self.schedule_program_gate(gate)
     }
 
     fn apply_braided(&mut self, gate: &Gate<VirtId>) -> Result<u64, RouteError> {
         let phys = self.phys_operands(gate)?;
         match gate {
             Gate::X { .. } => {
-                let start = self.timeline.occupy_asap(&phys, 1);
-                self.note_gate(gate, start, 1);
-                self.record(gate.map(|v| self.place[v]), start, 1, false);
+                let start = self.clock.occupy_asap(&phys, 1);
+                self.note_braided_gate(gate, start, 1);
                 Ok(start)
             }
             Gate::Cx { .. } | Gate::Swap { .. } => {
@@ -629,8 +703,7 @@ impl Machine {
                     1
                 };
                 let start = self.braid_pair(phys[0], phys[1], dur);
-                self.note_gate(gate, start, dur);
-                self.record(gate.map(|v| self.place[v]), start, dur, false);
+                self.note_braided_gate(gate, start, dur);
                 Ok(start)
             }
             Gate::Ccx { .. } => {
@@ -641,54 +714,68 @@ impl Machine {
                 let s3 = self.braid_pair(phys[0], phys[1], 2);
                 let start = s1.min(s2).min(s3);
                 let end = (s1 + 2).max(s2 + 2).max(s3 + 2);
-                self.note_gate(gate, start, end - start);
-                self.record(gate.map(|v| self.place[v]), start, end - start, false);
+                self.note_braided_gate(gate, start, end - start);
                 Ok(start)
             }
             Gate::Mcx { controls, target } => {
                 // Chain of pairwise braids (for completeness; lowered
                 // programs do not produce k ≥ 3).
-                let pt = self.place[target];
+                let pt = self.phys_must(*target);
                 let mut start = u64::MAX;
                 let mut end = 0u64;
                 for c in controls {
-                    let pc = self.place[c];
+                    let pc = self.phys_must(*c);
                     let s = self.braid_pair(pc, pt, 2);
                     start = start.min(s);
                     end = end.max(s + 2);
                 }
                 if controls.is_empty() {
-                    let s = self.timeline.occupy_asap(&phys, 1);
+                    let s = self.clock.occupy_asap(&phys, 1);
                     start = s;
                     end = s + 1;
                 }
-                self.note_gate(gate, start, end - start);
-                self.record(gate.map(|v| self.place[v]), start, end - start, false);
+                self.note_braided_gate(gate, start, end - start);
                 Ok(start)
             }
         }
     }
 
+    /// Liveness/stats/record bookkeeping shared by the braided paths.
+    fn note_braided_gate(&mut self, gate: &Gate<VirtId>, start: u64, dur: u64) {
+        let sink = &mut self.sink;
+        gate.for_each_qubit(|v| sink.note_usage(*v, start, start + dur));
+        sink.stats.program_gates += 1;
+        if gate.arity() >= 2 {
+            sink.stats.multi_qubit_gates += 1;
+        }
+        if self.sink.records_schedule() {
+            let phys_gate = gate.map(|v| self.phys_must(*v));
+            self.sink.record(phys_gate, start, dur, false);
+        }
+    }
+
     /// Schedules one braid between two placed qubits; returns start.
     fn braid_pair(&mut self, a: PhysId, b: PhysId, dur: u64) -> u64 {
-        let ready = self.timeline.ready_at(&[a, b]);
+        let ready = self.clock.ready_at(&[a, b]);
         let ca = self.topo.coord(a);
         let cb = self.topo.coord(b);
         let before = self.braid_field.conflicts();
         let start = self.braid_field.route(ca, cb, ready, dur);
-        self.stats.braids += 1;
-        self.stats.braid_conflicts += self.braid_field.conflicts() - before;
-        self.timeline.occupy(&[a, b], start, dur);
+        self.sink.stats.braids += 1;
+        self.sink.stats.braid_conflicts += self.braid_field.conflicts() - before;
+        self.clock.occupy(&[a, b], start, dur);
         start
     }
 
     /// Finishes the run: closes open liveness segments at the final
     /// makespan and returns the report.
-    pub fn finish(mut self) -> RouteReport {
-        let depth = self.timeline.depth();
-        let final_placement = self.place.clone();
-        let mut segments = std::mem::take(&mut self.segments);
-        for (v, (first, last)) in self.usage.drain() {
+    pub fn finish(self) -> RouteReport {
+        let depth = self.clock.depth();
+        let final_placement = self.placement.final_placement();
+        let footprint = self.placement.footprint();
+        let peak_active = self.placement.peak_active();
+        let (stats, schedule, history, mut segments, open) = self.sink.into_parts();
+        for (v, (first, last)) in open {
             // Still-live qubits (outputs, garbage never reclaimed)
             // stay exposed until program end.
             let phys = final_placement.get(&v).copied().unwrap_or(PhysId(0));
@@ -699,17 +786,16 @@ impl Machine {
                 end: depth.max(last),
             });
         }
-        let footprint = self.ever_placed.iter().filter(|&&b| b).count();
         RouteReport {
             depth,
-            stats: self.stats,
+            stats,
             segments,
-            schedule: self.schedule,
-            peak_active: self.peak_active,
+            schedule,
+            peak_active,
             footprint,
             final_placement,
-            placement_history: self.history,
-            router: self.router_kind,
+            placement_history: history,
+            router: self.config.kind,
         }
     }
 }
@@ -730,13 +816,16 @@ mod tests {
     fn place_and_release_round_trip() {
         let mut m = grid_machine(3, 3);
         m.place_at(VirtId(0), PhysId(4)).unwrap();
-        assert_eq!(m.active_count(), 1);
-        assert!(!m.is_free(PhysId(4)));
-        assert!(m.was_ever_used(PhysId(4)));
+        assert_eq!(m.placement().active_count(), 1);
+        assert!(!m.placement().is_free(PhysId(4)));
+        assert!(m.placement().was_ever_used(PhysId(4)));
         let p = m.release(VirtId(0)).unwrap();
         assert_eq!(p, PhysId(4));
-        assert!(m.is_free(PhysId(4)));
-        assert!(m.was_ever_used(PhysId(4)), "fresh vs reused distinction");
+        assert!(m.placement().is_free(PhysId(4)));
+        assert!(
+            m.placement().was_ever_used(PhysId(4)),
+            "fresh vs reused distinction"
+        );
     }
 
     #[test]
@@ -770,7 +859,7 @@ mod tests {
         // distance 4 → 3 swaps to become adjacent.
         assert_eq!(m.stats().swaps, 3);
         // control moved next to target
-        assert_eq!(m.phys_of(VirtId(0)), Some(PhysId(3)));
+        assert_eq!(m.placement().phys_of(VirtId(0)), Some(PhysId(3)));
         assert!(m.comm_factor() > 0.0);
     }
 
@@ -800,9 +889,9 @@ mod tests {
             target: VirtId(2),
         })
         .unwrap();
-        let pt = m.phys_of(VirtId(2)).unwrap();
-        let p0 = m.phys_of(VirtId(0)).unwrap();
-        let p1 = m.phys_of(VirtId(1)).unwrap();
+        let pt = m.placement().phys_of(VirtId(2)).unwrap();
+        let p0 = m.placement().phys_of(VirtId(0)).unwrap();
+        let p1 = m.placement().phys_of(VirtId(1)).unwrap();
         assert!(m.topo().are_coupled(p0, pt));
         assert!(m.topo().are_coupled(p1, pt));
         assert_eq!(m.stats().gather_failures, 0);
@@ -852,7 +941,7 @@ mod tests {
         assert_eq!(m.stats().braids, 2);
         // Both L-orientations of the second braid cross the first; it
         // must have queued.
-        assert!(m.depth() >= 2);
+        assert!(m.clock().depth() >= 2);
     }
 
     #[test]
@@ -938,5 +1027,58 @@ mod tests {
         // Slot 0 is free but used; slot 1 is fresh.
         assert_eq!(m.nearest_free((0, 0), false), Some(PhysId(0)));
         assert_eq!(m.nearest_free((0, 0), true), Some(PhysId(1)));
+    }
+
+    /// The parallel layer path must be bit-identical to gate-at-a-time
+    /// routing: same swaps, depth, liveness, history, and schedule.
+    #[test]
+    fn parallel_layer_routing_matches_serial() {
+        let gates: Vec<Gate<VirtId>> = (0..12u32)
+            .map(|i| Gate::Cx {
+                control: VirtId(i),
+                target: VirtId((i + 7) % 16),
+            })
+            .chain([
+                Gate::Ccx {
+                    c0: VirtId(0),
+                    c1: VirtId(15),
+                    target: VirtId(8),
+                },
+                Gate::X { target: VirtId(3) },
+                Gate::Cx {
+                    control: VirtId(3),
+                    target: VirtId(0),
+                },
+            ])
+            .collect();
+        let build = |parallel_min: usize| {
+            let mut m = Machine::new(
+                Box::new(GridTopology::new(8, 8)),
+                MachineConfig::nisq()
+                    .with_router(
+                        RouterConfig::new(RouterKind::Greedy).with_parallel_min_layer(parallel_min),
+                    )
+                    .with_schedule(),
+            );
+            for i in 0..16u32 {
+                // Spread operands so routing has real work.
+                m.place_at(VirtId(i), PhysId(i * 4)).unwrap();
+            }
+            m
+        };
+        let mut serial = build(usize::MAX);
+        for g in &gates {
+            serial.apply(g).unwrap();
+        }
+        let mut layered = build(1);
+        layered.apply_layer(&gates).unwrap();
+        let (a, b) = (serial.finish(), layered.finish());
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.swaps > 0, "scenario must actually route");
+        assert_eq!(a.depth, b.depth);
+        assert_eq!(a.segments, b.segments);
+        assert_eq!(a.final_placement, b.final_placement);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.placement_history, b.placement_history);
     }
 }

@@ -36,8 +36,9 @@ impl fmt::Display for ScheduledGate {
 
 /// Standard durations, in scheduler cycles, of each gate kind. SWAP is
 /// three back-to-back CNOTs; Toffoli is its depth in the standard
-/// Clifford+T decomposition.
-pub fn gate_duration(gate: &Gate<PhysId>) -> u64 {
+/// Clifford+T decomposition. Generic over the qubit naming: durations
+/// depend only on the gate shape, so virtual and physical gates agree.
+pub fn gate_duration<T>(gate: &Gate<T>) -> u64 {
     match gate {
         Gate::X { .. } => 1,
         Gate::Cx { .. } => 1,

@@ -1,4 +1,4 @@
-//! ASAP timeline: per-qubit availability tracking.
+//! ASAP clock: per-qubit availability tracking.
 //!
 //! The paper's gate scheduler places each gate "to the earliest time
 //! step possible" (Section III-C). With data dependencies carried by
@@ -8,17 +8,19 @@
 
 use square_arch::PhysId;
 
-/// Per-physical-qubit busy-until times plus the overall makespan.
+/// Per-physical-qubit busy-until times plus the overall makespan —
+/// the time half of the machine's `Placement`/`Clock`/`ScheduleSink`
+/// split. Read it through [`Machine::clock`](crate::Machine::clock).
 #[derive(Debug, Clone, Default)]
-pub struct Timeline {
+pub struct Clock {
     avail: Vec<u64>,
     depth: u64,
 }
 
-impl Timeline {
-    /// A timeline for `n` physical qubits, all available at time 0.
+impl Clock {
+    /// A clock for `n` physical qubits, all available at time 0.
     pub fn new(n: usize) -> Self {
-        Timeline {
+        Clock {
             avail: vec![0; n],
             depth: 0,
         }
@@ -30,13 +32,14 @@ impl Timeline {
     }
 
     /// Availability of a single qubit.
+    #[inline]
     pub fn avail(&self, q: PhysId) -> u64 {
         self.avail[q.index()]
     }
 
     /// Schedules an operation over `qs` starting at `start` for `dur`
     /// cycles; returns the start time. `start` must be ≥
-    /// [`Timeline::ready_at`] for the same operands (callers pick the
+    /// [`Clock::ready_at`] for the same operands (callers pick the
     /// slot; braid routing may delay past readiness).
     pub fn occupy(&mut self, qs: &[PhysId], start: u64, dur: u64) -> u64 {
         debug_assert!(start >= self.ready_at(qs), "scheduling before readiness");
@@ -54,7 +57,22 @@ impl Timeline {
         self.occupy(qs, start, dur)
     }
 
+    /// Schedules a two-qubit operation ASAP without the slice round
+    /// trip — the routing swap fast path.
+    #[inline]
+    pub(crate) fn occupy_pair_asap(&mut self, a: PhysId, b: PhysId, dur: u64) -> u64 {
+        let ai = a.index();
+        let bi = b.index();
+        let start = self.avail[ai].max(self.avail[bi]);
+        let end = start + dur;
+        self.avail[ai] = end;
+        self.avail[bi] = end;
+        self.depth = self.depth.max(end);
+        start
+    }
+
     /// Overall makespan (circuit depth in cycles).
+    #[inline]
     pub fn depth(&self) -> u64 {
         self.depth
     }
@@ -66,7 +84,7 @@ mod tests {
 
     #[test]
     fn independent_gates_run_in_parallel() {
-        let mut t = Timeline::new(4);
+        let mut t = Clock::new(4);
         let s0 = t.occupy_asap(&[PhysId(0), PhysId(1)], 1);
         let s1 = t.occupy_asap(&[PhysId(2), PhysId(3)], 1);
         assert_eq!(s0, 0);
@@ -76,7 +94,7 @@ mod tests {
 
     #[test]
     fn dependent_gates_serialize() {
-        let mut t = Timeline::new(3);
+        let mut t = Clock::new(3);
         t.occupy_asap(&[PhysId(0), PhysId(1)], 3); // a SWAP
         let s = t.occupy_asap(&[PhysId(1), PhysId(2)], 1);
         assert_eq!(s, 3, "waits for qubit 1");
@@ -85,11 +103,26 @@ mod tests {
 
     #[test]
     fn explicit_start_after_ready_is_honored() {
-        let mut t = Timeline::new(2);
+        let mut t = Clock::new(2);
         let s = t.occupy(&[PhysId(0)], 5, 2);
         assert_eq!(s, 5);
         assert_eq!(t.avail(PhysId(0)), 7);
         assert_eq!(t.avail(PhysId(1)), 0);
         assert_eq!(t.depth(), 7);
+    }
+
+    #[test]
+    fn pair_fast_path_matches_slice_path() {
+        let mut a = Clock::new(4);
+        let mut b = Clock::new(4);
+        a.occupy_asap(&[PhysId(1), PhysId(2)], 3);
+        b.occupy_pair_asap(PhysId(1), PhysId(2), 3);
+        let sa = a.occupy_asap(&[PhysId(2), PhysId(3)], 3);
+        let sb = b.occupy_pair_asap(PhysId(2), PhysId(3), 3);
+        assert_eq!(sa, sb);
+        assert_eq!(a.depth(), b.depth());
+        for q in 0..4 {
+            assert_eq!(a.avail(PhysId(q)), b.avail(PhysId(q)));
+        }
     }
 }

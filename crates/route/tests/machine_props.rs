@@ -4,9 +4,9 @@
 //! operation that
 //!
 //! * no two live virtual qubits ever share a physical cell, and the
-//!   occupancy bookkeeping (`is_free` / `phys_of` / `active_count`)
+//!   occupancy bookkeeping (`is_free` / `phys_of` / `active_count` on [`Placement`])
 //!   stays mutually consistent;
-//! * `avail_of` is monotone per qubit — the ASAP timeline never
+//! * `clock().avail` is monotone per qubit — the ASAP timeline never
 //!   travels backwards;
 //! * `drain_relocations` round-trips placement: a mirrored pool of
 //!   released cells, updated only by the reported relocations, always
@@ -39,7 +39,7 @@ proptest! {
         let mut live: Vec<VirtId> = Vec::new();
         let mut pool: Vec<PhysId> = Vec::new(); // released cells, relocation-tracked
         let mut next_virt = 0u32;
-        let mut avail_before: Vec<u64> = (0..n).map(|i| m.avail_of(PhysId(i as u32))).collect();
+        let mut avail_before: Vec<u64> = (0..n).map(|i| m.clock().avail(PhysId(i as u32))).collect();
 
         for (op, x, y) in script {
             match op % 4 {
@@ -120,19 +120,19 @@ proptest! {
             //    cells; counts agree.
             let mut cells: Vec<PhysId> = Vec::with_capacity(live.len());
             for v in &live {
-                let p = m.phys_of(*v).expect("live qubit is placed");
-                prop_assert!(!m.is_free(p), "cell of live {v} reads free");
+                let p = m.placement().phys_of(*v).expect("live qubit is placed");
+                prop_assert!(!m.placement().is_free(p), "cell of live {v} reads free");
                 cells.push(p);
             }
             cells.sort_unstable();
             let distinct = cells.windows(2).all(|w| w[0] != w[1]);
             prop_assert!(distinct, "two live virtuals share a cell");
-            prop_assert_eq!(m.active_count(), live.len());
-            prop_assert_eq!(m.free_count(), n - live.len());
+            prop_assert_eq!(m.placement().active_count(), live.len());
+            prop_assert_eq!(m.placement().free_count(), n - live.len());
 
             // 2. Timeline monotonicity.
             for (i, before) in avail_before.iter_mut().enumerate() {
-                let now = m.avail_of(PhysId(i as u32));
+                let now = m.clock().avail(PhysId(i as u32));
                 prop_assert!(
                     now >= *before,
                     "avail of Q{i} went backwards: {before} -> {now}"
@@ -145,7 +145,7 @@ proptest! {
             //    relocation-tracked |0⟩ slots).
             for p in &pool {
                 prop_assert!(
-                    m.is_free(*p),
+                    m.placement().is_free(*p),
                     "pooled cell {p} is occupied — relocations lost track"
                 );
             }

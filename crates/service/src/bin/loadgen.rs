@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 use serde::Value;
 use square_bench::SweepArch;
 use square_core::{Policy, RouterKind};
+use square_service::proto::PROTO_VERSION;
 use square_workloads::{sq_source, Benchmark};
 
 const USAGE: &str = "usage: loadgen --addr HOST:PORT [--corpus DIR]... \
@@ -117,6 +118,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Policy::parse(&v).ok_or_else(|| format!("--policy: unknown policy `{v}`"))?;
             }
             "--arch" => {
+                // One grammar everywhere: `SweepArch::parse` is a thin
+                // shim over `ArchSpec`'s `FromStr` plus the `nisq`/`ft`
+                // comm-model aliases.
                 let v = value(arg)?;
                 opts.arch =
                     SweepArch::parse(&v).ok_or_else(|| format!("--arch: unknown arch `{v}`"))?;
@@ -188,10 +192,11 @@ fn request_line(id: usize, source: &str, opts: &Options) -> String {
     let escaped = serde_json::to_string(&Value::String(source.to_string()))
         .expect("string serialization is infallible");
     format!(
-        "{{\"id\": {id}, \"source\": {escaped}, \"policy\": \"{}\", \"arch\": \"{}\", \"router\": \"{}\"}}\n",
+        "{{\"v\": {v}, \"id\": {id}, \"source\": {escaped}, \"policy\": \"{}\", \"arch\": \"{}\", \"router\": \"{}\"}}\n",
         opts.policy.cli_name(),
         opts.arch,
-        opts.router.cli_name()
+        opts.router.cli_name(),
+        v = PROTO_VERSION
     )
 }
 
@@ -257,7 +262,7 @@ fn fetch_stats(addr: &str) -> Result<Value, String> {
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut writer = stream;
     writer
-        .write_all(b"{\"cmd\": \"stats\"}\n")
+        .write_all(b"{\"v\": 1, \"cmd\": \"stats\"}\n")
         .map_err(|e| format!("send: {e}"))?;
     let mut line = String::new();
     reader

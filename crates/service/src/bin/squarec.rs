@@ -105,6 +105,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Policy::parse(&v).ok_or_else(|| format!("--policy: unknown policy `{v}`"))?;
             }
             "--arch" => {
+                // One grammar everywhere: `SweepArch::parse` is a thin
+                // shim over `ArchSpec`'s `FromStr` plus the `nisq`/`ft`
+                // comm-model aliases.
                 let v = value(arg)?;
                 opts.arch =
                     SweepArch::parse(&v).ok_or_else(|| format!("--arch: unknown arch `{v}`"))?;

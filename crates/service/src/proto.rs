@@ -1,10 +1,18 @@
-//! The newline-delimited JSON wire protocol.
+//! The versioned newline-delimited JSON wire protocol.
 //!
 //! One request per line, one response line per request, in order.
+//! Every line carries the protocol version in a `"v"` field
+//! ([`PROTO_VERSION`], currently `1`). Requests may omit it — a line
+//! without `"v"` is treated as speaking the current version, so
+//! pre-versioning clients keep working — but a request naming any
+//! *other* version is rejected with a structured
+//! `"error_kind": "unsupported_version"` error instead of a confusing
+//! field-level failure. Responses always carry `"v"`.
+//!
 //! A compile request names the source plus an optional cell:
 //!
 //! ```text
-//! {"id": 1, "source": "entry module main(...) { ... }",
+//! {"v": 1, "id": 1, "source": "entry module main(...) { ... }",
 //!  "policy": "square", "arch": "nisq", "router": "greedy"}
 //! ```
 //!
@@ -13,18 +21,62 @@
 //! pipeline. Control requests use `cmd`: `{"cmd":"ping"}`,
 //! `{"cmd":"stats"}` and `{"cmd":"shutdown"}`.
 //!
-//! Responses are `{"id", "ok": true, …}` or
-//! `{"id", "ok": false, "error": "…"}`; a successful compile carries
-//! the cell echo, `program_hash`, `cached`/`coalesced` flags,
-//! `compile_ms`, the `report` object (byte-identical to
-//! `squarec --json`'s `report` field for the same cell) and a `cache`
-//! block with the live [`ServiceStats`].
+//! Both directions are typed: a line parses into a [`Request`], and
+//! the server answers by serializing a [`Response`] — there is no
+//! ad-hoc field assembly outside this module. Responses are
+//! `{"v", "id", "ok": true, …}` or
+//! `{"v", "id", "ok": false, "error_kind": "…", "error": "…"}`; a
+//! successful compile carries the cell echo, `program_hash`,
+//! `cached`/`coalesced` flags, `compile_ms`, the `report` object
+//! (byte-identical to `squarec --json`'s `report` field for the same
+//! cell) and a `cache` block with the live [`ServiceStats`].
+
+use std::fmt;
 
 use serde::{Serialize, Value};
 use square_bench::SweepArch;
 use square_core::{Policy, RouterKind};
 
 use crate::service::{CompileOutcome, CompileRequest, ServiceStats};
+
+/// The wire protocol version this build speaks.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Why a request line was rejected before reaching the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The request named a protocol version this build does not speak
+    /// (`None` when `"v"` was present but not an integer).
+    UnsupportedVersion {
+        /// The version the client asked for.
+        got: Option<u64>,
+    },
+    /// Anything else: invalid JSON, missing/ill-typed fields, unknown
+    /// command / policy / arch / router.
+    Malformed(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnsupportedVersion { got: Some(v) } => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this server speaks {PROTO_VERSION})"
+                )
+            }
+            ParseError::UnsupportedVersion { got: None } => {
+                write!(
+                    f,
+                    "`v` must be an integer (this server speaks {PROTO_VERSION})"
+                )
+            }
+            ParseError::Malformed(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// A parsed request line.
 #[derive(Debug, Clone)]
@@ -58,47 +110,62 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// A human-readable message when the line is not valid JSON, is
-    /// not an object, or names an unknown command / policy / arch /
-    /// router. The caller wraps it in an error response carrying the
+    /// [`ParseError::UnsupportedVersion`] when the line names a
+    /// protocol version other than [`PROTO_VERSION`];
+    /// [`ParseError::Malformed`] when it is not valid JSON, is not an
+    /// object, or names an unknown command / policy / arch / router.
+    /// The caller wraps either in an error [`Response`] carrying the
     /// request id when one could be extracted.
-    pub fn parse(line: &str) -> Result<Request, String> {
-        let value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    pub fn parse(line: &str) -> Result<Request, ParseError> {
+        let malformed = ParseError::Malformed;
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| malformed(format!("invalid JSON: {e}")))?;
         if !matches!(value, Value::Map(_)) {
-            return Err("request must be a JSON object".to_string());
+            return Err(malformed("request must be a JSON object".to_string()));
+        }
+        // Version gate first: a client speaking a different protocol
+        // revision should learn *that*, not trip over a field change.
+        if let Some(v) = value.get("v") {
+            let got = v.as_u64();
+            if got != Some(PROTO_VERSION) {
+                return Err(ParseError::UnsupportedVersion { got });
+            }
         }
         let id = value.get("id").cloned().unwrap_or(Value::Null);
         if let Some(cmd) = value.get("cmd") {
             let cmd = cmd
                 .as_str()
-                .ok_or_else(|| "`cmd` must be a string".to_string())?;
+                .ok_or_else(|| malformed("`cmd` must be a string".to_string()))?;
             return match cmd {
                 "ping" => Ok(Request::Ping { id }),
                 "stats" => Ok(Request::Stats { id }),
                 "shutdown" => Ok(Request::Shutdown { id }),
-                other => Err(format!(
+                other => Err(malformed(format!(
                     "unknown cmd `{other}` (expected ping, stats or shutdown)"
-                )),
+                ))),
             };
         }
         let source = value
             .get("source")
             .and_then(Value::as_str)
-            .ok_or_else(|| "missing string field `source`".to_string())?
+            .ok_or_else(|| malformed("missing string field `source`".to_string()))?
             .to_string();
         let policy = match value.get("policy").and_then(Value::as_str) {
             None => Policy::Square,
-            Some(name) => Policy::parse(name).ok_or_else(|| format!("unknown policy `{name}`"))?,
+            Some(name) => {
+                Policy::parse(name).ok_or_else(|| malformed(format!("unknown policy `{name}`")))?
+            }
         };
         let arch = match value.get("arch").and_then(Value::as_str) {
             None => SweepArch::NisqAuto,
-            Some(spec) => SweepArch::parse(spec).ok_or_else(|| format!("unknown arch `{spec}`"))?,
+            Some(spec) => {
+                SweepArch::parse(spec).ok_or_else(|| malformed(format!("unknown arch `{spec}`")))?
+            }
         };
         let router = match value.get("router").and_then(Value::as_str) {
             None => RouterKind::Greedy,
-            Some(name) => {
-                RouterKind::parse(name).ok_or_else(|| format!("unknown router `{name}`"))?
-            }
+            Some(name) => RouterKind::parse(name)
+                .ok_or_else(|| malformed(format!("unknown router `{name}`")))?,
         };
         Ok(Request::Compile {
             id,
@@ -122,62 +189,152 @@ impl Request {
     }
 }
 
-/// A successful compile response.
-pub fn compile_response(
-    id: &Value,
-    req: &CompileRequest,
-    outcome: &CompileOutcome,
-    stats: &ServiceStats,
-) -> Value {
-    Value::map([
-        ("id", id.clone()),
-        ("ok", Value::Bool(true)),
-        ("program_hash", Value::String(outcome.program_hash.clone())),
-        ("policy", Value::String(req.policy.cli_name().to_string())),
-        ("arch", Value::String(req.arch.to_string())),
-        ("router", Value::String(req.router.cli_name().to_string())),
-        ("cached", Value::Bool(outcome.cached)),
-        ("coalesced", Value::Bool(outcome.coalesced)),
-        ("compile_ms", Value::Float(outcome.compile_ms)),
-        ("report", (*outcome.report).clone()),
-        ("cache", stats.serialize()),
-    ])
+/// Machine-readable classification of an error response, carried in
+/// the `error_kind` field so clients can branch without parsing
+/// message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request spoke a protocol version this server does not.
+    UnsupportedVersion,
+    /// The request line could not be parsed into a [`Request`].
+    BadRequest,
+    /// The request was well-formed but the compile failed.
+    CompileFailed,
 }
 
-/// An error response (parse failures, compile failures, bad requests).
-pub fn error_response(id: &Value, error: &str) -> Value {
-    Value::map([
-        ("id", id.clone()),
-        ("ok", Value::Bool(false)),
-        ("error", Value::String(error.to_string())),
-    ])
+impl ErrorKind {
+    /// The wire spelling of the kind.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ErrorKind::UnsupportedVersion => "unsupported_version",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::CompileFailed => "compile_failed",
+        }
+    }
 }
 
-/// The `ping` response.
-pub fn pong_response(id: &Value) -> Value {
-    Value::map([
-        ("id", id.clone()),
-        ("ok", Value::Bool(true)),
-        ("pong", Value::Bool(true)),
-    ])
+/// A typed response line — the only way the server emits output, so
+/// every wire field (including `"v"`) is stamped in one place.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A successful compile.
+    Compile {
+        /// Echoed request id.
+        id: Value,
+        /// The cell that was compiled (echoed back normalized).
+        req: CompileRequest,
+        /// The served result.
+        outcome: CompileOutcome,
+        /// Live cache/counter snapshot.
+        stats: ServiceStats,
+    },
+    /// Any failure: version mismatch, parse error, compile error.
+    Error {
+        /// Echoed request id (`Null` when none could be extracted).
+        id: Value,
+        /// Machine-readable classification.
+        kind: ErrorKind,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The `ping` acknowledgement.
+    Pong {
+        /// Echoed request id.
+        id: Value,
+    },
+    /// The `stats` snapshot.
+    Stats {
+        /// Echoed request id.
+        id: Value,
+        /// Live cache/counter snapshot.
+        stats: ServiceStats,
+    },
+    /// The `shutdown` acknowledgement (sent before the listener
+    /// stops).
+    Shutdown {
+        /// Echoed request id.
+        id: Value,
+    },
 }
 
-/// The `stats` response.
-pub fn stats_response(id: &Value, stats: &ServiceStats) -> Value {
-    Value::map([
-        ("id", id.clone()),
-        ("ok", Value::Bool(true)),
-        ("cache", stats.serialize()),
-    ])
-}
+impl Response {
+    /// Wraps a [`ParseError`] with the matching [`ErrorKind`].
+    pub fn parse_error(id: &Value, error: &ParseError) -> Response {
+        let kind = match error {
+            ParseError::UnsupportedVersion { .. } => ErrorKind::UnsupportedVersion,
+            ParseError::Malformed(_) => ErrorKind::BadRequest,
+        };
+        Response::Error {
+            id: id.clone(),
+            kind,
+            message: error.to_string(),
+        }
+    }
 
-/// The `shutdown` acknowledgement (sent before the listener stops).
-pub fn shutdown_response(id: &Value) -> Value {
-    Value::map([
-        ("id", id.clone()),
-        ("ok", Value::Bool(true)),
-        ("shutdown", Value::Bool(true)),
-    ])
+    /// Wraps a compile failure.
+    pub fn compile_error(id: &Value, message: &str) -> Response {
+        Response::Error {
+            id: id.clone(),
+            kind: ErrorKind::CompileFailed,
+            message: message.to_string(),
+        }
+    }
+
+    /// Lowers the response to the wire JSON object.
+    pub fn serialize(&self) -> Value {
+        let envelope = |id: &Value, ok: bool| {
+            vec![
+                ("v", Value::Int(PROTO_VERSION as i64)),
+                ("id", id.clone()),
+                ("ok", Value::Bool(ok)),
+            ]
+        };
+        match self {
+            Response::Compile {
+                id,
+                req,
+                outcome,
+                stats,
+            } => {
+                let mut fields = envelope(id, true);
+                fields.extend([
+                    ("program_hash", Value::String(outcome.program_hash.clone())),
+                    ("policy", Value::String(req.policy.cli_name().to_string())),
+                    ("arch", Value::String(req.arch.to_string())),
+                    ("router", Value::String(req.router.cli_name().to_string())),
+                    ("cached", Value::Bool(outcome.cached)),
+                    ("coalesced", Value::Bool(outcome.coalesced)),
+                    ("compile_ms", Value::Float(outcome.compile_ms)),
+                    ("report", (*outcome.report).clone()),
+                    ("cache", stats.serialize()),
+                ]);
+                Value::map(fields)
+            }
+            Response::Error { id, kind, message } => {
+                let mut fields = envelope(id, false);
+                fields.extend([
+                    ("error_kind", Value::String(kind.wire_name().to_string())),
+                    ("error", Value::String(message.clone())),
+                ]);
+                Value::map(fields)
+            }
+            Response::Pong { id } => {
+                let mut fields = envelope(id, true);
+                fields.push(("pong", Value::Bool(true)));
+                Value::map(fields)
+            }
+            Response::Stats { id, stats } => {
+                let mut fields = envelope(id, true);
+                fields.push(("cache", stats.serialize()));
+                Value::map(fields)
+            }
+            Response::Shutdown { id } => {
+                let mut fields = envelope(id, true);
+                fields.push(("shutdown", Value::Bool(true)));
+                Value::map(fields)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +357,7 @@ mod tests {
 
     #[test]
     fn explicit_cell_and_id_parse() {
-        let line = r#"{"id": 7, "source": "x", "policy": "lazy",
+        let line = r#"{"v": 1, "id": 7, "source": "x", "policy": "lazy",
                        "arch": "grid:4x4", "router": "lookahead"}"#;
         match Request::parse(line).unwrap() {
             Request::Compile { id, req } => {
@@ -230,7 +387,7 @@ mod tests {
             Request::Stats { .. }
         ));
         assert!(matches!(
-            Request::parse(r#"{"cmd": "shutdown"}"#).unwrap(),
+            Request::parse(r#"{"v": 1, "cmd": "shutdown"}"#).unwrap(),
             Request::Shutdown { .. }
         ));
         assert!(Request::parse("not json").is_err());
@@ -240,5 +397,39 @@ mod tests {
         assert!(Request::parse(r#"{"source": "x", "arch": "torus:3"}"#).is_err());
         assert!(Request::parse(r#"{"source": "x", "router": "bgp"}"#).is_err());
         assert!(Request::parse(r#"{}"#).is_err(), "no source, no cmd");
+    }
+
+    #[test]
+    fn version_gate_rejects_other_versions() {
+        let err = Request::parse(r#"{"v": 2, "cmd": "ping"}"#).unwrap_err();
+        assert_eq!(err, ParseError::UnsupportedVersion { got: Some(2) });
+        let err = Request::parse(r#"{"v": "one", "cmd": "ping"}"#).unwrap_err();
+        assert_eq!(err, ParseError::UnsupportedVersion { got: None });
+        // Version-less lines speak the current protocol.
+        assert!(Request::parse(r#"{"cmd": "ping"}"#).is_ok());
+        // The structured response names the kind on the wire.
+        let resp = Response::parse_error(&Value::Null, &err).serialize();
+        assert_eq!(
+            resp.get("error_kind").and_then(Value::as_str),
+            Some("unsupported_version")
+        );
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn responses_carry_the_version() {
+        for resp in [
+            Response::Pong { id: Value::Int(3) },
+            Response::Shutdown { id: Value::Null },
+            Response::compile_error(&Value::Int(1), "boom"),
+        ] {
+            let v = resp.serialize();
+            assert_eq!(v.get("v").and_then(Value::as_u64), Some(PROTO_VERSION));
+        }
+        let err = Response::compile_error(&Value::Int(1), "boom").serialize();
+        assert_eq!(
+            err.get("error_kind").and_then(Value::as_str),
+            Some("compile_failed")
+        );
     }
 }

@@ -20,9 +20,7 @@ use std::thread;
 
 use serde::Value;
 
-use crate::proto::{
-    compile_response, error_response, pong_response, shutdown_response, stats_response, Request,
-};
+use crate::proto::{Request, Response};
 use crate::service::CompileService;
 
 /// Worker-pool sizing for a server.
@@ -177,12 +175,15 @@ fn session(
             continue;
         }
         let response = match Request::parse(&line) {
-            Err(msg) => error_response(&Value::Null, &msg),
-            Ok(Request::Ping { id }) => pong_response(&id),
-            Ok(Request::Stats { id }) => stats_response(&id, &service.stats()),
+            Err(e) => Response::parse_error(&Value::Null, &e),
+            Ok(Request::Ping { id }) => Response::Pong { id },
+            Ok(Request::Stats { id }) => Response::Stats {
+                id,
+                stats: service.stats(),
+            },
             Ok(Request::Shutdown { id }) => {
-                let ack = shutdown_response(&id);
-                write_line(&mut writer, &ack)?;
+                let ack = Response::Shutdown { id };
+                write_line(&mut writer, &ack.serialize())?;
                 shutdown.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so it observes the flag.
                 let _ = TcpStream::connect(listen_addr);
@@ -193,12 +194,17 @@ fn session(
                 let job_req = req.clone();
                 let outcome = pool.run(move || job_service.compile_source(&job_req));
                 match outcome {
-                    Ok(outcome) => compile_response(&id, &req, &outcome, &service.stats()),
-                    Err(e) => error_response(&id, &e.to_string()),
+                    Ok(outcome) => Response::Compile {
+                        id,
+                        req,
+                        outcome,
+                        stats: service.stats(),
+                    },
+                    Err(e) => Response::compile_error(&id, &e.to_string()),
                 }
             }
         };
-        write_line(&mut writer, &response)?;
+        write_line(&mut writer, &response.serialize())?;
     }
 }
 

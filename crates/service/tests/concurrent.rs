@@ -211,6 +211,24 @@ fn protocol_errors_do_not_poison_the_session() {
 
     let bad = roundtrip(&mut reader, &mut writer, "this is not json\n");
     assert_eq!(bad.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        bad.get("error_kind").and_then(Value::as_str),
+        Some("bad_request")
+    );
+
+    // A future-protocol client gets a structured version error, not a
+    // field-level parse failure, and the session keeps serving.
+    let wrong_v = roundtrip(&mut reader, &mut writer, "{\"v\": 99, \"cmd\": \"ping\"}\n");
+    assert_eq!(wrong_v.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        wrong_v.get("error_kind").and_then(Value::as_str),
+        Some("unsupported_version")
+    );
+
+    // Current-version and version-less lines both work.
+    let pong = roundtrip(&mut reader, &mut writer, "{\"v\": 1, \"cmd\": \"ping\"}\n");
+    assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+    assert_eq!(pong.get("v").and_then(Value::as_u64), Some(1));
 
     let unparsable = roundtrip(
         &mut reader,
