@@ -112,6 +112,140 @@ pub fn render() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Budget ablation: the width/gate Pareto frontier of `budget:N`
+// ---------------------------------------------------------------------------
+
+/// One point of the budget Pareto frontier: a benchmark compiled
+/// under `square,budget:N` (or unbudgeted when `budget` is `None`).
+#[derive(Debug, Clone)]
+pub struct BudgetCell {
+    /// Benchmark compiled.
+    pub benchmark: Benchmark,
+    /// Width cap, `None` for the unbudgeted SQUARE anchor row.
+    pub budget: Option<usize>,
+    /// Peak simultaneously-live qubits (must be ≤ the cap).
+    pub peak_active: usize,
+    /// Routed program gates.
+    pub gates: u64,
+    /// Active-qubit volume.
+    pub aqv: u64,
+    /// Reclamations the budget clamp forced.
+    pub forced: u64,
+    /// Frames early-uncomputed (evicted) by the budget engine.
+    pub early_uncomputed: u64,
+    /// Frames recomputed by a covering ancestor sweep.
+    pub recomputed: u64,
+}
+
+impl Serialize for BudgetCell {
+    fn serialize(&self) -> Value {
+        Value::map(vec![
+            (
+                "benchmark",
+                Value::String(self.benchmark.name().to_string()),
+            ),
+            (
+                "budget",
+                self.budget.map_or(Value::Null, |n| Value::UInt(n as u64)),
+            ),
+            ("peak_active", Value::UInt(self.peak_active as u64)),
+            ("gates", Value::UInt(self.gates)),
+            ("aqv", Value::UInt(self.aqv)),
+            ("forced", Value::UInt(self.forced)),
+            ("early_uncomputed", Value::UInt(self.early_uncomputed)),
+            ("recomputed", Value::UInt(self.recomputed)),
+        ])
+    }
+}
+
+/// Sweeps `square,budget:N` from each benchmark's eager width floor
+/// (the smallest satisfiable cap) up to its unbudgeted SQUARE peak in
+/// `steps` geometric budgets, plus the unbudgeted anchor row. Every
+/// budget in the range is satisfiable, so a missing point is a bug
+/// (the row panics rather than silently dropping it).
+pub fn budget_pareto(benchmarks: &[Benchmark], steps: usize) -> Vec<BudgetCell> {
+    let mut cells = Vec::new();
+    for &bench in benchmarks {
+        let program = build(bench).expect("benchmark builds");
+        let floor = compile(&program, &CompilerConfig::nisq(Policy::Eager))
+            .expect("eager probe")
+            .peak_active;
+        let base = compile(&program, &CompilerConfig::nisq(Policy::Square)).expect("square probe");
+        let ceiling = base.peak_active.max(floor);
+        let mut budgets: Vec<usize> = (0..steps.max(2))
+            .map(|i| {
+                let f = i as f64 / (steps.max(2) - 1) as f64;
+                ((floor as f64) * ((ceiling as f64) / (floor as f64)).powf(f)).round() as usize
+            })
+            .collect();
+        budgets.sort_unstable();
+        budgets.dedup();
+        for n in budgets {
+            let cfg = CompilerConfig::nisq(Policy::Square).with_budget(Some(n));
+            let r = compile(&program, &cfg)
+                .unwrap_or_else(|e| panic!("{bench}/square,budget:{n} in [floor, peak]: {e}"));
+            cells.push(BudgetCell {
+                benchmark: bench,
+                budget: Some(n),
+                peak_active: r.peak_active,
+                gates: r.gates,
+                aqv: r.aqv,
+                forced: r.decisions.forced,
+                early_uncomputed: r.recompute.early_uncomputed_frames,
+                recomputed: r.recompute.recomputed_frames,
+            });
+        }
+        cells.push(BudgetCell {
+            benchmark: bench,
+            budget: None,
+            peak_active: base.peak_active,
+            gates: base.gates,
+            aqv: base.aqv,
+            forced: base.decisions.forced,
+            early_uncomputed: 0,
+            recomputed: 0,
+        });
+    }
+    cells
+}
+
+/// Renders the budget Pareto table (one block per benchmark; the
+/// unbudgeted SQUARE row anchors the right end of the frontier).
+pub fn render_budget_table(cells: &[BudgetCell]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Budget ablation — square,budget:N width/gate frontier\n\
+         (peak ≤ N enforced; gates fall as N rises toward the unbudgeted peak)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>8} {:>10} {:>12} {:>8} {:>8} {:>8}\n",
+        "benchmark", "budget", "peak", "gates", "aqv", "forced", "early", "recomp"
+    ));
+    for c in cells {
+        let budget = c.budget.map_or("\u{221e}".to_string(), |n| n.to_string());
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>8} {:>10} {:>12} {:>8} {:>8} {:>8}\n",
+            c.benchmark.name(),
+            budget,
+            c.peak_active,
+            c.gates,
+            c.aqv,
+            c.forced,
+            c.early_uncomputed,
+            c.recomputed,
+        ));
+    }
+    out
+}
+
+/// The default budget-ablation scene: the overflow-prone catalog
+/// benchmarks across five geometric budgets each.
+pub fn render_budget() -> String {
+    let cells = budget_pareto(&[Benchmark::Belle, Benchmark::Modexp, Benchmark::Mul32], 5);
+    render_budget_table(&cells)
+}
+
+// ---------------------------------------------------------------------------
 // Router ablation: swap counts + compile time per benchmark × router
 // × topology
 // ---------------------------------------------------------------------------
@@ -162,6 +296,7 @@ pub fn router_compare(benchmarks: &[Benchmark], archs: &[SweepArch]) -> Vec<Rout
         policies: vec![Policy::Square],
         archs: archs.to_vec(),
         routers: RouterKind::ALL.to_vec(),
+        budgets: vec![None],
     };
     run_sweep(&spec)
         .cells
@@ -290,6 +425,29 @@ mod tests {
             literal_both < default_reclaims,
             "literal {literal_both} vs default {default_reclaims}"
         );
+    }
+
+    #[test]
+    fn budget_pareto_caps_width_and_serializes() {
+        let cells = budget_pareto(&[Benchmark::Rd53], 3);
+        // Every budgeted point respects its cap; the unbudgeted anchor
+        // row closes the frontier.
+        assert!(cells.len() >= 2);
+        for c in &cells {
+            if let Some(n) = c.budget {
+                assert!(
+                    c.peak_active <= n,
+                    "{}: peak {} over budget {n}",
+                    c.benchmark,
+                    c.peak_active
+                );
+            }
+        }
+        assert!(cells.last().unwrap().budget.is_none());
+        let json = serde_json::to_string(&Value::seq(&cells)).unwrap();
+        assert!(json.contains("\"budget\":null"), "{json}");
+        let table = render_budget_table(&cells);
+        assert!(table.contains("Budget ablation"), "{table}");
     }
 
     #[test]

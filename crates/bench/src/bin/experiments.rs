@@ -3,7 +3,7 @@
 //! Legacy figure/table mode (one positional argument):
 //!
 //! ```text
-//! experiments [fig1|fig5|table3|table4|fig8|fig8-fast|fig9|fig9-quick|fig10|fig10-quick|ablation|ablation-router|sweep|all|all-quick]
+//! experiments [fig1|fig5|table3|table4|fig8|fig8-fast|fig9|fig9-quick|fig10|fig10-quick|ablation|ablation-router|ablation-budget|ablation-budget-json|sweep|all|all-quick]
 //! ```
 //!
 //! Sweep mode (any flag selects it): evaluates the
@@ -13,7 +13,7 @@
 //! ```text
 //! experiments [--bench RD53,ADDER4,...] [--policy lazy,eager,square,laa]
 //!             [--arch nisq,ft,grid:WxH,full:N,line:N,heavyhex:D,ring:N]
-//!             [--router greedy,lookahead|both] [--json]
+//!             [--router greedy,lookahead|both] [--budgets N,M,inf] [--json]
 //! ```
 //!
 //! Flag defaults: the NISQ benchmark set, all four policies, the
@@ -72,6 +72,20 @@ fn sweep_spec_from_flags(args: &[String]) -> Result<(SweepSpec, bool), String> {
             "--arch" => {
                 spec.archs = parse_list(arg, flag_value(arg)?, SweepArch::parse)?;
             }
+            "--budgets" | "--budget" => {
+                // `inf`/`none` is the unbudgeted base cell; numbers are
+                // hard width caps (the `budget:N` policy dimension).
+                spec.budgets = parse_list(arg, flag_value(arg)?, |s| {
+                    if s.eq_ignore_ascii_case("inf")
+                        || s == "\u{221e}"
+                        || s.eq_ignore_ascii_case("none")
+                    {
+                        Some(None)
+                    } else {
+                        s.parse::<usize>().ok().filter(|&n| n > 0).map(Some)
+                    }
+                })?;
+            }
             "--router" => {
                 let value = flag_value(arg)?;
                 spec.routers = if value.eq_ignore_ascii_case("both") {
@@ -97,7 +111,7 @@ fn run_sweep_cli(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: experiments [--bench A,B] [--policy lazy,eager,square,laa] \
                  [--arch nisq,ft,grid:WxH,full:N,line:N,heavyhex:D,ring:N] \
-                 [--router greedy,lookahead|both] [--json]"
+                 [--router greedy,lookahead|both] [--budgets N,M,inf] [--json]"
             );
             return ExitCode::from(2);
         }
@@ -158,6 +172,26 @@ fn run_legacy(arg: &str) -> ExitCode {
         "fig10-quick" => run("fig10", &|| fig10::render(true)),
         "ablation" => run("ablation", &ablation::render),
         "ablation-router" => run("ablation-router", &ablation::render_router),
+        "ablation-budget" => run("ablation-budget", &ablation::render_budget),
+        "ablation-budget-json" => {
+            // Machine-readable frontier for the CI artifact: exactly
+            // one JSON document on stdout, nothing else.
+            let cells = ablation::budget_pareto(
+                &[
+                    square_workloads::Benchmark::Rd53,
+                    square_workloads::Benchmark::Adder4,
+                    square_workloads::Benchmark::BelleS,
+                ],
+                3,
+            );
+            match serde_json::to_string_pretty(&serde::Value::seq(&cells)) {
+                Ok(text) => println!("{text}"),
+                Err(error) => {
+                    eprintln!("serialization failed: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         "sweep" => run("sweep", &sweep::render),
         "all" | "all-quick" => {
             let quick = arg == "all-quick";

@@ -22,5 +22,6 @@ pub mod table4;
 pub use baseline::{Baseline, BenchSet, GateReport, MeasuredCell};
 pub use runner::{lattice_for, run_policies, ExperimentResult};
 pub use sweep::{
-    report_json, run_sweep, run_sweep_with_progress, SweepArch, SweepCell, SweepMatrix, SweepSpec,
+    error_json, report_json, run_sweep, run_sweep_with_progress, SweepArch, SweepCell, SweepMatrix,
+    SweepSpec,
 };

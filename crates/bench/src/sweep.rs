@@ -166,6 +166,10 @@ pub struct SweepSpec {
     /// Swap-chain routers (hyper-planes; `Greedy` alone reproduces
     /// the historical single-router sweeps cell for cell).
     pub routers: Vec<RouterKind>,
+    /// Qubit-budget caps (the fifth axis). `None` is the unbudgeted
+    /// base policy; `Some(n)` compiles the same cell under a hard
+    /// width cap of `n` machine qubits (`--policy square,budget:n`).
+    pub budgets: Vec<Option<usize>>,
 }
 
 impl SweepSpec {
@@ -177,6 +181,7 @@ impl SweepSpec {
             policies: Policy::ALL.to_vec(),
             archs: vec![SweepArch::NisqAuto],
             routers: vec![RouterKind::Greedy],
+            budgets: vec![None],
         }
     }
 
@@ -195,7 +200,7 @@ impl SweepSpec {
                 }
             })
             .sum();
-        self.benchmarks.len() * self.policies.len() * per_arch
+        self.benchmarks.len() * self.policies.len() * per_arch * self.budgets.len().max(1)
     }
 
     /// True when any axis is empty (nothing to run).
@@ -207,7 +212,13 @@ impl SweepSpec {
     /// Braided architectures never consult the swap-chain router, so
     /// they emit a single greedy-labelled cell instead of one
     /// byte-identical cell per requested router.
-    pub fn cells(&self) -> Vec<(Benchmark, Policy, SweepArch, RouterKind)> {
+    pub fn cells(&self) -> Vec<(Benchmark, Policy, SweepArch, RouterKind, Option<usize>)> {
+        // An unset budget axis means the classic unbudgeted product.
+        let budgets: &[Option<usize>] = if self.budgets.is_empty() {
+            &[None]
+        } else {
+            &self.budgets
+        };
         let mut cells = Vec::with_capacity(self.len());
         for &bench in &self.benchmarks {
             for &arch in &self.archs {
@@ -218,7 +229,9 @@ impl SweepSpec {
                 };
                 for &policy in &self.policies {
                     for &router in routers {
-                        cells.push((bench, policy, arch, router));
+                        for &budget in budgets {
+                            cells.push((bench, policy, arch, router, budget));
+                        }
                     }
                 }
             }
@@ -238,6 +251,8 @@ pub struct SweepCell {
     pub arch: SweepArch,
     /// Swap-chain router used.
     pub router: RouterKind,
+    /// Qubit-budget cap the cell compiled under (`None` = unbudgeted).
+    pub budget: Option<usize>,
     /// The compile outcome: a full report, or the failure (e.g.
     /// [`CompileError::OutOfQubits`] when the policy does not fit).
     pub report: Result<CompileReport, CompileError>,
@@ -300,12 +315,16 @@ impl SweepMatrix {
             "time"
         ));
         for cell in &self.cells {
+            let policy_label = match cell.budget {
+                Some(n) => format!("{} b:{n}", cell.policy.label()),
+                None => cell.policy.label().to_string(),
+            };
             match &cell.report {
                 Ok(r) => out.push_str(&format!(
                     "{:<12} {:<10} {:<18} {:<10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7.0}ms\n",
                     cell.benchmark.name(),
                     cell.arch.to_string(),
-                    cell.policy.label(),
+                    policy_label,
                     cell.router.cli_name(),
                     r.aqv,
                     r.gates,
@@ -318,7 +337,7 @@ impl SweepMatrix {
                     "{:<12} {:<10} {:<18} {:<10} {:>10} ({e})\n",
                     cell.benchmark.name(),
                     cell.arch.to_string(),
-                    cell.policy.label(),
+                    policy_label,
                     cell.router.cli_name(),
                     "-",
                 )),
@@ -337,7 +356,7 @@ impl SweepMatrix {
 /// matrix serializer and the `squarec` driver's `--json` mode so both
 /// emit field-identical report objects.
 pub fn report_json(r: &CompileReport) -> Value {
-    Value::map([
+    let mut fields = vec![
         ("router", Value::String(r.router.cli_name().to_string())),
         ("gates", Value::UInt(r.gates)),
         ("swaps", Value::UInt(r.swaps)),
@@ -363,7 +382,74 @@ pub fn report_json(r: &CompileReport) -> Value {
                 ("invalidations", Value::UInt(r.cer_cache.invalidations)),
             ]),
         ),
-    ])
+    ];
+    // Budget keys appear only on budgeted compiles: unbudgeted report
+    // JSON (and therefore every pre-budget bench fingerprint) stays
+    // byte-identical.
+    if let Some(budget) = r.budget {
+        fields.push(("budget", Value::UInt(budget as u64)));
+        fields.push((
+            "recompute",
+            Value::map([
+                (
+                    "early_uncomputed_frames",
+                    Value::UInt(r.recompute.early_uncomputed_frames),
+                ),
+                (
+                    "early_uncompute_gates",
+                    Value::UInt(r.recompute.early_uncompute_gates),
+                ),
+                (
+                    "recomputed_frames",
+                    Value::UInt(r.recompute.recomputed_frames),
+                ),
+                ("recompute_gates", Value::UInt(r.recompute.recompute_gates)),
+            ]),
+        ));
+    }
+    Value::map(fields)
+}
+
+/// The structured JSON encoding of a capacity-exhaustion failure:
+/// machine-readable fields alongside the rendered message, so sweep
+/// consumers can retry with `min_feasible` instead of grepping text.
+pub fn error_json(e: &CompileError) -> Value {
+    match e {
+        CompileError::OutOfQubits {
+            requested,
+            capacity,
+            live,
+            policy,
+            budget,
+            module,
+            min_feasible,
+        } => Value::map(vec![
+            ("kind", Value::String("out_of_qubits".to_string())),
+            ("message", Value::String(e.to_string())),
+            ("requested", Value::UInt(*requested as u64)),
+            ("capacity", Value::UInt(*capacity as u64)),
+            ("live", Value::UInt(*live as u64)),
+            ("policy", Value::String(policy.cli_name().to_string())),
+            (
+                "budget",
+                budget.map_or(Value::Null, |n| Value::UInt(n as u64)),
+            ),
+            (
+                "module",
+                module
+                    .as_ref()
+                    .map_or(Value::Null, |m| Value::String(m.clone())),
+            ),
+            (
+                "min_feasible",
+                min_feasible.map_or(Value::Null, |n| Value::UInt(n as u64)),
+            ),
+        ]),
+        other => Value::map(vec![
+            ("kind", Value::String("compile_error".to_string())),
+            ("message", Value::String(other.to_string())),
+        ]),
+    }
 }
 
 impl Serialize for SweepCell {
@@ -372,7 +458,7 @@ impl Serialize for SweepCell {
             Ok(r) => (report_json(r), Value::Null),
             Err(e) => (Value::Null, Value::String(e.to_string())),
         };
-        Value::map([
+        let mut fields = vec![
             (
                 "benchmark",
                 Value::String(self.benchmark.name().to_string()),
@@ -380,10 +466,17 @@ impl Serialize for SweepCell {
             ("policy", Value::String(self.policy.cli_name().to_string())),
             ("arch", Value::String(self.arch.to_string())),
             ("router", Value::String(self.router.cli_name().to_string())),
-            ("report", ok),
-            ("error", err),
-            ("compile_ms", Value::Float(self.compile_ms)),
-        ])
+        ];
+        if let Some(n) = self.budget {
+            fields.push(("budget", Value::UInt(n as u64)));
+        }
+        fields.push(("report", ok));
+        fields.push(("error", err));
+        if let Err(e) = &self.report {
+            fields.push(("error_detail", error_json(e)));
+        }
+        fields.push(("compile_ms", Value::Float(self.compile_ms)));
+        Value::map(fields)
     }
 }
 
@@ -415,16 +508,22 @@ pub fn run_sweep_with_progress(
     let cells: Vec<SweepCell> = spec
         .cells()
         .into_par_iter()
-        .map(|(benchmark, policy, arch, router)| {
+        .map(|(benchmark, policy, arch, router, budget)| {
             let cell_start = Instant::now();
             let report = build(benchmark)
                 .map_err(CompileError::from)
-                .and_then(|program| compile(&program, &arch.config(policy).with_router(router)));
+                .and_then(|program| {
+                    compile(
+                        &program,
+                        &arch.config(policy).with_router(router).with_budget(budget),
+                    )
+                });
             let cell = SweepCell {
                 benchmark,
                 policy,
                 arch,
                 router,
+                budget,
                 report,
                 compile_ms: cell_start.elapsed().as_secs_f64() * 1e3,
             };
@@ -566,6 +665,7 @@ mod tests {
             policies: vec![Policy::Lazy, Policy::Square],
             archs: vec![SweepArch::NisqAuto],
             routers: vec![RouterKind::Greedy],
+            budgets: vec![None],
         };
         let matrix = run_sweep(&spec);
         assert_eq!(matrix.cells.len(), spec.len());
@@ -585,12 +685,54 @@ mod tests {
             policies: vec![Policy::Square],
             archs: vec![SweepArch::NisqAuto, SweepArch::FtAuto],
             routers: vec![RouterKind::Greedy],
+            budgets: vec![None],
         };
         let matrix = run_sweep(&spec);
         let json = serde_json::to_string(&matrix).expect("serializes");
         assert!(json.contains("\"benchmark\":\"RD53\""));
         assert!(json.contains("\"arch\":\"ft\""));
         assert!(json.contains("\"aqv\":"));
+    }
+
+    #[test]
+    fn budget_axis_multiplies_cells_and_keys_json() {
+        let spec = SweepSpec {
+            benchmarks: vec![Benchmark::Rd53],
+            policies: vec![Policy::Square],
+            archs: vec![SweepArch::NisqAuto],
+            routers: vec![RouterKind::Greedy],
+            budgets: vec![None, Some(64)],
+        };
+        assert_eq!(spec.len(), 2);
+        let matrix = run_sweep(&spec);
+        let json = serde_json::to_string(&matrix).unwrap();
+        // The budgeted cell carries the budget + recompute keys; the
+        // unbudgeted cell's JSON stays on the pre-budget schema.
+        assert!(json.contains("\"budget\":64"), "{json}");
+        assert!(json.contains("\"recompute\":"), "{json}");
+        let unbudgeted = &matrix.cells[0];
+        assert!(unbudgeted.budget.is_none());
+        let cell_json = serde_json::to_string(unbudgeted).unwrap();
+        assert!(!cell_json.contains("\"budget\""), "{cell_json}");
+        assert!(!cell_json.contains("\"recompute\""), "{cell_json}");
+    }
+
+    #[test]
+    fn out_of_qubits_errors_serialize_structured_detail() {
+        // RD53 under lazy,budget:4 is unsatisfiable: the error detail
+        // must carry the typed kind and the minimum feasible budget.
+        let spec = SweepSpec {
+            benchmarks: vec![Benchmark::Rd53],
+            policies: vec![Policy::Lazy],
+            archs: vec![SweepArch::NisqAuto],
+            routers: vec![RouterKind::Greedy],
+            budgets: vec![Some(4)],
+        };
+        let matrix = run_sweep(&spec);
+        assert!(matrix.cells[0].report.is_err());
+        let json = serde_json::to_string(&matrix).unwrap();
+        assert!(json.contains("\"kind\":\"out_of_qubits\""), "{json}");
+        assert!(json.contains("\"min_feasible\":"), "{json}");
     }
 
     #[test]
@@ -604,6 +746,7 @@ mod tests {
                 height: 2,
             }],
             routers: vec![RouterKind::Greedy],
+            budgets: vec![None],
         };
         let matrix = run_sweep(&spec);
         assert_eq!(matrix.cells.len(), 1);

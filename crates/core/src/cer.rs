@@ -133,6 +133,28 @@ pub fn decide(inputs: &CerInputs, params: &CerParams) -> CerDecision {
     }
 }
 
+/// Scores an early-uncompute candidate under the `budget:N` cap: the
+/// expected total cost of uncomputing the frame *now* plus recomputing
+/// it later (amplified by the recursive factor at the frame's call
+/// depth), per qubit freed. Lower is better. Mirrors the
+/// recompute-base resolution of [`decide`] so budget evictions stay
+/// consistent with the CER memo's cost model.
+pub fn early_reclaim_score(
+    params: &CerParams,
+    gates: u64,
+    freed: usize,
+    reclaim_rate: f64,
+    level: usize,
+) -> f64 {
+    let base = if params.recompute_base > 0.0 {
+        params.recompute_base
+    } else {
+        1.0 + reclaim_rate.clamp(0.0, 1.0)
+    };
+    let recompute = base.powi(level.min(60) as i32);
+    gates as f64 * (1.0 + recompute) / freed.max(1) as f64
+}
+
 /// Per-block memoized gate costs of one module: total custom-uncompute
 /// gates plus suffix sums over every block, so "gates remaining after
 /// statement `i`" is a single array lookup.
@@ -196,6 +218,19 @@ impl ModuleCostTable {
     /// measures the recorded compute slice instead).
     pub fn custom_uncompute_gates(&self, id: ModuleId) -> Option<u64> {
         self.modules[id.index()].custom_gates
+    }
+
+    /// Static estimate of the gates one uncompute of this module
+    /// costs: the custom uncompute block when present, else the
+    /// mechanical inverse of the compute block (identical gate count
+    /// to the forward compute). The budget engine's early-reclaim
+    /// scoring falls back to this when a frame's measured region size
+    /// is unavailable.
+    pub fn uncompute_gates(&self, id: ModuleId) -> u64 {
+        let costs = &self.modules[id.index()];
+        costs
+            .custom_gates
+            .unwrap_or_else(|| costs.compute_suffix.first().copied().unwrap_or(0))
     }
 
     /// Forward gates of the compute block strictly after statement

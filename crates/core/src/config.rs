@@ -51,18 +51,27 @@ pub enum ArchSpec {
 /// Why an architecture spec string failed to parse.
 ///
 /// Carries the offending spec so front ends can surface it verbatim
-/// in a usage message.
+/// in a usage message, plus the specific constraint that rejected it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArchSpecParseError {
     spec: String,
+    reason: &'static str,
+}
+
+impl ArchSpecParseError {
+    /// The constraint the spec violated (e.g. "ring needs at least 3
+    /// qubits").
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
 }
 
 impl std::fmt::Display for ArchSpecParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown arch `{}` (expected grid[:WxH], full:N, line:N, heavyhex[:D] or ring[:N])",
-            self.spec
+            "unknown arch `{}` (expected grid[:WxH], full:N, line:N, heavyhex[:D] or ring[:N]): {}",
+            self.spec, self.reason
         )
     }
 }
@@ -74,17 +83,21 @@ impl std::error::Error for ArchSpecParseError {}
 /// `grid:WxH`, `full:N`, `line:N`, `heavyhex:D`, `ring:N`, with bare
 /// `grid`, `heavyhex` and `ring` selecting the auto-sized variants.
 /// Case-insensitive. Dimensions must be nonzero, a grid's total qubit
-/// count must fit `u32`, and heavy-hex distance is capped at 63 (its
-/// qubit count grows ~5d²/2 and the all-pairs tables are O(n²)) — all
-/// enforced here so invalid sizes surface as a parse error, not a
-/// panic inside a worker.
+/// count must fit `u32`, heavy-hex distance is capped at 63 (its
+/// qubit count grows ~5d²/2 and the all-pairs tables are O(n²)), and
+/// a ring needs at least 3 qubits to be a cycle (`ring:1`/`ring:2`
+/// degenerate into self-loops or doubled edges) — all enforced here so
+/// invalid sizes surface as a typed parse error, not a panic inside a
+/// routing worker.
 impl std::str::FromStr for ArchSpec {
     type Err = ArchSpecParseError;
 
     fn from_str(spec: &str) -> Result<Self, Self::Err> {
-        let err = || ArchSpecParseError {
+        let err = |reason: &'static str| ArchSpecParseError {
             spec: spec.to_string(),
+            reason,
         };
+        let bad = || err("unrecognized spec");
         let lower = spec.to_ascii_lowercase();
         match lower.as_str() {
             "grid" => return Ok(ArchSpec::AutoGrid),
@@ -93,27 +106,34 @@ impl std::str::FromStr for ArchSpec {
             _ => {}
         }
         let dim = |s: &str| s.parse::<u32>().ok().filter(|&n| n > 0);
-        let (kind, arg) = lower.split_once(':').ok_or_else(err)?;
+        let (kind, arg) = lower.split_once(':').ok_or_else(bad)?;
         match kind {
             "grid" => {
-                let (w, h) = arg.split_once('x').ok_or_else(err)?;
-                let (width, height) = (dim(w).ok_or_else(err)?, dim(h).ok_or_else(err)?);
-                width.checked_mul(height).ok_or_else(err)?;
+                let (w, h) = arg.split_once('x').ok_or_else(bad)?;
+                let dims = dim(w).zip(dim(h));
+                let (width, height) = dims.ok_or_else(|| err("dimensions must be nonzero"))?;
+                width
+                    .checked_mul(height)
+                    .ok_or_else(|| err("qubit count overflows u32"))?;
                 Ok(ArchSpec::Grid { width, height })
             }
             "full" => Ok(ArchSpec::Full {
-                n: dim(arg).ok_or_else(err)?,
+                n: dim(arg).ok_or_else(|| err("qubit count must be nonzero"))?,
             }),
             "line" => Ok(ArchSpec::Line {
-                n: dim(arg).ok_or_else(err)?,
+                n: dim(arg).ok_or_else(|| err("qubit count must be nonzero"))?,
             }),
             "heavyhex" => Ok(ArchSpec::HeavyHex {
-                d: dim(arg).filter(|&d| d <= 63).ok_or_else(err)?,
+                d: dim(arg)
+                    .filter(|&d| d <= 63)
+                    .ok_or_else(|| err("distance must be in 1..=63"))?,
             }),
             "ring" => Ok(ArchSpec::Ring {
-                n: dim(arg).ok_or_else(err)?,
+                n: dim(arg)
+                    .filter(|&n| n >= 3)
+                    .ok_or_else(|| err("ring needs at least 3 qubits"))?,
             }),
-            _ => Err(err()),
+            _ => Err(bad()),
         }
     }
 }
@@ -218,9 +238,14 @@ impl Default for CerParams {
 impl CerParams {
     /// The effective forced-reclamation threshold on a machine with
     /// `capacity` qubits.
+    ///
+    /// The fractional term rounds **half-up** (`⌊x + 0.5⌋`), not by
+    /// truncation: pressure-mode onset must be deterministic at exact
+    /// fraction boundaries and must not silently shift when a
+    /// `budget:N` run lowers the effective capacity fed in here.
     pub fn pressure_threshold(&self, capacity: usize) -> usize {
-        self.pressure_reserve
-            .max((capacity as f64 * self.pressure_fraction) as usize)
+        let fractional = (capacity as f64 * self.pressure_fraction + 0.5).floor() as usize;
+        self.pressure_reserve.max(fractional)
     }
 }
 
@@ -245,6 +270,13 @@ pub struct CompilerConfig {
     pub laa: LaaWeights,
     /// CER cost-model parameters.
     pub cer: CerParams,
+    /// Hard cap on simultaneously live qubits (the `budget:N` policy
+    /// dimension). `None` (the default, `budget:∞`) disables the cap
+    /// entirely and compiles bit-identically to the base policy; with
+    /// `Some(n)`, allocations that would exceed `min(n, capacity)`
+    /// live qubits first early-uncompute a reclaimable garbage frame
+    /// (Reqomp-style), trading gates for width.
+    pub budget: Option<usize>,
 }
 
 impl CompilerConfig {
@@ -258,6 +290,7 @@ impl CompilerConfig {
             router: RouterConfig::default(),
             laa: LaaWeights::default(),
             cer: CerParams::default(),
+            budget: None,
         }
     }
 
@@ -271,6 +304,7 @@ impl CompilerConfig {
             router: RouterConfig::default(),
             laa: LaaWeights::default(),
             cer: CerParams::default(),
+            budget: None,
         }
     }
 
@@ -291,6 +325,13 @@ impl CompilerConfig {
     /// other knobs default).
     pub fn with_router(mut self, router: impl Into<RouterConfig>) -> Self {
         self.router = router.into();
+        self
+    }
+
+    /// Sets the qubit budget (`None` = unbudgeted, identical to the
+    /// base policy).
+    pub fn with_budget(mut self, budget: Option<usize>) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -350,6 +391,8 @@ mod tests {
             "heavyhex:0",
             "heavyhex:99",
             "ring:0",
+            "ring:1",
+            "ring:2",
             "grid:0x4",
             "full:0",
             "grid:70000x70000",
@@ -357,6 +400,45 @@ mod tests {
             let err = bad.parse::<ArchSpec>().unwrap_err();
             assert!(err.to_string().contains(bad), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn degenerate_specs_carry_the_violated_constraint() {
+        for (bad, reason) in [
+            ("ring:2", "at least 3"),
+            ("grid:0x4", "nonzero"),
+            ("heavyhex:0", "1..=63"),
+            ("grid:70000x70000", "overflows"),
+        ] {
+            let err = bad.parse::<ArchSpec>().unwrap_err();
+            assert!(err.reason().contains(reason), "{bad}: {}", err.reason());
+        }
+    }
+
+    #[test]
+    fn pressure_threshold_rounds_half_up_at_exact_boundaries() {
+        let params = CerParams {
+            pressure_reserve: 0,
+            pressure_fraction: 0.1,
+            ..CerParams::default()
+        };
+        // 25 · 0.1 = 2.5: exactly on the boundary, rounds *up* (the
+        // historical `as usize` truncation gave 2).
+        assert_eq!(params.pressure_threshold(25), 3);
+        // 24 · 0.1 = 2.4 rounds down; 26 · 0.1 = 2.6 rounds up.
+        assert_eq!(params.pressure_threshold(24), 2);
+        assert_eq!(params.pressure_threshold(26), 3);
+        // Exact integers are fixed points.
+        assert_eq!(params.pressure_threshold(30), 3);
+        assert_eq!(params.pressure_threshold(0), 0);
+        // The absolute reserve still floors the result.
+        let reserved = CerParams {
+            pressure_reserve: 8,
+            pressure_fraction: 0.1,
+            ..CerParams::default()
+        };
+        assert_eq!(reserved.pressure_threshold(25), 8);
+        assert_eq!(reserved.pressure_threshold(95), 10);
     }
 
     #[test]

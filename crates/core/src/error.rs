@@ -3,6 +3,8 @@ use std::fmt;
 use square_qir::QirError;
 use square_route::RouteError;
 
+use crate::policy::Policy;
+
 /// Errors surfaced by the SQUARE compiler.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -14,15 +16,26 @@ pub enum CompileError {
     Route(RouteError),
     /// The machine ran out of physical qubits. The paper's Fig. 1
     /// "too many qubits" failure mode: the policy reserved more
-    /// qubits than the machine has. Retry with a larger machine or a
+    /// qubits than the machine has (or than the `budget:N` cap
+    /// allows). Retry with a larger machine, a larger budget, or a
     /// more eager policy.
     OutOfQubits {
         /// Qubits the failing allocation requested.
         requested: usize,
-        /// Machine capacity.
+        /// Machine capacity (physical qubits, before any budget cap).
         capacity: usize,
         /// Qubits live at the failure point.
         live: usize,
+        /// The policy that was running when allocation failed.
+        policy: Policy,
+        /// The `budget:N` cap in effect, if any.
+        budget: Option<usize>,
+        /// Name of the module whose allocation failed, when known.
+        module: Option<String>,
+        /// For budgeted failures: a lower bound on the smallest budget
+        /// that could have satisfied this allocation (live + requested
+        /// after exhausting every early-uncompute candidate).
+        min_feasible: Option<usize>,
     },
 }
 
@@ -35,10 +48,27 @@ impl fmt::Display for CompileError {
                 requested,
                 capacity,
                 live,
-            } => write!(
-                f,
-                "out of qubits: requested {requested} with {live}/{capacity} in use"
-            ),
+                policy,
+                budget,
+                module,
+                min_feasible,
+            } => {
+                write!(
+                    f,
+                    "out of qubits: requested {requested} with {live}/{capacity} in use ({policy}"
+                )?;
+                if let Some(n) = budget {
+                    write!(f, ", budget:{n}")?;
+                }
+                write!(f, ")")?;
+                if let Some(m) = module {
+                    write!(f, " in module `{m}`")?;
+                }
+                if let Some(n) = min_feasible {
+                    write!(f, "; minimum feasible budget ≥ {n}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -19,7 +19,8 @@ use square_qir::{
 };
 use square_route::{Machine, MachineConfig, RouterConfig, RouterKind};
 
-use crate::cer::{CerEngine, CerInputs, ModuleCostTable};
+use crate::budget::{scan_candidate, BudgetState};
+use crate::cer::{early_reclaim_score, CerEngine, CerInputs, ModuleCostTable};
 use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::heap::AncillaHeap;
@@ -177,6 +178,14 @@ pub fn compile_prepared_on(
         decision_log: Vec::new(),
         lookahead: false,
         layer_scratch: Vec::new(),
+        budget: config.budget.map(BudgetState::new),
+        stack_need: if config.budget.is_some() {
+            crate::budget::stack_need(lowered)
+        } else {
+            0
+        },
+        stack_width: 0,
+        module_stack: Vec::new(),
     };
     let lookahead = exec.machine.wants_lookahead();
     exec.lookahead = lookahead;
@@ -186,6 +195,7 @@ pub fn compile_prepared_on(
     let decisions = exec.decisions;
     let decision_log = std::mem::take(&mut exec.decision_log);
     let cer_cache = exec.cer.stats();
+    let recompute = exec.budget.as_ref().map(|b| b.stats).unwrap_or_default();
     let policy = config.policy;
     let comm = config.comm;
     let comm_factor = exec.machine.comm_factor();
@@ -217,6 +227,8 @@ pub fn compile_prepared_on(
         machine_qubits,
         route_ns,
         trace,
+        budget: config.budget,
+        recompute,
     })
 }
 
@@ -260,6 +272,20 @@ struct Exec<'p> {
     /// Reused buffer for batching runs of consecutive gate statements
     /// into one [`Machine::apply_layer`] call.
     layer_scratch: Vec<Gate<VirtId>>,
+    /// Early-uncompute engine, present only under `budget:N` — every
+    /// budget hook is behind this `Option`, keeping unbudgeted
+    /// compiles bit-identical to their pre-budget behavior.
+    budget: Option<BudgetState>,
+    /// Eager-floor stack need of the entry module (see
+    /// [`crate::budget::stack_need`]); 0 when unbudgeted.
+    stack_need: usize,
+    /// Ancilla qubits belonging to currently open frames (the live
+    /// call stack's width); live − stack = settled garbage, the
+    /// quantity the budget clamp polices.
+    stack_width: usize,
+    /// Call stack of module ids, for attributing [`CompileError::
+    /// OutOfQubits`] to the module whose allocation failed.
+    module_stack: Vec<ModuleId>,
 }
 
 impl Exec<'_> {
@@ -283,6 +309,10 @@ impl Exec<'_> {
             self.heap.relocate(from, to);
         }
         for g in gates.drain(..) {
+            if let Some(b) = &mut self.budget {
+                let pos = self.trace.len();
+                crate::budget::for_each_write(&g, |w| b.note_write(w, pos));
+            }
             self.trace.push(TraceOp::Gate(g));
         }
         Ok(())
@@ -293,16 +323,20 @@ impl Exec<'_> {
     fn emit(&mut self, op: TraceOp, interact: &[VirtId]) -> Result<(), CompileError> {
         match &op {
             TraceOp::Alloc(v) => {
+                // Under `budget:N`, evict (early-uncompute) garbage
+                // frames until this allocation fits under the cap.
+                if self.budget.is_some() {
+                    self.ensure_headroom()?;
+                }
                 let choice = if self.config.policy.uses_laa() {
                     laa::choose_slot(&self.machine, &mut self.heap, interact, &self.config.laa)
                 } else {
                     laa::choose_slot_naive(&self.machine, &mut self.heap, self.next_virt as u64)
                 };
-                let choice = choice.ok_or(CompileError::OutOfQubits {
-                    requested: 1,
-                    capacity: self.machine.qubit_count(),
-                    live: self.machine.placement().active_count(),
-                })?;
+                let choice = match choice {
+                    Some(c) => c,
+                    None => return Err(self.out_of_qubits(1, None)),
+                };
                 self.machine.place_at(*v, choice.phys)?;
                 self.cer.note_allocation_event();
             }
@@ -320,12 +354,100 @@ impl Exec<'_> {
                 }
             }
         }
+        if let Some(b) = &mut self.budget {
+            // Freshness stamps (budget rule 3): allocs and frees
+            // change state; gates stamp only their write targets, so
+            // later *reads* of a candidate's inputs don't stale it.
+            let pos = self.trace.len();
+            match &op {
+                TraceOp::Alloc(v) | TraceOp::Free(v) => b.note_write(*v, pos),
+                TraceOp::Gate(g) => crate::budget::for_each_write(g, |w| b.note_write(w, pos)),
+            }
+        }
         self.trace.push(op);
+        Ok(())
+    }
+
+    /// Builds the structured capacity-exhaustion diagnostic at the
+    /// failure point.
+    fn out_of_qubits(&self, requested: usize, min_feasible: Option<usize>) -> CompileError {
+        let module = self
+            .module_stack
+            .last()
+            .map(|id| self.program.module(*id).name().to_string());
+        CompileError::OutOfQubits {
+            requested,
+            capacity: self.machine.qubit_count(),
+            live: self.machine.placement().active_count(),
+            policy: self.config.policy,
+            budget: self.config.budget,
+            module,
+            min_feasible,
+        }
+    }
+
+    /// Budget rule engine: while the next allocation would exceed the
+    /// cap, early-uncompute the cheapest evictable garbage frame
+    /// (CER-scored: uncompute-now + recompute-later per qubit freed).
+    /// Errors with the minimum feasible budget when the candidate pool
+    /// runs dry first.
+    fn ensure_headroom(&mut self) -> Result<(), CompileError> {
+        loop {
+            let live = self.machine.placement().active_count();
+            let budget = self.budget.as_mut().expect("caller checked budget");
+            if live < budget.cap {
+                return Ok(());
+            }
+            let total = self.decisions.reclaimed + self.decisions.garbage;
+            let rate = (self.decisions.reclaimed as f64 + 1.0) / (total as f64 + 2.0);
+            let params = self.config.cer;
+            let Some(idx) =
+                budget.pick(|c| early_reclaim_score(&params, c.gates, c.freed, rate, c.level))
+            else {
+                // Nothing evictable: even perfect reclamation cannot
+                // fit this allocation — report the honest lower bound
+                // on a workable budget.
+                return Err(self.out_of_qubits(1, Some(live + 1)));
+            };
+            self.early_uncompute(idx)?;
+        }
+    }
+
+    /// Evicts candidate `idx`: replays its recorded compute slice
+    /// inverted at the current trace position (rolling its ancillas
+    /// back to |0⟩, freeing any interior garbage allocs along the
+    /// way), then frees the ancillas. The frame's region stays in the
+    /// trace, so a covering ancestor sweep recomputes it mechanically.
+    fn early_uncompute(&mut self, idx: usize) -> Result<(), CompileError> {
+        let budget = self.budget.as_mut().expect("caller checked budget");
+        let cand = budget.candidates.swap_remove(idx);
+        let u_start = self.trace.len();
+        let mut scratch = std::mem::take(&mut self.inverse_scratch);
+        let mut next = self.next_virt;
+        invert_slice_into(&self.trace[cand.start..cand.end], &mut scratch, || {
+            let v = VirtId(next);
+            next += 1;
+            v
+        });
+        self.next_virt = next;
+        // Flat regions (rule 1) invert to gates + frees only, so this
+        // replay never allocates and never re-enters ensure_headroom.
+        let replayed = self.replay_ops(&mut scratch);
+        self.inverse_scratch = scratch;
+        replayed?;
+        for a in cand.anc.iter().rev() {
+            self.emit(TraceOp::Free(*a), &[])?;
+        }
+        self.budget
+            .as_mut()
+            .expect("still budgeted")
+            .note_early_uncompute(u_start, cand.gates);
         Ok(())
     }
 
     fn run_entry(&mut self, inputs: &[bool]) -> Result<Vec<VirtId>, CompileError> {
         let entry_id = self.program.entry();
+        self.module_stack.push(entry_id);
         let entry = self.program.module(entry_id);
         let anc: Vec<VirtId> = (0..entry.ancillas()).map(|_| self.fresh()).collect();
         for v in &anc {
@@ -351,11 +473,66 @@ impl Exec<'_> {
         depth: usize,
         g_p: u64,
     ) -> Result<(), CompileError> {
+        self.module_stack.push(id);
+        self.stack_width += anc.len();
+        let result = self.run_body_inner(id, args, anc, depth, g_p);
+        self.stack_width -= anc.len();
+        self.module_stack.pop();
+        result
+    }
+
+    fn run_body_inner(
+        &mut self,
+        id: ModuleId,
+        args: &[VirtId],
+        anc: &[VirtId],
+        depth: usize,
+        g_p: u64,
+    ) -> Result<(), CompileError> {
         let compute_start = self.trace.len();
         let gates_before_compute = self.gates_emitted;
         self.run_block(BlockKind::Compute, id, args, anc, depth, g_p)?;
         let compute_end = self.trace.len();
         let gates_after_compute = self.gates_emitted;
+        // Budget rule 4: from here until this frame's fate is settled,
+        // a mechanical sweep of `[compute_start..compute_end)` may be
+        // pending — freeze every candidate inside it so an eviction
+        // cannot free qubits the sweep will free again.
+        if let Some(b) = &mut self.budget {
+            b.frozen.push((compute_start, compute_end));
+        }
+        let result = self.run_settle(
+            id,
+            args,
+            anc,
+            depth,
+            g_p,
+            compute_start,
+            compute_end,
+            gates_after_compute - gates_before_compute,
+        );
+        if let Some(b) = &mut self.budget {
+            b.frozen.pop();
+        }
+        result
+    }
+
+    /// The post-compute tail of a frame: store block, reclamation
+    /// decision, and the uncompute or garbage bookkeeping. Split from
+    /// [`Exec::run_body_inner`] so the budget freeze bracket covers
+    /// every exit path.
+    #[allow(clippy::too_many_arguments)]
+    fn run_settle(
+        &mut self,
+        id: ModuleId,
+        args: &[VirtId],
+        anc: &[VirtId],
+        depth: usize,
+        g_p: u64,
+        compute_start: usize,
+        compute_end: usize,
+        measured_gates: u64,
+    ) -> Result<(), CompileError> {
         self.run_block(BlockKind::Store, id, args, anc, depth, g_p)?;
 
         // Frames without ancilla have nothing to reclaim: skip the
@@ -369,11 +546,11 @@ impl Exec<'_> {
         // unloading for in-place adders).
         let g_uncomp = match self.costs.custom_uncompute_gates(id) {
             Some(gates) => gates,
-            None => gates_after_compute - gates_before_compute,
+            None => measured_gates,
         };
         let n_anc = anc.len();
         let frame_qubits = args.len() + anc.len();
-        let reclaim = self.decide(id, depth, g_uncomp, n_anc, g_p, frame_qubits);
+        let reclaim = self.decide(id, depth, g_uncomp, n_anc, g_p, frame_qubits)?;
         self.decision_log.push(ReclaimDecision {
             module: id,
             depth: depth as u32,
@@ -384,6 +561,12 @@ impl Exec<'_> {
             if self.program.module(id).custom_uncompute().is_some() {
                 self.run_block(BlockKind::CustomUncompute, id, args, anc, depth, g_p)?;
             } else {
+                // An early uncompute emitted inside this region is
+                // replayed forward by the inversion below — count it
+                // as recompute work before sweeping.
+                if let Some(b) = &mut self.budget {
+                    b.note_sweep(compute_start, compute_end);
+                }
                 // Invert the recorded compute slice into the reused
                 // scratch buffer (no per-frame slice copy).
                 let mut scratch = std::mem::take(&mut self.inverse_scratch);
@@ -398,42 +581,9 @@ impl Exec<'_> {
                     },
                 );
                 self.next_virt = next;
-                let mut j = 0;
-                while j < scratch.len() {
-                    // Same layer batching as run_block: uncompute
-                    // replays are gate-dense, so whole inverse slices
-                    // usually route as a single layer.
-                    if !self.lookahead && matches!(&scratch[j], TraceOp::Gate(_)) {
-                        let mut layer = std::mem::take(&mut self.layer_scratch);
-                        layer.clear();
-                        while let Some(TraceOp::Gate(g)) = scratch.get(j) {
-                            layer.push(g.clone());
-                            j += 1;
-                        }
-                        let routed = self.emit_gate_layer(&mut layer);
-                        self.layer_scratch = layer;
-                        routed?;
-                        continue;
-                    }
-                    if self.lookahead && matches!(&scratch[j], TraceOp::Gate(g) if g.arity() >= 2) {
-                        let depth = self.config.router.lookahead_window;
-                        let window = self.machine.lookahead_mut();
-                        window.clear();
-                        for op in &scratch[j + 1..] {
-                            if let TraceOp::Gate(g) = op {
-                                if g.arity() >= 2 {
-                                    window.push(g.clone());
-                                    if window.len() >= depth {
-                                        break;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    self.emit(scratch[j].clone(), &[])?;
-                    j += 1;
-                }
+                let replayed = self.replay_ops(&mut scratch);
                 self.inverse_scratch = scratch;
+                replayed?;
             }
             if depth > 0 {
                 for a in anc.iter().rev() {
@@ -442,6 +592,71 @@ impl Exec<'_> {
             }
         } else {
             self.decisions.garbage += 1;
+            // Budget engine: a garbage frame is exactly what early
+            // uncomputation evicts later — register it if its region
+            // satisfies the static eligibility rules. The entry frame
+            // (depth 0) is excluded: its "ancillas" are the program's
+            // I/O register.
+            if depth > 0 {
+                if let Some(b) = &mut self.budget {
+                    let cand = scan_candidate(
+                        &self.trace[compute_start..compute_end],
+                        compute_start,
+                        id,
+                        depth,
+                        anc,
+                        measured_gates,
+                        |q| b.last_write(q),
+                    );
+                    if let Some(cand) = cand {
+                        b.candidates.push(cand);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays a mechanically inverted slice onto the machine, with
+    /// the same layer batching and lookahead-window handling as
+    /// [`Exec::run_block`]. Shared by frame sweeps and budget-driven
+    /// early uncomputes. Leaves `scratch`'s contents in place (the
+    /// caller returns the buffer to `inverse_scratch` for reuse).
+    fn replay_ops(&mut self, scratch: &mut [TraceOp]) -> Result<(), CompileError> {
+        let mut j = 0;
+        while j < scratch.len() {
+            // Same layer batching as run_block: uncompute replays are
+            // gate-dense, so whole inverse slices usually route as a
+            // single layer.
+            if !self.lookahead && matches!(&scratch[j], TraceOp::Gate(_)) {
+                let mut layer = std::mem::take(&mut self.layer_scratch);
+                layer.clear();
+                while let Some(TraceOp::Gate(g)) = scratch.get(j) {
+                    layer.push(g.clone());
+                    j += 1;
+                }
+                let routed = self.emit_gate_layer(&mut layer);
+                self.layer_scratch = layer;
+                routed?;
+                continue;
+            }
+            if self.lookahead && matches!(&scratch[j], TraceOp::Gate(g) if g.arity() >= 2) {
+                let depth = self.config.router.lookahead_window;
+                let window = self.machine.lookahead_mut();
+                window.clear();
+                for op in &scratch[j + 1..] {
+                    if let TraceOp::Gate(g) = op {
+                        if g.arity() >= 2 {
+                            window.push(g.clone());
+                            if window.len() >= depth {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            self.emit(scratch[j].clone(), &[])?;
+            j += 1;
         }
         Ok(())
     }
@@ -590,6 +805,53 @@ impl Exec<'_> {
         }
     }
 
+    /// How many garbage qubits past the line the program would be if
+    /// this frame's `incoming` qubits joined the garbage pool now: the
+    /// anticipatory clamp invariant is `garbage + stack_need ≤ eff`,
+    /// which guarantees the deepest remaining call chain (and every
+    /// sweep transient, whose width mirrors the forward width) always
+    /// fits under the cap. Returns 0 when the frame can safely go
+    /// garbage.
+    fn budget_excess(&self, incoming: usize) -> usize {
+        let Some(cap) = self.config.budget else {
+            return 0;
+        };
+        let eff = cap.min(self.machine.qubit_count());
+        let active = self.machine.placement().active_count();
+        // Open-frame qubits are stack, not garbage; everything else
+        // live is garbage from settled frames.
+        let garbage = active.saturating_sub(self.stack_width);
+        (garbage + incoming + self.stack_need).saturating_sub(eff)
+    }
+
+    /// Tries to clear `excess` overcommitted garbage qubits by early-
+    /// uncomputing pool candidates, cheapest (CER-scored) first. Only
+    /// trades while the candidate's uncompute is no dearer than the
+    /// `g_uncomp` the deciding frame would pay — evicting old cheap
+    /// garbage to admit new expensive garbage is the profitable move;
+    /// the reverse is what forced reclamation is for. Returns the
+    /// excess still uncovered.
+    fn try_evict(&mut self, mut excess: usize, g_uncomp: u64) -> Result<usize, CompileError> {
+        while excess > 0 {
+            let total = self.decisions.reclaimed + self.decisions.garbage;
+            let rate = (self.decisions.reclaimed as f64 + 1.0) / (total as f64 + 2.0);
+            let params = self.config.cer;
+            let budget = self.budget.as_mut().expect("caller checked budget");
+            let Some(idx) =
+                budget.pick(|c| early_reclaim_score(&params, c.gates, c.freed, rate, c.level))
+            else {
+                break;
+            };
+            if budget.candidates[idx].gates > g_uncomp {
+                break;
+            }
+            let freed = budget.candidates[idx].freed;
+            self.early_uncompute(idx)?;
+            excess = excess.saturating_sub(freed);
+        }
+        Ok(excess)
+    }
+
     fn decide(
         &mut self,
         id: ModuleId,
@@ -598,21 +860,38 @@ impl Exec<'_> {
         n_anc: usize,
         g_p: u64,
         frame_qubits: usize,
-    ) -> bool {
-        match self.config.policy {
+    ) -> Result<bool, CompileError> {
+        let base = match self.config.policy {
             Policy::Eager | Policy::SquareLaaOnly => true,
             Policy::Lazy => depth == 0,
             Policy::Square => {
                 let total = self.decisions.reclaimed + self.decisions.garbage;
+                // Under `budget:N` CER sees the capped machine: the cap
+                // is the capacity and the headroom under it the free
+                // pool, so the paper's own pressure rule engages as the
+                // live width nears the budget. Both values are part of
+                // the memo key, so budgeted decisions memoize apart
+                // from unbudgeted ones.
+                let n_active = self.machine.placement().active_count();
+                let (capacity, free_qubits) = match self.config.budget {
+                    Some(cap) => {
+                        let eff = cap.min(self.machine.qubit_count());
+                        (eff, eff.saturating_sub(n_active))
+                    }
+                    None => (
+                        self.machine.qubit_count(),
+                        self.machine.placement().free_count(),
+                    ),
+                };
                 let inputs = CerInputs {
-                    n_active: self.machine.placement().active_count(),
+                    n_active,
                     n_anc,
                     g_uncomp,
                     g_p,
                     level: depth,
                     comm_factor: self.machine.comm_factor(),
-                    free_qubits: self.machine.placement().free_count(),
-                    capacity: self.machine.qubit_count(),
+                    free_qubits,
+                    capacity,
                     // Laplace-smoothed running reclaim rate.
                     reclaim_rate: (self.decisions.reclaimed as f64 + 1.0) / (total as f64 + 2.0),
                     frame_qubits,
@@ -623,7 +902,21 @@ impl Exec<'_> {
                 }
                 d.reclaim
             }
+        };
+        // Anticipatory budget clamp: a frame may only go garbage while
+        // the invariant `garbage + stack_need ≤ eff` survives it. When
+        // it would not, first try to restore headroom by evicting
+        // settled garbage (the Reqomp move — the base decision and the
+        // decision log are untouched); only when the pool cannot cover
+        // the excess is the frame force-reclaimed.
+        if !base && depth > 0 && self.config.budget.is_some() {
+            let excess = self.budget_excess(n_anc);
+            if excess > 0 && self.try_evict(excess, g_uncomp)? > 0 {
+                self.decisions.forced += 1;
+                return Ok(true);
+            }
         }
+        Ok(base)
     }
 }
 
@@ -818,7 +1111,187 @@ mod tests {
             height: 1,
         });
         let err = compile(&p, &cfg).unwrap_err();
-        assert!(matches!(err, CompileError::OutOfQubits { .. }));
+        match err {
+            CompileError::OutOfQubits {
+                policy,
+                budget,
+                module,
+                min_feasible,
+                ..
+            } => {
+                assert_eq!(policy, Policy::Lazy);
+                assert_eq!(budget, None);
+                assert!(module.is_some(), "failure attributed to a module");
+                assert_eq!(min_feasible, None, "unbudgeted failures have no min-N");
+            }
+            other => panic!("expected OutOfQubits, got {other}"),
+        }
+    }
+
+    /// Three sequential garbage-producing calls: under Lazy all three
+    /// frames stay live (peak 5: x, out + three garbage ancillas), but
+    /// every frame is a textbook early-uncompute candidate, so
+    /// `budget:4` must fit by evicting each settled frame before the
+    /// next one's garbage would break the clamp invariant.
+    fn sequential_garbage_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let child = b
+            .module("child", 1, 1, |m| {
+                let x = m.param(0);
+                let a = m.ancilla(0);
+                m.cx(x, a);
+                m.store();
+            })
+            .unwrap();
+        let main = b
+            .module("main", 0, 2, |m| {
+                let (x, out) = (m.ancilla(0), m.ancilla(1));
+                m.x(x);
+                m.call(child, &[x]);
+                m.call(child, &[x]);
+                m.call(child, &[x]);
+                m.store();
+                m.cx(x, out);
+            })
+            .unwrap();
+        b.finish(main).unwrap()
+    }
+
+    /// Replays a virtual trace on booleans, panicking on any dirty
+    /// free, and returns the final values of `outputs`.
+    fn replay_bits(trace: &[TraceOp], outputs: &[VirtId]) -> Vec<bool> {
+        use std::collections::HashMap;
+        let mut bits: HashMap<VirtId, bool> = HashMap::new();
+        for op in trace {
+            match op {
+                TraceOp::Alloc(v) => {
+                    bits.insert(*v, false);
+                }
+                TraceOp::Free(v) => {
+                    let val = bits.remove(v).expect("free of dead qubit");
+                    assert!(!val, "dirty ancilla freed");
+                }
+                TraceOp::Gate(g) => {
+                    let get = |q: &VirtId| bits[q];
+                    match g {
+                        Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
+                        Gate::Cx { control, target } => {
+                            if get(control) {
+                                *bits.get_mut(target).unwrap() ^= true;
+                            }
+                        }
+                        Gate::Ccx { c0, c1, target } => {
+                            if get(c0) && get(c1) {
+                                *bits.get_mut(target).unwrap() ^= true;
+                            }
+                        }
+                        Gate::Swap { a, b } => {
+                            let (va, vb) = (get(a), get(b));
+                            bits.insert(*a, vb);
+                            bits.insert(*b, va);
+                        }
+                        Gate::Mcx { controls, target } => {
+                            if controls.iter().all(get) {
+                                *bits.get_mut(target).unwrap() ^= true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outputs.iter().map(|v| bits[v]).collect()
+    }
+
+    #[test]
+    fn budget_evicts_garbage_to_fit_under_the_cap() {
+        let p = sequential_garbage_program();
+        let base = CompilerConfig::nisq(Policy::Lazy).with_arch(ArchSpec::Grid {
+            width: 4,
+            height: 4,
+        });
+        let unbudgeted = compile(&p, &base).unwrap();
+        assert!(
+            unbudgeted.peak_active >= 5,
+            "lazy keeps all three garbage frames live (peak {})",
+            unbudgeted.peak_active
+        );
+        let capped = compile(&p, &base.clone().with_budget(Some(4))).unwrap();
+        assert!(
+            capped.peak_active <= 4,
+            "cap enforced: peak {} > 4",
+            capped.peak_active
+        );
+        assert_eq!(capped.budget, Some(4));
+        assert!(capped.recompute.early_uncomputed_frames >= 1);
+        assert!(capped.recompute.early_uncompute_gates >= 1);
+        // The entry's final sweep covers the early uncompute, so the
+        // frame is recomputed (and recounted) mechanically.
+        assert!(capped.recompute.recomputed_frames >= 1);
+        // Early uncomputation is externally invisible: the decision
+        // log is unchanged and the trace still replays cleanly to the
+        // same outputs.
+        assert_eq!(capped.decision_log, unbudgeted.decision_log);
+        let vals = replay_bits(&capped.trace, &capped.entry_register);
+        assert_eq!(
+            vals,
+            replay_bits(&unbudgeted.trace, &unbudgeted.entry_register)
+        );
+        let lowered = square_qir::lower_mcx(&p);
+        let mut oracle = square_qir::RecordedDecisions::new(capped.decision_bools());
+        let sem = square_qir::sem::run(&lowered, &[], &mut oracle).unwrap();
+        assert!(oracle.in_sync());
+        assert_eq!(sem.outputs, vals);
+    }
+
+    #[test]
+    fn budget_reports_min_feasible_when_unsatisfiable() {
+        let p = sequential_garbage_program();
+        // Budget 2 cannot even hold the entry register plus one call.
+        let cfg = CompilerConfig::nisq(Policy::Lazy)
+            .with_arch(ArchSpec::Grid {
+                width: 4,
+                height: 4,
+            })
+            .with_budget(Some(2));
+        match compile(&p, &cfg).unwrap_err() {
+            CompileError::OutOfQubits {
+                budget,
+                min_feasible,
+                ..
+            } => {
+                assert_eq!(budget, Some(2));
+                let min = min_feasible.expect("budgeted failure reports min-N");
+                assert!(min == 3, "min feasible should be 3, got {min}");
+            }
+            other => panic!("expected OutOfQubits, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_binding_budget_is_field_identical_to_base() {
+        // A cap at machine capacity can never bind, and the CER clamp
+        // resolves to the same (capacity, free) pair — so every field
+        // except `budget` itself must be bit-identical to the base
+        // policy, for all four bases.
+        for p in [nested_program(), sequential_garbage_program()] {
+            for policy in Policy::ALL {
+                let cfg = grid(policy);
+                let base = compile(&p, &cfg).unwrap();
+                let capped = compile(&p, &cfg.clone().with_budget(Some(16))).unwrap();
+                assert_eq!(base.gates, capped.gates, "{policy}");
+                assert_eq!(base.swaps, capped.swaps, "{policy}");
+                assert_eq!(base.depth, capped.depth, "{policy}");
+                assert_eq!(base.qubits, capped.qubits, "{policy}");
+                assert_eq!(base.peak_active, capped.peak_active, "{policy}");
+                assert_eq!(base.aqv, capped.aqv, "{policy}");
+                assert_eq!(base.decisions, capped.decisions, "{policy}");
+                assert_eq!(base.decision_log, capped.decision_log, "{policy}");
+                assert_eq!(base.trace, capped.trace, "{policy}");
+                assert_eq!(capped.budget, Some(16));
+                assert_eq!(base.recompute, capped.recompute, "{policy}: all zero");
+                assert_eq!(capped.recompute.early_uncomputed_frames, 0);
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cer;
 pub mod config;
 pub mod executor;
@@ -51,8 +52,8 @@ pub use executor::{
     compile, compile_prepared, compile_prepared_on, compile_with_inputs, PreparedProgram,
 };
 pub use heap::{AncillaHeap, HeapError, HeapHandle};
-pub use policy::Policy;
-pub use report::{CompileReport, ReclaimDecision};
+pub use policy::{BudgetPolicy, Policy};
+pub use report::{CompileReport, ReclaimDecision, RecomputeStats};
 // Router selection is part of the compiler configuration; re-export
 // the kind so downstream crates need not depend on square-route.
 pub use square_route::RouterKind;

@@ -92,6 +92,28 @@ pub struct CompileReport {
     pub route_ns: u64,
     /// The executed virtual trace (alloc/gate/free events).
     pub trace: Vec<TraceOp>,
+    /// The `budget:N` hard width cap this run compiled under, if any.
+    /// `None` (no cap) leaves every other field bit-identical to an
+    /// unbudgeted compile of the same base policy.
+    pub budget: Option<usize>,
+    /// Early-uncompute/recompute activity under the budget cap (all
+    /// zeros when `budget` is `None`).
+    pub recompute: RecomputeStats,
+}
+
+/// Counters for budget-driven early uncomputation and the recompute
+/// work it later costs (ISSUE 8 tentpole; Reqomp-style accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecomputeStats {
+    /// Frames uncomputed early to free width under the cap.
+    pub early_uncomputed_frames: u64,
+    /// Gates spent performing those early uncomputations.
+    pub early_uncompute_gates: u64,
+    /// Frames recomputed by a later ancestor sweep (an early-uncomputed
+    /// frame whose region a mechanical inversion subsequently replayed).
+    pub recomputed_frames: u64,
+    /// Gates spent recomputing those frames inside ancestor sweeps.
+    pub recompute_gates: u64,
 }
 
 impl CompileReport {
@@ -164,6 +186,8 @@ mod tests {
             machine_qubits: 20,
             route_ns: 0,
             trace: vec![],
+            budget: None,
+            recompute: RecomputeStats::default(),
         };
         let row = report.table_row();
         assert!(row.contains("SQUARE"));

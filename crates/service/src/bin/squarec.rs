@@ -7,7 +7,9 @@
 //!
 //! ```text
 //! squarec FILE.sq [FILE2.sq …] [flags]
-//!   --policy NAME        lazy | eager | square | laa        (default square)
+//!   --policy SPEC        lazy | eager | square | laa, optionally
+//!                        with a `,budget:N` hard width cap
+//!                        (e.g. `square,budget:64`)           (default square)
 //!   --arch SPEC          nisq | ft | grid:WxH | full:N | line:N
 //!                        | heavyhex[:D] | ring[:N]          (default nisq)
 //!   --router NAME        greedy | lookahead                 (default greedy)
@@ -35,8 +37,8 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use serde::Value;
-use square_bench::{report_json, SweepArch};
-use square_core::{compile, CompileReport, Policy, RouterKind};
+use square_bench::{error_json, report_json, SweepArch};
+use square_core::{compile, BudgetPolicy, CompileError, CompileReport, Policy, RouterKind};
 use square_qir::pretty::program_listing;
 use square_qir::Program;
 use square_workloads::{sq_file_stem, sq_source, Benchmark};
@@ -51,6 +53,7 @@ enum Emit {
 struct Options {
     files: Vec<PathBuf>,
     policy: Policy,
+    budget: Option<usize>,
     arch: SweepArch,
     router: RouterKind,
     all_policies: bool,
@@ -71,7 +74,7 @@ fn mark_failed() {
 }
 
 const USAGE: &str = "usage: squarec FILE.sq [FILE2.sq …] \
-     [--policy lazy|eager|square|laa] \
+     [--policy lazy|eager|square|laa[,budget:N]] \
      [--arch nisq|ft|grid:WxH|full:N|line:N|heavyhex[:D]|ring[:N]] \
      [--router greedy|lookahead] [--all-policies] [--validate] \
      [--emit report|listing|schedule] [--json] [--roundtrip] [--dump-catalog DIR] \
@@ -81,6 +84,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         files: Vec::new(),
         policy: Policy::Square,
+        budget: None,
         arch: SweepArch::NisqAuto,
         router: RouterKind::Greedy,
         all_policies: false,
@@ -100,9 +104,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "--policy" => {
+                // Full spec grammar: base name, `budget:N` cap, or
+                // both (`square,budget:64`).
                 let v = value(arg)?;
-                opts.policy =
-                    Policy::parse(&v).ok_or_else(|| format!("--policy: unknown policy `{v}`"))?;
+                let spec = BudgetPolicy::parse(&v)
+                    .ok_or_else(|| format!("--policy: unknown policy `{v}`"))?;
+                opts.policy = spec.base;
+                opts.budget = spec.budget;
             }
             "--arch" => {
                 // One grammar everywhere: `SweepArch::parse` is a thin
@@ -272,21 +280,45 @@ fn run_file(file: &Path, opts: &Options, json_cells: &mut Vec<Value>) -> bool {
     let mut rows: Vec<(Policy, CompileReport)> = Vec::new();
     if opts.validate || opts.emit != Emit::Listing {
         for &policy in &policies {
-            let mut config = opts.arch.config(policy).with_router(opts.router);
+            let mut config = opts
+                .arch
+                .config(policy)
+                .with_router(opts.router)
+                .with_budget(opts.budget);
             if opts.emit == Emit::Schedule {
                 config = config.with_schedule();
             }
             let outcome = if opts.validate {
                 square_verify::validate(&program, &[], &config)
                     .map(|v| v.report)
-                    .map_err(|e| e.to_string())
+                    .map_err(validation_failure)
             } else {
-                compile(&program, &config).map_err(|e| e.to_string())
+                compile(&program, &config).map_err(compile_failure)
+            };
+            let spec = BudgetPolicy {
+                base: policy,
+                budget: opts.budget,
             };
             match outcome {
                 Ok(report) => rows.push((policy, report)),
-                Err(error) => {
-                    eprintln!("{display}: {} on {}: {error}", policy.cli_name(), opts.arch);
+                Err((error, detail)) => {
+                    eprintln!("{display}: {} on {}: {error}", spec.cli_name(), opts.arch);
+                    if opts.json {
+                        let mut cell = vec![
+                            ("file", Value::String(display.clone())),
+                            ("policy", Value::String(policy.cli_name().to_string())),
+                            ("arch", Value::String(opts.arch.to_string())),
+                            ("router", Value::String(opts.router.cli_name().to_string())),
+                            ("error", Value::String(error)),
+                        ];
+                        if let Some(n) = opts.budget {
+                            cell.push(("budget", Value::UInt(n as u64)));
+                        }
+                        if let Some(detail) = detail {
+                            cell.push(("error_detail", detail));
+                        }
+                        json_cells.push(Value::map(cell));
+                    }
                     // Also mark globally, so a later early EPIPE exit
                     // still reports failure through the exit code.
                     mark_failed();
@@ -316,9 +348,14 @@ fn run_file(file: &Path, opts: &Options, json_cells: &mut Vec<Value>) -> bool {
                 ("policy", Value::String(policy.cli_name().to_string())),
                 ("arch", Value::String(opts.arch.to_string())),
                 ("router", Value::String(opts.router.cli_name().to_string())),
+            ];
+            if let Some(n) = opts.budget {
+                cell.push(("budget", Value::UInt(n as u64)));
+            }
+            cell.extend([
                 ("validated", Value::Bool(opts.validate)),
                 ("report", report_json(report)),
-            ];
+            ]);
             if opts.emit == Emit::Schedule {
                 cell.push(("schedule", schedule_json(report)));
             }
@@ -385,7 +422,11 @@ fn write_stdout(text: &str) {
 fn render_table(file: &str, opts: &Options, rows: &[(Policy, CompileReport)]) -> String {
     let mut out = String::new();
     let validated = if opts.validate { " [validated]" } else { "" };
-    out.push_str(&format!("{file} — {}{validated}\n", opts.arch));
+    let budget = match opts.budget {
+        Some(n) => format!(" budget:{n}"),
+        None => String::new(),
+    };
+    out.push_str(&format!("{file} — {}{budget}{validated}\n", opts.arch));
     out.push_str(&format!(
         "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
         "policy", "gates", "swaps", "depth", "qubits", "peak", "aqv"
@@ -403,6 +444,42 @@ fn render_table(file: &str, opts: &Options, rows: &[(Policy, CompileReport)]) ->
         ));
     }
     out
+}
+
+/// Renders a compile failure for stderr and carries the structured
+/// JSON diagnostic alongside. Out-of-qubits failures — the paper's
+/// "too many qubits" mode — get an actionable hint: the error itself
+/// already names the offending module, the live/capacity split and
+/// (for budgeted runs) the minimum feasible budget.
+fn compile_failure(e: CompileError) -> (String, Option<Value>) {
+    let detail = error_json(&e);
+    let message = match &e {
+        CompileError::OutOfQubits {
+            policy,
+            min_feasible: Some(n),
+            ..
+        } => format!(
+            "{e}\n  hint: retry with `--policy {},budget:{n}` or a larger --arch",
+            policy.cli_name()
+        ),
+        CompileError::OutOfQubits { policy, .. } => format!(
+            "{e}\n  hint: a width cap forces earlier reclamation — try \
+             `--policy {},budget:N` with N at most the machine size, or a larger --arch",
+            policy.cli_name()
+        ),
+        _ => e.to_string(),
+    };
+    (message, Some(detail))
+}
+
+/// [`compile_failure`] lifted over the oracle stack's error type:
+/// compile failures keep their structured diagnostic, everything else
+/// (a genuine translation-validation mismatch) stays message-only.
+fn validation_failure(e: square_verify::ValidationError) -> (String, Option<Value>) {
+    match e {
+        square_verify::ValidationError::Compile(ce) => compile_failure(ce),
+        other => (other.to_string(), None),
+    }
 }
 
 /// Checks that the canonical listing of the parsed program parses back

@@ -248,6 +248,7 @@ pub fn measure(
             policy: Policy::Square,
             arch: SweepArch::NisqAuto,
             router: RouterKind::Greedy,
+            budget: None,
         };
         let warm = service
             .compile_source(&req)
@@ -305,6 +306,7 @@ pub fn measure(
             policy: Policy::Square,
             arch: SweepArch::NisqAuto,
             router: RouterKind::Greedy,
+            budget: None,
         };
         service.compile_source(&req).map_err(|e| e.to_string())?;
     }
@@ -322,6 +324,7 @@ pub fn measure(
                             policy: Policy::Square,
                             arch: SweepArch::NisqAuto,
                             router: RouterKind::Greedy,
+                            budget: None,
                         };
                         if service.compile_source(&req).is_ok() {
                             done += 1;

@@ -17,9 +17,12 @@
 //! ```
 //!
 //! `policy`/`arch`/`router` default to `square`/`nisq`/`greedy`. The
-//! optional `id` is echoed verbatim in the response so clients can
-//! pipeline. Control requests use `cmd`: `{"cmd":"ping"}`,
-//! `{"cmd":"stats"}` and `{"cmd":"shutdown"}`.
+//! `policy` field speaks the full spec grammar (`"square,budget:64"`),
+//! or the cap can come as a separate integer `"budget"` field —
+//! naming it in both is rejected. The optional `id` is echoed
+//! verbatim in the response so clients can pipeline. Control requests
+//! use `cmd`: `{"cmd":"ping"}`, `{"cmd":"stats"}` and
+//! `{"cmd":"shutdown"}`.
 //!
 //! Both directions are typed: a line parses into a [`Request`], and
 //! the server answers by serializing a [`Response`] — there is no
@@ -35,9 +38,9 @@ use std::fmt;
 
 use serde::{Serialize, Value};
 use square_bench::SweepArch;
-use square_core::{Policy, RouterKind};
+use square_core::{BudgetPolicy, Policy, RouterKind};
 
-use crate::service::{CompileOutcome, CompileRequest, ServiceStats};
+use crate::service::{CompileOutcome, CompileRequest, ServiceError, ServiceStats};
 
 /// The wire protocol version this build speaks.
 pub const PROTO_VERSION: u64 = 1;
@@ -150,12 +153,28 @@ impl Request {
             .and_then(Value::as_str)
             .ok_or_else(|| malformed("missing string field `source`".to_string()))?
             .to_string();
-        let policy = match value.get("policy").and_then(Value::as_str) {
-            None => Policy::Square,
-            Some(name) => {
-                Policy::parse(name).ok_or_else(|| malformed(format!("unknown policy `{name}`")))?
-            }
+        // The policy field speaks the full `BudgetPolicy` spec grammar
+        // (`"square"`, `"square,budget:64"`, `"budget:64"`), and the
+        // cap can equivalently come as a separate integer `budget`
+        // field; naming it in both places is ambiguous and rejected.
+        let spec = match value.get("policy").and_then(Value::as_str) {
+            None => BudgetPolicy::unbudgeted(Policy::Square),
+            Some(name) => BudgetPolicy::parse(name)
+                .ok_or_else(|| malformed(format!("unknown policy `{name}`")))?,
         };
+        let policy = spec.base;
+        let mut budget = spec.budget;
+        if let Some(b) = value.get("budget") {
+            let n = b
+                .as_u64()
+                .ok_or_else(|| malformed("`budget` must be a non-negative integer".to_string()))?;
+            if budget.is_some() {
+                return Err(malformed(
+                    "budget named in both `policy` and `budget`".to_string(),
+                ));
+            }
+            budget = Some(n as usize);
+        }
         let arch = match value.get("arch").and_then(Value::as_str) {
             None => SweepArch::NisqAuto,
             Some(spec) => {
@@ -174,6 +193,7 @@ impl Request {
                 policy,
                 arch,
                 router,
+                budget,
             },
         })
     }
@@ -200,6 +220,11 @@ pub enum ErrorKind {
     BadRequest,
     /// The request was well-formed but the compile failed.
     CompileFailed,
+    /// The compile failed because the machine (or the `budget:N` cap)
+    /// ran out of qubits. The error response additionally carries a
+    /// structured `detail` object: `requested`, `capacity`, `live`,
+    /// `policy`, `budget`, `module` and `min_feasible`.
+    OutOfQubits,
 }
 
 impl ErrorKind {
@@ -209,6 +234,7 @@ impl ErrorKind {
             ErrorKind::UnsupportedVersion => "unsupported_version",
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::CompileFailed => "compile_failed",
+            ErrorKind::OutOfQubits => "out_of_qubits",
         }
     }
 }
@@ -236,6 +262,9 @@ pub enum Response {
         kind: ErrorKind,
         /// Human-readable message.
         message: String,
+        /// Structured diagnostic payload (today: the out-of-qubits
+        /// detail object), absent for message-only errors.
+        detail: Option<Value>,
     },
     /// The `ping` acknowledgement.
     Pong {
@@ -268,6 +297,7 @@ impl Response {
             id: id.clone(),
             kind,
             message: error.to_string(),
+            detail: None,
         }
     }
 
@@ -277,6 +307,26 @@ impl Response {
             id: id.clone(),
             kind: ErrorKind::CompileFailed,
             message: message.to_string(),
+            detail: None,
+        }
+    }
+
+    /// Wraps a [`ServiceError`] with the matching [`ErrorKind`] —
+    /// out-of-qubits failures keep their typed kind plus the
+    /// structured `detail` object, everything else degrades to
+    /// `compile_failed` with a message.
+    pub fn service_error(id: &Value, error: &ServiceError) -> Response {
+        let (kind, detail) = match error {
+            ServiceError::OutOfQubits(e) => {
+                (ErrorKind::OutOfQubits, Some(square_bench::error_json(e)))
+            }
+            ServiceError::Parse(_) | ServiceError::Compile(_) => (ErrorKind::CompileFailed, None),
+        };
+        Response::Error {
+            id: id.clone(),
+            kind,
+            message: error.to_string(),
+            detail,
         }
     }
 
@@ -302,6 +352,13 @@ impl Response {
                     ("policy", Value::String(req.policy.cli_name().to_string())),
                     ("arch", Value::String(req.arch.to_string())),
                     ("router", Value::String(req.router.cli_name().to_string())),
+                ]);
+                // Echoed only for budgeted cells so unbudgeted
+                // responses stay byte-identical to the pre-budget wire.
+                if let Some(n) = req.budget {
+                    fields.push(("budget", Value::UInt(n as u64)));
+                }
+                fields.extend([
                     ("cached", Value::Bool(outcome.cached)),
                     ("coalesced", Value::Bool(outcome.coalesced)),
                     ("compile_ms", Value::Float(outcome.compile_ms)),
@@ -310,12 +367,20 @@ impl Response {
                 ]);
                 Value::map(fields)
             }
-            Response::Error { id, kind, message } => {
+            Response::Error {
+                id,
+                kind,
+                message,
+                detail,
+            } => {
                 let mut fields = envelope(id, false);
                 fields.extend([
                     ("error_kind", Value::String(kind.wire_name().to_string())),
                     ("error", Value::String(message.clone())),
                 ]);
+                if let Some(detail) = detail {
+                    fields.push(("detail", detail.clone()));
+                }
                 Value::map(fields)
             }
             Response::Pong { id } => {
@@ -397,6 +462,61 @@ mod tests {
         assert!(Request::parse(r#"{"source": "x", "arch": "torus:3"}"#).is_err());
         assert!(Request::parse(r#"{"source": "x", "router": "bgp"}"#).is_err());
         assert!(Request::parse(r#"{}"#).is_err(), "no source, no cmd");
+    }
+
+    #[test]
+    fn budget_parses_from_either_spelling() {
+        // Inline in the policy spec…
+        match Request::parse(r#"{"source": "x", "policy": "square,budget:64"}"#).unwrap() {
+            Request::Compile { req, .. } => {
+                assert_eq!(req.policy, Policy::Square);
+                assert_eq!(req.budget, Some(64));
+            }
+            other => panic!("expected compile, got {other:?}"),
+        }
+        // …or as a dedicated integer field.
+        match Request::parse(r#"{"source": "x", "policy": "lazy", "budget": 7}"#).unwrap() {
+            Request::Compile { req, .. } => {
+                assert_eq!(req.policy, Policy::Lazy);
+                assert_eq!(req.budget, Some(7));
+            }
+            other => panic!("expected compile, got {other:?}"),
+        }
+        // Both at once is ambiguous; ill-typed budgets are malformed.
+        assert!(Request::parse(r#"{"source": "x", "policy": "budget:3", "budget": 4}"#).is_err());
+        assert!(Request::parse(r#"{"source": "x", "budget": "lots"}"#).is_err());
+    }
+
+    #[test]
+    fn out_of_qubits_errors_carry_typed_kind_and_detail() {
+        let e = square_core::CompileError::OutOfQubits {
+            requested: 4,
+            capacity: 16,
+            live: 14,
+            policy: Policy::Square,
+            budget: Some(16),
+            module: Some("mul".to_string()),
+            min_feasible: Some(18),
+        };
+        let resp = Response::service_error(&Value::Int(9), &ServiceError::OutOfQubits(Box::new(e)))
+            .serialize();
+        assert_eq!(
+            resp.get("error_kind").and_then(Value::as_str),
+            Some("out_of_qubits")
+        );
+        let detail = resp.get("detail").expect("structured detail present");
+        assert_eq!(detail.get("requested").and_then(Value::as_u64), Some(4));
+        assert_eq!(detail.get("min_feasible").and_then(Value::as_u64), Some(18));
+        assert_eq!(detail.get("module").and_then(Value::as_str), Some("mul"));
+        // Plain compile failures stay message-only.
+        let plain =
+            Response::service_error(&Value::Null, &ServiceError::Compile("boom".to_string()))
+                .serialize();
+        assert_eq!(
+            plain.get("error_kind").and_then(Value::as_str),
+            Some("compile_failed")
+        );
+        assert!(plain.get("detail").is_none());
     }
 
     #[test]

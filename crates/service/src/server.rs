@@ -200,7 +200,7 @@ fn session(
                         outcome,
                         stats: service.stats(),
                     },
-                    Err(e) => Response::compile_error(&id, &e.to_string()),
+                    Err(e) => Response::service_error(&id, &e),
                 }
             }
         };

@@ -58,6 +58,10 @@ pub struct CompileRequest {
     /// Swap-chain router (normalized to greedy on braided archs,
     /// matching the compiler itself).
     pub router: RouterKind,
+    /// Optional `budget:N` hard width cap. Part of the cell identity:
+    /// a budgeted compile of the same source is a different cell (and
+    /// a different report) from the unbudgeted one.
+    pub budget: Option<usize>,
 }
 
 /// A served compile result.
@@ -88,6 +92,11 @@ pub enum ServiceError {
     Parse(String),
     /// The compiler rejected or failed the program.
     Compile(String),
+    /// The machine (or the `budget:N` cap) ran out of qubits. Kept
+    /// structured — rather than flattened to a message — so front ends
+    /// can surface the offending module, the live/capacity split and
+    /// the minimum feasible budget as typed fields.
+    OutOfQubits(Box<square_core::CompileError>),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -95,6 +104,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
             ServiceError::Compile(msg) => write!(f, "compile error: {msg}"),
+            ServiceError::OutOfQubits(e) => write!(f, "compile error: {e}"),
         }
     }
 }
@@ -142,6 +152,7 @@ struct CellKey {
     policy: Policy,
     arch: SweepArch,
     router: RouterKind,
+    budget: Option<usize>,
 }
 
 /// A finished compile: the shared report plus the leader's compile time.
@@ -213,6 +224,7 @@ impl CompileService {
             policy: req.policy,
             arch: req.arch,
             router,
+            budget: req.budget,
         };
 
         if let Some((report, compile_ms)) = self.reports.lock().unwrap().get(&key) {
@@ -324,7 +336,11 @@ impl CompileService {
             }
         };
 
-        let config = key.arch.config(key.policy).with_router(key.router);
+        let config = key
+            .arch
+            .config(key.policy)
+            .with_router(key.router)
+            .with_budget(key.budget);
         // Fixed-size archs build the same machine for every program;
         // auto-sized ones depend on the program's ancilla footprint.
         // Key accordingly so a fixed arch is one shared entry.
@@ -348,8 +364,12 @@ impl CompileService {
             }
         };
 
-        let report = compile_prepared_on(&prepared, &[], &config, topo)
-            .map_err(|e| ServiceError::Compile(e.to_string()))?;
+        let report = compile_prepared_on(&prepared, &[], &config, topo).map_err(|e| match e {
+            e @ square_core::CompileError::OutOfQubits { .. } => {
+                ServiceError::OutOfQubits(Box::new(e))
+            }
+            other => ServiceError::Compile(other.to_string()),
+        })?;
         let compile_ms = start.elapsed().as_secs_f64() * 1e3;
         Ok((Arc::new(report_json(&report)), compile_ms))
     }
@@ -398,6 +418,7 @@ mod tests {
             policy: Policy::Square,
             arch: SweepArch::NisqAuto,
             router: RouterKind::Greedy,
+            budget: None,
         }
     }
 
@@ -440,6 +461,50 @@ mod tests {
         let second = svc.compile_source(&req).unwrap();
         assert!(second.cached, "ft+lookahead and ft+greedy are one cell");
         assert_eq!(first.report, second.report);
+    }
+
+    #[test]
+    fn budget_is_part_of_the_cell_key() {
+        let svc = CompileService::new(ServiceConfig::default());
+        let unbudgeted = svc.compile_source(&request(SRC)).unwrap();
+        let mut capped = request(SRC);
+        capped.budget = Some(3);
+        let budgeted = svc.compile_source(&capped).unwrap();
+        assert!(
+            !budgeted.cached,
+            "a budgeted compile must not hit the unbudgeted cell"
+        );
+        // The budgeted report carries the budget/recompute fields, the
+        // unbudgeted one must not (byte-stability of existing cells).
+        assert_eq!(
+            budgeted.report.get("budget").and_then(Value::as_u64),
+            Some(3)
+        );
+        assert!(unbudgeted.report.get("budget").is_none());
+        // And the budgeted cell caches under its own key.
+        let again = svc.compile_source(&capped).unwrap();
+        assert!(again.cached);
+    }
+
+    #[test]
+    fn out_of_qubits_surfaces_structured() {
+        let svc = CompileService::new(ServiceConfig::default());
+        let mut req = request(SRC);
+        req.budget = Some(1);
+        match svc.compile_source(&req).unwrap_err() {
+            ServiceError::OutOfQubits(e) => match *e {
+                square_core::CompileError::OutOfQubits {
+                    budget,
+                    min_feasible,
+                    ..
+                } => {
+                    assert_eq!(budget, Some(1));
+                    assert!(min_feasible.is_some());
+                }
+                other => panic!("wrong compile error: {other}"),
+            },
+            other => panic!("expected structured out-of-qubits, got {other:?}"),
+        }
     }
 
     #[test]

@@ -168,7 +168,11 @@ impl fmt::Display for FuzzFailure {
 
 /// Validates one program over the full `policy × machine × router`
 /// product — every machine target ([`MachineKind::ALL`], heavy-hex
-/// and ring included) under every router the target routes with.
+/// and ring included) under every router the target routes with —
+/// plus one *budgeted* cell: Square capped at the program's own
+/// eager-probe width floor (the tightest always-satisfiable
+/// `budget:N`), which must validate through the full oracle stack
+/// AND stay under its cap.
 /// With `cross_check`, the observable register (echoed inputs + the
 /// store-protected result; the scratch cell between them is
 /// legitimately policy-dependent) must also agree across every cell —
@@ -226,6 +230,29 @@ fn run_program(
                 }
             }
         }
+    }
+    // The budgeted cell: probe the frame-granularity width floor with
+    // Eager, then demand Square fit under exactly that cap. The floor
+    // is satisfiable by construction (the budget clamp never needs
+    // more than the eager stack width), so any failure here — compile,
+    // oracle mismatch, or a peak over the cap — is a real bug.
+    let (machine, router) = (MachineKind::Nisq, RouterKind::Greedy);
+    let floor = square_core::compile(program, &machine.config(Policy::Eager))
+        .map_err(|e| (Policy::Eager, machine, router, ValidationError::Compile(e)))?
+        .peak_active;
+    let cfg = machine
+        .config_with(Policy::Square, router)
+        .with_budget(Some(floor));
+    let v = validate(program, inputs, &cfg).map_err(|e| (Policy::Square, machine, router, e))?;
+    stats.cells += 1;
+    stats.gates += v.report.gates;
+    stats.swaps += v.report.swaps;
+    if v.report.peak_active > floor {
+        let e = ValidationError::BudgetExceeded {
+            budget: floor,
+            peak: v.report.peak_active,
+        };
+        return Err((Policy::Square, machine, router, e));
     }
     Ok(())
 }
@@ -335,6 +362,7 @@ fn failure_class(e: &ValidationError) -> &'static str {
         ValidationError::Compile(_) => "compile",
         ValidationError::Sem(_) => "sem",
         ValidationError::RoundTrip(_) => "round-trip",
+        ValidationError::BudgetExceeded { .. } => "budget",
         ValidationError::Mismatch(m) => match **m {
             Mismatch::DoubleAlloc { .. } => "double-alloc",
             Mismatch::UseAfterFree { .. } => "use-after-free",
@@ -402,8 +430,9 @@ mod tests {
             let case = FuzzCase::from_seed(seed);
             let stats = run_case(&case).unwrap_or_else(|f| panic!("{f}"));
             // 4 policies × (3 swap-chain machines × 2 routers + ft) ×
-            // 2 generation modes.
-            assert_eq!(stats.cells, 56, "full machine × router product");
+            // 2 generation modes, plus one budgeted Square cell per
+            // generated program.
+            assert_eq!(stats.cells, 58, "full machine × router product");
             assert!(stats.gates > 0);
         }
     }

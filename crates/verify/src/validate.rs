@@ -185,6 +185,15 @@ pub enum ValidationError {
     /// program (checked by the pipeline fuzzer for every generated
     /// program).
     RoundTrip(String),
+    /// A budgeted compile reported a peak width above its own cap —
+    /// the `budget:N` invariant (peak ≤ N for satisfiable cells) was
+    /// violated even though the compile claimed success.
+    BudgetExceeded {
+        /// The requested hard cap.
+        budget: usize,
+        /// The peak simultaneously-active width actually reported.
+        peak: usize,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -195,6 +204,9 @@ impl fmt::Display for ValidationError {
             ValidationError::Mismatch(m) => write!(f, "semantic mismatch: {m}"),
             ValidationError::RoundTrip(detail) => {
                 write!(f, "frontend round-trip failed: {detail}")
+            }
+            ValidationError::BudgetExceeded { budget, peak } => {
+                write!(f, "budget violated: peak width {peak} over cap {budget}")
             }
         }
     }

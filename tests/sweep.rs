@@ -14,6 +14,7 @@ fn small_spec() -> SweepSpec {
         policies: vec![Policy::Lazy, Policy::Square],
         archs: vec![SweepArch::NisqAuto],
         routers: vec![RouterKind::Greedy],
+        budgets: vec![None],
     }
 }
 
@@ -22,7 +23,7 @@ fn small_sweep_returns_a_full_matrix_with_positive_aqv() {
     let spec = small_spec();
     let matrix = run_sweep(&spec);
     assert_eq!(matrix.cells.len(), 4, "2 benchmarks × 2 policies");
-    for (bench, policy, arch, _router) in spec.cells() {
+    for (bench, policy, arch, _router, _budget) in spec.cells() {
         let cell = matrix
             .get(bench, policy, arch)
             .unwrap_or_else(|| panic!("missing cell {bench}/{policy}/{arch}"));

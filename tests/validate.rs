@@ -98,6 +98,65 @@ fn full_sweep_matrix_validates() {
 }
 
 #[test]
+fn budget_cells_validate_quick() {
+    // Quick budgeted slice through the full oracle stack: cap each
+    // cell at its eager-probe peak (the frame-granularity width
+    // floor, always satisfiable) and check the cap actually held.
+    use square_repro::core::{compile, CompilerConfig};
+    use square_repro::verify::validate;
+    use square_repro::workloads::build;
+
+    for bench in [Benchmark::Rd53, Benchmark::Adder4] {
+        let program = build(bench).unwrap();
+        let floor = compile(&program, &CompilerConfig::nisq(Policy::Eager))
+            .unwrap()
+            .peak_active;
+        for base in [Policy::Lazy, Policy::Square] {
+            let cfg = CompilerConfig::nisq(base).with_budget(Some(floor));
+            let v = validate(&program, &[], &cfg)
+                .unwrap_or_else(|e| panic!("{bench}/{}/budget:{floor}: {e}", base.cli_name()));
+            assert!(
+                v.report.peak_active <= floor,
+                "{bench}/{}: peak {} over budget {floor}",
+                base.cli_name(),
+                v.report.peak_active
+            );
+            assert_eq!(v.report.budget, Some(floor));
+        }
+    }
+}
+
+#[test]
+fn budget_fits_a_machine_the_existing_policies_overflow() {
+    // The tentpole payoff (ISSUE 8): Belle on heavyhex:5 (55 qubits).
+    // Lazy (peak 255) and unbudgeted Square (peak 132) both overflow;
+    // square,budget:55 must compile AND validate through the full
+    // oracle stack while staying under the machine.
+    use square_repro::core::{compile, ArchSpec, CompileError, CompilerConfig};
+    use square_repro::verify::validate;
+    use square_repro::workloads::build;
+
+    let program = build(Benchmark::Belle).unwrap();
+    let arch = ArchSpec::HeavyHex { d: 5 };
+    for overflowing in [Policy::Lazy, Policy::Square] {
+        let cfg = CompilerConfig::nisq(overflowing).with_arch(arch);
+        let err = compile(&program, &cfg).unwrap_err();
+        assert!(
+            matches!(err, CompileError::OutOfQubits { .. }),
+            "{overflowing} unexpectedly fits heavyhex:5: {err}"
+        );
+    }
+    let cfg = CompilerConfig::nisq(Policy::Square)
+        .with_arch(arch)
+        .with_budget(Some(55));
+    let v = validate(&program, &[], &cfg).expect("budgeted square fits and validates");
+    assert!(v.report.peak_active <= 55, "peak {}", v.report.peak_active);
+    // The cap was binding: the budget clamp had to force reclamations
+    // the unbudgeted policy would have skipped.
+    assert!(v.report.decisions.forced > 0);
+}
+
+#[test]
 fn validation_survives_the_facade_round_trip() {
     // One cell end-to-end through the public facade, checking the
     // report really carries the new artifacts.
