@@ -246,6 +246,155 @@ pub fn render_budget() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// MBU ablation: measurement-based uncompute on/off across the catalog
+// ---------------------------------------------------------------------------
+
+/// One row of the MBU ablation: a benchmark compiled under one policy
+/// with measurement-based uncomputation off and on, side by side.
+#[derive(Debug, Clone)]
+pub struct MbuCell {
+    /// Benchmark compiled.
+    pub benchmark: Benchmark,
+    /// Reclaiming policy under study.
+    pub policy: Policy,
+    /// Routed program gates with MBU off (the pre-MBU baseline).
+    pub gates_off: u64,
+    /// Routed program gates with MBU on.
+    pub gates_on: u64,
+    /// Active-qubit volume with MBU off.
+    pub aqv_off: u64,
+    /// Active-qubit volume with MBU on.
+    pub aqv_on: u64,
+    /// Frames that took the measure-and-correct lowering.
+    pub mbu_frames: u64,
+    /// Mid-circuit measurements emitted.
+    pub measurements: u64,
+    /// Cost-model-weighted price of the chosen MBU lowerings.
+    pub mbu_gates: u64,
+    /// Weighted price of the unitary inverse slices those frames
+    /// skipped (always ≥ `mbu_gates`: MBU is only chosen when
+    /// strictly cheaper).
+    pub unitary_gates_avoided: u64,
+}
+
+impl MbuCell {
+    /// The measured uncompute-gate reduction: routed gates the MBU
+    /// lowering removed from the schedule (0 when MBU never engaged).
+    pub fn gate_delta(&self) -> i64 {
+        self.gates_off as i64 - self.gates_on as i64
+    }
+}
+
+impl Serialize for MbuCell {
+    fn serialize(&self) -> Value {
+        Value::map(vec![
+            (
+                "benchmark",
+                Value::String(self.benchmark.name().to_string()),
+            ),
+            ("policy", Value::String(self.policy.cli_name().to_string())),
+            ("gates_off", Value::UInt(self.gates_off)),
+            ("gates_on", Value::UInt(self.gates_on)),
+            ("aqv_off", Value::UInt(self.aqv_off)),
+            ("aqv_on", Value::UInt(self.aqv_on)),
+            ("mbu_frames", Value::UInt(self.mbu_frames)),
+            ("measurements", Value::UInt(self.measurements)),
+            ("mbu_gates", Value::UInt(self.mbu_gates)),
+            (
+                "unitary_gates_avoided",
+                Value::UInt(self.unitary_gates_avoided),
+            ),
+        ])
+    }
+}
+
+/// Compiles each benchmark with MBU off and on under the reclaiming
+/// policies (Eager reclaims every frame, so it is the upper bound on
+/// MBU engagement; SQUARE shows the interaction with CER-gated
+/// reclamation). Both compiles share the benchmark's own auto-sized
+/// machine, so gate/AQV deltas are attributable to the lowering alone.
+pub fn ablation_mbu(benchmarks: &[Benchmark]) -> Vec<MbuCell> {
+    let mut cells = Vec::new();
+    for &bench in benchmarks {
+        let program = build(bench).expect("benchmark builds");
+        let arch = lattice_for(&program, square_arch::CommModel::SwapChains);
+        for policy in [Policy::Eager, Policy::Square] {
+            let cfg = CompilerConfig::nisq(policy).with_arch(arch);
+            let off = compile(&program, &cfg.clone().with_mbu(false)).expect("mbu-off compiles");
+            let on = compile(&program, &cfg.with_mbu(true)).expect("mbu-on compiles");
+            cells.push(MbuCell {
+                benchmark: bench,
+                policy,
+                gates_off: off.gates,
+                gates_on: on.gates,
+                aqv_off: off.aqv,
+                aqv_on: on.aqv,
+                mbu_frames: on.mbu_stats.mbu_frames,
+                measurements: on.mbu_stats.measurements,
+                mbu_gates: on.mbu_stats.mbu_gates,
+                unitary_gates_avoided: on.mbu_stats.unitary_gates_avoided,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the MBU ablation table (one row per benchmark × policy;
+/// Δgates = gates removed by the measure-and-correct lowering).
+pub fn render_mbu_table(cells: &[MbuCell]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "MBU ablation — measurement-based uncompute on/off\n\
+         (\u{0394}gates = gates_off - gates_on; frames = reclaims lowered as measure-and-correct)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:<10} {:>10} {:>10} {:>8} {:>12} {:>12} {:>8} {:>8}\n",
+        "benchmark",
+        "policy",
+        "gates off",
+        "gates on",
+        "\u{0394}gates",
+        "aqv off",
+        "aqv on",
+        "frames",
+        "meas"
+    ));
+    for c in cells {
+        out.push_str(&format!(
+            "{:<12} {:<10} {:>10} {:>10} {:>8} {:>12} {:>12} {:>8} {:>8}\n",
+            c.benchmark.name(),
+            c.policy.label(),
+            c.gates_off,
+            c.gates_on,
+            c.gate_delta(),
+            c.aqv_off,
+            c.aqv_on,
+            c.mbu_frames,
+            c.measurements,
+        ));
+    }
+    let engaged: Vec<&MbuCell> = cells.iter().filter(|c| c.mbu_frames > 0).collect();
+    if engaged.is_empty() {
+        out.push_str("\nMBU never engaged: no frame's inverse slice lost the weighted compare.\n");
+    } else {
+        let total: i64 = engaged.iter().map(|c| c.gate_delta()).sum();
+        out.push_str(&format!(
+            "\n{} engaged cells, net {total} routed gates removed; every engaged frame's \
+             weighted MBU price beat its unitary inverse. A negative \u{0394}gates row is \
+             CER reclaiming *more* frames once reclaim is cheap — gates traded for AQV.\n",
+            engaged.len()
+        ));
+    }
+    out
+}
+
+/// The default MBU-ablation scene: the NISQ catalog (the arithmetic
+/// benchmarks are the Toffoli-heavy rows where MBU engages).
+pub fn render_mbu() -> String {
+    render_mbu_table(&ablation_mbu(&Benchmark::NISQ))
+}
+
+// ---------------------------------------------------------------------------
 // Router ablation: swap counts + compile time per benchmark × router
 // × topology
 // ---------------------------------------------------------------------------
@@ -448,6 +597,30 @@ mod tests {
         assert!(json.contains("\"budget\":null"), "{json}");
         let table = render_budget_table(&cells);
         assert!(table.contains("Budget ablation"), "{table}");
+    }
+
+    #[test]
+    fn mbu_ablation_reduces_uncompute_gates_on_arithmetic() {
+        let cells = ablation_mbu(&[Benchmark::Adder4]);
+        assert_eq!(cells.len(), 2, "eager + square");
+        let eager = cells.iter().find(|c| c.policy == Policy::Eager).unwrap();
+        // Adder4 is Toffoli-built: Eager reclaims every frame, so MBU
+        // engages and the weighted compare guarantees a net win.
+        assert!(eager.mbu_frames > 0, "{eager:?}");
+        assert!(eager.measurements > 0, "{eager:?}");
+        assert!(
+            eager.unitary_gates_avoided > eager.mbu_gates,
+            "MBU only fires when strictly cheaper: {eager:?}"
+        );
+        assert!(
+            eager.gates_on < eager.gates_off,
+            "measured uncompute-gate reduction: {eager:?}"
+        );
+        let json = serde_json::to_string(&Value::seq(&cells)).unwrap();
+        assert!(json.contains("\"unitary_gates_avoided\""), "{json}");
+        let table = render_mbu_table(&cells);
+        assert!(table.contains("MBU ablation"), "{table}");
+        assert!(table.contains("routed gates removed"), "{table}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Legacy figure/table mode (one positional argument):
 //!
 //! ```text
-//! experiments [fig1|fig5|table3|table4|fig8|fig8-fast|fig9|fig9-quick|fig10|fig10-quick|ablation|ablation-router|ablation-budget|ablation-budget-json|sweep|all|all-quick]
+//! experiments [fig1|fig5|table3|table4|fig8|fig8-fast|fig9|fig9-quick|fig10|fig10-quick|ablation|ablation-router|ablation-budget|ablation-budget-json|ablation-mbu|ablation-mbu-json|sweep|all|all-quick]
 //! ```
 //!
 //! Sweep mode (any flag selects it): evaluates the
@@ -173,6 +173,19 @@ fn run_legacy(arg: &str) -> ExitCode {
         "ablation" => run("ablation", &ablation::render),
         "ablation-router" => run("ablation-router", &ablation::render_router),
         "ablation-budget" => run("ablation-budget", &ablation::render_budget),
+        "ablation-mbu" => run("ablation-mbu", &ablation::render_mbu),
+        "ablation-mbu-json" => {
+            // MBU on/off cells for the CI artifact: exactly one JSON
+            // document on stdout, nothing else.
+            let cells = ablation::ablation_mbu(&square_workloads::Benchmark::NISQ);
+            match serde_json::to_string_pretty(&serde::Value::seq(&cells)) {
+                Ok(text) => println!("{text}"),
+                Err(error) => {
+                    eprintln!("serialization failed: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         "ablation-budget-json" => {
             // Machine-readable frontier for the CI artifact: exactly
             // one JSON document on stdout, nothing else.

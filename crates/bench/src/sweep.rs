@@ -407,6 +407,27 @@ pub fn report_json(r: &CompileReport) -> Value {
             ]),
         ));
     }
+    // MBU keys appear only on MBU-enabled compiles, so MBU-off report
+    // JSON (and therefore every pre-MBU bench fingerprint) stays
+    // byte-identical.
+    if r.mbu {
+        fields.push((
+            "mbu",
+            Value::map([
+                ("mbu_frames", Value::UInt(r.mbu_stats.mbu_frames)),
+                ("measurements", Value::UInt(r.mbu_stats.measurements)),
+                (
+                    "cond_corrections",
+                    Value::UInt(r.mbu_stats.cond_corrections),
+                ),
+                ("mbu_gates", Value::UInt(r.mbu_stats.mbu_gates)),
+                (
+                    "unitary_gates_avoided",
+                    Value::UInt(r.mbu_stats.unitary_gates_avoided),
+                ),
+            ]),
+        ));
+    }
     Value::map(fields)
 }
 

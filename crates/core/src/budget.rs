@@ -236,6 +236,23 @@ pub fn scan_candidate(
                     return None;
                 }
             }
+            // Measurement reads only: it touches its qubit (the
+            // region's inverse re-measures it) but writes nothing.
+            TraceOp::Measure { qubit, .. } => touch(&mut touched, *qubit),
+            // A classically controlled gate writes whatever its inner
+            // gate writes; rule 2 applies unchanged.
+            TraceOp::CondGate { gate, .. } => {
+                gate.for_each_qubit(|q| touch(&mut touched, *q));
+                let mut external_write = false;
+                for_each_write(gate, |w| {
+                    if !interior.contains(&w) && !anc.contains(&w) {
+                        external_write = true;
+                    }
+                });
+                if external_write {
+                    return None;
+                }
+            }
         }
     }
     // Rule 3 at registration: the store block (already executed) must

@@ -39,9 +39,73 @@
 use std::collections::HashMap;
 
 use square_qir::analysis::ProgramStats;
-use square_qir::{ModuleId, Program, Stmt};
+use square_qir::{ModuleId, Program, SliceClassCounts, Stmt};
 
 use crate::config::CerParams;
+
+/// Per-gate-class execution costs, the denominator of the unitary-vs-
+/// MBU reclaim comparison. Units are abstract "primitive effort" —
+/// what matters is the *ratio* between a Toffoli and a measurement.
+///
+/// The defaults follow the standard Clifford+T accounting the rest of
+/// the costing uses ([`square_qir::Gate::two_qubit_cost`]): a Toffoli
+/// decomposes into 6 CNOT-class interactions and a SWAP into 3, while
+/// X, CNOT, measurement and a classically controlled X are single
+/// primitive events. Under these weights, measure-and-correct (cost
+/// `2` per ancilla) beats the unitary inverse of any Toffoli-built
+/// compute slice — the MBU paper's core observation.
+///
+/// The table is deliberately **not** per-request: service compile
+/// caches key prepared programs by program hash, so the cost model
+/// must be a program-independent constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateClassCosts {
+    /// NOT.
+    pub x: u64,
+    /// CNOT.
+    pub cx: u64,
+    /// Toffoli.
+    pub ccx: u64,
+    /// SWAP.
+    pub swap: u64,
+    /// Mid-circuit measurement.
+    pub measure: u64,
+    /// Classically controlled NOT.
+    pub cond_x: u64,
+}
+
+impl Default for GateClassCosts {
+    fn default() -> Self {
+        GateClassCosts {
+            x: 1,
+            cx: 1,
+            ccx: 6,
+            swap: 3,
+            measure: 1,
+            cond_x: 1,
+        }
+    }
+}
+
+impl GateClassCosts {
+    /// Weighted cost of replaying a recorded slice (the unitary
+    /// inverse has the same class histogram as the forward slice).
+    pub fn slice_cost(&self, counts: &SliceClassCounts) -> u64 {
+        counts.x * self.x
+            + counts.cx * self.cx
+            + counts.ccx * self.ccx
+            + counts.swap * self.swap
+            + counts.measure * self.measure
+            + counts.cond * self.cond_x
+    }
+
+    /// Weighted cost of measurement-based uncompute over `written`
+    /// dirty ancillas: one measurement plus one conditional correction
+    /// each.
+    pub fn mbu_cost(&self, written: usize) -> u64 {
+        written as u64 * (self.measure + self.cond_x)
+    }
+}
 
 /// Everything the CER decision sees at one reclamation point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -176,6 +240,7 @@ struct ModuleCosts {
 #[derive(Debug, Clone)]
 pub struct ModuleCostTable {
     modules: Vec<ModuleCosts>,
+    gate_class: GateClassCosts,
 }
 
 fn suffix_sums(stats: &ProgramStats, stmts: &[Stmt]) -> Vec<u64> {
@@ -210,7 +275,16 @@ impl ModuleCostTable {
                 }
             })
             .collect();
-        ModuleCostTable { modules }
+        ModuleCostTable {
+            modules,
+            gate_class: GateClassCosts::default(),
+        }
+    }
+
+    /// The per-gate-class cost model used to score unitary vs. MBU
+    /// reclaim lowerings.
+    pub fn gate_class_costs(&self) -> &GateClassCosts {
+        &self.gate_class
     }
 
     /// Total forward gates of the module's custom uncompute block, or
@@ -580,6 +654,28 @@ mod tests {
         assert_eq!(table.custom_uncompute_gates(main), Some(2));
         assert_eq!(table.custom_tail(main, 0), 1);
         assert_eq!(table.custom_tail(main, 1), 0);
+    }
+
+    #[test]
+    fn gate_class_costs_prefer_mbu_on_toffoli_built_slices() {
+        let costs = GateClassCosts::default();
+        // A __mcx5 frame: 3 ancillas written by 3 Toffolis. Unitary
+        // inverse replays 3 Toffolis (18); MBU measures and corrects
+        // 3 ancillas (6).
+        let counts = SliceClassCounts {
+            ccx: 3,
+            ..SliceClassCounts::default()
+        };
+        assert_eq!(costs.slice_cost(&counts), 18);
+        assert_eq!(costs.mbu_cost(3), 6);
+        assert!(costs.mbu_cost(3) < costs.slice_cost(&counts));
+        // A single-CNOT slice writing one ancilla: unitary (1) beats
+        // measure-and-correct (2) — MBU is not a free lunch.
+        let tiny = SliceClassCounts {
+            cx: 1,
+            ..SliceClassCounts::default()
+        };
+        assert!(costs.slice_cost(&tiny) < costs.mbu_cost(1));
     }
 
     #[test]

@@ -277,6 +277,14 @@ pub struct CompilerConfig {
     /// live qubits first early-uncompute a reclaimable garbage frame
     /// (Reqomp-style), trading gates for width.
     pub budget: Option<usize>,
+    /// Enables measurement-based uncomputation: eligible frames
+    /// (Toffoli-built compute over their own ancilla, no live garbage)
+    /// may replace the unitary inverse block with one mid-circuit
+    /// measurement plus one classically controlled NOT per written
+    /// ancilla, whenever the per-gate-class cost model says that is
+    /// cheaper. `false` (the default) compiles bit-identically to the
+    /// pre-MBU compiler.
+    pub mbu: bool,
 }
 
 impl CompilerConfig {
@@ -291,6 +299,7 @@ impl CompilerConfig {
             laa: LaaWeights::default(),
             cer: CerParams::default(),
             budget: None,
+            mbu: false,
         }
     }
 
@@ -305,6 +314,7 @@ impl CompilerConfig {
             laa: LaaWeights::default(),
             cer: CerParams::default(),
             budget: None,
+            mbu: false,
         }
     }
 
@@ -332,6 +342,13 @@ impl CompilerConfig {
     /// base policy).
     pub fn with_budget(mut self, budget: Option<usize>) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Enables or disables measurement-based uncomputation (`false` =
+    /// identical to the pre-MBU compiler).
+    pub fn with_mbu(mut self, mbu: bool) -> Self {
+        self.mbu = mbu;
         self
     }
 }

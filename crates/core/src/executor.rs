@@ -14,8 +14,8 @@ use std::sync::Arc;
 
 use square_arch::{CommModel, Topology};
 use square_qir::{
-    analysis::ProgramStats, lower_mcx, trace::invert_slice_into, Gate, ModuleId, Operand, Program,
-    Stmt, TraceOp, VirtId,
+    analysis::ProgramStats, lower_mcx, scan_mbu_slice, trace::invert_slice_into, ClbitId, Gate,
+    ModuleId, Operand, Program, Stmt, TraceOp, VirtId,
 };
 use square_route::{Machine, MachineConfig, RouterConfig, RouterKind};
 
@@ -26,7 +26,7 @@ use crate::error::CompileError;
 use crate::heap::AncillaHeap;
 use crate::laa;
 use crate::policy::Policy;
-use crate::report::{CompileReport, DecisionStats, ReclaimDecision};
+use crate::report::{CompileReport, DecisionStats, MbuStats, ReclaimDecision, ReclaimLowering};
 
 /// Compiles `program` with all entry-register inputs |0⟩.
 ///
@@ -173,9 +173,11 @@ pub fn compile_prepared_on(
         trace: Vec::new(),
         inverse_scratch: Vec::new(),
         next_virt: 0,
+        next_clbit: 0,
         gates_emitted: 0,
         decisions: DecisionStats::default(),
         decision_log: Vec::new(),
+        mbu_stats: MbuStats::default(),
         lookahead: false,
         layer_scratch: Vec::new(),
         budget: config.budget.map(BudgetState::new),
@@ -194,6 +196,7 @@ pub fn compile_prepared_on(
     let route_ns = route_start.elapsed().as_nanos() as u64;
     let decisions = exec.decisions;
     let decision_log = std::mem::take(&mut exec.decision_log);
+    let mbu_stats = exec.mbu_stats;
     let cer_cache = exec.cer.stats();
     let recompute = exec.budget.as_ref().map(|b| b.stats).unwrap_or_default();
     let policy = config.policy;
@@ -229,6 +232,8 @@ pub fn compile_prepared_on(
         trace,
         budget: config.budget,
         recompute,
+        mbu: config.mbu,
+        mbu_stats,
     })
 }
 
@@ -258,13 +263,20 @@ struct Exec<'p> {
     /// allocations per reclaimed frame).
     inverse_scratch: Vec<TraceOp>,
     next_virt: u32,
-    /// Running count of `TraceOp::Gate` events emitted, snapshotted
-    /// around compute blocks so `G_uncomp` is O(1) instead of a
-    /// re-walk of the recorded slice.
+    /// Classical-bit id supply: fresh per measurement event, never
+    /// reused (MBU lowerings and module-declared clbits alike).
+    next_clbit: u32,
+    /// Running count of gate events emitted (unitary gates,
+    /// measurements, and classically controlled corrections),
+    /// snapshotted around compute blocks so `G_uncomp` is O(1) instead
+    /// of a re-walk of the recorded slice.
     gates_emitted: u64,
     decisions: DecisionStats,
     /// Per-frame decisions in completion order (see [`ReclaimDecision`]).
     decision_log: Vec<ReclaimDecision>,
+    /// Measurement-based-uncompute activity (stays default with MBU
+    /// off).
+    mbu_stats: MbuStats,
     /// True when the machine's router consumes upcoming-gate windows
     /// (gates the per-gate window construction off the hot path
     /// otherwise).
@@ -293,6 +305,12 @@ impl Exec<'_> {
         let v = VirtId(self.next_virt);
         self.next_virt += 1;
         v
+    }
+
+    fn fresh_clbit(&mut self) -> ClbitId {
+        let c = ClbitId(self.next_clbit);
+        self.next_clbit += 1;
+        c
     }
 
     /// Routes and schedules a batched run of consecutive gates through
@@ -353,15 +371,32 @@ impl Exec<'_> {
                     self.heap.relocate(from, to);
                 }
             }
+            TraceOp::Measure { qubit, clbit } => {
+                self.machine.measure(*qubit, *clbit)?;
+                self.gates_emitted += 1;
+            }
+            TraceOp::CondGate { clbit, gate } => {
+                self.machine.apply_guarded(gate, *clbit)?;
+                self.gates_emitted += 1;
+                for (from, to) in self.machine.drain_relocations() {
+                    self.heap.relocate(from, to);
+                }
+            }
         }
         if let Some(b) = &mut self.budget {
             // Freshness stamps (budget rule 3): allocs and frees
             // change state; gates stamp only their write targets, so
             // later *reads* of a candidate's inputs don't stale it.
+            // Measurements read without writing; a guarded gate stamps
+            // its inner gate's targets (it may fire at runtime).
             let pos = self.trace.len();
             match &op {
                 TraceOp::Alloc(v) | TraceOp::Free(v) => b.note_write(*v, pos),
                 TraceOp::Gate(g) => crate::budget::for_each_write(g, |w| b.note_write(w, pos)),
+                TraceOp::Measure { .. } => {}
+                TraceOp::CondGate { gate, .. } => {
+                    crate::budget::for_each_write(gate, |w| b.note_write(w, pos));
+                }
             }
         }
         self.trace.push(op);
@@ -489,9 +524,15 @@ impl Exec<'_> {
         depth: usize,
         g_p: u64,
     ) -> Result<(), CompileError> {
+        // Fresh classical bits for this activation's declared clbits
+        // (mirrors the reference semantics: each call measures into
+        // its own bits, never a sibling's).
+        let clbits: Vec<ClbitId> = (0..self.program.module(id).clbits())
+            .map(|_| self.fresh_clbit())
+            .collect();
         let compute_start = self.trace.len();
         let gates_before_compute = self.gates_emitted;
-        self.run_block(BlockKind::Compute, id, args, anc, depth, g_p)?;
+        self.run_block(BlockKind::Compute, id, args, anc, &clbits, depth, g_p)?;
         let compute_end = self.trace.len();
         let gates_after_compute = self.gates_emitted;
         // Budget rule 4: from here until this frame's fate is settled,
@@ -505,6 +546,7 @@ impl Exec<'_> {
             id,
             args,
             anc,
+            &clbits,
             depth,
             g_p,
             compute_start,
@@ -527,39 +569,105 @@ impl Exec<'_> {
         id: ModuleId,
         args: &[VirtId],
         anc: &[VirtId],
+        clbits: &[ClbitId],
         depth: usize,
         g_p: u64,
         compute_start: usize,
         compute_end: usize,
         measured_gates: u64,
     ) -> Result<(), CompileError> {
-        self.run_block(BlockKind::Store, id, args, anc, depth, g_p)?;
+        self.run_block(BlockKind::Store, id, args, anc, clbits, depth, g_p)?;
 
         // Frames without ancilla have nothing to reclaim: skip the
         // decision (and the pointless uncompute) entirely.
         if depth > 0 && anc.is_empty() {
             return Ok(());
         }
-        // G_uncomp: measured size of the compute slice (running gate
-        // counter, O(1)), or the memoized static size of an explicit
-        // uncompute block when the author supplied one (e.g. operand
-        // unloading for in-place adders).
-        let g_uncomp = match self.costs.custom_uncompute_gates(id) {
-            Some(gates) => gates,
-            None => measured_gates,
+        // Measurement-based uncompute: when enabled, scan the recorded
+        // compute slice for eligibility (Toffoli-class writes to this
+        // frame's ancillas only, interior activity balanced) and price
+        // both lowerings under the per-gate-class cost model. The
+        // entry frame never qualifies — its "ancillas" are the
+        // program's I/O register, which a reset would destroy.
+        let mbu_plan =
+            if self.config.mbu && depth > 0 && self.program.module(id).custom_uncompute().is_none()
+            {
+                scan_mbu_slice(&self.trace[compute_start..compute_end], |q| {
+                    anc.contains(&q)
+                })
+            } else {
+                None
+            };
+        let use_mbu = match &mbu_plan {
+            Some(plan) => {
+                let costs = self.costs.gate_class_costs();
+                costs.mbu_cost(plan.written.len()) < costs.slice_cost(&plan.counts)
+            }
+            None => false,
+        };
+        // G_uncomp: gate events of the lowering this frame would
+        // actually use — two per written ancilla under MBU, else the
+        // measured size of the compute slice (running gate counter,
+        // O(1)), or the memoized static size of an explicit uncompute
+        // block when the author supplied one (e.g. operand unloading
+        // for in-place adders).
+        let g_uncomp = if use_mbu {
+            2 * mbu_plan.as_ref().map_or(0, |p| p.written.len()) as u64
+        } else {
+            match self.costs.custom_uncompute_gates(id) {
+                Some(gates) => gates,
+                None => measured_gates,
+            }
         };
         let n_anc = anc.len();
         let frame_qubits = args.len() + anc.len();
         let reclaim = self.decide(id, depth, g_uncomp, n_anc, g_p, frame_qubits)?;
+        let lowering = if reclaim && use_mbu {
+            ReclaimLowering::Mbu
+        } else {
+            ReclaimLowering::Unitary
+        };
         self.decision_log.push(ReclaimDecision {
             module: id,
             depth: depth as u32,
             reclaim,
+            lowering,
         });
         if reclaim {
             self.decisions.reclaimed += 1;
             if self.program.module(id).custom_uncompute().is_some() {
-                self.run_block(BlockKind::CustomUncompute, id, args, anc, depth, g_p)?;
+                self.run_block(
+                    BlockKind::CustomUncompute,
+                    id,
+                    args,
+                    anc,
+                    clbits,
+                    depth,
+                    g_p,
+                )?;
+            } else if use_mbu {
+                // Measure-and-correct: each written ancilla is read
+                // into a fresh classical bit and flipped back to |0⟩
+                // exactly when the outcome was 1. Untouched ancillas
+                // are already |0⟩ and need no events at all.
+                let plan = mbu_plan.expect("use_mbu implies a plan");
+                let costs = self.costs.gate_class_costs();
+                self.mbu_stats.mbu_frames += 1;
+                self.mbu_stats.measurements += plan.written.len() as u64;
+                self.mbu_stats.cond_corrections += plan.written.len() as u64;
+                self.mbu_stats.mbu_gates += costs.mbu_cost(plan.written.len());
+                self.mbu_stats.unitary_gates_avoided += costs.slice_cost(&plan.counts);
+                for q in plan.written {
+                    let clbit = self.fresh_clbit();
+                    self.emit(TraceOp::Measure { qubit: q, clbit }, &[])?;
+                    self.emit(
+                        TraceOp::CondGate {
+                            clbit,
+                            gate: Gate::X { target: q },
+                        },
+                        &[],
+                    )?;
+                }
             } else {
                 // An early uncompute emitted inside this region is
                 // replayed forward by the inversion below — count it
@@ -661,12 +769,14 @@ impl Exec<'_> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_block(
         &mut self,
         block: BlockKind,
         id: ModuleId,
         args: &[VirtId],
         anc: &[VirtId],
+        clbits: &[ClbitId],
         depth: usize,
         frame_g_p: u64,
     ) -> Result<(), CompileError> {
@@ -720,7 +830,7 @@ impl Exec<'_> {
             if self.lookahead && matches!(stmt, Stmt::Gate(g) if g.arity() >= 2) {
                 self.fill_window(&stmts[i + 1..], args, anc);
             }
-            self.exec_stmt(stmt, id, args, anc, depth, rest, frame_g_p)?;
+            self.exec_stmt(stmt, id, args, anc, clbits, depth, rest, frame_g_p)?;
             i += 1;
         }
         Ok(())
@@ -751,6 +861,9 @@ impl Exec<'_> {
                     }
                 }
                 Stmt::Gate(_) => {}
+                // Measurements and guarded corrections are local
+                // single-cell events: nothing for a router to score.
+                Stmt::Measure { .. } | Stmt::CondGate { .. } => {}
                 Stmt::Call { .. } => break,
             }
         }
@@ -763,6 +876,7 @@ impl Exec<'_> {
         caller: ModuleId,
         args: &[VirtId],
         anc: &[VirtId],
+        clbits: &[ClbitId],
         depth: usize,
         gates_after_stmt: u64,
         frame_g_p: u64,
@@ -777,6 +891,26 @@ impl Exec<'_> {
             Stmt::Gate(g) => {
                 let g = g.map(resolve);
                 self.emit(TraceOp::Gate(g), &[])
+            }
+            Stmt::Measure { qubit, clbit } => {
+                let qubit = resolve(qubit);
+                self.emit(
+                    TraceOp::Measure {
+                        qubit,
+                        clbit: clbits[*clbit],
+                    },
+                    &[],
+                )
+            }
+            Stmt::CondGate { clbit, gate } => {
+                let gate = gate.map(resolve);
+                self.emit(
+                    TraceOp::CondGate {
+                        clbit: clbits[*clbit],
+                        gate,
+                    },
+                    &[],
+                )
             }
             Stmt::Call { callee, args: a } => {
                 let resolved: Vec<VirtId> = a.iter().map(resolve).collect();
@@ -1005,54 +1139,14 @@ mod tests {
 
     #[test]
     fn trace_replay_on_bits_matches_reference_semantics() {
-        use std::collections::HashMap;
         let p = nested_program();
         for policy in Policy::ALL {
             let r = compile(&p, &grid(policy)).unwrap();
-            // Replay the virtual trace on booleans.
-            let mut bits: HashMap<VirtId, bool> = HashMap::new();
-            for op in &r.trace {
-                match op {
-                    TraceOp::Alloc(v) => {
-                        bits.insert(*v, false);
-                    }
-                    TraceOp::Free(v) => {
-                        let val = bits.remove(v).expect("free of dead qubit");
-                        assert!(!val, "{policy}: dirty ancilla freed");
-                    }
-                    TraceOp::Gate(g) => {
-                        let get = |q: &VirtId| bits[q];
-                        match g {
-                            Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
-                            Gate::Cx { control, target } => {
-                                if get(control) {
-                                    *bits.get_mut(target).unwrap() ^= true;
-                                }
-                            }
-                            Gate::Ccx { c0, c1, target } => {
-                                if get(c0) && get(c1) {
-                                    *bits.get_mut(target).unwrap() ^= true;
-                                }
-                            }
-                            Gate::Swap { a, b } => {
-                                let (va, vb) = (get(a), get(b));
-                                bits.insert(*a, vb);
-                                bits.insert(*b, va);
-                            }
-                            Gate::Mcx { controls, target } => {
-                                if controls.iter().all(get) {
-                                    *bits.get_mut(target).unwrap() ^= true;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
             // Final out = 1 (x=1 propagated through child and parent;
             // the store block shields it from the entry's uncompute,
             // which rolls the X prep itself back to |0⟩ under policies
             // that reclaim at top level).
-            let vals: Vec<bool> = r.entry_register.iter().map(|v| bits[v]).collect();
+            let vals = replay_bits(&r.trace, &r.entry_register);
             assert!(vals[2], "{policy}: output stored");
             // Reference semantics agree.
             let mut oracle = |_m: ModuleId, d: usize| match policy {
@@ -1157,11 +1251,39 @@ mod tests {
         b.finish(main).unwrap()
     }
 
-    /// Replays a virtual trace on booleans, panicking on any dirty
-    /// free, and returns the final values of `outputs`.
+    /// Replays a virtual trace on booleans (with a classical-bit side
+    /// channel for measurement feedback), panicking on any dirty free,
+    /// and returns the final values of `outputs`.
     fn replay_bits(trace: &[TraceOp], outputs: &[VirtId]) -> Vec<bool> {
         use std::collections::HashMap;
+        fn apply_gate(g: &Gate<VirtId>, bits: &mut HashMap<VirtId, bool>) {
+            let get = |q: &VirtId| bits[q];
+            match g {
+                Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
+                Gate::Cx { control, target } => {
+                    if get(control) {
+                        *bits.get_mut(target).unwrap() ^= true;
+                    }
+                }
+                Gate::Ccx { c0, c1, target } => {
+                    if get(c0) && get(c1) {
+                        *bits.get_mut(target).unwrap() ^= true;
+                    }
+                }
+                Gate::Swap { a, b } => {
+                    let (va, vb) = (get(a), get(b));
+                    bits.insert(*a, vb);
+                    bits.insert(*b, va);
+                }
+                Gate::Mcx { controls, target } => {
+                    if controls.iter().all(get) {
+                        *bits.get_mut(target).unwrap() ^= true;
+                    }
+                }
+            }
+        }
         let mut bits: HashMap<VirtId, bool> = HashMap::new();
+        let mut clbits: HashMap<ClbitId, bool> = HashMap::new();
         for op in trace {
             match op {
                 TraceOp::Alloc(v) => {
@@ -1171,30 +1293,13 @@ mod tests {
                     let val = bits.remove(v).expect("free of dead qubit");
                     assert!(!val, "dirty ancilla freed");
                 }
-                TraceOp::Gate(g) => {
-                    let get = |q: &VirtId| bits[q];
-                    match g {
-                        Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
-                        Gate::Cx { control, target } => {
-                            if get(control) {
-                                *bits.get_mut(target).unwrap() ^= true;
-                            }
-                        }
-                        Gate::Ccx { c0, c1, target } => {
-                            if get(c0) && get(c1) {
-                                *bits.get_mut(target).unwrap() ^= true;
-                            }
-                        }
-                        Gate::Swap { a, b } => {
-                            let (va, vb) = (get(a), get(b));
-                            bits.insert(*a, vb);
-                            bits.insert(*b, va);
-                        }
-                        Gate::Mcx { controls, target } => {
-                            if controls.iter().all(get) {
-                                *bits.get_mut(target).unwrap() ^= true;
-                            }
-                        }
+                TraceOp::Gate(g) => apply_gate(g, &mut bits),
+                TraceOp::Measure { qubit, clbit } => {
+                    clbits.insert(*clbit, bits[qubit]);
+                }
+                TraceOp::CondGate { clbit, gate } => {
+                    if clbits[clbit] {
+                        apply_gate(gate, &mut bits);
                     }
                 }
             }
@@ -1292,6 +1397,118 @@ mod tests {
                 assert_eq!(capped.recompute.early_uncomputed_frames, 0);
             }
         }
+    }
+
+    /// A Toffoli-built AND tree: the child writes both ancillas with
+    /// Ccx only, so its compute slice is MBU-eligible and the weighted
+    /// cost model (Ccx = 6, measure + correction = 2) picks
+    /// measure-and-correct over the unitary inverse.
+    fn toffoli_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let child = b
+            .module("and2", 3, 2, |m| {
+                let (x, y, out) = (m.param(0), m.param(1), m.param(2));
+                let (a, t) = (m.ancilla(0), m.ancilla(1));
+                m.ccx(x, y, a);
+                m.ccx(x, a, t);
+                m.store();
+                m.cx(t, out);
+            })
+            .unwrap();
+        let main = b
+            .module("main", 0, 4, |m| {
+                let (x, y, t, out) = (m.ancilla(0), m.ancilla(1), m.ancilla(2), m.ancilla(3));
+                m.x(x);
+                m.x(y);
+                m.call(child, &[x, y, t]);
+                m.store();
+                m.cx(t, out);
+            })
+            .unwrap();
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn mbu_reclaims_toffoli_built_frames_cheaper() {
+        let p = toffoli_program();
+        let off = compile(&p, &grid(Policy::Eager)).unwrap();
+        let on = compile(&p, &grid(Policy::Eager).with_mbu(true)).unwrap();
+        assert!(!off.mbu && on.mbu);
+        assert_eq!(off.mbu_stats, MbuStats::default());
+        assert!(on.mbu_stats.mbu_frames >= 1);
+        assert_eq!(on.mbu_stats.measurements, 2, "both written ancillas");
+        assert_eq!(on.mbu_stats.cond_corrections, 2);
+        assert!(
+            on.mbu_stats.unitary_gates_avoided > on.mbu_stats.mbu_gates,
+            "MBU only chosen when strictly cheaper: {} vs {}",
+            on.mbu_stats.unitary_gates_avoided,
+            on.mbu_stats.mbu_gates
+        );
+        assert!(on
+            .decision_log
+            .iter()
+            .any(|d| d.lowering == ReclaimLowering::Mbu));
+        assert!(
+            on.depth < off.depth,
+            "measure-and-correct beats Toffoli inverses: {} vs {}",
+            on.depth,
+            off.depth
+        );
+        // Both compiles land the same outputs, and the reference
+        // semantics (which always uncomputes unitarily) agrees when
+        // fed the MBU run's decision log — the lowering is
+        // output-invisible.
+        let vals_on = replay_bits(&on.trace, &on.entry_register);
+        let vals_off = replay_bits(&off.trace, &off.entry_register);
+        assert_eq!(vals_on, vals_off);
+        assert!(vals_on[3], "AND(1,1) stored");
+        let lowered = square_qir::lower_mcx(&p);
+        let mut oracle = square_qir::RecordedDecisions::new(on.decision_bools());
+        let sem = square_qir::sem::run(&lowered, &[], &mut oracle).unwrap();
+        assert!(oracle.in_sync());
+        assert_eq!(sem.outputs, vals_on);
+    }
+
+    #[test]
+    fn mbu_never_engages_without_inner_reclaims() {
+        // Lazy reclaims only the entry frame, and MBU is gated to
+        // depth > 0 (the entry "ancillas" are the I/O register) — so
+        // an MBU-enabled Lazy compile must be field-identical to the
+        // baseline apart from the report flag.
+        let p = nested_program();
+        let base = compile(&p, &grid(Policy::Lazy)).unwrap();
+        let on = compile(&p, &grid(Policy::Lazy).with_mbu(true)).unwrap();
+        assert_eq!(base.gates, on.gates);
+        assert_eq!(base.swaps, on.swaps);
+        assert_eq!(base.depth, on.depth);
+        assert_eq!(base.qubits, on.qubits);
+        assert_eq!(base.aqv, on.aqv);
+        assert_eq!(base.decisions, on.decisions);
+        assert_eq!(base.decision_log, on.decision_log);
+        assert_eq!(base.trace, on.trace);
+        assert!(!base.mbu && on.mbu);
+        assert_eq!(on.mbu_stats, MbuStats::default());
+    }
+
+    #[test]
+    fn mbu_weighted_compare_keeps_cheap_frames_unitary() {
+        // Under Eager, the innermost child's compute slice is a single
+        // CNOT (cx = 1 beats measure + correction = 2: stays unitary),
+        // while the parent's slice contains the child's whole
+        // compute/uncompute round trip (three CNOTs) — there MBU's two
+        // events win, flattening the recursive uncompute.
+        let p = nested_program();
+        let on = compile(&p, &grid(Policy::Eager).with_mbu(true)).unwrap();
+        let child = on.decision_log.iter().find(|d| d.depth == 2).unwrap();
+        assert_eq!(child.lowering, ReclaimLowering::Unitary);
+        let parent = on.decision_log.iter().find(|d| d.depth == 1).unwrap();
+        assert_eq!(parent.lowering, ReclaimLowering::Mbu);
+        let off = compile(&p, &grid(Policy::Eager)).unwrap();
+        assert!(on.gates < off.gates, "{} vs {}", on.gates, off.gates);
+        assert_eq!(
+            replay_bits(&on.trace, &on.entry_register),
+            replay_bits(&off.trace, &off.entry_register)
+        );
     }
 
     #[test]

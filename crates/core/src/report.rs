@@ -23,6 +23,21 @@ pub struct ReclaimDecision {
     pub depth: u32,
     /// True = uncomputed and reclaimed; false = left garbage.
     pub reclaim: bool,
+    /// How the reclaim was lowered (meaningful only when `reclaim`;
+    /// always [`ReclaimLowering::Unitary`] with MBU disabled, so
+    /// decision logs compare equal across pre-MBU runs).
+    pub lowering: ReclaimLowering,
+}
+
+/// How a reclaiming frame released its ancilla.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReclaimLowering {
+    /// Mechanical inverse of the compute slice (Bennett uncompute).
+    #[default]
+    Unitary,
+    /// Measurement-based uncompute: one measurement plus one
+    /// classically controlled NOT per written ancilla.
+    Mbu,
 }
 
 /// Per-frame reclamation decision counters.
@@ -99,6 +114,13 @@ pub struct CompileReport {
     /// Early-uncompute/recompute activity under the budget cap (all
     /// zeros when `budget` is `None`).
     pub recompute: RecomputeStats,
+    /// Whether measurement-based uncomputation was enabled for this
+    /// compile. `false` leaves every other field bit-identical to a
+    /// pre-MBU compile.
+    pub mbu: bool,
+    /// Measurement-based-uncompute activity (all zeros when `mbu` is
+    /// off).
+    pub mbu_stats: MbuStats,
 }
 
 /// Counters for budget-driven early uncomputation and the recompute
@@ -114,6 +136,25 @@ pub struct RecomputeStats {
     pub recomputed_frames: u64,
     /// Gates spent recomputing those frames inside ancestor sweeps.
     pub recompute_gates: u64,
+}
+
+/// Counters for measurement-based uncomputation (ISSUE 9 tentpole).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MbuStats {
+    /// Frames that reclaimed via measure-and-correct instead of the
+    /// unitary inverse.
+    pub mbu_frames: u64,
+    /// Mid-circuit measurements emitted.
+    pub measurements: u64,
+    /// Classically controlled corrections emitted.
+    pub cond_corrections: u64,
+    /// Cost-model-weighted price of the chosen MBU lowerings
+    /// (`GateClassCosts::mbu_cost` summed over MBU frames), against…
+    pub mbu_gates: u64,
+    /// …the weighted price of the unitary inverse slices those frames
+    /// skipped (the ablation's uncompute-cost delta; always larger,
+    /// since MBU is only chosen when strictly cheaper).
+    pub unitary_gates_avoided: u64,
 }
 
 impl CompileReport {
@@ -188,6 +229,8 @@ mod tests {
             trace: vec![],
             budget: None,
             recompute: RecomputeStats::default(),
+            mbu: false,
+            mbu_stats: MbuStats::default(),
         };
         let row = report.table_row();
         assert!(row.contains("SQUARE"));

@@ -30,6 +30,10 @@ pub struct SourceModule {
     pub params: usize,
     /// Declared ancilla count.
     pub ancillas: usize,
+    /// Declared classical-bit count (0 when the header has no
+    /// `clbits` clause; `measure`/`cond` statements grow the count on
+    /// demand during lowering, exactly as the builder does).
+    pub clbits: usize,
     /// Statements of the `compute { … }` block (empty when absent).
     pub compute: Vec<SourceStmt>,
     /// Statements of the `store { … }` block (empty when absent).
@@ -69,13 +73,34 @@ pub enum SourceStmt {
         /// Span of the whole statement.
         span: Span,
     },
+    /// A mid-circuit measurement, e.g. `measure a0 c0;`.
+    Measure {
+        /// The measured qubit.
+        qubit: SourceOperand,
+        /// Destination classical bit (module-local index).
+        clbit: usize,
+        /// Span of the whole statement.
+        span: Span,
+    },
+    /// A classically guarded gate, e.g. `cond c0 x a0;`.
+    CondGate {
+        /// Guarding classical bit (module-local index).
+        clbit: usize,
+        /// The guarded gate.
+        gate: Gate<SourceOperand>,
+        /// Span of the whole statement.
+        span: Span,
+    },
 }
 
 impl SourceStmt {
     /// The statement's full span.
     pub fn span(&self) -> Span {
         match self {
-            SourceStmt::Gate { span, .. } | SourceStmt::Call { span, .. } => *span,
+            SourceStmt::Gate { span, .. }
+            | SourceStmt::Call { span, .. }
+            | SourceStmt::Measure { span, .. }
+            | SourceStmt::CondGate { span, .. } => *span,
         }
     }
 }

@@ -16,17 +16,21 @@
 //! ```text
 //! program   = module* ;
 //! module    = [ "entry" ] "module" name
-//!             "(" number "params" "," number "ancilla" ")"
+//!             "(" number "params" "," number "ancilla"
+//!             [ "," number "clbits" ] ")"
 //!             "{" block* "}" ;
 //! block     = ( "compute" | "store" | "uncompute" ) "{" stmt* "}" ;
-//! stmt      = ( gate | call ) ";" ;
+//! stmt      = ( gate | call | measure | cond ) ";" ;
 //! gate      = "x" operand
 //!           | "cx" operand operand
 //!           | "ccx" operand operand operand
 //!           | "swap" operand operand
 //!           | "mcx" operand+ ;              (* controls…, target *)
 //! call      = "call" name "(" [ operand { "," operand } ] ")" ;
+//! measure   = "measure" operand clbit ;     (* mid-circuit, into a classical bit *)
+//! cond      = "cond" clbit gate ;           (* gate fires only when the bit is 1 *)
 //! operand   = ( "p" | "a" ) digits ;        (* p3 = param, a0 = ancilla *)
+//! clbit     = "c" digits ;                  (* module-local classical bit *)
 //! name      = word ;
 //! word      = ( letter | digit | "_" )+ ;   (* names may start with a digit: `2of5` *)
 //! ```
@@ -36,7 +40,11 @@
 //! "mechanically invert the compute block" while an explicit
 //! `uncompute {}` means "do nothing". Gate mnemonics are
 //! case-insensitive and `not`/`cnot`/`toffoli` are accepted aliases.
-//! Comments run from `//` or `#` to end of line.
+//! Comments run from `//` or `#` to end of line. The `clbits` header
+//! clause is optional — `measure`/`cond` statements grow the count on
+//! demand, and the canonical listing prints the clause only for
+//! modules that measure, so measurement-free programs round-trip
+//! byte-identically to the pre-clause syntax.
 //!
 //! ## Round trip
 //!

@@ -113,6 +113,7 @@ pub fn lower(ast: &SourceProgram) -> Result<Program, Vec<Diagnostic>> {
     for &idx in &order {
         let m = &ast.modules[idx];
         let built = b.module(m.name.clone(), m.params, m.ancillas, |mb| {
+            mb.declare_clbits(m.clbits);
             let emit = |mb: &mut square_qir::ModuleBuilder<'_>, stmts: &[SourceStmt]| {
                 for stmt in stmts {
                     match stmt {
@@ -122,6 +123,10 @@ pub fn lower(ast: &SourceProgram) -> Result<Program, Vec<Diagnostic>> {
                                 .expect("callees lower before callers");
                             let args: Vec<Operand> = args.iter().map(|a| a.op).collect();
                             mb.call(callee_id, &args);
+                        }
+                        SourceStmt::Measure { qubit, clbit, .. } => mb.measure(qubit.op, *clbit),
+                        SourceStmt::CondGate { clbit, gate, .. } => {
+                            mb.cond_gate(*clbit, gate.map(|so| so.op));
                         }
                     }
                 }
@@ -192,7 +197,7 @@ fn check_module(
         .chain(m.uncompute.iter().flatten())
     {
         match stmt {
-            SourceStmt::Gate { gate, span } => {
+            SourceStmt::Gate { gate, span } | SourceStmt::CondGate { gate, span, .. } => {
                 gate.for_each_qubit(|so| check_operand(so, diags));
                 if gate.map(|so| so.op).has_duplicate_operand() {
                     diags.push(Diagnostic::new(
@@ -201,6 +206,7 @@ fn check_module(
                     ));
                 }
             }
+            SourceStmt::Measure { qubit, .. } => check_operand(qubit, diags),
             SourceStmt::Call {
                 callee,
                 callee_span,
@@ -362,6 +368,23 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.module(p.entry()).name(), "main");
         square_qir::validate::validate_program(&p).unwrap();
+    }
+
+    #[test]
+    fn measurement_statements_lower_and_round_trip() {
+        let p = lower_src(
+            "entry module main(0 params, 1 ancilla, 2 clbits) {
+               compute { x a0; measure a0 c0; cond c0 x a0; }
+             }",
+        )
+        .unwrap();
+        let m = p.module(p.entry());
+        assert_eq!(m.clbits(), 2, "header reserves beyond the used bit");
+        assert_eq!(m.compute().len(), 3);
+        square_qir::validate::validate_program(&p).unwrap();
+        // The canonical listing (which prints the clbits clause) must
+        // parse back to the identical program.
+        crate::check_roundtrip(&p).unwrap();
     }
 
     #[test]

@@ -160,6 +160,16 @@ impl<'s> Parser<'s> {
         self.expect(TokenKind::Comma, "after `params`")?;
         let ancillas = self.number("as the ancilla count")?;
         self.expect_keyword("ancilla", "after the ancilla count");
+        // Optional third clause: `, N clbits` (printed only for
+        // modules that measure, so most headers omit it).
+        let clbits = if self.peek().kind == TokenKind::Comma {
+            self.bump();
+            let n = self.number("as the clbit count")?;
+            self.expect_keyword("clbits", "after the clbit count");
+            n
+        } else {
+            0
+        };
         self.expect(TokenKind::RParen, "to close the signature")?;
         self.expect(TokenKind::LBrace, "to open the module body")?;
 
@@ -169,6 +179,7 @@ impl<'s> Parser<'s> {
             entry_span,
             params,
             ancillas,
+            clbits,
             compute: Vec::new(),
             store: Vec::new(),
             uncompute: None,
@@ -285,38 +296,125 @@ impl<'s> Parser<'s> {
         if lower == "call" {
             return self.call_stmt();
         }
-        let kind = match lower.as_str() {
-            "x" | "not" => GateKind::X,
-            "cx" | "cnot" => GateKind::Cx,
-            "ccx" | "toffoli" => GateKind::Ccx,
-            "swap" => GateKind::Swap,
-            "mcx" => GateKind::Mcx,
-            _ => {
-                let mut d = Diagnostic::new(head.span, format!("unknown gate `{word}`"));
-                let mut candidates: Vec<&str> = GATE_MNEMONICS.to_vec();
-                candidates.extend(GATE_ALIASES);
-                candidates.push("call");
-                if let Some(s) = suggest(word, candidates) {
-                    d = d.with_help(format!("did you mean `{s}`?"));
-                }
-                self.diags.push(d);
-                return None;
+        if lower == "measure" {
+            return self.measure_stmt();
+        }
+        if lower == "cond" {
+            return self.cond_stmt();
+        }
+        let Some(kind) = gate_kind(&lower) else {
+            let mut d = Diagnostic::new(head.span, format!("unknown gate `{word}`"));
+            let mut candidates: Vec<&str> = GATE_MNEMONICS.to_vec();
+            candidates.extend(GATE_ALIASES);
+            candidates.extend(["call", "measure", "cond"]);
+            if let Some(s) = suggest(word, candidates) {
+                d = d.with_help(format!("did you mean `{s}`?"));
             }
+            self.diags.push(d);
+            return None;
         };
         self.bump();
-        let mut operands = Vec::new();
-        while self.peek().kind == TokenKind::Word {
-            operands.push(self.operand()?);
-        }
-        // Arity-check before consuming `;` so a failure leaves the
-        // terminator for recovery to sync on (otherwise the next
-        // statement would be swallowed).
-        let gate = self.build_gate(kind, lower.as_str(), head.span, operands)?;
+        let gate = self.gate_tail(kind, lower.as_str(), head.span)?;
         let end = self.expect(TokenKind::Semi, "to end the statement")?.span;
         Some(SourceStmt::Gate {
             gate,
             span: head.span.to(end),
         })
+    }
+
+    /// Operands of a gate whose mnemonic was just consumed, built into
+    /// the gate with arity checking. The `;` is left for the caller —
+    /// an arity failure keeps the terminator for recovery to sync on
+    /// (otherwise the next statement would be swallowed).
+    fn gate_tail(
+        &mut self,
+        kind: GateKind,
+        mnemonic: &str,
+        head_span: Span,
+    ) -> Option<Gate<SourceOperand>> {
+        let mut operands = Vec::new();
+        while self.peek().kind == TokenKind::Word {
+            operands.push(self.operand()?);
+        }
+        self.build_gate(kind, mnemonic, head_span, operands)
+    }
+
+    /// `"measure" operand clbit ";"`
+    fn measure_stmt(&mut self) -> Option<SourceStmt> {
+        let head = self.bump(); // `measure`
+        let qubit = self.operand()?;
+        let (clbit, _) = self.clbit("as the measurement destination")?;
+        let end = self.expect(TokenKind::Semi, "to end the statement")?.span;
+        Some(SourceStmt::Measure {
+            qubit,
+            clbit,
+            span: head.span.to(end),
+        })
+    }
+
+    /// `"cond" clbit gate ";"`
+    fn cond_stmt(&mut self) -> Option<SourceStmt> {
+        let head = self.bump(); // `cond`
+        let (clbit, _) = self.clbit("as the guard")?;
+        let gate_tok = self.peek();
+        if gate_tok.kind != TokenKind::Word {
+            self.error(
+                gate_tok.span,
+                format!(
+                    "expected a gate after the guard, found {}",
+                    gate_tok.kind.describe()
+                ),
+            );
+            return None;
+        }
+        let word = gate_tok.text(self.source);
+        let mnemonic = word.to_ascii_lowercase();
+        let Some(kind) = gate_kind(&mnemonic) else {
+            let mut d = Diagnostic::new(gate_tok.span, format!("unknown gate `{word}`"));
+            let mut candidates: Vec<&str> = GATE_MNEMONICS.to_vec();
+            candidates.extend(GATE_ALIASES);
+            if let Some(s) = suggest(word, candidates) {
+                d = d.with_help(format!("did you mean `{s}`?"));
+            }
+            self.diags.push(d);
+            return None;
+        };
+        self.bump();
+        let gate = self.gate_tail(kind, mnemonic.as_str(), gate_tok.span)?;
+        let end = self.expect(TokenKind::Semi, "to end the statement")?.span;
+        Some(SourceStmt::CondGate {
+            clbit,
+            gate,
+            span: head.span.to(end),
+        })
+    }
+
+    /// `c<digits>` — a module-local classical bit reference.
+    fn clbit(&mut self, context: &str) -> Option<(usize, Span)> {
+        let t = self.peek();
+        let bad = |p: &mut Self| {
+            let found = p.describe_found(t);
+            p.error(
+                t.span,
+                format!("expected a classical bit like `c0` {context}, found {found}"),
+            );
+            None
+        };
+        if t.kind != TokenKind::Word {
+            return bad(self);
+        }
+        let text = t.text(self.source);
+        let parsed = text
+            .strip_prefix('c')
+            .filter(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+            .and_then(|d| d.parse::<usize>().ok());
+        match parsed {
+            Some(i) => {
+                self.bump();
+                Some((i, t.span))
+            }
+            None => bad(self),
+        }
     }
 
     fn build_gate(
@@ -530,6 +628,19 @@ enum GateKind {
     Mcx,
 }
 
+/// Maps an already-lowercased statement head to its gate kind, if it
+/// is one (aliases included).
+fn gate_kind(lower: &str) -> Option<GateKind> {
+    match lower {
+        "x" | "not" => Some(GateKind::X),
+        "cx" | "cnot" => Some(GateKind::Cx),
+        "ccx" | "toffoli" => Some(GateKind::Ccx),
+        "swap" => Some(GateKind::Swap),
+        "mcx" => Some(GateKind::Mcx),
+        _ => None,
+    }
+}
+
 fn ops_len_phrase(n: usize) -> String {
     match n {
         1 => "1 operand".to_string(),
@@ -641,6 +752,51 @@ module fine(1 params, 0 ancilla) {
         assert!(diags
             .iter()
             .any(|d| d.message.contains("duplicate `compute`")));
+    }
+
+    #[test]
+    fn measurement_statements_and_clbits_clause_parse() {
+        let src = "\
+entry module mbu(0 params, 1 ancilla, 2 clbits) {
+  compute {
+    x a0;
+    measure a0 c1;
+    cond c1 x a0;
+  }
+}
+";
+        let (program, diags) = parse_source(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        let m = &program.modules[0];
+        assert_eq!(m.clbits, 2);
+        assert_eq!(m.compute.len(), 3);
+        match &m.compute[1] {
+            SourceStmt::Measure { qubit, clbit, .. } => {
+                assert_eq!(qubit.op, Operand::Ancilla(0));
+                assert_eq!(*clbit, 1);
+            }
+            other => panic!("expected measure, got {other:?}"),
+        }
+        match &m.compute[2] {
+            SourceStmt::CondGate { clbit, gate, .. } => {
+                assert_eq!(*clbit, 1);
+                assert!(matches!(gate, Gate::X { .. }));
+            }
+            other => panic!("expected cond, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_classical_statements_diagnose() {
+        let src = "module m(0 params, 1 ancilla) { compute { measure a0 q1; cond x a0; } }";
+        let (_, diags) = parse_source(src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("expected a classical bit like `c0`")),
+            "{diags:?}"
+        );
+        assert_eq!(diags.len(), 2, "both statements diagnose: {diags:?}");
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! calls fully expanded, no uncomputation) provide that estimate; the
 //! paper computes the same quantity from its instrumented LLVM IR.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::gate::Gate;
 use crate::module::{ModuleId, Operand, Program, Stmt};
+use crate::trace::{TraceOp, VirtId};
 
 /// Flattened static costs of one module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +73,8 @@ impl ProgramStats {
         match stmt {
             Stmt::Gate(g) => primitive_count(g),
             Stmt::Call { callee, .. } => self.modules[callee.index()].gates_forward(),
+            Stmt::Measure { .. } => 1,
+            Stmt::CondGate { gate, .. } => primitive_count(gate),
         }
     }
 
@@ -98,6 +101,149 @@ pub fn primitive_count(gate: &Gate<Operand>) -> u64 {
     match gate {
         Gate::Mcx { controls, .. } if controls.len() >= 3 => 2 * controls.len() as u64 - 3,
         _ => 1,
+    }
+}
+
+/// Gate events of a recorded compute slice, bucketed by the gate
+/// classes the measurement-based-uncompute cost model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SliceClassCounts {
+    /// NOT gates (including zero-control MCX).
+    pub x: u64,
+    /// CNOT gates (including one-control MCX).
+    pub cx: u64,
+    /// Toffoli gates (two-control MCX counts here; a k ≥ 3 MCX counts
+    /// as its `2k − 3` Toffoli V-chain).
+    pub ccx: u64,
+    /// SWAP gates.
+    pub swap: u64,
+    /// Mid-circuit measurements (from already-lowered child frames).
+    pub measure: u64,
+    /// Classically controlled gates (likewise).
+    pub cond: u64,
+}
+
+/// Measurement-based-uncompute eligibility report for one frame's
+/// compute slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MbuPlan {
+    /// Frame ancillas the slice actually writes, in first-write order.
+    /// Each needs one measurement plus one conditional correction; any
+    /// remaining frame ancillas are still |0⟩ and are simply freed.
+    pub written: Vec<VirtId>,
+    /// Class histogram of every gate event in the slice — the raw
+    /// input to the per-gate-class cost comparison against unitary
+    /// inversion.
+    pub counts: SliceClassCounts,
+}
+
+/// Scans a frame's recorded compute slice for measurement-based
+/// uncomputation (MBU) eligibility.
+///
+/// MBU replaces the mechanical inverse of the compute block with one
+/// measurement and one classically controlled NOT per written ancilla.
+/// That is only sound (the physical analog: the X-basis measurement's
+/// phase fix-up is classically computable) when the ancillas were
+/// built by classical-logic gates, so the scan demands:
+///
+/// - every gate *write* in the slice targets a frame ancilla or an
+///   interior allocation — never a parameter or other external qubit;
+/// - writes to frame ancillas use the Toffoli class only (X / CNOT /
+///   Toffoli; SWAP and un-lowered k ≥ 3 MCX disqualify);
+/// - every interior allocation is freed within the slice (a child that
+///   left garbage needs the unitary sweep — MBU cannot reset qubits it
+///   would strand live).
+///
+/// Measurements read only; classically controlled gates are classified
+/// by their inner gate — so a child frame that itself reclaimed via
+/// MBU leaves a slice that stays eligible (MBU composes up the call
+/// tree).
+///
+/// Returns `None` when ineligible. The caller decides *whether* to use
+/// the plan by costing `counts` against `written` with its gate-class
+/// cost table; this scan only answers whether MBU would be correct.
+pub fn scan_mbu_slice(
+    slice: &[TraceOp],
+    mut is_frame_ancilla: impl FnMut(VirtId) -> bool,
+) -> Option<MbuPlan> {
+    let mut interior: HashSet<VirtId> = HashSet::new();
+    let mut open: HashSet<VirtId> = HashSet::new();
+    let mut written: Vec<VirtId> = Vec::new();
+    let mut counts = SliceClassCounts::default();
+    let mut note_writes =
+        |gate: &Gate<VirtId>, interior: &HashSet<VirtId>, written: &mut Vec<VirtId>| -> bool {
+            for w in gate.written_qubits() {
+                if interior.contains(&w) {
+                    continue;
+                }
+                if !is_frame_ancilla(w) || !toffoli_class(gate) {
+                    return false;
+                }
+                if !written.contains(&w) {
+                    written.push(w);
+                }
+            }
+            true
+        };
+    for op in slice {
+        match op {
+            TraceOp::Alloc(q) => {
+                interior.insert(*q);
+                open.insert(*q);
+            }
+            TraceOp::Free(q) => {
+                if !open.remove(q) {
+                    // Frees a qubit the slice did not allocate: the
+                    // slice is not a self-contained compute block.
+                    return None;
+                }
+            }
+            TraceOp::Gate(g) => {
+                count_gate_class(g, &mut counts);
+                if !note_writes(g, &interior, &mut written) {
+                    return None;
+                }
+            }
+            TraceOp::Measure { .. } => counts.measure += 1,
+            TraceOp::CondGate { gate, .. } => {
+                counts.cond += 1;
+                if !note_writes(gate, &interior, &mut written) {
+                    return None;
+                }
+            }
+        }
+    }
+    if !open.is_empty() {
+        // A child frame left garbage alive: only unitary inversion can
+        // sweep it.
+        return None;
+    }
+    Some(MbuPlan { written, counts })
+}
+
+/// True for gates whose action is classical logic with a classically
+/// computable measurement fix-up: X, CNOT, Toffoli (and MCX up to two
+/// controls, which is the same set).
+fn toffoli_class(gate: &Gate<VirtId>) -> bool {
+    match gate {
+        Gate::X { .. } | Gate::Cx { .. } | Gate::Ccx { .. } => true,
+        Gate::Swap { .. } => false,
+        Gate::Mcx { controls, .. } => controls.len() <= 2,
+    }
+}
+
+fn count_gate_class(gate: &Gate<VirtId>, counts: &mut SliceClassCounts) {
+    match gate {
+        Gate::X { .. } => counts.x += 1,
+        Gate::Cx { .. } => counts.cx += 1,
+        Gate::Ccx { .. } => counts.ccx += 1,
+        Gate::Swap { .. } => counts.swap += 1,
+        Gate::Mcx { controls, .. } => match controls.len() {
+            0 => counts.x += 1,
+            1 => counts.cx += 1,
+            2 => counts.ccx += 1,
+            k => counts.ccx += 2 * k as u64 - 3,
+        },
     }
 }
 
@@ -134,6 +280,11 @@ fn analyze_module(
                         stats.ancilla_transitive += sub.ancilla_transitive;
                         stats.height = stats.height.max(sub.height + 1);
                         stats.call_sites += 1;
+                    }
+                    Stmt::Measure { .. } => gates += 1,
+                    Stmt::CondGate { gate, .. } => {
+                        gates += primitive_count(gate);
+                        stats.two_qubit_cost += gate.two_qubit_cost();
                     }
                 }
             }
@@ -191,6 +342,80 @@ mod tests {
         let call = p.module(main).compute().get(1).unwrap();
         assert_eq!(stats.stmt_forward_gates(call), 2);
         let _ = leaf;
+    }
+
+    #[test]
+    fn mbu_scan_accepts_toffoli_built_slice() {
+        use crate::trace::{ClbitId, TraceOp, VirtId};
+        // Frame ancillas a4, a5; param p0 read-only; interior i9
+        // allocated and freed inside the slice.
+        let anc = |q: VirtId| q == VirtId(4) || q == VirtId(5);
+        let slice = vec![
+            TraceOp::Gate(Gate::Cx {
+                control: VirtId(0),
+                target: VirtId(4),
+            }),
+            TraceOp::Alloc(VirtId(9)),
+            TraceOp::Gate(Gate::Ccx {
+                c0: VirtId(0),
+                c1: VirtId(4),
+                target: VirtId(9),
+            }),
+            // Interior qubits may be written by any class (here SWAP)
+            // and carry child MBU events without disqualifying.
+            TraceOp::Measure {
+                qubit: VirtId(9),
+                clbit: ClbitId(0),
+            },
+            TraceOp::CondGate {
+                clbit: ClbitId(0),
+                gate: Gate::X { target: VirtId(9) },
+            },
+            TraceOp::Free(VirtId(9)),
+            TraceOp::Gate(Gate::Ccx {
+                c0: VirtId(0),
+                c1: VirtId(4),
+                target: VirtId(5),
+            }),
+        ];
+        let plan = scan_mbu_slice(&slice, anc).expect("eligible");
+        assert_eq!(plan.written, vec![VirtId(4), VirtId(5)]);
+        assert_eq!(plan.counts.cx, 1);
+        assert_eq!(plan.counts.ccx, 2);
+        assert_eq!(plan.counts.measure, 1);
+        assert_eq!(plan.counts.cond, 1);
+    }
+
+    #[test]
+    fn mbu_scan_rejects_swaps_external_writes_and_garbage() {
+        use crate::trace::{TraceOp, VirtId};
+        let anc = |q: VirtId| q == VirtId(4);
+        // SWAP writes a frame ancilla: wrong gate class.
+        let swapped = vec![TraceOp::Gate(Gate::Swap {
+            a: VirtId(4),
+            b: VirtId(0),
+        })];
+        assert_eq!(scan_mbu_slice(&swapped, anc), None);
+        // Write to a parameter (not ancilla, not interior).
+        let external = vec![TraceOp::Gate(Gate::Cx {
+            control: VirtId(4),
+            target: VirtId(0),
+        })];
+        assert_eq!(scan_mbu_slice(&external, anc), None);
+        // Interior allocation never freed: a garbage child frame.
+        let garbage = vec![
+            TraceOp::Alloc(VirtId(9)),
+            TraceOp::Gate(Gate::Cx {
+                control: VirtId(0),
+                target: VirtId(9),
+            }),
+        ];
+        assert_eq!(scan_mbu_slice(&garbage, anc), None);
+        // An untouched-ancilla slice is eligible with nothing to fix.
+        let silent = vec![TraceOp::Gate(Gate::X { target: VirtId(4) })];
+        let plan = scan_mbu_slice(&silent, anc).expect("eligible");
+        assert_eq!(plan.written, vec![VirtId(4)]);
+        assert_eq!(plan.counts.x, 1);
     }
 
     #[test]

@@ -76,6 +76,7 @@ impl ProgramBuilder {
             name: name.into(),
             params,
             ancillas,
+            clbits: 0,
             section: Section::Compute,
             compute: Vec::new(),
             store: Vec::new(),
@@ -90,6 +91,7 @@ impl ProgramBuilder {
             name: mb.name,
             params,
             ancillas,
+            clbits: mb.clbits,
             compute: mb.compute,
             store: mb.store,
             custom_uncompute: mb.custom_uncompute,
@@ -136,6 +138,7 @@ pub struct ModuleBuilder<'a> {
     name: String,
     params: usize,
     ancillas: usize,
+    clbits: usize,
     section: Section,
     compute: Vec<Stmt>,
     store: Vec<Stmt>,
@@ -226,6 +229,33 @@ impl ModuleBuilder<'_> {
     /// Emits an arbitrary gate.
     pub fn gate(&mut self, gate: Gate<Operand>) {
         self.push(Stmt::Gate(gate));
+    }
+
+    /// Declares (at least) `n` module-local classical bits. Optional:
+    /// [`ModuleBuilder::measure`] and [`ModuleBuilder::cond_x`] grow
+    /// the count on demand; use this to reserve bits up front.
+    pub fn declare_clbits(&mut self, n: usize) {
+        self.clbits = self.clbits.max(n);
+    }
+
+    /// Emits a mid-circuit measurement of `qubit` into classical bit
+    /// `clbit`, growing the module's clbit count to cover it.
+    pub fn measure(&mut self, qubit: Operand, clbit: usize) {
+        self.clbits = self.clbits.max(clbit + 1);
+        self.push(Stmt::Measure { qubit, clbit });
+    }
+
+    /// Emits an X gate on `target` guarded by classical bit `clbit`
+    /// (the measurement-based-uncompute correction), growing the
+    /// module's clbit count to cover it.
+    pub fn cond_x(&mut self, clbit: usize, target: Operand) {
+        self.cond_gate(clbit, Gate::X { target });
+    }
+
+    /// Emits an arbitrary gate guarded by classical bit `clbit`.
+    pub fn cond_gate(&mut self, clbit: usize, gate: Gate<Operand>) {
+        self.clbits = self.clbits.max(clbit + 1);
+        self.push(Stmt::CondGate { clbit, gate });
     }
 
     /// Emits a call to a previously registered module, binding `args`
@@ -359,5 +389,23 @@ mod tests {
         let p = b.finish(id).unwrap_err();
         // entry with params is rejected
         assert!(matches!(p, QirError::EntryHasParams { .. }));
+    }
+
+    #[test]
+    fn measure_and_cond_grow_clbits() {
+        let mut b = ProgramBuilder::new();
+        let main = b
+            .module("main", 0, 2, |m| {
+                let (x, a) = (m.ancilla(0), m.ancilla(1));
+                m.x(x);
+                m.cx(x, a);
+                m.measure(a, 1);
+                m.cond_x(1, a);
+                m.store();
+            })
+            .unwrap();
+        let p = b.finish(main).unwrap();
+        assert_eq!(p.module(main).clbits(), 2);
+        assert_eq!(p.module(main).compute().len(), 4);
     }
 }

@@ -59,6 +59,16 @@ pub enum QirError {
         /// Name of the entry module.
         module: String,
     },
+    /// A measurement or classically controlled gate referenced a
+    /// classical bit the module does not declare.
+    ClbitOutOfRange {
+        /// Module in which the bad clbit appeared.
+        module: String,
+        /// The referenced classical-bit index.
+        clbit: usize,
+        /// How many classical bits the module declares.
+        declared: usize,
+    },
 }
 
 impl fmt::Display for QirError {
@@ -95,6 +105,16 @@ impl fmt::Display for QirError {
             }
             QirError::EntryHasParams { module } => {
                 write!(f, "entry module `{module}` must not declare parameters")
+            }
+            QirError::ClbitOutOfRange {
+                module,
+                clbit,
+                declared,
+            } => {
+                write!(
+                    f,
+                    "classical bit c{clbit} out of range in module `{module}` ({declared} declared)"
+                )
             }
         }
     }

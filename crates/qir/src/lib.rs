@@ -53,11 +53,11 @@ pub mod validate;
 
 mod error;
 
-pub use analysis::{ModuleStats, ProgramStats};
+pub use analysis::{scan_mbu_slice, MbuPlan, ModuleStats, ProgramStats, SliceClassCounts};
 pub use builder::{ModuleBuilder, ProgramBuilder};
 pub use error::QirError;
 pub use gate::Gate;
 pub use lower::lower_mcx;
 pub use module::{Module, ModuleId, Operand, Program, Stmt};
 pub use sem::{BitState, ReclaimOracle, RecordedDecisions};
-pub use trace::{invert_slice, invert_slice_into, TraceOp, VirtId};
+pub use trace::{invert_slice, invert_slice_into, ClbitId, TraceOp, VirtId};

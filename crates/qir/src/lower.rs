@@ -134,6 +134,7 @@ fn build_mcx_module(k: usize) -> Module {
         name: format!("__mcx{k}"),
         params: k + 1,
         ancillas: k - 2,
+        clbits: 0,
         compute,
         store,
         custom_uncompute: None,

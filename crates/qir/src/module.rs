@@ -65,6 +65,24 @@ pub enum Stmt {
         /// Caller-frame qubits bound to the callee's parameters.
         args: Vec<Operand>,
     },
+    /// Mid-circuit measurement: record `qubit`'s value into the
+    /// module-local classical bit `clbit`. Non-destructive in this
+    /// IR's basis-state model.
+    Measure {
+        /// Qubit being read.
+        qubit: Operand,
+        /// Module-local classical-bit index (see [`Module::clbits`]).
+        clbit: usize,
+    },
+    /// Classically controlled gate: `gate` fires iff the module-local
+    /// classical bit `clbit` holds 1. Using a clbit before any
+    /// `Measure` wrote it is a semantic error.
+    CondGate {
+        /// Module-local classical-bit index guarding the gate.
+        clbit: usize,
+        /// The guarded gate.
+        gate: Gate<Operand>,
+    },
 }
 
 /// A reversible function with the compute–store–uncompute structure.
@@ -73,6 +91,9 @@ pub struct Module {
     pub(crate) name: String,
     pub(crate) params: usize,
     pub(crate) ancillas: usize,
+    /// Module-local classical bits (measurement targets / gate
+    /// guards). 0 for the overwhelmingly common purely unitary module.
+    pub(crate) clbits: usize,
     pub(crate) compute: Vec<Stmt>,
     pub(crate) store: Vec<Stmt>,
     /// Explicit uncompute block. `None` means "mechanically invert the
@@ -95,6 +116,13 @@ impl Module {
     /// Number of locally allocated ancilla qubits.
     pub fn ancillas(&self) -> usize {
         self.ancillas
+    }
+
+    /// Number of module-local classical bits (0 for purely unitary
+    /// modules). Fresh program-wide [`crate::ClbitId`]s are minted for
+    /// them at every frame activation.
+    pub fn clbits(&self) -> usize {
+        self.clbits
     }
 
     /// Statements of the compute block.

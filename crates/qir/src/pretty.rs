@@ -36,18 +36,27 @@ pub fn gate_mnemonic<Q>(gate: &Gate<Q>) -> &'static str {
 pub fn stmt_listing(stmt: &Stmt, program: &Program) -> String {
     let mut out = String::new();
     match stmt {
-        Stmt::Gate(g) => {
-            out.push_str(gate_mnemonic(g));
-            g.for_each_qubit(|q| {
-                let _ = write!(out, " {q}");
-            });
-        }
+        Stmt::Gate(g) => out.push_str(&gate_stmt_listing(g)),
         Stmt::Call { callee, args } => {
             let name = program.module(*callee).name();
             let args: Vec<String> = args.iter().map(Operand::to_string).collect();
             let _ = write!(out, "call {name}({})", args.join(", "));
         }
+        Stmt::Measure { qubit, clbit } => {
+            let _ = write!(out, "measure {qubit} c{clbit}");
+        }
+        Stmt::CondGate { clbit, gate } => {
+            let _ = write!(out, "cond c{clbit} {}", gate_stmt_listing(gate));
+        }
     }
+    out
+}
+
+fn gate_stmt_listing(gate: &Gate<Operand>) -> String {
+    let mut out = String::from(gate_mnemonic(gate));
+    gate.for_each_qubit(|q| {
+        let _ = write!(out, " {q}");
+    });
     out
 }
 
@@ -69,9 +78,17 @@ pub fn program_listing(program: &Program) -> String {
         } else {
             ""
         };
+        // The clbits clause is printed only when present so programs
+        // without measurement render byte-identically to before the
+        // clause existed.
+        let clbits = if m.clbits() > 0 {
+            format!(", {} clbits", m.clbits())
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "{marker}module {}({} params, {} ancilla) {{",
+            "{marker}module {}({} params, {} ancilla{clbits}) {{",
             m.name(),
             m.params(),
             m.ancillas(),
@@ -176,6 +193,27 @@ mod tests {
         let p = b.finish(id).unwrap();
         let listing = program_listing(&p);
         assert!(listing.contains("uncompute {}"), "{listing}");
+    }
+
+    #[test]
+    fn measurement_statements_render_with_clbit_clause() {
+        let mut b = ProgramBuilder::new();
+        let id = b
+            .module("mbu", 0, 1, |m| {
+                let a = m.ancilla(0);
+                m.x(a);
+                m.measure(a, 0);
+                m.cond_x(0, a);
+            })
+            .unwrap();
+        let p = b.finish(id).unwrap();
+        let listing = program_listing(&p);
+        assert!(
+            listing.contains("entry module mbu(0 params, 1 ancilla, 1 clbits) {"),
+            "{listing}"
+        );
+        assert!(listing.contains("measure a0 c0;"), "{listing}");
+        assert!(listing.contains("cond c0 x a0;"), "{listing}");
     }
 
     #[test]

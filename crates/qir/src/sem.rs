@@ -19,7 +19,7 @@ use std::fmt;
 
 use crate::gate::Gate;
 use crate::module::{ModuleId, Operand, Program, Stmt};
-use crate::trace::{invert_slice, TraceOp, VirtId};
+use crate::trace::{invert_slice, ClbitId, TraceOp, VirtId};
 
 /// Decides, at each potential reclamation point, whether the frame
 /// should uncompute and reclaim its ancilla. Mirrors the compiler
@@ -152,6 +152,15 @@ pub enum SemError {
         /// Entry qubits available.
         capacity: usize,
     },
+    /// A classically controlled gate read a classical bit before any
+    /// measurement wrote it — classical feedback must be causally
+    /// ordered.
+    UnmeasuredClbit {
+        /// The classical bit read before being written.
+        clbit: ClbitId,
+        /// Module whose frame read it.
+        module: String,
+    },
 }
 
 impl fmt::Display for SemError {
@@ -162,6 +171,12 @@ impl fmt::Display for SemError {
             }
             SemError::TooManyInputs { supplied, capacity } => {
                 write!(f, "{supplied} input bits supplied, entry holds {capacity}")
+            }
+            SemError::UnmeasuredClbit { clbit, module } => {
+                write!(
+                    f,
+                    "classical bit {clbit} read before measurement in module `{module}`"
+                )
             }
         }
     }
@@ -259,6 +274,12 @@ struct SemCtx<'p> {
     state: BitState,
     trace: Vec<TraceOp>,
     next_id: u32,
+    /// Next program-wide classical-bit id (fresh ids are minted per
+    /// frame activation, mirroring ancilla virtual ids).
+    next_clbit: u32,
+    /// Classical-bit store, indexed by [`ClbitId`]; `None` until the
+    /// first measurement writes the bit.
+    clbits: Vec<Option<bool>>,
     live: usize,
     peak: usize,
     gates: u64,
@@ -269,6 +290,12 @@ impl SemCtx<'_> {
         let v = VirtId(self.next_id);
         self.next_id += 1;
         v
+    }
+
+    fn fresh_clbit(&mut self) -> ClbitId {
+        let c = ClbitId(self.next_clbit);
+        self.next_clbit += 1;
+        c
     }
 
     fn emit(&mut self, op: TraceOp, module_name: &str) -> Result<(), SemError> {
@@ -292,16 +319,38 @@ impl SemCtx<'_> {
                 self.state.apply(g);
                 self.gates += 1;
             }
+            TraceOp::Measure { qubit, clbit } => {
+                let i = clbit.index();
+                if i >= self.clbits.len() {
+                    self.clbits.resize(i + 1, None);
+                }
+                self.clbits[i] = Some(self.state.get(*qubit));
+                self.gates += 1;
+            }
+            TraceOp::CondGate { clbit, gate } => {
+                let Some(Some(value)) = self.clbits.get(clbit.index()).copied() else {
+                    return Err(SemError::UnmeasuredClbit {
+                        clbit: *clbit,
+                        module: module_name.to_string(),
+                    });
+                };
+                if value {
+                    self.state.apply(gate);
+                }
+                self.gates += 1;
+            }
         }
         self.trace.push(op);
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_stmt(
         &mut self,
         stmt: &Stmt,
         args: &[VirtId],
         anc: &[VirtId],
+        clbits: &[ClbitId],
         depth: usize,
         oracle: &mut dyn ReclaimOracle,
         module_name: &str,
@@ -320,6 +369,20 @@ impl SemCtx<'_> {
             Stmt::Call { callee, args: a } => {
                 let resolved: Vec<VirtId> = a.iter().map(resolve).collect();
                 self.exec_module(*callee, &resolved, depth + 1, oracle)
+            }
+            Stmt::Measure { qubit, clbit } => {
+                let op = TraceOp::Measure {
+                    qubit: resolve(qubit),
+                    clbit: clbits[*clbit],
+                };
+                self.emit(op, module_name)
+            }
+            Stmt::CondGate { clbit, gate } => {
+                let op = TraceOp::CondGate {
+                    clbit: clbits[*clbit],
+                    gate: gate.map(resolve),
+                };
+                self.emit(op, module_name)
             }
         }
     }
@@ -340,13 +403,15 @@ impl SemCtx<'_> {
                 v
             })
             .collect();
+        // Fresh classical bits per activation, mirroring ancilla ids.
+        let clbits: Vec<ClbitId> = (0..module.clbits()).map(|_| self.fresh_clbit()).collect();
         let compute_start = self.trace.len();
         for stmt in module.compute() {
-            self.exec_stmt(stmt, args, &anc, depth, oracle, &name)?;
+            self.exec_stmt(stmt, args, &anc, &clbits, depth, oracle, &name)?;
         }
         let compute_end = self.trace.len();
         for stmt in module.store() {
-            self.exec_stmt(stmt, args, &anc, depth, oracle, &name)?;
+            self.exec_stmt(stmt, args, &anc, &clbits, depth, oracle, &name)?;
         }
         // Nothing to reclaim in ancilla-less frames (matches the
         // compiler executor's behaviour).
@@ -357,7 +422,7 @@ impl SemCtx<'_> {
             if let Some(custom) = self.program.module(id).custom_uncompute() {
                 let custom: Vec<Stmt> = custom.to_vec();
                 for stmt in &custom {
-                    self.exec_stmt(stmt, args, &anc, depth, oracle, &name)?;
+                    self.exec_stmt(stmt, args, &anc, &clbits, depth, oracle, &name)?;
                 }
             } else {
                 let slice: Vec<TraceOp> = self.trace[compute_start..compute_end].to_vec();
@@ -413,6 +478,8 @@ pub fn run(
         state: BitState::new(),
         trace: Vec::new(),
         next_id: 0,
+        next_clbit: 0,
+        clbits: Vec::new(),
         live: 0,
         peak: 0,
         gates: 0,
@@ -426,6 +493,7 @@ pub fn run(
             v
         })
         .collect();
+    let clbits: Vec<ClbitId> = (0..entry.clbits()).map(|_| ctx.fresh_clbit()).collect();
     for (i, bit) in inputs.iter().enumerate() {
         if *bit {
             ctx.emit(TraceOp::Gate(Gate::X { target: anc[i] }), &name)
@@ -434,11 +502,11 @@ pub fn run(
     }
     let compute_start = ctx.trace.len();
     for stmt in entry.compute() {
-        ctx.exec_stmt(stmt, &[], &anc, 0, oracle, &name)?;
+        ctx.exec_stmt(stmt, &[], &anc, &clbits, 0, oracle, &name)?;
     }
     let compute_end = ctx.trace.len();
     for stmt in entry.store() {
-        ctx.exec_stmt(stmt, &[], &anc, 0, oracle, &name)?;
+        ctx.exec_stmt(stmt, &[], &anc, &clbits, 0, oracle, &name)?;
     }
     if oracle.reclaim(program.entry(), 0) {
         // Same block selection as the child frames (and the compiler
@@ -447,7 +515,7 @@ pub fn run(
         if let Some(custom) = entry.custom_uncompute() {
             let custom: Vec<Stmt> = custom.to_vec();
             for stmt in &custom {
-                ctx.exec_stmt(stmt, &[], &anc, 0, oracle, &name)?;
+                ctx.exec_stmt(stmt, &[], &anc, &clbits, 0, oracle, &name)?;
             }
         } else {
             let slice: Vec<TraceOp> = ctx.trace[compute_start..compute_end].to_vec();
@@ -688,5 +756,131 @@ mod tests {
         let p = fig6_program();
         let err = run(&p, &[false; 9], &mut AlwaysReclaim).unwrap_err();
         assert!(matches!(err, SemError::TooManyInputs { .. }));
+    }
+
+    /// A child that computes into its ancilla, stores, then resets the
+    /// ancilla with the source-level MBU idiom (measure + cond-X) in
+    /// its compute block — mechanical inversion must replay the idiom
+    /// soundly under every policy.
+    fn mbu_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let child = b
+            .module("child", 2, 1, |m| {
+                let (x, out) = (m.param(0), m.param(1));
+                let a = m.ancilla(0);
+                m.cx(x, a);
+                m.store();
+                m.cx(a, out);
+            })
+            .unwrap();
+        let main = b
+            .module("main", 0, 2, |m| {
+                let (x, out) = (m.ancilla(0), m.ancilla(1));
+                m.x(x);
+                m.call(child, &[x, out]);
+                m.measure(x, 0);
+                m.cond_x(0, x);
+                m.cond_x(0, x);
+                m.store();
+            })
+            .unwrap();
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn measurement_feedback_runs_under_all_policies() {
+        let p = mbu_program();
+        for (label, oracle) in [
+            ("eager", &mut AlwaysReclaim as &mut dyn ReclaimOracle),
+            ("lazy", &mut TopLevelOnly),
+            ("never", &mut NeverReclaim),
+        ] {
+            let r = run(&p, &[], oracle).unwrap();
+            // The paired cond-X cancels itself, so outputs match the
+            // plain child program: out = 1 under garbage policies; the
+            // entry uncompute rolls everything back under reclaim.
+            assert_eq!(r.outputs.len(), 2, "{label}");
+            assert!(
+                r.trace
+                    .iter()
+                    .any(|op| matches!(op, TraceOp::Measure { .. })),
+                "{label}: measurement recorded in trace"
+            );
+        }
+        // Gate counts include measure + both cond gates.
+        let never = run(&p, &[], &mut NeverReclaim).unwrap();
+        let counted = crate::trace::gate_count(&never.trace);
+        assert_eq!(never.gate_count, counted, "counters agree with trace");
+    }
+
+    #[test]
+    fn mechanical_inversion_of_measured_compute_restores_state() {
+        // Under AlwaysReclaim the entry sweeps its compute slice —
+        // including the measure/cond ops — and every ancilla must
+        // return to |0⟩ (a DirtyAncilla error otherwise).
+        let p = mbu_program();
+        let eager = run(&p, &[], &mut AlwaysReclaim).unwrap();
+        assert_eq!(eager.outputs, vec![false, false]);
+        let lazy = run(&p, &[], &mut TopLevelOnly).unwrap();
+        assert_eq!(lazy.outputs, eager.outputs);
+    }
+
+    #[test]
+    fn cond_gate_before_measure_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let main = b
+            .module("main", 0, 1, |m| {
+                let x = m.ancilla(0);
+                m.declare_clbits(1);
+                m.cond_x(0, x);
+                m.store();
+            })
+            .unwrap();
+        let p = b.finish(main).unwrap();
+        let err = run(&p, &[], &mut NeverReclaim).unwrap_err();
+        assert!(matches!(
+            err,
+            SemError::UnmeasuredClbit {
+                clbit: ClbitId(0),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn clbit_ids_are_fresh_per_activation() {
+        // Two calls to a measuring child must not share classical bits.
+        let mut b = ProgramBuilder::new();
+        let child = b
+            .module("child", 1, 1, |m| {
+                let x = m.param(0);
+                let a = m.ancilla(0);
+                m.cx(x, a);
+                m.measure(a, 0);
+                m.cond_x(0, a);
+                m.store();
+            })
+            .unwrap();
+        let main = b
+            .module("main", 0, 1, |m| {
+                let x = m.ancilla(0);
+                m.x(x);
+                m.call(child, &[x]);
+                m.call(child, &[x]);
+                m.store();
+            })
+            .unwrap();
+        let p = b.finish(main).unwrap();
+        let r = run(&p, &[], &mut NeverReclaim).unwrap();
+        let measured: Vec<ClbitId> = r
+            .trace
+            .iter()
+            .filter_map(|op| match op {
+                TraceOp::Measure { clbit, .. } => Some(*clbit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(measured.len(), 2);
+        assert_ne!(measured[0], measured[1], "fresh clbit per activation");
     }
 }

@@ -44,6 +44,28 @@ impl fmt::Display for VirtId {
     }
 }
 
+/// A program-wide classical bit id, unique per measurement site.
+///
+/// Like [`VirtId`]s, classical-bit ids are never reused: every frame
+/// activation mints fresh ids for its module-local classical bits, so
+/// a recursive module's measurement outcomes stay distinguishable in
+/// the trace and in validator diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClbitId(pub u32);
+
+impl ClbitId {
+    /// Raw index (dense, mint order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClbitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
 /// One event in an executed trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceOp {
@@ -54,12 +76,35 @@ pub enum TraceOp {
     Free(VirtId),
     /// A gate over live virtual qubits.
     Gate(Gate<VirtId>),
+    /// A mid-circuit computational-basis measurement: the qubit's
+    /// current value is recorded into `clbit`. In this IR's
+    /// basis-state model measurement is non-destructive — the qubit
+    /// keeps its value (the boolean analog of the X-basis
+    /// measure-and-fix-up of measurement-based uncomputation).
+    Measure {
+        /// Qubit being read.
+        qubit: VirtId,
+        /// Classical bit receiving the outcome.
+        clbit: ClbitId,
+    },
+    /// A classically controlled gate: `gate` fires iff `clbit` holds 1.
+    CondGate {
+        /// Classical guard bit (must have been measured).
+        clbit: ClbitId,
+        /// The guarded gate.
+        gate: Gate<VirtId>,
+    },
 }
 
 impl TraceOp {
-    /// True for gate events.
+    /// True for gate events. Measurements and classically controlled
+    /// gates count: both occupy their cell for a cycle, so every gate
+    /// counter (trace, semantics, executor) treats them as gates.
     pub fn is_gate(&self) -> bool {
-        matches!(self, TraceOp::Gate(_))
+        matches!(
+            self,
+            TraceOp::Gate(_) | TraceOp::Measure { .. } | TraceOp::CondGate { .. }
+        )
     }
 }
 
@@ -69,6 +114,8 @@ impl fmt::Display for TraceOp {
             TraceOp::Alloc(v) => write!(f, "alloc {v}"),
             TraceOp::Free(v) => write!(f, "free {v}"),
             TraceOp::Gate(g) => write!(f, "{g}"),
+            TraceOp::Measure { qubit, clbit } => write!(f, "measure {qubit} {clbit}"),
+            TraceOp::CondGate { clbit, gate } => write!(f, "cond {clbit} {gate}"),
         }
     }
 }
@@ -118,6 +165,29 @@ pub fn invert_slice_into(
                 let inv = g.inverse().map(|q| remap.get(q).copied().unwrap_or(*q));
                 out.push(TraceOp::Gate(inv));
             }
+            // Measurement is idempotent on basis states: re-measuring
+            // at the replay point reads the same value into the same
+            // classical bit, so the inverse of a measurement is the
+            // measurement itself (qubit remapped, clbit kept).
+            TraceOp::Measure { qubit, clbit } => {
+                let qubit = remap.get(qubit).copied().unwrap_or(*qubit);
+                out.push(TraceOp::Measure {
+                    qubit,
+                    clbit: *clbit,
+                });
+            }
+            // A guarded gate inverts to the same guard over the
+            // inverted gate: the clbit's value is unchanged between
+            // forward pass and sweep (classical bits are write-once per
+            // measurement site), so the guard fires iff it fired
+            // forward, undoing exactly what was done.
+            TraceOp::CondGate { clbit, gate } => {
+                let inv = gate.inverse().map(|q| remap.get(q).copied().unwrap_or(*q));
+                out.push(TraceOp::CondGate {
+                    clbit: *clbit,
+                    gate: inv,
+                });
+            }
         }
     }
 }
@@ -133,6 +203,14 @@ mod tests {
     use super::*;
 
     fn apply(ops: &[TraceOp], bits: &mut HashMap<VirtId, bool>) {
+        apply_with_clbits(ops, bits, &mut HashMap::new());
+    }
+
+    fn apply_with_clbits(
+        ops: &[TraceOp],
+        bits: &mut HashMap<VirtId, bool>,
+        clbits: &mut HashMap<ClbitId, bool>,
+    ) {
         for op in ops {
             match op {
                 TraceOp::Alloc(v) => {
@@ -140,6 +218,18 @@ mod tests {
                 }
                 TraceOp::Free(v) => {
                     bits.remove(v).expect("free of dead qubit");
+                }
+                TraceOp::Measure { qubit, clbit } => {
+                    clbits.insert(*clbit, bits[qubit]);
+                }
+                TraceOp::CondGate { clbit, gate } => {
+                    if clbits[clbit] {
+                        apply_with_clbits(
+                            &[TraceOp::Gate(gate.clone())],
+                            bits,
+                            &mut HashMap::new(),
+                        );
+                    }
                 }
                 TraceOp::Gate(g) => {
                     let val = |q: &VirtId| bits[q];
@@ -289,5 +379,59 @@ mod tests {
             TraceOp::Free(VirtId(0)),
         ];
         assert_eq!(gate_count(&slice), 1);
+    }
+
+    #[test]
+    fn gate_count_includes_measure_and_cond() {
+        let slice = vec![
+            TraceOp::Alloc(VirtId(0)),
+            TraceOp::Measure {
+                qubit: VirtId(0),
+                clbit: ClbitId(0),
+            },
+            TraceOp::CondGate {
+                clbit: ClbitId(0),
+                gate: Gate::X { target: VirtId(0) },
+            },
+            TraceOp::Free(VirtId(0)),
+        ];
+        assert_eq!(gate_count(&slice), 2);
+    }
+
+    #[test]
+    fn measure_and_correct_resets_ancilla_and_survives_inversion() {
+        // The MBU reclaim sequence on a dirty ancilla: measure into a
+        // clbit, conditionally flip. The ancilla ends |0⟩ regardless of
+        // its value, and the mechanical inverse of the sequence (same
+        // clbit, re-measure + same guard) is a no-op on the restored
+        // state — replaying slice + inverse round-trips.
+        let a = VirtId(0);
+        let c = ClbitId(0);
+        let slice = vec![
+            TraceOp::Measure { qubit: a, clbit: c },
+            TraceOp::CondGate {
+                clbit: c,
+                gate: Gate::X { target: a },
+            },
+        ];
+        for dirty in [false, true] {
+            let mut bits = HashMap::from([(a, dirty)]);
+            let mut clbits = HashMap::new();
+            apply_with_clbits(&slice, &mut bits, &mut clbits);
+            assert!(!bits[&a], "ancilla reset (dirty={dirty})");
+            assert_eq!(clbits[&c], dirty, "outcome recorded");
+        }
+        let inv = invert_slice(&slice, || unreachable!("no frees"));
+        assert_eq!(
+            inv,
+            vec![
+                TraceOp::CondGate {
+                    clbit: c,
+                    gate: Gate::X { target: a },
+                },
+                TraceOp::Measure { qubit: a, clbit: c },
+            ]
+        );
+        assert!(inv.iter().all(|op| op.is_gate()));
     }
 }

@@ -91,9 +91,42 @@ pub fn validate_module(module: &Module, existing: &[Module]) -> Result<(), QirEr
                     }
                 }
             }
+            Stmt::Measure { qubit, clbit } => {
+                check_operand(qubit)?;
+                check_clbit(module, *clbit)?;
+            }
+            Stmt::CondGate { clbit, gate } => {
+                check_clbit(module, *clbit)?;
+                let mut first_err = None;
+                gate.for_each_qubit(|q| {
+                    if first_err.is_none() {
+                        first_err = check_operand(q).err();
+                    }
+                });
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+                if gate.has_duplicate_operand() {
+                    return Err(QirError::DuplicatedQubit {
+                        module: module.name.clone(),
+                    });
+                }
+            }
         }
     }
     Ok(())
+}
+
+fn check_clbit(module: &Module, clbit: usize) -> Result<(), QirError> {
+    if clbit < module.clbits {
+        Ok(())
+    } else {
+        Err(QirError::ClbitOutOfRange {
+            module: module.name.clone(),
+            clbit,
+            declared: module.clbits,
+        })
+    }
 }
 
 /// Validates the whole program: entry signature, call-graph acyclicity,
@@ -223,6 +256,10 @@ fn stmt_written_operands(
             let w = may_write_of(program, callee.index(), memo);
             w.into_iter().filter_map(|p| args.get(p).copied()).collect()
         }
+        // Measurement is non-destructive in the basis-state model: it
+        // reads the qubit and writes only the classical bit.
+        Stmt::Measure { .. } => Vec::new(),
+        Stmt::CondGate { gate, .. } => gate.written_qubits(),
     }
 }
 
@@ -240,6 +277,12 @@ fn check_store_discipline(
                 touched.insert(*q);
             }),
             Stmt::Call { args, .. } => touched.extend(args.iter().copied()),
+            Stmt::Measure { qubit, .. } => {
+                touched.insert(*qubit);
+            }
+            Stmt::CondGate { gate, .. } => gate.for_each_qubit(|q| {
+                touched.insert(*q);
+            }),
         }
     }
     // May-write set of each store statement.
@@ -250,6 +293,8 @@ fn check_store_discipline(
                 .iter()
                 .filter_map(|p| args.get(*p).copied())
                 .collect(),
+            Stmt::Measure { .. } => Vec::new(),
+            Stmt::CondGate { gate, .. } => gate.written_qubits(),
         };
         for w in written {
             // The entry module's ancilla are the program I/O register
@@ -415,6 +460,32 @@ mod tests {
             .unwrap();
         let err = b.finish(main).unwrap_err();
         assert!(matches!(err, QirError::StoreDiscipline { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_clbit() {
+        use crate::module::{Module, Operand, Stmt};
+        let module = Module {
+            name: "bad".into(),
+            params: 0,
+            ancillas: 1,
+            clbits: 1,
+            compute: vec![Stmt::Measure {
+                qubit: Operand::Ancilla(0),
+                clbit: 3,
+            }],
+            store: vec![],
+            custom_uncompute: None,
+        };
+        let err = super::validate_module(&module, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            QirError::ClbitOutOfRange {
+                clbit: 3,
+                declared: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

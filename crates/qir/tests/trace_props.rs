@@ -4,12 +4,13 @@
 //! of the inverse has the same cost.
 
 use proptest::prelude::*;
-use square_qir::{invert_slice, Gate, TraceOp, VirtId};
+use square_qir::{invert_slice, ClbitId, Gate, TraceOp, VirtId};
 use std::collections::HashMap;
 
-/// Applies trace ops to a sparse bit state; panics on structural
-/// violations (double alloc, free of dead qubit).
-fn apply(ops: &[TraceOp], bits: &mut HashMap<VirtId, bool>) {
+/// Applies trace ops to a sparse bit state and a classical-bit side
+/// channel; panics on structural violations (double alloc, free of
+/// dead qubit).
+fn apply(ops: &[TraceOp], bits: &mut HashMap<VirtId, bool>, clbits: &mut HashMap<ClbitId, bool>) {
     for op in ops {
         match op {
             TraceOp::Alloc(v) => {
@@ -18,31 +19,41 @@ fn apply(ops: &[TraceOp], bits: &mut HashMap<VirtId, bool>) {
             TraceOp::Free(v) => {
                 bits.remove(v).expect("free of dead qubit");
             }
-            TraceOp::Gate(g) => {
-                let get = |q: &VirtId| bits[q];
-                match g {
-                    Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
-                    Gate::Cx { control, target } => {
-                        if get(control) {
-                            *bits.get_mut(target).unwrap() ^= true;
-                        }
-                    }
-                    Gate::Ccx { c0, c1, target } => {
-                        if get(c0) && get(c1) {
-                            *bits.get_mut(target).unwrap() ^= true;
-                        }
-                    }
-                    Gate::Swap { a, b } => {
-                        let (va, vb) = (get(a), get(b));
-                        bits.insert(*a, vb);
-                        bits.insert(*b, va);
-                    }
-                    Gate::Mcx { controls, target } => {
-                        if controls.iter().all(get) {
-                            *bits.get_mut(target).unwrap() ^= true;
-                        }
-                    }
+            TraceOp::Gate(g) => apply_gate(g, bits),
+            TraceOp::Measure { qubit, clbit } => {
+                clbits.insert(*clbit, bits[qubit]);
+            }
+            TraceOp::CondGate { clbit, gate } => {
+                if clbits[clbit] {
+                    apply_gate(gate, bits);
                 }
+            }
+        }
+    }
+}
+
+fn apply_gate(g: &Gate<VirtId>, bits: &mut HashMap<VirtId, bool>) {
+    let get = |q: &VirtId| bits[q];
+    match g {
+        Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
+        Gate::Cx { control, target } => {
+            if get(control) {
+                *bits.get_mut(target).unwrap() ^= true;
+            }
+        }
+        Gate::Ccx { c0, c1, target } => {
+            if get(c0) && get(c1) {
+                *bits.get_mut(target).unwrap() ^= true;
+            }
+        }
+        Gate::Swap { a, b } => {
+            let (va, vb) = (get(a), get(b));
+            bits.insert(*a, vb);
+            bits.insert(*b, va);
+        }
+        Gate::Mcx { controls, target } => {
+            if controls.iter().all(get) {
+                *bits.get_mut(target).unwrap() ^= true;
             }
         }
     }
@@ -53,8 +64,10 @@ fn apply(ops: &[TraceOp], bits: &mut HashMap<VirtId, bool>) {
 /// script. Allocated-inside ids start at `ext`.
 fn trace_from_script(ext: u32, script: &[u8]) -> Vec<TraceOp> {
     let mut live: Vec<VirtId> = (0..ext).map(VirtId).collect();
-    let mut inner: Vec<VirtId> = Vec::new(); // allocated in-slice, not freed
+    let mut inner: Vec<VirtId> = Vec::new(); // allocated in-slice, still clean
+    let mut dirty: Vec<VirtId> = Vec::new(); // allocated in-slice, gated since
     let mut next = ext;
+    let mut next_clbit = 0u32;
     let mut ops = Vec::new();
     for chunk in script.chunks(4) {
         let (a, b, c, d) = (
@@ -71,14 +84,31 @@ fn trace_from_script(ext: u32, script: &[u8]) -> Vec<TraceOp> {
                 live.push(v);
                 ops.push(TraceOp::Alloc(v));
             }
-            1 if !inner.is_empty() => {
-                // Free an in-slice qubit. It must be |0⟩ at runtime,
-                // so emit a self-cancelling pair first (net zero) and
-                // free only qubits we allocated and never gated.
+            1 if b % 2 == 0 && !inner.is_empty() => {
+                // Unitary free of an in-slice qubit. It must be |0⟩ at
+                // runtime, so emit a self-cancelling pair first (net
+                // zero) and free only qubits we allocated and never
+                // gated.
                 let v = inner.pop().unwrap();
                 live.retain(|q| *q != v);
                 ops.push(TraceOp::Gate(Gate::X { target: v }));
                 ops.push(TraceOp::Gate(Gate::X { target: v }));
+                ops.push(TraceOp::Free(v));
+            }
+            1 if !dirty.is_empty() || !inner.is_empty() => {
+                // Measurement-based free: measure-and-correct resets
+                // the qubit to |0⟩ whatever its value, so *dirty*
+                // in-slice qubits can be reclaimed too — the whole
+                // point of MBU.
+                let v = dirty.pop().unwrap_or_else(|| inner.pop().unwrap());
+                live.retain(|q| *q != v);
+                let clbit = ClbitId(next_clbit);
+                next_clbit += 1;
+                ops.push(TraceOp::Measure { qubit: v, clbit });
+                ops.push(TraceOp::CondGate {
+                    clbit,
+                    gate: Gate::X { target: v },
+                });
                 ops.push(TraceOp::Free(v));
             }
             _ if live.len() >= 3 => {
@@ -86,9 +116,15 @@ fn trace_from_script(ext: u32, script: &[u8]) -> Vec<TraceOp> {
                 let q1 = live[c as usize % live.len()];
                 let q2 = live[d as usize % live.len()];
                 // A gated in-slice qubit may become dirty; it can no
-                // longer be freed (a dirty free is an irreversible
-                // discard, which the real executors forbid).
-                inner.retain(|q| *q != q0 && *q != q1 && *q != q2);
+                // longer be freed unitarily (a dirty free is an
+                // irreversible discard, which the real executors
+                // forbid) — it moves to the MBU-reclaimable pool.
+                for q in [q0, q1, q2] {
+                    if inner.contains(&q) {
+                        inner.retain(|i| *i != q);
+                        dirty.push(q);
+                    }
+                }
                 if q0 != q1 && q1 != q2 && q0 != q2 {
                     match a % 3 {
                         0 => ops.push(TraceOp::Gate(Gate::X { target: q0 })),
@@ -130,8 +166,12 @@ proptest! {
             .map(|i| (VirtId(i), seed_bits[i as usize % seed_bits.len()]))
             .collect();
         let before = bits.clone();
-        apply(&slice, &mut bits);
-        apply(&inv, &mut bits);
+        // The classical side channel persists across the inverse: the
+        // inverted CondGate replays against the outcome recorded by
+        // the forward Measure.
+        let mut clbits: HashMap<ClbitId, bool> = HashMap::new();
+        apply(&slice, &mut bits, &mut clbits);
+        apply(&inv, &mut bits, &mut clbits);
         // Only the original external qubits remain, with original values.
         for (v, val) in &before {
             prop_assert_eq!(bits.get(v), Some(val), "qubit {} changed", v);
@@ -158,7 +198,7 @@ proptest! {
             let mut f = 0u64;
             for op in ops {
                 match op {
-                    TraceOp::Gate(_) => g += 1,
+                    TraceOp::Gate(_) | TraceOp::Measure { .. } | TraceOp::CondGate { .. } => g += 1,
                     TraceOp::Alloc(_) => a += 1,
                     TraceOp::Free(_) => f += 1,
                 }

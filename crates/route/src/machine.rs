@@ -30,7 +30,7 @@ use std::sync::Arc;
 use rayon::prelude::*;
 
 use square_arch::{CommModel, FlatTables, PhysId, Topology};
-use square_qir::{Gate, VirtId};
+use square_qir::{ClbitId, Gate, VirtId};
 
 use crate::braid::BraidField;
 use crate::config::RouterConfig;
@@ -248,6 +248,10 @@ pub struct Machine {
     scratch: Option<RouterScratch>,
     /// Reusable physical-operand buffer for gate scheduling.
     phys_buf: Vec<PhysId>,
+    /// Classical guard for the program gate currently being applied
+    /// (set by [`Machine::apply_guarded`], consumed at record time;
+    /// routing swaps stay unconditional).
+    pending_guard: Option<ClbitId>,
 }
 
 impl fmt::Debug for Machine {
@@ -291,6 +295,7 @@ impl Machine {
             lookahead: Vec::new(),
             scratch: Some(RouterScratch::default()),
             phys_buf: Vec::new(),
+            pending_guard: None,
             topo,
         }
     }
@@ -530,6 +535,50 @@ impl Machine {
         }
     }
 
+    /// Schedules a mid-circuit measurement of `v` into `clbit`: the
+    /// qubit's cell is occupied for one cycle, the event counts as a
+    /// program gate, and the recorded schedule (when on) carries the
+    /// classical destination so simulators and validators can replay
+    /// the feedback. No routing is needed — measurement is local.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnplacedQubit`] if `v` has no placement.
+    pub fn measure(&mut self, v: VirtId, clbit: ClbitId) -> Result<u64, RouteError> {
+        let p = self
+            .placement
+            .phys_of(v)
+            .ok_or(RouteError::UnplacedQubit { virt: v })?;
+        let start = self.clock.occupy_asap(&[p], 1);
+        self.sink.note_usage(v, start, start + 1);
+        self.sink.stats.program_gates += 1;
+        if self.sink.records_schedule() {
+            self.sink
+                .record_classical(Gate::X { target: p }, start, 1, false, None, Some(clbit));
+        }
+        Ok(start)
+    }
+
+    /// Applies a classically controlled program gate: routed and
+    /// scheduled exactly like the bare gate (its cell is occupied
+    /// whether or not the guard fires at runtime), recorded with the
+    /// guarding classical bit. Routing swaps the gate may need stay
+    /// unconditional — they move data, not outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnplacedQubit`] if an operand has no placement.
+    pub fn apply_guarded(
+        &mut self,
+        gate: &Gate<VirtId>,
+        clbit: ClbitId,
+    ) -> Result<u64, RouteError> {
+        self.pending_guard = Some(clbit);
+        let result = self.apply(gate);
+        self.pending_guard = None;
+        result
+    }
+
     /// Applies a *front layer* of program gates, in order. Under the
     /// greedy swap-chain router, layers at least
     /// [`RouterConfig::parallel_min_layer`] multi-qubit gates wide
@@ -661,9 +710,11 @@ impl Machine {
         if gate.arity() >= 2 {
             sink.stats.multi_qubit_gates += 1;
         }
+        let guard = self.pending_guard;
         if self.sink.records_schedule() {
             let phys_gate = gate.map(|v| self.phys_must(*v));
-            self.sink.record(phys_gate, start, dur, false);
+            self.sink
+                .record_classical(phys_gate, start, dur, false, guard, None);
         }
         Ok(start)
     }
@@ -748,9 +799,11 @@ impl Machine {
         if gate.arity() >= 2 {
             sink.stats.multi_qubit_gates += 1;
         }
+        let guard = self.pending_guard;
         if self.sink.records_schedule() {
             let phys_gate = gate.map(|v| self.phys_must(*v));
-            self.sink.record(phys_gate, start, dur, false);
+            self.sink
+                .record_classical(phys_gate, start, dur, false, guard, None);
         }
     }
 
@@ -1006,6 +1059,54 @@ mod tests {
         let mut m = Machine::new(Box::new(GridTopology::new(2, 2)), MachineConfig::nisq());
         m.place_at(VirtId(0), PhysId(0)).unwrap();
         assert!(m.finish().placement_history.is_none());
+    }
+
+    #[test]
+    fn measure_and_guarded_gate_record_their_clbit() {
+        let mut m = grid_machine(2, 1);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        let s0 = m.measure(VirtId(0), ClbitId(5)).unwrap();
+        let s1 = m
+            .apply_guarded(&Gate::X { target: VirtId(0) }, ClbitId(5))
+            .unwrap();
+        assert_eq!((s0, s1), (0, 1), "measurement occupies its cell");
+        assert_eq!(m.stats().program_gates, 2);
+        assert_eq!(m.stats().swaps, 0);
+        let report = m.finish();
+        let sched = report.schedule.unwrap();
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0].measure, Some(ClbitId(5)));
+        assert_eq!(sched[0].guard, None);
+        assert_eq!(sched[1].guard, Some(ClbitId(5)));
+        assert_eq!(sched[1].measure, None);
+        assert_eq!(sched[1].gate, Gate::X { target: PhysId(0) });
+    }
+
+    #[test]
+    fn guard_does_not_leak_to_later_gates_or_swaps() {
+        let mut m = grid_machine(5, 1);
+        m.place_at(VirtId(0), PhysId(0)).unwrap();
+        m.place_at(VirtId(1), PhysId(4)).unwrap();
+        // A guarded distant CNOT: the inserted routing swaps must stay
+        // unconditional, and a following bare gate must be unguarded.
+        m.apply_guarded(
+            &Gate::Cx {
+                control: VirtId(0),
+                target: VirtId(1),
+            },
+            ClbitId(0),
+        )
+        .unwrap();
+        m.apply(&Gate::X { target: VirtId(1) }).unwrap();
+        let sched = m.finish().schedule.unwrap();
+        let guarded: Vec<_> = sched.iter().filter(|g| g.guard.is_some()).collect();
+        assert_eq!(guarded.len(), 1);
+        assert!(matches!(guarded[0].gate, Gate::Cx { .. }));
+        assert!(sched
+            .iter()
+            .filter(|g| g.is_comm)
+            .all(|g| g.guard.is_none()));
+        assert!(sched.last().unwrap().guard.is_none());
     }
 
     #[test]

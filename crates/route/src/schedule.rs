@@ -4,7 +4,7 @@
 use std::fmt;
 
 use square_arch::PhysId;
-use square_qir::Gate;
+use square_qir::{ClbitId, Gate};
 
 /// A gate placed in time on physical qubits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +18,15 @@ pub struct ScheduledGate {
     /// True for communication gates inserted by routing (swap chains /
     /// braid bookkeeping), false for program gates.
     pub is_comm: bool,
+    /// Classical guard: the gate applies only when this bit is set
+    /// (measurement-based uncomputation corrections). `None` for
+    /// ordinary unconditional gates.
+    pub guard: Option<ClbitId>,
+    /// Mid-circuit measurement: the cell's bit is *recorded* into this
+    /// classical bit and the carrier gate is **not** applied (the
+    /// `gate` field merely names the measured cell). `None` for
+    /// ordinary gates.
+    pub measure: Option<ClbitId>,
 }
 
 impl ScheduledGate {
@@ -29,8 +38,16 @@ impl ScheduledGate {
 
 impl fmt::Display for ScheduledGate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(c) = self.measure {
+            let mut cell = PhysId(0);
+            self.gate.for_each_qubit(|p| cell = *p);
+            return write!(f, "{:>8}  measure {cell} -> {c}", self.start);
+        }
         let tag = if self.is_comm { " [comm]" } else { "" };
-        write!(f, "{:>8}  {}{tag}", self.start, self.gate)
+        match self.guard {
+            Some(c) => write!(f, "{:>8}  [{c}] {}{tag}", self.start, self.gate),
+            None => write!(f, "{:>8}  {}{tag}", self.start, self.gate),
+        }
     }
 }
 
@@ -83,8 +100,32 @@ mod tests {
             start: 10,
             dur: 1,
             is_comm: false,
+            guard: None,
+            measure: None,
         };
         assert_eq!(g.end(), 11);
         assert!(g.to_string().contains("X Q3"));
+    }
+
+    #[test]
+    fn classical_events_render_their_clbit() {
+        let m = ScheduledGate {
+            gate: Gate::X { target: PhysId(7) },
+            start: 4,
+            dur: 1,
+            is_comm: false,
+            guard: None,
+            measure: Some(ClbitId(2)),
+        };
+        assert!(m.to_string().contains("measure Q7 -> c2"));
+        let g = ScheduledGate {
+            gate: Gate::X { target: PhysId(7) },
+            start: 5,
+            dur: 1,
+            is_comm: false,
+            guard: Some(ClbitId(2)),
+            measure: None,
+        };
+        assert!(g.to_string().contains("[c2] X Q7"));
     }
 }

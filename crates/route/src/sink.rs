@@ -8,7 +8,7 @@
 //! per-gate `note_usage` on the routing hot path is two array writes.
 
 use square_arch::PhysId;
-use square_qir::VirtId;
+use square_qir::{ClbitId, VirtId};
 
 use crate::machine::{CommStats, LivenessSegment, PlacementEvent};
 use crate::schedule::ScheduledGate;
@@ -96,12 +96,30 @@ impl ScheduleSink {
         dur: u64,
         is_comm: bool,
     ) {
+        self.record_classical(gate, start, dur, is_comm, None, None);
+    }
+
+    /// Records a scheduled gate carrying classical-bit annotations: a
+    /// guard (classically controlled gate) or a measurement target
+    /// (no-op unless recording).
+    #[inline]
+    pub(crate) fn record_classical(
+        &mut self,
+        gate: square_qir::Gate<PhysId>,
+        start: u64,
+        dur: u64,
+        is_comm: bool,
+        guard: Option<ClbitId>,
+        measure: Option<ClbitId>,
+    ) {
         if let Some(s) = &mut self.schedule {
             s.push(ScheduledGate {
                 gate,
                 start,
                 dur,
                 is_comm,
+                guard,
+                measure,
             });
         }
     }

@@ -13,6 +13,8 @@
 //!   --arch SPEC          nisq | ft | grid:WxH | full:N | line:N
 //!                        | heavyhex[:D] | ring[:N]          (default nisq)
 //!   --router NAME        greedy | lookahead                 (default greedy)
+//!   --mbu                lower eligible uncompute blocks to
+//!                        measure-and-correct when cheaper     (default off)
 //!   --all-policies       compile each file under all four policies
 //!   --validate           replay + diff the compiled schedule against
 //!                        the reference semantics (oracle stack)
@@ -56,6 +58,7 @@ struct Options {
     budget: Option<usize>,
     arch: SweepArch,
     router: RouterKind,
+    mbu: bool,
     all_policies: bool,
     validate: bool,
     emit: Emit,
@@ -76,7 +79,7 @@ fn mark_failed() {
 const USAGE: &str = "usage: squarec FILE.sq [FILE2.sq …] \
      [--policy lazy|eager|square|laa[,budget:N]] \
      [--arch nisq|ft|grid:WxH|full:N|line:N|heavyhex[:D]|ring[:N]] \
-     [--router greedy|lookahead] [--all-policies] [--validate] \
+     [--router greedy|lookahead] [--mbu] [--all-policies] [--validate] \
      [--emit report|listing|schedule] [--json] [--roundtrip] [--dump-catalog DIR] \
      [--serve ADDR]";
 
@@ -87,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         budget: None,
         arch: SweepArch::NisqAuto,
         router: RouterKind::Greedy,
+        mbu: false,
         all_policies: false,
         validate: false,
         emit: Emit::Report,
@@ -125,6 +129,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.router = RouterKind::parse(&v)
                     .ok_or_else(|| format!("--router: unknown router `{v}`"))?;
             }
+            "--mbu" => opts.mbu = true,
             "--all-policies" => opts.all_policies = true,
             "--validate" => opts.validate = true,
             "--emit" => {
@@ -284,7 +289,8 @@ fn run_file(file: &Path, opts: &Options, json_cells: &mut Vec<Value>) -> bool {
                 .arch
                 .config(policy)
                 .with_router(opts.router)
-                .with_budget(opts.budget);
+                .with_budget(opts.budget)
+                .with_mbu(opts.mbu);
             if opts.emit == Emit::Schedule {
                 config = config.with_schedule();
             }

@@ -249,6 +249,7 @@ pub fn measure(
             arch: SweepArch::NisqAuto,
             router: RouterKind::Greedy,
             budget: None,
+            mbu: false,
         };
         let warm = service
             .compile_source(&req)
@@ -307,6 +308,7 @@ pub fn measure(
             arch: SweepArch::NisqAuto,
             router: RouterKind::Greedy,
             budget: None,
+            mbu: false,
         };
         service.compile_source(&req).map_err(|e| e.to_string())?;
     }
@@ -325,6 +327,7 @@ pub fn measure(
                             arch: SweepArch::NisqAuto,
                             router: RouterKind::Greedy,
                             budget: None,
+                            mbu: false,
                         };
                         if service.compile_source(&req).is_ok() {
                             done += 1;

@@ -186,6 +186,14 @@ impl Request {
             Some(name) => RouterKind::parse(name)
                 .ok_or_else(|| malformed(format!("unknown router `{name}`")))?,
         };
+        // Absent means off, so pre-MBU clients keep speaking the same
+        // cells (and getting the same bytes) as before the field existed.
+        let mbu = match value.get("mbu") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| malformed("`mbu` must be a boolean".to_string()))?,
+        };
         Ok(Request::Compile {
             id,
             req: CompileRequest {
@@ -194,6 +202,7 @@ impl Request {
                 arch,
                 router,
                 budget,
+                mbu,
             },
         })
     }
@@ -358,6 +367,10 @@ impl Response {
                 if let Some(n) = req.budget {
                     fields.push(("budget", Value::UInt(n as u64)));
                 }
+                // Same presence-gating for the MBU flag.
+                if req.mbu {
+                    fields.push(("mbu", Value::Bool(true)));
+                }
                 fields.extend([
                     ("cached", Value::Bool(outcome.cached)),
                     ("coalesced", Value::Bool(outcome.coalesced)),
@@ -485,6 +498,20 @@ mod tests {
         // Both at once is ambiguous; ill-typed budgets are malformed.
         assert!(Request::parse(r#"{"source": "x", "policy": "budget:3", "budget": 4}"#).is_err());
         assert!(Request::parse(r#"{"source": "x", "budget": "lots"}"#).is_err());
+    }
+
+    #[test]
+    fn mbu_parses_gated_and_defaults_off() {
+        // Absent means off — the pre-MBU wire is unchanged.
+        match Request::parse(r#"{"source": "x"}"#).unwrap() {
+            Request::Compile { req, .. } => assert!(!req.mbu),
+            other => panic!("expected compile, got {other:?}"),
+        }
+        match Request::parse(r#"{"source": "x", "mbu": true}"#).unwrap() {
+            Request::Compile { req, .. } => assert!(req.mbu),
+            other => panic!("expected compile, got {other:?}"),
+        }
+        assert!(Request::parse(r#"{"source": "x", "mbu": "yes"}"#).is_err());
     }
 
     #[test]

@@ -16,7 +16,9 @@ use std::time::Instant;
 use serde::{Serialize, Value};
 use square_arch::Topology;
 use square_bench::{report_json, SweepArch};
-use square_core::{compile_prepared_on, Policy, PreparedProgram, RouterKind};
+use square_core::{
+    compile_prepared_on, CerCacheStats, Policy, PreparedProgram, RecomputeStats, RouterKind,
+};
 use square_qir::Program;
 
 use crate::cache::{content_hash, CacheStats, LruCache};
@@ -62,6 +64,11 @@ pub struct CompileRequest {
     /// a budgeted compile of the same source is a different cell (and
     /// a different report) from the unbudgeted one.
     pub budget: Option<usize>,
+    /// Whether measurement-based uncomputation may replace unitary
+    /// inverse blocks. Part of the cell identity, like `budget`: the
+    /// MBU compile of a source is a different cell with a different
+    /// report.
+    pub mbu: bool,
 }
 
 /// A served compile result.
@@ -129,6 +136,13 @@ pub struct ServiceStats {
     pub compiles: u64,
     /// Requests coalesced onto an identical in-flight compile.
     pub coalesced: u64,
+    /// Cumulative CER decision-memo counters summed over every compile
+    /// this service actually ran (cache hits and coalesced followers
+    /// add nothing — they did no CER work).
+    pub cer_cache: CerCacheStats,
+    /// Cumulative budget-driven early-uncompute/recompute counters,
+    /// summed the same way.
+    pub recompute: RecomputeStats,
 }
 
 impl Serialize for ServiceStats {
@@ -141,6 +155,35 @@ impl Serialize for ServiceStats {
             ("requests", Value::UInt(self.requests)),
             ("compiles", Value::UInt(self.compiles)),
             ("coalesced", Value::UInt(self.coalesced)),
+            (
+                "cer_cache",
+                Value::map([
+                    ("hits", Value::UInt(self.cer_cache.hits)),
+                    ("misses", Value::UInt(self.cer_cache.misses)),
+                    ("invalidations", Value::UInt(self.cer_cache.invalidations)),
+                ]),
+            ),
+            (
+                "recompute",
+                Value::map([
+                    (
+                        "early_uncomputed_frames",
+                        Value::UInt(self.recompute.early_uncomputed_frames),
+                    ),
+                    (
+                        "early_uncompute_gates",
+                        Value::UInt(self.recompute.early_uncompute_gates),
+                    ),
+                    (
+                        "recomputed_frames",
+                        Value::UInt(self.recompute.recomputed_frames),
+                    ),
+                    (
+                        "recompute_gates",
+                        Value::UInt(self.recompute.recompute_gates),
+                    ),
+                ]),
+            ),
         ])
     }
 }
@@ -153,6 +196,7 @@ struct CellKey {
     arch: SweepArch,
     router: RouterKind,
     budget: Option<usize>,
+    mbu: bool,
 }
 
 /// A finished compile: the shared report plus the leader's compile time.
@@ -177,6 +221,8 @@ pub struct CompileService {
     requests: AtomicU64,
     compiles: AtomicU64,
     coalesced: AtomicU64,
+    cer_totals: Mutex<CerCacheStats>,
+    recompute_totals: Mutex<RecomputeStats>,
 }
 
 impl CompileService {
@@ -191,6 +237,8 @@ impl CompileService {
             requests: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            cer_totals: Mutex::new(CerCacheStats::default()),
+            recompute_totals: Mutex::new(RecomputeStats::default()),
         }
     }
 
@@ -225,6 +273,7 @@ impl CompileService {
             arch: req.arch,
             router,
             budget: req.budget,
+            mbu: req.mbu,
         };
 
         if let Some((report, compile_ms)) = self.reports.lock().unwrap().get(&key) {
@@ -340,7 +389,8 @@ impl CompileService {
             .arch
             .config(key.policy)
             .with_router(key.router)
-            .with_budget(key.budget);
+            .with_budget(key.budget)
+            .with_mbu(key.mbu);
         // Fixed-size archs build the same machine for every program;
         // auto-sized ones depend on the program's ancilla footprint.
         // Key accordingly so a fixed arch is one shared entry.
@@ -370,6 +420,19 @@ impl CompileService {
             }
             other => ServiceError::Compile(other.to_string()),
         })?;
+        {
+            let mut totals = self.cer_totals.lock().unwrap();
+            totals.hits += report.cer_cache.hits;
+            totals.misses += report.cer_cache.misses;
+            totals.invalidations += report.cer_cache.invalidations;
+        }
+        {
+            let mut totals = self.recompute_totals.lock().unwrap();
+            totals.early_uncomputed_frames += report.recompute.early_uncomputed_frames;
+            totals.early_uncompute_gates += report.recompute.early_uncompute_gates;
+            totals.recomputed_frames += report.recompute.recomputed_frames;
+            totals.recompute_gates += report.recompute.recompute_gates;
+        }
         let compile_ms = start.elapsed().as_secs_f64() * 1e3;
         Ok((Arc::new(report_json(&report)), compile_ms))
     }
@@ -392,6 +455,8 @@ impl CompileService {
             requests: self.requests.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            cer_cache: *self.cer_totals.lock().unwrap(),
+            recompute: *self.recompute_totals.lock().unwrap(),
         }
     }
 }
@@ -419,6 +484,7 @@ mod tests {
             arch: SweepArch::NisqAuto,
             router: RouterKind::Greedy,
             budget: None,
+            mbu: false,
         }
     }
 
@@ -484,6 +550,51 @@ mod tests {
         // And the budgeted cell caches under its own key.
         let again = svc.compile_source(&capped).unwrap();
         assert!(again.cached);
+    }
+
+    const CHILD_SRC: &str = "module fun1(4 params, 1 ancilla) {\n  \
+         compute { ccx p0 p1 p2; cx p2 a0; }\n  store { cx a0 p3; }\n}\n\
+         entry module main(0 params, 4 ancilla) {\n  \
+         compute { call fun1(a0, a1, a2, a3); }\n}\n";
+
+    #[test]
+    fn mbu_is_part_of_the_cell_key() {
+        let svc = CompileService::new(ServiceConfig::default());
+        let plain = svc.compile_source(&request(CHILD_SRC)).unwrap();
+        let mut req = request(CHILD_SRC);
+        req.mbu = true;
+        let mbu = svc.compile_source(&req).unwrap();
+        assert!(!mbu.cached, "an MBU compile must not hit the plain cell");
+        // The MBU report carries the gated block, the plain one must
+        // not (byte-stability of existing cells).
+        assert!(mbu.report.get("mbu").is_some());
+        assert!(plain.report.get("mbu").is_none());
+        // And the MBU cell caches under its own key.
+        let again = svc.compile_source(&req).unwrap();
+        assert!(again.cached);
+    }
+
+    #[test]
+    fn stats_accumulate_cer_work_across_compiles() {
+        let svc = CompileService::new(ServiceConfig::default());
+        // A child-frame program under SQUARE consults CER at frame
+        // completion, so the cumulative memo counters move.
+        svc.compile_source(&request(CHILD_SRC)).unwrap();
+        let first = svc.stats();
+        assert!(
+            first.cer_cache.hits + first.cer_cache.misses > 0,
+            "{:?}",
+            first.cer_cache
+        );
+        // A report-cache hit does no CER work and adds nothing.
+        svc.compile_source(&request(CHILD_SRC)).unwrap();
+        let second = svc.stats();
+        assert_eq!(first.cer_cache, second.cer_cache);
+        assert_eq!(first.recompute, second.recompute);
+        // Both cumulative blocks ride along in the serialized snapshot.
+        let wire = serde_json::to_string(&second.serialize()).unwrap();
+        assert!(wire.contains("\"cer_cache\""), "{wire}");
+        assert!(wire.contains("\"recompute\""), "{wire}");
     }
 
     #[test]

@@ -20,10 +20,11 @@
 //! braid, so sorting by start cycle can illegally reorder same-qubit
 //! gates. Replay through this module stays correct for both targets.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use square_arch::PhysId;
-use square_qir::Gate;
+use square_qir::{ClbitId, Gate};
 use square_route::ScheduledGate;
 
 /// Applies one physical gate's boolean semantics to the state.
@@ -49,11 +50,34 @@ pub fn apply_gate(gate: &Gate<PhysId>, bits: &mut [bool]) {
     }
 }
 
+/// Applies one scheduled event to the state and the classical-bit
+/// side channel: a measurement records its cell's bit into the
+/// destination clbit (and applies no gate — the carrier gate merely
+/// names the cell), a guarded gate fires only when its clbit was
+/// recorded 1, and everything else applies directly.
+pub fn step_gate(g: &ScheduledGate, bits: &mut [bool], clbits: &mut HashMap<ClbitId, bool>) {
+    if let Some(c) = g.measure {
+        let mut cell = PhysId(0);
+        g.gate.for_each_qubit(|p| cell = *p);
+        clbits.insert(c, bits[cell.index()]);
+        return;
+    }
+    if let Some(c) = g.guard {
+        if !clbits.get(&c).copied().unwrap_or(false) {
+            return;
+        }
+    }
+    apply_gate(&g.gate, bits);
+}
+
 /// Outcome of a record-order replay.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Replay {
     /// Final basis state over all physical qubits.
     pub bits: Vec<bool>,
+    /// Final values of every classical bit written by mid-circuit
+    /// measurements (empty for fully unitary schedules).
+    pub clbits: HashMap<ClbitId, bool>,
     /// Program gates applied.
     pub program_gates: u64,
     /// Communication gates (routing swaps) applied.
@@ -72,10 +96,11 @@ impl Replay {
 /// physical qubits.
 pub fn replay_schedule(schedule: &[ScheduledGate], n_qubits: usize) -> Replay {
     let mut bits = vec![false; n_qubits];
+    let mut clbits = HashMap::new();
     let mut program_gates = 0u64;
     let mut comm_gates = 0u64;
     for g in schedule {
-        apply_gate(&g.gate, &mut bits);
+        step_gate(g, &mut bits, &mut clbits);
         if g.is_comm {
             comm_gates += 1;
         } else {
@@ -84,6 +109,7 @@ pub fn replay_schedule(schedule: &[ScheduledGate], n_qubits: usize) -> Replay {
     }
     Replay {
         bits,
+        clbits,
         program_gates,
         comm_gates,
     }
@@ -154,7 +180,44 @@ mod tests {
             start,
             dur,
             is_comm,
+            guard: None,
+            measure: None,
         }
+    }
+
+    #[test]
+    fn measurement_feedback_resets_through_the_side_channel() {
+        // X q0; measure q0 -> c0; [c0] X q0 — the MBU cell: whatever
+        // the pre-measurement bit, the guarded correction returns the
+        // qubit to |0⟩, and the outcome survives in the clbit.
+        let s = vec![
+            sg(Gate::X { target: PhysId(0) }, 0, 1, false),
+            ScheduledGate {
+                gate: Gate::X { target: PhysId(0) },
+                start: 1,
+                dur: 1,
+                is_comm: false,
+                guard: None,
+                measure: Some(ClbitId(0)),
+            },
+            ScheduledGate {
+                gate: Gate::X { target: PhysId(0) },
+                start: 2,
+                dur: 1,
+                is_comm: false,
+                guard: Some(ClbitId(0)),
+                measure: None,
+            },
+        ];
+        let r = replay_schedule(&s, 1);
+        assert_eq!(r.bits, vec![false], "corrected back to |0⟩");
+        assert_eq!(r.clbits.get(&ClbitId(0)), Some(&true));
+        assert_eq!(r.program_gates, 3);
+        // An unfired guard leaves the state alone: without the X prep,
+        // the measurement reads 0 and the correction must not apply.
+        let r0 = replay_schedule(&s[1..], 1);
+        assert_eq!(r0.bits, vec![false]);
+        assert_eq!(r0.clbits.get(&ClbitId(0)), Some(&false));
     }
 
     #[test]

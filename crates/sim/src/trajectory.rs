@@ -73,11 +73,32 @@ pub fn run_noisy(
     noise: &NoiseModel,
     rng: &mut impl Rng,
 ) -> Vec<bool> {
+    run_noisy_shot(schedule, n_qubits, noise, rng, &mut Vec::new())
+}
+
+/// Runs one noisy trajectory, appending every mid-circuit measurement
+/// outcome (in record order) to `outcomes`, and returns the final
+/// basis state.
+///
+/// Mid-circuit measurements read the *noisy* bit — errors that flipped
+/// an ancilla before its measurement propagate into the classical side
+/// channel and steer the guarded corrections, exactly as feedback
+/// hardware would behave. Guarded gates that do not fire still occupy
+/// their cell (idle relaxation applies) but inject no gate errors.
+pub fn run_noisy_shot(
+    schedule: &[ScheduledGate],
+    n_qubits: usize,
+    noise: &NoiseModel,
+    rng: &mut impl Rng,
+    outcomes: &mut Vec<bool>,
+) -> Vec<bool> {
     // Record order (not start-cycle order): same rationale as
     // [`run_ideal`]. Idle-gap accounting is per-qubit against explicit
     // start/end cycles, so cross-qubit processing order only permutes
     // the RNG draw sequence, which is statistically equivalent.
     let mut bits = vec![false; n_qubits];
+    let mut clbits: std::collections::HashMap<square_qir::ClbitId, bool> =
+        std::collections::HashMap::new();
     let mut last_time = vec![0u64; n_qubits];
     let mut depth = 0u64;
     for g in schedule {
@@ -91,27 +112,39 @@ pub fn run_noisy(
                 bits[q.index()] = false;
             }
         }
-        apply_gate(&g.gate, &mut bits);
-        // Gate-error injection in the Clifford+T decomposition.
-        let (e1, e2) = error_events(&g.gate);
-        for _ in 0..e1 {
-            if noise.sample_1q(rng) {
-                let victim = operands[rng.gen_range(0..operands.len())];
-                bits[victim.index()] ^= true;
+        let fires = if let Some(c) = g.measure {
+            let outcome = bits[operands[0].index()];
+            clbits.insert(c, outcome);
+            outcomes.push(outcome);
+            false
+        } else {
+            g.guard
+                .is_none_or(|c| clbits.get(&c).copied().unwrap_or(false))
+        };
+        if fires {
+            apply_gate(&g.gate, &mut bits);
+            // Gate-error injection in the Clifford+T decomposition.
+            let (e1, e2) = error_events(&g.gate);
+            for _ in 0..e1 {
+                if noise.sample_1q(rng) {
+                    let victim = operands[rng.gen_range(0..operands.len())];
+                    bits[victim.index()] ^= true;
+                }
+            }
+            for _ in 0..e2 {
+                let f = noise.sample_2q(rng);
+                if f.flip_a {
+                    let victim = operands[rng.gen_range(0..operands.len())];
+                    bits[victim.index()] ^= true;
+                }
+                if f.flip_b && operands.len() >= 2 {
+                    let victim = operands[rng.gen_range(0..operands.len())];
+                    bits[victim.index()] ^= true;
+                }
             }
         }
-        for _ in 0..e2 {
-            let f = noise.sample_2q(rng);
-            if f.flip_a {
-                let victim = operands[rng.gen_range(0..operands.len())];
-                bits[victim.index()] ^= true;
-            }
-            if f.flip_b && operands.len() >= 2 {
-                let victim = operands[rng.gen_range(0..operands.len())];
-                bits[victim.index()] ^= true;
-            }
-        }
-        // Relaxation during the gate itself.
+        // Relaxation during the event itself (measurement readout and
+        // skipped guards occupy the cell too).
         for q in &operands {
             if bits[q.index()] && noise.sample_relax(g.dur, rng) {
                 bits[q.index()] = false;
@@ -138,15 +171,31 @@ pub fn sample_histogram(
     noise: &NoiseModel,
     config: &TrajectoryConfig,
 ) -> Histogram {
+    sample_histogram_traced(schedule, n_qubits, measure, noise, config).0
+}
+
+/// Like [`sample_histogram`], additionally returning the concatenated
+/// stream of mid-circuit measurement outcomes across all shots (in
+/// shot-major, record order). The stream is a pure function of the
+/// schedule, noise model, and meta-seed — the determinism contract the
+/// seeded golden test pins down.
+pub fn sample_histogram_traced(
+    schedule: &[ScheduledGate],
+    n_qubits: usize,
+    measure: &[PhysId],
+    noise: &NoiseModel,
+    config: &TrajectoryConfig,
+) -> (Histogram, Vec<bool>) {
     assert!(measure.len() <= 64, "at most 64 measured qubits");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut hist = Histogram::new();
+    let mut outcomes = Vec::new();
     for _ in 0..config.shots {
-        let bits = run_noisy(schedule, n_qubits, noise, &mut rng);
+        let bits = run_noisy_shot(schedule, n_qubits, noise, &mut rng, &mut outcomes);
         let outcome: Vec<bool> = measure.iter().map(|q| bits[q.index()]).collect();
         hist.record(Histogram::pack(&outcome));
     }
-    hist
+    (hist, outcomes)
 }
 
 #[cfg(test)]
@@ -162,6 +211,8 @@ mod tests {
                 start,
                 dur,
                 is_comm: false,
+                guard: None,
+                measure: None,
             })
             .collect()
     }
@@ -292,6 +343,87 @@ mod tests {
             },
         );
         assert!(hist.probability(0b0) > 0.99, "idle |1⟩ relaxed");
+    }
+
+    /// The MBU cell — prep, measure, guarded correction — as routing
+    /// emits it: the measurement carrier names the cell and records
+    /// into c0; the correction fires only on outcome 1.
+    fn mbu_cell() -> Vec<ScheduledGate> {
+        use square_qir::ClbitId;
+        vec![
+            ScheduledGate {
+                gate: Gate::X { target: PhysId(0) },
+                start: 0,
+                dur: 1,
+                is_comm: false,
+                guard: None,
+                measure: None,
+            },
+            ScheduledGate {
+                gate: Gate::X { target: PhysId(0) },
+                start: 1,
+                dur: 1,
+                is_comm: false,
+                guard: None,
+                measure: Some(ClbitId(0)),
+            },
+            ScheduledGate {
+                gate: Gate::X { target: PhysId(0) },
+                start: 2,
+                dur: 1,
+                is_comm: false,
+                guard: Some(ClbitId(0)),
+                measure: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn noiseless_feedback_corrects_the_ancilla() {
+        let s = mbu_cell();
+        let noise = NoiseModel::new(NoiseParams::noiseless());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut outcomes = Vec::new();
+        let bits = run_noisy_shot(&s, 1, &noise, &mut rng, &mut outcomes);
+        assert_eq!(bits, vec![false], "guarded X returned the cell to |0⟩");
+        assert_eq!(outcomes, vec![true], "measurement saw the prepped 1");
+        assert_eq!(bits, run_ideal(&s, 1), "noiseless trajectory = replay");
+    }
+
+    #[test]
+    fn seeded_golden_outcome_stream_under_mid_circuit_measurement() {
+        // Satellite: trajectory-sim determinism under mid-circuit
+        // measurement. One meta-seed drives every shot's RNG, so the
+        // concatenated outcome stream and the histogram are exact
+        // functions of (schedule, noise, config): two runs with the
+        // same meta-seed must agree bit for bit, and a different
+        // meta-seed must not reproduce the stream.
+        let s = mbu_cell();
+        let noise = NoiseModel::new(NoiseParams::paper_simulation());
+        let cfg = TrajectoryConfig {
+            shots: 256,
+            seed: 0x6B1D,
+        };
+        let (h1, o1) = sample_histogram_traced(&s, 1, &[PhysId(0)], &noise, &cfg);
+        let (h2, o2) = sample_histogram_traced(&s, 1, &[PhysId(0)], &noise, &cfg);
+        assert_eq!(h1, h2, "same meta-seed, same histogram");
+        assert_eq!(o1, o2, "same meta-seed, same outcome stream");
+        assert_eq!(o1.len(), 256, "exactly one measurement per shot");
+        // Under light noise the prep almost always survives to the
+        // measurement, and the correction then restores |0⟩.
+        assert!(o1.iter().filter(|&&b| b).count() > 240);
+        assert!(h1.probability(0b0) > 0.95);
+        let (_, o3) = sample_histogram_traced(
+            &s,
+            1,
+            &[PhysId(0)],
+            &noise,
+            &TrajectoryConfig {
+                shots: 256,
+                seed: 0x6B1E,
+            },
+        );
+        assert_ne!(o1, o3, "a different meta-seed perturbs the stream");
     }
 
     #[test]

@@ -172,7 +172,9 @@ impl fmt::Display for FuzzFailure {
 /// plus one *budgeted* cell: Square capped at the program's own
 /// eager-probe width floor (the tightest always-satisfiable
 /// `budget:N`), which must validate through the full oracle stack
-/// AND stay under its cap.
+/// AND stay under its cap — and one *MBU* cell (Eager with
+/// measurement-based uncomputation on), which validates the classical
+/// side channel.
 /// With `cross_check`, the observable register (echoed inputs + the
 /// store-protected result; the scratch cell between them is
 /// legitimately policy-dependent) must also agree across every cell —
@@ -254,6 +256,16 @@ fn run_program(
         };
         return Err((Policy::Square, machine, router, e));
     }
+    // The MBU cell: the same program with measurement-based
+    // uncomputation enabled, under Eager — the policy that reclaims
+    // every frame, so any MBU-eligible slice actually gets the
+    // measure-and-correct lowering and the classical side channel is
+    // exercised through all three oracles.
+    let cfg = machine.config_with(Policy::Eager, router).with_mbu(true);
+    let v = validate(program, inputs, &cfg).map_err(|e| (Policy::Eager, machine, router, e))?;
+    stats.cells += 1;
+    stats.gates += v.report.gates;
+    stats.swaps += v.report.swaps;
     Ok(())
 }
 
@@ -370,6 +382,7 @@ fn failure_class(e: &ValidationError) -> &'static str {
             Mismatch::DecisionDrift { .. } => "decision-drift",
             Mismatch::OutputDiff { .. } => "output-diff",
             Mismatch::ScheduleInconsistent { .. } => "schedule",
+            Mismatch::ClbitMismatch { .. } => "clbit",
         },
     }
 }
@@ -430,9 +443,9 @@ mod tests {
             let case = FuzzCase::from_seed(seed);
             let stats = run_case(&case).unwrap_or_else(|f| panic!("{f}"));
             // 4 policies × (3 swap-chain machines × 2 routers + ft) ×
-            // 2 generation modes, plus one budgeted Square cell per
-            // generated program.
-            assert_eq!(stats.cells, 58, "full machine × router product");
+            // 2 generation modes, plus one budgeted Square cell and
+            // one MBU-enabled Eager cell per generated program.
+            assert_eq!(stats.cells, 60, "full machine × router product");
             assert!(stats.gates > 0);
         }
     }

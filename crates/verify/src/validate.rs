@@ -34,7 +34,7 @@ use square_core::{
     ReclaimDecision, RouterKind,
 };
 use square_qir::sem::{RecordedDecisions, SemError};
-use square_qir::{lower_mcx, Gate, Program, TraceOp, VirtId};
+use square_qir::{lower_mcx, ClbitId, Gate, Program, TraceOp, VirtId};
 use square_route::journey_of;
 use square_sim::{check_swapchain_schedule, replay_schedule, ScheduleViolation};
 use square_workloads::{build, Benchmark};
@@ -115,6 +115,20 @@ pub enum Mismatch {
         /// The violation.
         violation: ScheduleViolation,
     },
+    /// A classical bit written by a mid-circuit measurement differs
+    /// between the virtual trace and the physical replay — the routed
+    /// measurement read the wrong cell, or a guarded correction was
+    /// mis-scheduled.
+    ClbitMismatch {
+        /// The classical bit that disagrees.
+        clbit: ClbitId,
+        /// Its value per the virtual trace (`None`: never recorded
+        /// virtually).
+        virtual_value: Option<bool>,
+        /// Its value per the physical replay (`None`: never recorded
+        /// physically).
+        physical_value: Option<bool>,
+    },
 }
 
 impl fmt::Display for Mismatch {
@@ -166,6 +180,23 @@ impl fmt::Display for Mismatch {
             }
             Mismatch::ScheduleInconsistent { violation } => {
                 write!(f, "schedule consistency: {violation}")
+            }
+            Mismatch::ClbitMismatch {
+                clbit,
+                virtual_value,
+                physical_value,
+            } => {
+                let show = |v: &Option<bool>| match v {
+                    Some(b) => (*b as u8).to_string(),
+                    None => "unrecorded".to_string(),
+                };
+                write!(
+                    f,
+                    "physical replay: classical bit {clbit} is {} per the virtual trace but {} \
+                     per the schedule",
+                    show(virtual_value),
+                    show(physical_value)
+                )
             }
         }
     }
@@ -250,7 +281,31 @@ pub struct Validated {
 /// [`Mismatch::DoubleAlloc`] / [`Mismatch::UseAfterFree`] /
 /// [`Mismatch::DirtyFree`] on malformed traces.
 pub fn replay_virtual(trace: &[TraceOp], register: &[VirtId]) -> Result<Vec<bool>, Mismatch> {
+    let (bits, _clbits) = replay_virtual_state(trace)?;
+    register
+        .iter()
+        .map(|v| {
+            bits.get(v)
+                .copied()
+                .ok_or(Mismatch::UseAfterFree { qubit: *v, at: 0 })
+        })
+        .collect()
+}
+
+/// Final state of a virtual replay: live qubit values plus every
+/// classical bit recorded by mid-circuit measurements.
+pub type VirtualState = (HashMap<VirtId, bool>, HashMap<ClbitId, bool>);
+
+/// The full final state of a hygiene-checked virtual replay: live
+/// qubit values plus every classical bit recorded by mid-circuit
+/// measurements.
+///
+/// # Errors
+///
+/// Same hygiene failures as [`replay_virtual`].
+pub fn replay_virtual_state(trace: &[TraceOp]) -> Result<VirtualState, Mismatch> {
     let mut bits: HashMap<VirtId, bool> = HashMap::new();
+    let mut clbits: HashMap<ClbitId, bool> = HashMap::new();
     for (at, op) in trace.iter().enumerate() {
         match op {
             TraceOp::Alloc(v) => {
@@ -264,27 +319,38 @@ pub fn replay_virtual(trace: &[TraceOp], register: &[VirtId]) -> Result<Vec<bool
                 Some(false) => {}
             },
             TraceOp::Gate(g) => {
-                let mut dead = None;
-                g.for_each_qubit(|q| {
-                    if dead.is_none() && !bits.contains_key(q) {
-                        dead = Some(*q);
-                    }
-                });
-                if let Some(qubit) = dead {
+                if let Some(qubit) = first_dead(g, &bits) {
                     return Err(Mismatch::UseAfterFree { qubit, at });
                 }
                 apply_virtual(g, &mut bits);
             }
+            TraceOp::Measure { qubit, clbit } => match bits.get(qubit) {
+                Some(v) => {
+                    clbits.insert(*clbit, *v);
+                }
+                None => return Err(Mismatch::UseAfterFree { qubit: *qubit, at }),
+            },
+            TraceOp::CondGate { clbit, gate } => {
+                if let Some(qubit) = first_dead(gate, &bits) {
+                    return Err(Mismatch::UseAfterFree { qubit, at });
+                }
+                if clbits.get(clbit).copied().unwrap_or(false) {
+                    apply_virtual(gate, &mut bits);
+                }
+            }
         }
     }
-    register
-        .iter()
-        .map(|v| {
-            bits.get(v)
-                .copied()
-                .ok_or(Mismatch::UseAfterFree { qubit: *v, at: 0 })
-        })
-        .collect()
+    Ok((bits, clbits))
+}
+
+fn first_dead(g: &Gate<VirtId>, bits: &HashMap<VirtId, bool>) -> Option<VirtId> {
+    let mut dead = None;
+    g.for_each_qubit(|q| {
+        if dead.is_none() && !bits.contains_key(q) {
+            dead = Some(*q);
+        }
+    });
+    dead
 }
 
 fn apply_virtual(g: &Gate<VirtId>, bits: &mut HashMap<VirtId, bool>) {
@@ -373,11 +439,15 @@ pub fn check_reference(
 
 /// Replays the routed physical schedule and checks the read-back
 /// register against the virtual values. Swap-chain schedules also
-/// pass the per-qubit ASAP consistency check.
+/// pass the per-qubit ASAP consistency check, and every classical bit
+/// recorded by mid-circuit measurements must agree between the
+/// virtual trace and the physical replay (MBU cells are validated
+/// through the same side channel that steers them).
 ///
 /// # Errors
 ///
-/// [`Mismatch::ScheduleInconsistent`] / [`Mismatch::OutputDiff`].
+/// [`Mismatch::ScheduleInconsistent`] / [`Mismatch::OutputDiff`] /
+/// [`Mismatch::ClbitMismatch`].
 ///
 /// # Panics
 ///
@@ -397,6 +467,25 @@ pub fn check_physical(report: &CompileReport, virt_vals: &[bool]) -> Result<(), 
     let phys_vals = replay.read(&report.measure_map());
     if let Some(m) = output_diff(Stage::PhysicalReplay, report, virt_vals, &phys_vals) {
         return Err(m);
+    }
+    let (_, virt_clbits) = replay_virtual_state(&report.trace)?;
+    let mut all: Vec<ClbitId> = virt_clbits
+        .keys()
+        .chain(replay.clbits.keys())
+        .copied()
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    for clbit in all {
+        let virtual_value = virt_clbits.get(&clbit).copied();
+        let physical_value = replay.clbits.get(&clbit).copied();
+        if virtual_value != physical_value {
+            return Err(Mismatch::ClbitMismatch {
+                clbit,
+                virtual_value,
+                physical_value,
+            });
+        }
     }
     Ok(())
 }
@@ -591,6 +680,8 @@ mod tests {
             start: last.end(),
             dur: 1,
             is_comm: false,
+            guard: None,
+            measure: None,
         });
         let err = check_physical(&report, &virt_vals).unwrap_err();
         match err {
@@ -600,6 +691,76 @@ mod tests {
             }
             other => panic!("wrong mismatch: {other}"),
         }
+    }
+
+    /// A program whose child frame is Toffoli-built, so MBU wins the
+    /// weighted compare and the compile emits measure-and-correct.
+    fn toffoli_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let child = b
+            .module("and2", 3, 2, |m| {
+                let (x, y, out) = (m.param(0), m.param(1), m.param(2));
+                let (a, t) = (m.ancilla(0), m.ancilla(1));
+                m.ccx(x, y, a);
+                m.ccx(x, a, t);
+                m.store();
+                m.cx(t, out);
+            })
+            .unwrap();
+        let main = b
+            .module("main", 0, 4, |m| {
+                let (x, y, t, out) = (m.ancilla(0), m.ancilla(1), m.ancilla(2), m.ancilla(3));
+                m.x(x);
+                m.x(y);
+                m.call(child, &[x, y, t]);
+                m.store();
+                m.cx(t, out);
+            })
+            .unwrap();
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn mbu_compiles_validate_through_all_three_oracles() {
+        let p = toffoli_program();
+        for machine in MachineKind::BOTH {
+            let cfg = machine.config(Policy::Eager).with_mbu(true);
+            let v = validate(&p, &[], &cfg).unwrap_or_else(|e| panic!("{machine}: {e}"));
+            assert!(
+                v.report.mbu_stats.mbu_frames > 0,
+                "{machine}: MBU actually engaged"
+            );
+            assert!(v.outputs[3], "{machine}: stored output survives MBU");
+        }
+    }
+
+    #[test]
+    fn tampered_clbit_is_caught_and_named() {
+        let p = toffoli_program();
+        let cfg = MachineKind::Nisq
+            .config(Policy::Eager)
+            .with_mbu(true)
+            .with_schedule();
+        let mut report = compile_with_inputs(&p, &[], &cfg).unwrap();
+        let virt_vals = replay_virtual(&report.trace, &report.entry_register).unwrap();
+        check_physical(&report, &virt_vals).expect("untampered MBU schedule validates");
+        // Retarget one measurement to a fresh clbit: the recorded bit
+        // vanishes physically and the diagnostic must name it.
+        let schedule = report.schedule.as_mut().unwrap();
+        let g = schedule
+            .iter_mut()
+            .find(|g| g.measure.is_some())
+            .expect("MBU schedule contains a measurement");
+        let original = g.measure.take().unwrap();
+        g.measure = Some(ClbitId(original.0 + 1000));
+        let err = check_physical(&report, &virt_vals).unwrap_err();
+        match &err {
+            Mismatch::ClbitMismatch { clbit, .. } => {
+                assert!(*clbit == original || clbit.0 == original.0 + 1000);
+            }
+            other => panic!("wrong mismatch: {other}"),
+        }
+        assert!(err.to_string().contains("classical bit c"), "{err}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! preserve program meaning.
 
 use square_repro::core::{compile_with_inputs, CompilerConfig, Policy};
-use square_repro::qir::{Gate, TraceOp, VirtId};
+use square_repro::qir::{ClbitId, Gate, TraceOp, VirtId};
 use square_repro::sim::run_ideal;
 use square_repro::workloads::{build, Benchmark};
 use std::collections::HashMap;
@@ -14,6 +14,7 @@ use std::collections::HashMap;
 /// hygiene (every freed qubit is |0⟩), and returns the register values.
 fn replay_trace(trace: &[TraceOp], register: &[VirtId], label: &str) -> Vec<bool> {
     let mut bits: HashMap<VirtId, bool> = HashMap::new();
+    let mut clbits: HashMap<ClbitId, bool> = HashMap::new();
     for op in trace {
         match op {
             TraceOp::Alloc(v) => {
@@ -23,35 +24,45 @@ fn replay_trace(trace: &[TraceOp], register: &[VirtId], label: &str) -> Vec<bool
                 let val = bits.remove(v).expect("free of dead qubit");
                 assert!(!val, "{label}: dirty ancilla freed");
             }
-            TraceOp::Gate(g) => {
-                let get = |q: &VirtId| bits[q];
-                match g {
-                    Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
-                    Gate::Cx { control, target } => {
-                        if get(control) {
-                            *bits.get_mut(target).unwrap() ^= true;
-                        }
-                    }
-                    Gate::Ccx { c0, c1, target } => {
-                        if get(c0) && get(c1) {
-                            *bits.get_mut(target).unwrap() ^= true;
-                        }
-                    }
-                    Gate::Swap { a, b } => {
-                        let (va, vb) = (get(a), get(b));
-                        bits.insert(*a, vb);
-                        bits.insert(*b, va);
-                    }
-                    Gate::Mcx { controls, target } => {
-                        if controls.iter().all(get) {
-                            *bits.get_mut(target).unwrap() ^= true;
-                        }
-                    }
+            TraceOp::Gate(g) => apply_gate(&mut bits, g),
+            TraceOp::Measure { qubit, clbit } => {
+                clbits.insert(*clbit, bits[qubit]);
+            }
+            TraceOp::CondGate { clbit, gate } => {
+                if clbits[clbit] {
+                    apply_gate(&mut bits, gate);
                 }
             }
         }
     }
     register.iter().map(|v| bits[v]).collect()
+}
+
+fn apply_gate(bits: &mut HashMap<VirtId, bool>, g: &Gate<VirtId>) {
+    let get = |q: &VirtId| bits[q];
+    match g {
+        Gate::X { target } => *bits.get_mut(target).unwrap() ^= true,
+        Gate::Cx { control, target } => {
+            if get(control) {
+                *bits.get_mut(target).unwrap() ^= true;
+            }
+        }
+        Gate::Ccx { c0, c1, target } => {
+            if get(c0) && get(c1) {
+                *bits.get_mut(target).unwrap() ^= true;
+            }
+        }
+        Gate::Swap { a, b } => {
+            let (va, vb) = (get(a), get(b));
+            bits.insert(*a, vb);
+            bits.insert(*b, va);
+        }
+        Gate::Mcx { controls, target } => {
+            if controls.iter().all(get) {
+                *bits.get_mut(target).unwrap() ^= true;
+            }
+        }
+    }
 }
 
 #[test]

@@ -195,6 +195,8 @@ fn validation_detects_a_sabotaged_schedule() {
         start: end,
         dur: 1,
         is_comm: false,
+        guard: None,
+        measure: None,
     });
     let err = check_physical(&report, &virt_vals).unwrap_err();
     match err {
