@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! fuzz_pipeline [--start N] [--count N] [--spec SPEC] [--no-shrink]
-//!               [--repro-out PATH]
+//!               [--stdlib] [--repro-out PATH]
 //! ```
 //!
 //! * `--start` / `--count` — the meta-seed range to run
@@ -15,6 +15,13 @@
 //!   instead of a seed range.
 //! * `--no-shrink` — report failures as found, without greedy
 //!   shrinking.
+//! * `--stdlib` — stdlib-composition mode: each seed assembles a
+//!   random entry module from `lib/std.sq` calls, resolves it through
+//!   the multi-file import pass, runs the full validation matrix, and
+//!   checks the import path agrees with the flattened single-file
+//!   form. Failing seeds reproduce with `--stdlib --start SEED
+//!   --count 1`; the generated `.sq` source rides along in the
+//!   reproducer output.
 //! * `--repro-out` — also write reproducer lines to a file (CI
 //!   uploads it as an artifact on failure).
 //!
@@ -28,13 +35,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use rayon::prelude::*;
-use square_verify::fuzz::{run_case, shrink, CaseStats, FuzzCase, FuzzFailure};
+use square_verify::fuzz::{
+    run_case, run_stdlib_case, shrink, CaseStats, FuzzCase, FuzzFailure, StdlibCase,
+};
 
 struct Options {
     start: u64,
     count: u64,
     spec: Option<String>,
     shrink: bool,
+    stdlib: bool,
     repro_out: Option<String>,
 }
 
@@ -44,6 +54,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         count: 200,
         spec: None,
         shrink: true,
+        stdlib: false,
         repro_out: None,
     };
     let mut it = args.iter();
@@ -62,11 +73,61 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--spec" => opts.spec = Some(value(arg)?),
             "--no-shrink" => opts.shrink = false,
+            "--stdlib" => opts.stdlib = true,
             "--repro-out" => opts.repro_out = Some(value(arg)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    if opts.stdlib && opts.spec.is_some() {
+        return Err("--stdlib takes a seed range, not --spec".into());
+    }
     Ok(opts)
+}
+
+/// Runs the stdlib-composition seed range; failing seeds come back as
+/// ready-to-print reproducer lines (command line plus the generated
+/// source, `#`-prefixed so the block stays one artifact).
+fn run_stdlib_range(
+    opts: &Options,
+    totals: &mut CaseStats,
+    repro_lines: &mut Vec<String>,
+) -> usize {
+    let done = AtomicUsize::new(0);
+    let total = opts.count;
+    let seeds: Vec<u64> = (opts.start..opts.start + opts.count).collect();
+    let results: Vec<_> = seeds
+        .into_par_iter()
+        .map(|seed| {
+            let outcome = run_stdlib_case(&StdlibCase::from_seed(seed));
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(25) || n as u64 == total {
+                eprintln!("[{n}/{total}] stdlib seeds validated");
+            }
+            outcome
+        })
+        .collect();
+    let mut failures = 0;
+    for r in results {
+        match r {
+            Ok(s) => {
+                totals.cells += s.cells;
+                totals.gates += s.gates;
+                totals.swaps += s.swaps;
+            }
+            Err(f) => {
+                failures += 1;
+                eprintln!("FAIL: {f}");
+                repro_lines.push(format!(
+                    "fuzz_pipeline --stdlib --start {} --count 1   # {}",
+                    f.case.seed, f.detail
+                ));
+                for line in f.case.source.lines() {
+                    repro_lines.push(format!("#   {line}"));
+                }
+            }
+        }
+    }
+    failures
 }
 
 fn report_failure(failure: &FuzzFailure, do_shrink: bool, lines: &mut Vec<String>) {
@@ -92,6 +153,22 @@ fn reproducer_line(failure: &FuzzFailure) -> String {
     )
 }
 
+fn write_repro_out(path: Option<&str>, repro_lines: &[String]) {
+    let Some(path) = path else { return };
+    if repro_lines.is_empty() {
+        return;
+    }
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            for line in repro_lines {
+                let _ = writeln!(f, "{line}");
+            }
+            eprintln!("reproducers written to {path}");
+        }
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -100,12 +177,40 @@ fn main() -> ExitCode {
             eprintln!("{message}");
             eprintln!(
                 "usage: fuzz_pipeline [--start N] [--count N] [--spec SPEC] [--no-shrink] \
-                 [--repro-out PATH]"
+                 [--stdlib] [--repro-out PATH]"
             );
             return ExitCode::from(2);
         }
     };
     let t0 = Instant::now();
+
+    if opts.stdlib {
+        let mut totals = CaseStats::default();
+        let mut repro_lines = Vec::new();
+        let failed = run_stdlib_range(&opts, &mut totals, &mut repro_lines);
+        write_repro_out(opts.repro_out.as_deref(), &repro_lines);
+        for line in &repro_lines {
+            println!("{line}");
+        }
+        eprintln!(
+            "{} stdlib cases, {} cells validated ({} gates, {} swaps replayed), {failed} \
+             failures, {:.1?}",
+            opts.count,
+            totals.cells,
+            totals.gates,
+            totals.swaps,
+            t0.elapsed()
+        );
+        return if failed == 0 {
+            println!(
+                "fuzz_pipeline --stdlib: {} cases / {} cells validated, zero semantic mismatches",
+                opts.count, totals.cells
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     let (mut failures, totals, ran): (Vec<FuzzFailure>, CaseStats, u64) =
         if let Some(spec) = &opts.spec {
@@ -153,19 +258,7 @@ fn main() -> ExitCode {
     for failure in &failures {
         report_failure(failure, opts.shrink, &mut repro_lines);
     }
-    if let Some(path) = &opts.repro_out {
-        if !repro_lines.is_empty() {
-            match std::fs::File::create(path) {
-                Ok(mut f) => {
-                    for line in &repro_lines {
-                        let _ = writeln!(f, "{line}");
-                    }
-                    eprintln!("reproducers written to {path}");
-                }
-                Err(e) => eprintln!("cannot write {path}: {e}"),
-            }
-        }
-    }
+    write_repro_out(opts.repro_out.as_deref(), &repro_lines);
     for line in &repro_lines {
         println!("{line}");
     }

@@ -10,11 +10,27 @@ use square_qir::{Gate, Operand};
 
 use crate::diag::Span;
 
-/// A parsed `.sq` compilation unit: modules in source order.
+/// A parsed `.sq` compilation unit: imports and modules in source
+/// order.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SourceProgram {
+    /// `import name;` items, in the order they appear in the file.
+    pub imports: Vec<SourceImport>,
     /// Modules in the order they appear in the file.
     pub modules: Vec<SourceModule>,
+}
+
+/// One `import name;` item: a request to bring every module of the
+/// file `name.sq` (resolved against the importing file's directory,
+/// then the search path) into this file's scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceImport {
+    /// Imported unit name as written (`std` resolves to `std.sq`).
+    pub name: String,
+    /// Span of the name token.
+    pub name_span: Span,
+    /// Span of the whole `import name;` item.
+    pub span: Span,
 }
 
 /// One `module name(P params, A ancilla) { … }` item.
@@ -34,6 +50,11 @@ pub struct SourceModule {
     /// `clbits` clause; `measure`/`cond` statements grow the count on
     /// demand during lowering, exactly as the builder does).
     pub clbits: usize,
+    /// Span of the `N clbits` header clause, when one was written. A
+    /// present clause is a *declared bound*: statements may not use
+    /// classical bits at or beyond it. An absent clause (`None`) keeps
+    /// the historical on-demand growth.
+    pub clbits_span: Option<Span>,
     /// Statements of the `compute { … }` block (empty when absent).
     pub compute: Vec<SourceStmt>,
     /// Statements of the `store { … }` block (empty when absent).
@@ -79,6 +100,8 @@ pub enum SourceStmt {
         qubit: SourceOperand,
         /// Destination classical bit (module-local index).
         clbit: usize,
+        /// Span of the destination clbit token.
+        clbit_span: Span,
         /// Span of the whole statement.
         span: Span,
     },
@@ -86,6 +109,8 @@ pub enum SourceStmt {
     CondGate {
         /// Guarding classical bit (module-local index).
         clbit: usize,
+        /// Span of the guard clbit token.
+        clbit_span: Span,
         /// The guarded gate.
         gate: Gate<SourceOperand>,
         /// Span of the whole statement.

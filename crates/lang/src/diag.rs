@@ -114,17 +114,28 @@ pub fn render(source: &str, file: &str, diags: &[Diagnostic]) -> String {
         let pad = " ".repeat(gutter.len());
         out.push_str(&format!(" {pad} |\n"));
         out.push_str(&format!(" {gutter} | {line_text}\n"));
-        // Caret width: the spanned characters on this line (at least 1).
+        // Caret width: the spanned text's *display* columns on this
+        // line (at least 1) — East Asian wide characters occupy two.
         let span_on_line = d.span.end.min(line_start + line_text.len());
-        let width = source[d.span.start.min(span_on_line)..span_on_line]
+        let width: usize = source[d.span.start.min(span_on_line)..span_on_line]
             .chars()
-            .count()
+            .map(display_width)
+            .sum::<usize>()
             .max(1);
         // Pad with the line's own tabs so the caret stays aligned
-        // under the span regardless of how the terminal expands them.
+        // under the span regardless of how the terminal expands them;
+        // every other character contributes its display width in
+        // spaces.
         let caret_pad: String = source[line_start..d.span.start.min(source.len())]
             .chars()
-            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .flat_map(|c| {
+                let (fill, n) = if c == '\t' {
+                    ('\t', 1)
+                } else {
+                    (' ', display_width(c))
+                };
+                std::iter::repeat_n(fill, n)
+            })
             .collect();
         out.push_str(&format!(" {pad} | {caret_pad}{}", "^".repeat(width)));
         if let Some(h) = &d.help {
@@ -133,6 +144,45 @@ pub fn render(source: &str, file: &str, diags: &[Diagnostic]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Terminal display width of one character: 2 for East Asian wide and
+/// fullwidth ranges, 0 for combining marks and zero-width joiners, 1
+/// otherwise. A compact approximation of `wcwidth` covering the
+/// scripts that plausibly appear in `.sq` comments and module names;
+/// used so caret lines stay aligned under non-ASCII source.
+fn display_width(c: char) -> usize {
+    let cp = c as u32;
+    let wide = matches!(
+        cp,
+        0x1100..=0x115F          // Hangul Jamo
+        | 0x2E80..=0x303E        // CJK radicals, Kangxi, CJK punctuation
+        | 0x3041..=0x33FF        // Hiragana .. CJK compatibility
+        | 0x3400..=0x4DBF        // CJK extension A
+        | 0x4E00..=0x9FFF        // CJK unified ideographs
+        | 0xA000..=0xA4CF        // Yi
+        | 0xAC00..=0xD7A3        // Hangul syllables
+        | 0xF900..=0xFAFF        // CJK compatibility ideographs
+        | 0xFE30..=0xFE4F        // CJK compatibility forms
+        | 0xFF00..=0xFF60        // Fullwidth forms
+        | 0xFFE0..=0xFFE6        // Fullwidth signs
+        | 0x1F300..=0x1F64F      // Emoji (pictographs, emoticons)
+        | 0x1F900..=0x1F9FF      // Supplemental symbols
+        | 0x20000..=0x3FFFD      // CJK extensions B+
+    );
+    let zero = matches!(
+        cp,
+        0x0300..=0x036F          // combining diacritics
+        | 0x200B..=0x200D        // zero-width space/joiners
+        | 0xFE00..=0xFE0F        // variation selectors
+    );
+    if wide {
+        2
+    } else if zero {
+        0
+    } else {
+        1
+    }
 }
 
 /// Returns the candidate closest to `name` (case-insensitively) when
@@ -219,6 +269,30 @@ mod tests {
             rendered.contains(" 3 | \t\tzz p0;\n   | \t\t^^"),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn render_accounts_for_wide_characters() {
+        // `加法` is two East Asian wide characters (two columns each),
+        // so the caret pad must emit four spaces for them — counting
+        // chars would leave the carets two columns short.
+        let src = "\t加法 zz p0;\n";
+        let at = src.find("zz").unwrap();
+        let d = Diagnostic::new(Span::new(at, at + 2), "unknown gate `zz`");
+        let rendered = render(src, "prog.sq", &[d]);
+        assert!(
+            rendered.contains(" 1 | \t加法 zz p0;\n   | \t     ^^"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn display_width_classifies_wide_and_zero_width() {
+        assert_eq!(display_width('a'), 1);
+        assert_eq!(display_width('加'), 2);
+        assert_eq!(display_width('ﬀ'), 1); // narrow ligature
+        assert_eq!(display_width('\u{200B}'), 0); // zero-width space
+        assert_eq!(display_width('\u{0301}'), 0); // combining acute
     }
 
     #[test]

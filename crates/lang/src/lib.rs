@@ -14,7 +14,8 @@
 //! ## Grammar (EBNF)
 //!
 //! ```text
-//! program   = module* ;
+//! program   = import* module* ;
+//! import    = "import" name ";" ;        (* brings every module of `name.sq` into scope *)
 //! module    = [ "entry" ] "module" name
 //!             "(" number "params" "," number "ancilla"
 //!             [ "," number "clbits" ] ")"
@@ -41,10 +42,23 @@
 //! `uncompute {}` means "do nothing". Gate mnemonics are
 //! case-insensitive and `not`/`cnot`/`toffoli` are accepted aliases.
 //! Comments run from `//` or `#` to end of line. The `clbits` header
-//! clause is optional — `measure`/`cond` statements grow the count on
-//! demand, and the canonical listing prints the clause only for
-//! modules that measure, so measurement-free programs round-trip
-//! byte-identically to the pre-clause syntax.
+//! clause is optional — when absent, `measure`/`cond` statements grow
+//! the count on demand; when written, it is a *declared bound* and a
+//! statement using a classical bit at or past it is an error. The
+//! canonical listing prints the clause only for modules that measure,
+//! so measurement-free programs round-trip byte-identically to the
+//! pre-clause syntax.
+//!
+//! ## Imports
+//!
+//! `import name;` items (which must precede the first module) bring
+//! every module of another file into scope — see [`modules`] for the
+//! resolution pass, the [`modules::ModuleLoader`] abstraction, and
+//! the search-path rules. [`parse_program`] itself is single-file (it
+//! has no file context) and rejects imports with a pointer at
+//! [`modules::parse_files`]; the `squarec` driver resolves them
+//! against the importing file's directory, `--search-path`
+//! directories, and `lib/`.
 //!
 //! ## Round trip
 //!
@@ -88,10 +102,12 @@ pub mod ast;
 pub mod diag;
 pub mod lexer;
 pub mod lower;
+pub mod modules;
 pub mod parser;
 
 pub use diag::{line_col, render, suggest, Diagnostic, Span};
 pub use lower::lower;
+pub use modules::{parse_files, MapLoader, ModuleLoader, SearchPathLoader, SourceMap};
 pub use parser::{parse_source, GATE_ALIASES, GATE_MNEMONICS};
 
 use square_qir::Program;
@@ -105,7 +121,22 @@ use square_qir::Program;
 /// A non-empty list of spanned diagnostics; render them with
 /// [`render`].
 pub fn parse_program(source: &str) -> Result<Program, Vec<Diagnostic>> {
-    let (ast, diags) = parser::parse_source(source);
+    let (ast, mut diags) = parser::parse_source(source);
+    // This entry point has no file context to resolve imports against
+    // (it serves in-memory sources: the round-trip check, the service
+    // wire format). Multi-file programs go through `modules::parse_files`.
+    for imp in &ast.imports {
+        diags.push(
+            Diagnostic::new(
+                imp.span,
+                format!("`import {}` requires a file context", imp.name),
+            )
+            .with_help(
+                "this entry point is single-file; compile the file with `squarec` \
+                 (or `square_lang::parse_files`), or pre-flatten with `squarec --emit listing`",
+            ),
+        );
+    }
     if !diags.is_empty() {
         return Err(diags);
     }

@@ -173,6 +173,27 @@ fn check_module(
             .with_help("model program inputs as entry ancilla"),
         );
     }
+    // A written `N clbits` clause is a declared bound: statements may
+    // not reach past it. An absent clause keeps on-demand growth.
+    let check_clbit = |clbit: usize, clbit_span: Span, diags: &mut Vec<Diagnostic>| {
+        if m.clbits_span.is_some() && clbit >= m.clbits {
+            diags.push(
+                Diagnostic::new(
+                    clbit_span,
+                    format!(
+                        "classical bit `c{clbit}` is out of range: module `{}` declares {} clbit{}",
+                        m.name,
+                        m.clbits,
+                        if m.clbits == 1 { "" } else { "s" }
+                    ),
+                )
+                .with_help(
+                    "the `clbits` header is a declared bound; raise it, or drop the \
+                     clause to size classical storage on demand",
+                ),
+            );
+        }
+    };
     let check_operand = |so: &crate::ast::SourceOperand, diags: &mut Vec<Diagnostic>| {
         let (ok, what, declared) = match so.op {
             Operand::Param(i) => (i < m.params, "param", m.params),
@@ -252,6 +273,15 @@ fn check_module(
                     }
                 }
             }
+        }
+        match stmt {
+            SourceStmt::Measure {
+                clbit, clbit_span, ..
+            }
+            | SourceStmt::CondGate {
+                clbit, clbit_span, ..
+            } => check_clbit(*clbit, *clbit_span, diags),
+            _ => {}
         }
     }
 }

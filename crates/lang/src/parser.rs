@@ -9,7 +9,7 @@
 
 use square_qir::{Gate, Operand};
 
-use crate::ast::{SourceModule, SourceOperand, SourceProgram, SourceStmt};
+use crate::ast::{SourceImport, SourceModule, SourceOperand, SourceProgram, SourceStmt};
 use crate::diag::{suggest, Diagnostic, Span};
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -35,7 +35,19 @@ pub fn parse_source(source: &str) -> (SourceProgram, Vec<Diagnostic>) {
     };
     let program = parser.program();
     diags.append(&mut parser.diags);
+    dedupe_by_span(&mut diags);
     (program, diags)
+}
+
+/// Keeps the first diagnostic anchored at each span and drops the
+/// rest. Panic-mode recovery on a truncated or garbled input (an
+/// unbalanced `}`, EOF inside a block) can report the same error site
+/// once per enclosing production — e.g. "unclosed block" from the
+/// statement loop *and* "expected `}` to close the module body" from
+/// the module, both at the EOF token. One site, one error.
+fn dedupe_by_span(diags: &mut Vec<Diagnostic>) {
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    diags.retain(|d| seen.insert((d.span.start, d.span.end)));
 }
 
 struct Parser<'s> {
@@ -110,10 +122,16 @@ impl<'s> Parser<'s> {
     // -- grammar ----------------------------------------------------------
 
     fn program(&mut self) -> SourceProgram {
+        let mut imports = Vec::new();
         let mut modules = Vec::new();
         loop {
             match self.peek().kind {
                 TokenKind::Eof => break,
+                TokenKind::Word if self.at_word("import") => {
+                    if let Some(imp) = self.import_item(!modules.is_empty()) {
+                        imports.push(imp);
+                    }
+                }
                 TokenKind::Word if self.at_word("module") || self.at_word("entry") => {
                     match self.module() {
                         Some(m) => modules.push(m),
@@ -125,10 +143,11 @@ impl<'s> Parser<'s> {
                     let found = self.describe_found(t);
                     let mut d = Diagnostic::new(
                         t.span,
-                        format!("expected `module` or `entry module`, found {found}"),
+                        format!("expected `import`, `module`, or `entry module`, found {found}"),
                     );
                     if t.kind == TokenKind::Word {
-                        if let Some(s) = suggest(t.text(self.source), ["module", "entry"]) {
+                        if let Some(s) = suggest(t.text(self.source), ["import", "module", "entry"])
+                        {
                             d = d.with_help(format!("did you mean `{s}`?"));
                         }
                     }
@@ -137,7 +156,27 @@ impl<'s> Parser<'s> {
                 }
             }
         }
-        SourceProgram { modules }
+        SourceProgram { imports, modules }
+    }
+
+    /// `"import" name ";"` — canonical position is before the first
+    /// module; later imports still parse (and resolve) but diagnose so
+    /// the listing stays canonical.
+    fn import_item(&mut self, after_modules: bool) -> Option<SourceImport> {
+        let head = self.bump(); // `import`
+        if after_modules {
+            self.error(
+                head.span,
+                "`import` items must come before the first module",
+            );
+        }
+        let name_tok = self.expect(TokenKind::Word, "as the imported unit name")?;
+        let end = self.expect(TokenKind::Semi, "to end the import")?.span;
+        Some(SourceImport {
+            name: name_tok.text(self.source).to_string(),
+            name_span: name_tok.span,
+            span: head.span.to(end),
+        })
     }
 
     /// `["entry"] "module" name "(" N "params" "," M "ancilla" ")"
@@ -161,14 +200,21 @@ impl<'s> Parser<'s> {
         let ancillas = self.number("as the ancilla count")?;
         self.expect_keyword("ancilla", "after the ancilla count");
         // Optional third clause: `, N clbits` (printed only for
-        // modules that measure, so most headers omit it).
-        let clbits = if self.peek().kind == TokenKind::Comma {
+        // modules that measure, so most headers omit it). A written
+        // clause is a declared bound on the module's classical bits.
+        let (clbits, clbits_span) = if self.peek().kind == TokenKind::Comma {
             self.bump();
+            let count_span = self.peek().span;
             let n = self.number("as the clbit count")?;
-            self.expect_keyword("clbits", "after the clbit count");
-            n
+            let clause_end = if self.at_word("clbits") {
+                self.bump().span
+            } else {
+                self.expect_keyword("clbits", "after the clbit count");
+                count_span
+            };
+            (n, Some(count_span.to(clause_end)))
         } else {
-            0
+            (0, None)
         };
         self.expect(TokenKind::RParen, "to close the signature")?;
         self.expect(TokenKind::LBrace, "to open the module body")?;
@@ -180,6 +226,7 @@ impl<'s> Parser<'s> {
             params,
             ancillas,
             clbits,
+            clbits_span,
             compute: Vec::new(),
             store: Vec::new(),
             uncompute: None,
@@ -343,11 +390,12 @@ impl<'s> Parser<'s> {
     fn measure_stmt(&mut self) -> Option<SourceStmt> {
         let head = self.bump(); // `measure`
         let qubit = self.operand()?;
-        let (clbit, _) = self.clbit("as the measurement destination")?;
+        let (clbit, clbit_span) = self.clbit("as the measurement destination")?;
         let end = self.expect(TokenKind::Semi, "to end the statement")?.span;
         Some(SourceStmt::Measure {
             qubit,
             clbit,
+            clbit_span,
             span: head.span.to(end),
         })
     }
@@ -355,7 +403,7 @@ impl<'s> Parser<'s> {
     /// `"cond" clbit gate ";"`
     fn cond_stmt(&mut self) -> Option<SourceStmt> {
         let head = self.bump(); // `cond`
-        let (clbit, _) = self.clbit("as the guard")?;
+        let (clbit, clbit_span) = self.clbit("as the guard")?;
         let gate_tok = self.peek();
         if gate_tok.kind != TokenKind::Word {
             self.error(
@@ -384,6 +432,7 @@ impl<'s> Parser<'s> {
         let end = self.expect(TokenKind::Semi, "to end the statement")?.span;
         Some(SourceStmt::CondGate {
             clbit,
+            clbit_span,
             gate,
             span: head.span.to(end),
         })

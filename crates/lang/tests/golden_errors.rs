@@ -6,11 +6,24 @@
 //! is that errors carry usable spans). If an intentional wording
 //! change breaks one of these, update the expected string alongside.
 
-use square_lang::{parse_program, render};
+use square_lang::{parse_files, parse_program, render, MapLoader};
 
 fn report(source: &str) -> String {
     let diags = parse_program(source).expect_err("source must not parse");
     render(source, "prog.sq", &diags)
+}
+
+/// Multi-file variant: `root.sq` resolved against in-memory units,
+/// diagnostics rendered through the source map so each anchors in the
+/// file it came from.
+fn multi_report(root: &str, files: &[(&str, &str)]) -> String {
+    let mut loader = MapLoader::new();
+    for (name, source) in files {
+        loader.insert(*name, *source);
+    }
+    let (map, parsed) = parse_files("root.sq", root, &loader);
+    let diags = parsed.expect_err("source must not resolve");
+    map.render(&diags)
 }
 
 #[test]
@@ -189,6 +202,219 @@ error: expected `;` to end the statement, found `}`
    |   ^
 "
     );
+}
+
+#[test]
+fn golden_missing_import() {
+    let root = "\
+import nowhere;
+entry module main(0 params, 1 ancilla) {
+  compute {
+    x a0;
+  }
+}
+";
+    assert_eq!(
+        multi_report(root, &[]),
+        "\
+error: cannot resolve import `nowhere`: no in-memory unit named `nowhere`
+  --> root.sq:1:8
+   |
+ 1 | import nowhere;
+   |        ^^^^^^^
+"
+    );
+}
+
+#[test]
+fn golden_import_cycle() {
+    let root = "\
+import a;
+entry module main(0 params, 1 ancilla) {
+  compute {
+    x a0;
+  }
+}
+";
+    let a = "import b;\nmodule fa(1 params, 0 ancilla) {\n  compute {\n    x p0;\n  }\n}\n";
+    let b = "import a;\nmodule fb(1 params, 0 ancilla) {\n  compute {\n    x p0;\n  }\n}\n";
+    assert_eq!(
+        multi_report(root, &[("a", a), ("b", b)]),
+        "\
+error: import cycle: a.sq → b.sq → a.sq
+  --> b.sq:1:1
+   |
+ 1 | import a;
+   | ^^^^^^^^^ imports must form a DAG
+"
+    );
+}
+
+#[test]
+fn golden_cross_file_duplicate_module() {
+    // The conflict anchors on the root file (the one the user is
+    // editing) and names the imported file that already owns the name.
+    let root = "\
+import util;
+module inc(1 params, 0 ancilla) {
+  compute {
+    x p0;
+  }
+}
+entry module main(0 params, 1 ancilla) {
+  compute {
+    call inc(a0);
+  }
+}
+";
+    let util = "module inc(1 params, 0 ancilla) {\n  compute {\n    x p0;\n  }\n}\n";
+    assert_eq!(
+        multi_report(root, &[("util", util)]),
+        "\
+error: module `inc` is already defined in util.sq
+  --> root.sq:2:8
+   |
+ 2 | module inc(1 params, 0 ancilla) {
+   |        ^^^ module names are global across imported files
+"
+    );
+}
+
+#[test]
+fn golden_entry_in_imported_file() {
+    let root = "\
+import dep;
+entry module main(0 params, 1 ancilla) {
+  compute {
+    x a0;
+  }
+}
+";
+    let dep = "entry module other(0 params, 1 ancilla) {\n  compute {\n    x a0;\n  }\n}\n";
+    assert_eq!(
+        multi_report(root, &[("dep", dep)]),
+        "\
+error: imported file dep.sq declares `entry module other`
+  --> dep.sq:1:1
+   |
+ 1 | entry module other(0 params, 1 ancilla) {
+   | ^^^^^ the entry module must live in the root file
+"
+    );
+}
+
+#[test]
+fn golden_transitive_import_not_visible() {
+    let root = "\
+import mid;
+entry module main(0 params, 1 ancilla) {
+  compute {
+    call deep(a0);
+  }
+}
+";
+    let mid =
+        "import base;\nmodule shallow(1 params, 0 ancilla) {\n  compute {\n    call deep(p0);\n  }\n}\n";
+    let base = "module deep(1 params, 0 ancilla) {\n  compute {\n    x p0;\n  }\n}\n";
+    assert_eq!(
+        multi_report(root, &[("mid", mid), ("base", base)]),
+        "\
+error: module `deep` is defined in base.sq, which root.sq does not import
+  --> root.sq:4:10
+   |
+ 4 |     call deep(a0);
+   |          ^^^^ add `import base;` at the top of root.sq
+"
+    );
+}
+
+#[test]
+fn golden_clbit_over_declared_bound() {
+    // A written `N clbits` header is a declared bound; referencing a
+    // higher clbit is an error at the clbit token. Dropping the header
+    // re-enables on-demand growth (checked in the parser's own tests).
+    let src = "\
+entry module main(0 params, 1 ancilla, 1 clbits) {
+  compute {
+    x a0;
+    measure a0 c3;
+  }
+}
+";
+    assert_eq!(
+        report(src),
+        "\
+error: classical bit `c3` is out of range: module `main` declares 1 clbit
+  --> prog.sq:4:16
+   |
+ 4 |     measure a0 c3;
+   |                ^^ the `clbits` header is a declared bound; raise it, or drop the clause \
+         to size classical storage on demand
+"
+    );
+}
+
+#[test]
+fn golden_caret_alignment_with_tabs_and_wide_characters() {
+    // Tab-indented source keeps its tabs in the caret pad (so the
+    // carets line up in any tab rendering), and CJK identifiers count
+    // as two columns wide.
+    let src = "\
+entry module main(1 params, 1 ancilla) {
+  compute {
+\t加法 a0;
+  }
+}
+";
+    assert_eq!(
+        report(src),
+        "\
+error: unexpected character `加`
+  --> prog.sq:3:2
+   |
+ 3 | \t加法 a0;
+   | \t^^
+
+error: unexpected character `法`
+  --> prog.sq:3:3
+   |
+ 3 | \t加法 a0;
+   | \t  ^^
+
+error: unknown gate `a0`
+  --> prog.sq:3:5
+   |
+ 3 | \t加法 a0;
+   | \t     ^^
+"
+    );
+}
+
+#[test]
+fn recovery_reports_each_problem_once() {
+    // Panic-mode recovery resynchronizes on statement boundaries;
+    // truncated or garbled input must not repeat the same diagnostic
+    // for the same span.
+    let sources = [
+        // Truncated mid-module: EOF inside the compute block.
+        "entry module main(0 params, 2 ancilla) {\n  compute {\n    cx a0",
+        // Garbled statement soup.
+        "entry module main(0 params, 2 ancilla) {\n  compute {\n    ;;; cx cx ;; a9 x\n  }\n}\n",
+        // Header garbage followed by a well-formed module.
+        "module (3 oops) {}\nentry module main(0 params, 1 ancilla) {\n  compute {\n    x a0;\n  }\n}\n",
+    ];
+    for src in sources {
+        let diags = parse_program(src).expect_err("source must not parse");
+        assert!(!diags.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for d in &diags {
+            assert!(
+                seen.insert((d.span.start, d.span.end, d.message.clone())),
+                "duplicate diagnostic for {src:?}: {}",
+                d.message
+            );
+        }
+    }
 }
 
 #[test]

@@ -167,9 +167,9 @@ fn load_corpus(opts: &Options) -> Result<Vec<(String, String)>, String> {
                 .file_stem()
                 .map(|s| s.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            let source =
-                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-            corpus.push((name, source));
+            // Flatten multi-file sources: the wire carries one
+            // self-contained program per request.
+            corpus.push((name, square_service::gate::wire_source(&path)?));
         }
     }
     for &bench in &opts.catalog {

@@ -7,6 +7,9 @@
 //!
 //! ```text
 //! squarec FILE.sq [FILE2.sq …] [flags]
+//!   --search-path DIR    extra directory for `import` resolution
+//!                        (repeatable; the importing file's directory
+//!                        is always tried first, `lib/` always last)
 //!   --policy SPEC        lazy | eager | square | laa, optionally
 //!                        with a `,budget:N` hard width cap
 //!                        (e.g. `square,budget:64`)           (default square)
@@ -54,6 +57,7 @@ enum Emit {
 
 struct Options {
     files: Vec<PathBuf>,
+    search_path: Vec<PathBuf>,
     policy: Policy,
     budget: Option<usize>,
     arch: SweepArch,
@@ -77,6 +81,7 @@ fn mark_failed() {
 }
 
 const USAGE: &str = "usage: squarec FILE.sq [FILE2.sq …] \
+     [--search-path DIR]… \
      [--policy lazy|eager|square|laa[,budget:N]] \
      [--arch nisq|ft|grid:WxH|full:N|line:N|heavyhex[:D]|ring[:N]] \
      [--router greedy|lookahead] [--mbu] [--all-policies] [--validate] \
@@ -86,6 +91,7 @@ const USAGE: &str = "usage: squarec FILE.sq [FILE2.sq …] \
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         files: Vec::new(),
+        search_path: Vec::new(),
         policy: Policy::Square,
         budget: None,
         arch: SweepArch::NisqAuto,
@@ -107,6 +113,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg.as_str() {
+            "--search-path" => opts.search_path.push(PathBuf::from(value(arg)?)),
             "--policy" => {
                 // Full spec grammar: base name, `budget:N` cap, or
                 // both (`square,budget:64`).
@@ -256,10 +263,15 @@ fn run_file(file: &Path, opts: &Options, json_cells: &mut Vec<Value>) -> bool {
             return false;
         }
     };
-    let program = match square_lang::parse_program(&source) {
+    // Multi-file parse: `import`s resolve against the file's own
+    // directory, then --search-path directories, then `lib/`. An
+    // import-free file takes exactly the single-file path.
+    let loader = square_lang::SearchPathLoader::with_default_lib(opts.search_path.clone());
+    let (map, parsed) = square_lang::parse_files(&display, &source, &loader);
+    let program = match parsed {
         Ok(p) => p,
         Err(diags) => {
-            eprint!("{}", square_lang::render(&source, &display, &diags));
+            eprint!("{}", map.render(&diags));
             eprintln!(
                 "{display}: {} error{}",
                 diags.len(),

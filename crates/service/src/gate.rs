@@ -16,7 +16,7 @@
 //! warm-cache throughput figure is also recorded but never gated: it
 //! is dominated by scheduler noise on shared CI runners.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -177,14 +177,47 @@ pub fn parse(text: &str) -> Result<ServiceBaseline, String> {
     })
 }
 
-/// The default gate corpus: every `.sq` file in `corpus_dir` (sorted
-/// by name) plus [`CATALOG_PROGRAMS`] rendered from the workload
-/// catalog. Returns `(name, source)` pairs.
+/// Reads a corpus `.sq` file as single-file wire-protocol source.
+///
+/// The service wire carries one self-contained program per request,
+/// so files written against the multi-file frontend are flattened at
+/// load time: import-free sources pass through **byte-identical**
+/// (the raw file is the wire payload), while sources with `import`
+/// items resolve against the importing file's directory plus the
+/// workspace `lib/` and render back to their canonical single-file
+/// listing.
 ///
 /// # Errors
 ///
-/// I/O failures reading the corpus directory or a catalog program
-/// that fails to render.
+/// I/O failures, or rendered diagnostics when the program does not
+/// resolve — a service corpus is required to be valid.
+pub fn wire_source(path: &Path) -> Result<String, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if square_lang::parse_program(&source).is_ok() {
+        return Ok(source);
+    }
+    let lib = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../lib");
+    let loader = square_lang::SearchPathLoader::with_default_lib(vec![lib]);
+    let display = path.display().to_string();
+    let (map, parsed) = square_lang::parse_files(&display, &source, &loader);
+    match parsed {
+        Ok(program) => Ok(square_qir::pretty::program_listing(&program)),
+        Err(diags) => Err(format!(
+            "{display} does not resolve:\n{}",
+            map.render(&diags)
+        )),
+    }
+}
+
+/// The default gate corpus: every `.sq` file in `corpus_dir` (sorted
+/// by name, flattened through [`wire_source`]) plus
+/// [`CATALOG_PROGRAMS`] rendered from the workload catalog. Returns
+/// `(name, source)` pairs.
+///
+/// # Errors
+///
+/// I/O failures reading the corpus directory, a corpus file that does
+/// not resolve, or a catalog program that fails to render.
 pub fn default_corpus(corpus_dir: &Path) -> Result<Vec<(String, String)>, String> {
     let mut entries = Vec::new();
     let mut files: Vec<_> = std::fs::read_dir(corpus_dir)
@@ -199,9 +232,7 @@ pub fn default_corpus(corpus_dir: &Path) -> Result<Vec<(String, String)>, String
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let source =
-            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        entries.push((name, source));
+        entries.push((name, wire_source(&path)?));
     }
     for bench in CATALOG_PROGRAMS {
         let source = sq_source(bench).map_err(|e| format!("{}: {e}", bench.name()))?;

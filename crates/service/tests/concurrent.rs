@@ -57,7 +57,7 @@ fn corpus_sources() -> Vec<String> {
     files.sort();
     files
         .iter()
-        .map(|p| std::fs::read_to_string(p).expect("readable corpus file"))
+        .map(|p| square_service::gate::wire_source(p).expect("corpus file resolves"))
         .collect()
 }
 

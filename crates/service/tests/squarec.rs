@@ -36,7 +36,11 @@ fn corpus_files() -> Vec<PathBuf> {
 }
 
 fn squarec() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_squarec"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_squarec"));
+    // The corpus imports `std`, resolved from the cwd-relative `lib/`
+    // default; run the driver from the workspace root like a user would.
+    cmd.current_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    cmd
 }
 
 #[test]

@@ -413,6 +413,160 @@ pub fn shrink(case: &FuzzCase) -> (FuzzCase, Box<FuzzFailure>) {
     }
 }
 
+// -------------------------------------------------------------------
+// Stdlib-composition mode: random entry modules assembled from
+// `lib/std.sq` calls, checked differentially against the flattened
+// single-file form.
+
+/// The standard library shipped at `lib/std.sq`, compiled in so
+/// stdlib-composition cases need no filesystem.
+pub const STDLIB_SOURCE: &str = include_str!("../../../lib/std.sq");
+
+/// Domain separator for stdlib-case derivation.
+const STDLIB_SEED_SALT: u64 = 0x5147_5344_4C49_B001;
+
+/// Composable stdlib routines: (name, arity, leading input bits
+/// eligible for X-prep — the remaining args are outputs and start
+/// |0⟩). `fpmul4` pulls `mul4` and `add8` in transitively, so the
+/// roster covers the whole arithmetic layer.
+const STDLIB_ROSTER: &[(&str, usize, usize)] = &[
+    ("add4", 13, 8),
+    ("cla4", 13, 8),
+    ("eq4", 9, 8),
+    ("lt4", 9, 8),
+    ("fpmul4", 12, 8),
+    ("and4", 5, 4),
+    ("or4", 5, 4),
+    ("parity4", 5, 4),
+    ("mark5", 5, 4),
+];
+
+/// One stdlib-composition case: a deterministic random entry module
+/// over `import std;`, each call on its own ancilla region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdlibCase {
+    /// Meta-seed the case derives from.
+    pub seed: u64,
+    /// The generated root-file source (starts with `import std;`).
+    pub source: String,
+}
+
+impl StdlibCase {
+    /// Derives the case for a meta-seed: 1–3 roster calls, disjoint
+    /// ancilla regions, random X-prep over each call's input bits.
+    pub fn from_seed(seed: u64) -> StdlibCase {
+        let mut rng = StdRng::seed_from_u64(seed ^ STDLIB_SEED_SALT);
+        let calls = rng.gen_range(1..=3usize);
+        let mut preps = String::new();
+        let mut body = String::new();
+        let mut base = 0usize;
+        for _ in 0..calls {
+            let (name, arity, inputs) = STDLIB_ROSTER[rng.gen_range(0..STDLIB_ROSTER.len())];
+            for i in 0..inputs {
+                if rng.gen::<bool>() {
+                    preps.push_str(&format!("    x a{};\n", base + i));
+                }
+            }
+            let args: Vec<String> = (base..base + arity).map(|i| format!("a{i}")).collect();
+            body.push_str(&format!("    call {name}({});\n", args.join(", ")));
+            base += arity;
+        }
+        let source = format!(
+            "import std;\nentry module main(0 params, {base} ancilla) {{\n  compute {{\n{preps}{body}  }}\n}}\n"
+        );
+        StdlibCase { seed, source }
+    }
+}
+
+/// A failing stdlib-composition case: the seed reproduces it
+/// (`fuzz_pipeline --stdlib --start SEED --count 1`), and the
+/// generated source is carried for the reproducer artifact.
+#[derive(Debug)]
+pub struct StdlibFailure {
+    /// The failing case (seed + generated source).
+    pub case: StdlibCase,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for StdlibFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stdlib seed {}: {}", self.case.seed, self.detail)
+    }
+}
+
+/// Runs one stdlib-composition case:
+///
+/// 1. the generated root resolves against the compiled-in stdlib
+///    through the real multi-file pass ([`square_lang::parse_files`]
+///    over a [`square_lang::MapLoader`]), and must round-trip;
+/// 2. the program validates over the full machine × policy × router
+///    product (plus the budgeted and MBU cells), like any fuzz case;
+/// 3. differentially, the import path must agree bit-for-bit with the
+///    *flattened* single-file form (entry concatenated with the whole
+///    stdlib — module pruning and import resolution must not change
+///    observable semantics) under both Square and Eager.
+///
+/// # Errors
+///
+/// The failing case with a one-line reason.
+pub fn run_stdlib_case(case: &StdlibCase) -> Result<CaseStats, Box<StdlibFailure>> {
+    let fail = |detail: String| {
+        Box::new(StdlibFailure {
+            case: case.clone(),
+            detail,
+        })
+    };
+    let mut loader = square_lang::MapLoader::new();
+    loader.insert("std", STDLIB_SOURCE);
+    let (_, parsed) = square_lang::parse_files("fuzz.sq", &case.source, &loader);
+    let program = parsed.map_err(|diags| {
+        let first = diags.first().map(|d| d.to_string()).unwrap_or_default();
+        fail(format!("multi-file frontend rejected the case: {first}"))
+    })?;
+    if let Err(e) = square_lang::check_roundtrip(&program) {
+        return Err(fail(format!("round trip failed: {e}")));
+    }
+    let flat_source = format!(
+        "{}\n{STDLIB_SOURCE}",
+        case.source.replacen("import std;\n", "", 1)
+    );
+    let flat = square_lang::parse_program(&flat_source).map_err(|diags| {
+        let first = diags.first().map(|d| d.to_string()).unwrap_or_default();
+        fail(format!("flattened form rejected: {first}"))
+    })?;
+
+    let mut stats = CaseStats::default();
+    run_program(&program, &[], false, &mut stats).map_err(|(policy, machine, router, e)| {
+        fail(format!(
+            "{}/{machine}/{} failed: {e}",
+            policy.cli_name(),
+            router.cli_name()
+        ))
+    })?;
+    // Import-vs-flat differential: the resolved program and the
+    // flattened one must observe identical entry registers.
+    for policy in [Policy::Square, Policy::Eager] {
+        let config = MachineKind::Nisq.config(policy);
+        let via_import = validate(&program, &[], &config)
+            .map_err(|e| fail(format!("import path under {}: {e}", policy.cli_name())))?;
+        let via_flat = validate(&flat, &[], &config)
+            .map_err(|e| fail(format!("flattened path under {}: {e}", policy.cli_name())))?;
+        stats.cells += 2;
+        stats.gates += via_import.report.gates + via_flat.report.gates;
+        stats.swaps += via_import.report.swaps + via_flat.report.swaps;
+        if via_import.outputs != via_flat.outputs {
+            return Err(fail(format!(
+                "import and flattened outputs diverge under {}: {:?} vs {:?}",
+                policy.cli_name(),
+                via_import.outputs,
+                via_flat.outputs
+            )));
+        }
+    }
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +600,28 @@ mod tests {
             // 2 generation modes, plus one budgeted Square cell and
             // one MBU-enabled Eager cell per generated program.
             assert_eq!(stats.cells, 60, "full machine × router product");
+            assert!(stats.gates > 0);
+        }
+    }
+
+    #[test]
+    fn stdlib_cases_derive_deterministically() {
+        let a = StdlibCase::from_seed(11);
+        assert_eq!(a, StdlibCase::from_seed(11));
+        assert_ne!(a.source, StdlibCase::from_seed(12).source);
+        assert!(a.source.starts_with("import std;\n"));
+        assert!(a.source.contains("call "));
+    }
+
+    #[test]
+    fn a_handful_of_stdlib_seeds_validate_cleanly() {
+        for seed in 0..3u64 {
+            let case = StdlibCase::from_seed(seed);
+            let stats = run_stdlib_case(&case).unwrap_or_else(|f| panic!("{f}\n{}", f.case.source));
+            // One program through the full matrix (half of run_case's
+            // 60, which covers two programs) plus the four
+            // import-vs-flat differential cells.
+            assert_eq!(stats.cells, 30 + 4, "matrix + import/flat differential");
             assert!(stats.gates > 0);
         }
     }

@@ -11,24 +11,26 @@ use square_repro::core::{compile, Policy};
 use square_repro::lang;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/sq");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let corpus = root.join("examples/sq");
     let mut files: Vec<_> = std::fs::read_dir(&corpus)?
         .map(|e| e.map(|e| e.path()))
         .collect::<Result<_, _>>()?;
     files.sort();
 
+    // Corpus files may `import std;` — resolve against the shipped
+    // standard library, wherever the example is run from.
+    let loader = lang::SearchPathLoader::new(vec![root.join("lib")]);
     for file in files
         .iter()
         .filter(|p| p.extension().is_some_and(|x| x == "sq"))
     {
         let source = std::fs::read_to_string(file)?;
-        let program = match lang::parse_program(&source) {
+        let (map, parsed) = lang::parse_files(&file.display().to_string(), &source, &loader);
+        let program = match parsed {
             Ok(p) => p,
             Err(diags) => {
-                eprint!(
-                    "{}",
-                    lang::render(&source, &file.display().to_string(), &diags)
-                );
+                eprint!("{}", map.render(&diags));
                 return Err("corpus file failed to parse".into());
             }
         };
